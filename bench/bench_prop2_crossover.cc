@@ -1,0 +1,66 @@
+// Proposition 2 — crossover study for counting vs magic sets.
+//
+// On regular graphs counting always wins (C <=_R Ms). On acyclic
+// non-regular graphs counting wins *on average*, i.e. when m_L = O(m_R);
+// when m_R shrinks far below m_L the n_L*m_L term of counting can lose to
+// magic's m_L*m_R. This bench sweeps the m_R / m_L ratio on a non-regular
+// graph and reports both costs so the crossover (if any) is visible.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+Instance MakeRatioInstance(int scale, int r_arc_percent) {
+  workload::LayeredSpec spec;
+  spec.layers = 4 * static_cast<size_t>(scale);
+  spec.width = 4 * static_cast<size_t>(scale);
+  spec.extra_arcs = 2;
+  spec.skip_arcs = spec.width * 2;
+  spec.bad_start_layer = 1;  // non-regular everywhere: worst case for counting
+  workload::LGraph lg = workload::MakeLayeredL(spec);
+
+  workload::ErSpec er;
+  er.kind = workload::ErSpec::Kind::kRandom;
+  er.r_nodes = std::max<size_t>(lg.n / 2, 4);
+  er.r_arcs = std::max<size_t>(
+      (lg.arcs.size() * static_cast<size_t>(r_arc_percent)) / 100, 1);
+  return Instance(workload::AssembleCsl(lg, er, "ratio"));
+}
+
+void CountingVsMagic(benchmark::State& state) {
+  bool use_counting = state.range(0) != 0;
+  int scale = static_cast<int>(state.range(1));
+  int r_pct = static_cast<int>(state.range(2));
+  Instance inst = MakeRatioInstance(scale, r_pct);
+  core::CslSolver solver = inst.MakeSolver();
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = use_counting ? solver.RunCounting() : solver.RunMagicSets();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+  }
+  Report(state, inst, last, 1.0);
+  state.counters["r_pct"] = r_pct;
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int counting = 0; counting < 2; ++counting) {
+    for (int r_pct : {5, 25, 50, 100, 200, 400}) {
+      b->Args({counting, 4, r_pct});
+    }
+  }
+  b->ArgNames({"counting", "scale", "r_pct"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(CountingVsMagic)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

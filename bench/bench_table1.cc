@@ -1,0 +1,90 @@
+// Table 1 — costs of the counting and magic set methods by magic-graph
+// class:
+//   regular:  counting Theta(m_L + n_L*m_R)    magic Theta(m_L*m_R)
+//   acyclic:  counting Theta(n_L*m_L + n_L*m_R) magic Theta(m_L*m_R)
+//   cyclic:   counting unsafe                   magic Theta(m_L*m_R)
+//
+// Each benchmark reports tuple reads and the ratio to the paper's formula;
+// across the size sweep the ratio should stay roughly flat (constant
+// factor), and the counting method must abort with Unsafe on the cyclic
+// scenario.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+void CountingCost(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  int scale = static_cast<int>(state.range(1));
+  Shape shape = static_cast<Shape>(state.range(2));
+  Instance inst(MakeScenario(scenario, scale, 42, shape));
+  core::CslSolver solver = inst.MakeSolver();
+
+  bool unsafe = false;
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = solver.RunCounting();
+    if (!run.ok()) {
+      unsafe = true;
+      break;
+    }
+    last = *run;
+    benchmark::DoNotOptimize(last.answers.data());
+  }
+  if (unsafe) {
+    // Expected for the cyclic scenario: the paper's "counting is unsafe".
+    state.SkipWithError("unsafe (divergent counting fixpoint) — expected "
+                          "on cyclic magic graphs");
+    return;
+  }
+  double formula =
+      scenario == Scenario::kRegular
+          ? static_cast<double>(inst.m_l) +
+                static_cast<double>(inst.n_l) * static_cast<double>(inst.m_r)
+          : static_cast<double>(inst.n_l) * static_cast<double>(inst.m_l) +
+                static_cast<double>(inst.n_l) * static_cast<double>(inst.m_r);
+  Report(state, inst, last, formula);
+}
+
+void MagicSetCost(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  int scale = static_cast<int>(state.range(1));
+  Shape shape = static_cast<Shape>(state.range(2));
+  Instance inst(MakeScenario(scenario, scale, 42, shape));
+  core::CslSolver solver = inst.MakeSolver();
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = solver.RunMagicSets();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+    benchmark::DoNotOptimize(last.answers.data());
+  }
+  double formula =
+      static_cast<double>(inst.m_l) * static_cast<double>(inst.m_r);
+  Report(state, inst, last, formula);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    for (int scale : {2, 3, 4, 6}) {
+      for (int shape = 0; shape < 2; ++shape) {
+        b->Args({scenario, scale, shape});
+      }
+    }
+  }
+  b->ArgNames({"scenario", "scale", "shape"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(CountingCost)->Apply(Args);
+BENCHMARK(MagicSetCost)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 2 — costs of the basic magic counting methods:
+//   regular:      Theta(m_L + n_L*m_R)   (coincides with counting)
+//   non-regular:  Theta(m_L * m_R)       (coincides with magic sets)
+// Independent and integrated basic methods have the same cost function, so
+// both are measured and should track each other.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+void BasicMcCost(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  int scale = static_cast<int>(state.range(1));
+  auto mode = static_cast<core::McMode>(state.range(2));
+  Shape shape = static_cast<Shape>(state.range(3));
+  Instance inst(MakeScenario(scenario, scale, 42, shape));
+  core::CslSolver solver = inst.MakeSolver();
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = solver.RunMagicCounting(core::McVariant::kBasic, mode);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+    benchmark::DoNotOptimize(last.answers.data());
+  }
+  double formula =
+      scenario == Scenario::kRegular
+          ? static_cast<double>(inst.m_l) +
+                static_cast<double>(inst.n_l) * static_cast<double>(inst.m_r)
+          : static_cast<double>(inst.m_l) * static_cast<double>(inst.m_r);
+  Report(state, inst, last, formula);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    for (int scale : {2, 3, 4, 6}) {
+      for (int mode = 0; mode < 2; ++mode) {
+        for (int shape = 0; shape < 2; ++shape) {
+          b->Args({scenario, scale, mode, shape});
+        }
+      }
+    }
+  }
+  b->ArgNames({"scenario", "scale", "mode", "shape"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(BasicMcCost)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

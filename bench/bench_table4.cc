@@ -1,0 +1,72 @@
+// Table 4 — costs of the multiple magic counting methods on non-regular
+// graphs:
+//   independent: Theta(m_L + (m_L - m_i)*m_R + n_i*m_R)
+//   integrated:  Theta(m_L + (m_L - m_s)*m_R + n_s*m_R)
+// where n_s/m_s count all single nodes and the arcs among them, and n_i/m_i
+// the single nodes that cannot reach a non-single node (Section 8).
+// M <= S on both coordinates, and M_INT <= M_IND.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+void MultipleMcCost(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  int scale = static_cast<int>(state.range(1));
+  auto mode = static_cast<core::McMode>(state.range(2));
+  Shape shape = static_cast<Shape>(state.range(3));
+  Instance inst(MakeScenario(scenario, scale, 42, shape));
+  core::CslSolver solver = inst.MakeSolver();
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = solver.RunMagicCounting(core::McVariant::kMultiple, mode);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+    benchmark::DoNotOptimize(last.answers.data());
+  }
+
+  const auto& a = inst.analysis;
+  double m_l = static_cast<double>(inst.m_l);
+  double m_r = static_cast<double>(inst.m_r);
+  double formula;
+  if (scenario == Scenario::kRegular) {
+    formula = m_l + static_cast<double>(inst.n_l) * m_r;
+  } else if (mode == core::McMode::kIndependent) {
+    formula = m_l + (m_l - static_cast<double>(a.m_i)) * m_r +
+              static_cast<double>(a.n_i) * m_r;
+  } else {
+    formula = m_l + (m_l - static_cast<double>(a.m_single)) * m_r +
+              static_cast<double>(a.n_single) * m_r;
+  }
+  Report(state, inst, last, formula);
+  state.counters["n_s"] = static_cast<double>(a.n_single);
+  state.counters["m_s"] = static_cast<double>(a.m_single);
+  state.counters["n_i"] = static_cast<double>(a.n_i);
+  state.counters["m_i"] = static_cast<double>(a.m_i);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    for (int scale : {2, 3, 4, 6}) {
+      for (int mode = 0; mode < 2; ++mode) {
+        for (int shape = 0; shape < 2; ++shape) {
+          b->Args({scenario, scale, mode, shape});
+        }
+      }
+    }
+  }
+  b->ArgNames({"scenario", "scale", "mode", "shape"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(MultipleMcCost)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table 5 — costs of the recurring magic counting methods:
+//   regular:  Theta(m_L + n_L*m_R)
+//   acyclic:  Theta(n_L*m_L + n_L*m_R)       (Step 1 pays n_L*m_L)
+//   cyclic IND: Theta(n_L*m_L + (m_L - m_m^)*m_R + n_m^*m_R)
+//   cyclic INT: Theta(n_L*m_L + (m_L - m_m)*m_R + n_m*m_R)
+// The naive Step-1 (2K-1 fixpoint) pays the n_L*m_L term; the smart
+// (Tarjan) variant drops it to ~m_L — compare against
+// bench_ablation_step1.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+void RecurringMcCost(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  int scale = static_cast<int>(state.range(1));
+  auto mode = static_cast<core::McMode>(state.range(2));
+  Shape shape = static_cast<Shape>(state.range(3));
+  Instance inst(MakeScenario(scenario, scale, 42, shape));
+  core::CslSolver solver = inst.MakeSolver();
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    auto run = solver.RunMagicCounting(core::McVariant::kRecurring, mode);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+    benchmark::DoNotOptimize(last.answers.data());
+  }
+
+  const auto& a = inst.analysis;
+  double n_l = static_cast<double>(inst.n_l);
+  double m_l = static_cast<double>(inst.m_l);
+  double m_r = static_cast<double>(inst.m_r);
+  double formula;
+  if (scenario == Scenario::kRegular) {
+    formula = m_l + n_l * m_r;
+  } else if (scenario == Scenario::kAcyclic) {
+    formula = n_l * m_l + n_l * m_r;
+  } else if (mode == core::McMode::kIndependent) {
+    formula = n_l * m_l + (m_l - static_cast<double>(a.m_m_hat)) * m_r +
+              static_cast<double>(a.n_m_hat) * m_r;
+  } else {
+    formula = n_l * m_l + (m_l - static_cast<double>(a.m_m)) * m_r +
+              static_cast<double>(a.n_m) * m_r;
+  }
+  Report(state, inst, last, formula);
+  state.counters["n_m"] = static_cast<double>(a.n_m);
+  state.counters["m_m"] = static_cast<double>(a.m_m);
+  state.counters["n_m_hat"] = static_cast<double>(a.n_m_hat);
+  state.counters["m_m_hat"] = static_cast<double>(a.m_m_hat);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    for (int scale : {2, 3, 4, 6}) {
+      for (int mode = 0; mode < 2; ++mode) {
+        for (int shape = 0; shape < 2; ++shape) {
+          b->Args({scenario, scale, mode, shape});
+        }
+      }
+    }
+  }
+  b->ArgNames({"scenario", "scale", "mode", "shape"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(RecurringMcCost)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

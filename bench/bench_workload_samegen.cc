@@ -1,0 +1,67 @@
+// Same-generation scaling — the paper's motivating workload (Section 1).
+//
+// Random family DAGs of growing size; L = R = parent, E = identity. The
+// parent DAG is acyclic but typically non-regular (people reachable through
+// lineages of different lengths), so this measures the methods on the
+// "average" instance the paper argues about: counting-like costs for the
+// MC family vs quadratic-like costs for pure magic sets.
+#include "bench_common.h"
+
+namespace mcm::bench {
+namespace {
+
+void SameGeneration(benchmark::State& state) {
+  size_t people = static_cast<size_t>(state.range(0));
+  int method = static_cast<int>(state.range(1));
+  workload::CslData data = workload::MakeSameGeneration(people, 2, 97);
+  Database db;
+  data.Load(&db, "parent", "eq", "parent");
+  core::CslSolver solver(&db, "parent", "eq", "parent", data.source);
+
+  core::MethodRun last;
+  for (auto _ : state) {
+    Result<core::MethodRun> run = [&]() -> Result<core::MethodRun> {
+      switch (method) {
+        case 0:
+          return solver.RunCounting();
+        case 1:
+          return solver.RunMagicSets();
+        case 2:
+          return solver.RunMagicCounting(core::McVariant::kMultiple,
+                                         core::McMode::kIntegrated);
+        default:
+          return solver.RunMagicCounting(core::McVariant::kRecurringSmart,
+                                         core::McMode::kIntegrated);
+      }
+    }();
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = *run;
+  }
+  state.counters["reads"] = static_cast<double>(last.total.tuples_read);
+  state.counters["answers"] = static_cast<double>(last.answers.size());
+  state.counters["people"] = static_cast<double>(people);
+  static const char* kNames[] = {"counting", "magic_sets", "mc_multiple_int",
+                                 "mc_recurring_smart_int"};
+  state.SetLabel(kNames[method]);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (long people : {100, 300, 1000, 3000}) {
+    for (long method = 0; method < 4; ++method) {
+      b->Args({people, method});
+    }
+  }
+  b->ArgNames({"people", "method"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+BENCHMARK(SameGeneration)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// The "accidental cycle" story from the paper's Section 3.
+//
+// A genealogy database is *logically* acyclic, but nothing enforces that
+// physically: one bad tuple (a data-entry error making an ancestor also a
+// descendant) creates a cycle. The counting method then diverges, while
+// every magic counting method quietly routes the contaminated region
+// through the magic-set side and still answers in finite time.
+#include <cstdio>
+
+#include "core/solver.h"
+#include "workload/generators.h"
+
+using namespace mcm;
+
+int main() {
+  // A clean random family: 300 people, person 0 queries for relatives of
+  // the same generation.
+  workload::CslData family = workload::MakeSameGeneration(300, 2, 2024);
+
+  std::printf("same-generation query over %zu parent tuples\n\n",
+              family.m_l());
+
+  auto run_all = [](Database* db, Value source) {
+    core::CslSolver solver(db, "parent", "eq", "parent", source);
+    auto report = [](const char* name, const Result<core::MethodRun>& run) {
+      if (run.ok()) {
+        std::printf("  %-26s answers=%-4zu reads=%llu\n", name,
+                    run->answers.size(),
+                    static_cast<unsigned long long>(run->total.tuples_read));
+      } else {
+        std::printf("  %-26s %s\n", name, run.status().ToString().c_str());
+      }
+    };
+    report("counting", solver.RunCounting());
+    report("magic_sets", solver.RunMagicSets());
+    report("mc/multiple/integrated",
+           solver.RunMagicCounting(core::McVariant::kMultiple,
+                                   core::McMode::kIntegrated));
+    report("mc/recurring_smart/int",
+           solver.RunMagicCounting(core::McVariant::kRecurringSmart,
+                                   core::McMode::kIntegrated));
+  };
+
+  {
+    std::printf("--- clean database (parent DAG is acyclic) ---\n");
+    Database db;
+    family.Load(&db, "parent", "eq", "parent");
+    run_all(&db, family.source);
+  }
+
+  {
+    std::printf("\n--- corrupted database: one accidental cycle tuple ---\n");
+    Database db;
+    family.Load(&db, "parent", "eq", "parent");
+    // Data-entry error: the query person's own parent is also recorded as
+    // their child — one bad tuple closing a cycle in the *reachable* part
+    // of the parent graph (an ancestor of person 0 must be involved, or
+    // the magic graph of the query stays acyclic).
+    Value parent_of_0 = family.l.front().second;
+    db.Find("parent")->Insert2(parent_of_0, 0);
+    std::printf("  (inserted parent(%lld, 0) — person 0's parent recorded "
+                "as their child)\n",
+                static_cast<long long>(parent_of_0));
+    run_all(&db, family.source);
+    std::printf(
+        "\n  counting diverges; every magic counting method stays safe and\n"
+        "  agrees with the magic set method. (Here the bad tuple touches\n"
+        "  the query constant itself, so almost the whole magic graph is\n"
+        "  contaminated and the MC methods fall back to magic-set costs —\n"
+        "  when the cycle is confined deeper in the graph they keep the\n"
+        "  counting-side speedup; see examples/method_comparison.)\n");
+  }
+  return 0;
+}

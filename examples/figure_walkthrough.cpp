@@ -1,0 +1,98 @@
+// Walkthrough of the paper's worked examples (Figures 1 and 2, in the
+// reconstructed form shipped with the workload library):
+//  * builds the query graph and prints the n/m statistics of Section 3,
+//  * classifies every magic-graph node (single / multiple / recurring),
+//  * prints the RC / RM split each Step-1 variant produces (Section 4's
+//    worked example), and
+//  * answers the query with each method.
+#include <cstdio>
+
+#include "core/solver.h"
+#include "core/step1.h"
+#include "graph/classify.h"
+#include "graph/query_graph.h"
+#include "workload/generators.h"
+
+using namespace mcm;
+
+namespace {
+
+void WalkFigure1() {
+  std::printf("=== Figure 1 style: a regular query graph ===\n");
+  workload::CslData data = workload::MakeFigure1Style();
+  Database db;
+  data.Load(&db);
+  auto qg = graph::QueryGraph::Build(*db.Find("l"), *db.Find("e"),
+                                     *db.Find("r"), data.source);
+  if (!qg.ok()) return;
+  std::printf("%s\n", qg->ToString().c_str());
+  auto analysis = graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source());
+  std::printf("magic graph class: %s\n",
+              graph::GraphClassToString(analysis.graph_class).c_str());
+
+  core::CslSolver solver(&db, "l", "e", "r", data.source);
+  auto run = solver.RunCounting();
+  if (run.ok()) {
+    std::printf("counting answers (Fact 2 paths):");
+    for (Value v : run->answers) std::printf(" %lld", static_cast<long long>(v));
+    std::printf("\n\n");
+  }
+}
+
+void WalkFigure2() {
+  std::printf("=== Figure 2 style: single/multiple/recurring regions ===\n");
+  workload::LGraph lg = workload::MakeFigure2StyleL();
+  Database db;
+  Relation* l = db.GetOrCreateRelation("l", 2);
+  for (auto [u, v] : lg.arcs) l->Insert2(u, v);
+
+  Relation empty_e("__e", 2), empty_r("__r", 2);
+  auto qg = graph::QueryGraph::Build(*l, empty_e, empty_r, 0);
+  if (!qg.ok()) return;
+  auto analysis = graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source());
+  std::printf("%s\n\n", analysis.ToString().c_str());
+
+  std::printf("node classification:\n");
+  for (graph::NodeId v = 0; v < qg->magic_graph().NumNodes(); ++v) {
+    std::printf("  node %lld: %-9s",
+                static_cast<long long>(qg->LValueOf(v)),
+                graph::NodeClassToString(analysis.node_class[v]).c_str());
+    if (!analysis.distance_sets[v].empty()) {
+      std::printf(" I_b = {");
+      for (size_t i = 0; i < analysis.distance_sets[v].size(); ++i) {
+        std::printf("%s%lld", i ? ", " : "",
+                    static_cast<long long>(analysis.distance_sets[v][i]));
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nreduced sets per Step-1 variant (independent mode):\n");
+  for (auto variant :
+       {core::McVariant::kBasic, core::McVariant::kSingle,
+        core::McVariant::kMultiple, core::McVariant::kRecurring}) {
+    auto r = core::ComputeReducedSets(&db, "l", 0, variant,
+                                      core::McMode::kIndependent);
+    if (!r.ok()) continue;
+    std::printf("  %-10s RM = {", core::McVariantToString(variant).c_str());
+    bool first = true;
+    for (const Tuple& t : db.Find("mcm_rm")->TuplesUnchecked()) {
+      std::printf("%s%lld", first ? "" : ", ",
+                  static_cast<long long>(t[0]));
+      first = false;
+    }
+    std::printf("}  |RC| = %zu\n", r->rc_size);
+  }
+  std::printf("\n(the RM set shrinks from everything, to everything at\n"
+              "depth >= i_x, to the non-single nodes, to just the cycle\n"
+              "cluster — exactly the progression of Section 4)\n");
+}
+
+}  // namespace
+
+int main() {
+  WalkFigure1();
+  WalkFigure2();
+  return 0;
+}

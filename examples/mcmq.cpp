@@ -1,0 +1,187 @@
+// mcmq — command-line query processor.
+//
+// Usage:
+//   mcmq PROGRAM.dl [--fact NAME=FILE.tsv]... [--method auto|bottom_up|
+//        magic|mc:<variant>:<mode>] [--out FILE.tsv] [--profile]
+//
+//   PROGRAM.dl       Datalog rules + one query
+//   --fact name=path load a TSV fact file into relation `name`
+//   --method         evaluation strategy:
+//                      auto       planner picks (default)
+//                      bottom_up  plain seminaive evaluation
+//                      magic      generalized magic sets
+//                      mc:V:M     magic counting, V in
+//                                 basic|single|multiple|recurring|smart,
+//                                 M in ind|int
+//   --out path       write the result tuples as TSV
+//   --profile        print a per-rule cost breakdown (bottom_up only)
+//
+// Example:
+//   mcmq samegen.dl --fact parent=parents.tsv --method mc:multiple:int
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/planner.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "storage/io.h"
+
+using namespace mcm;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "mcmq: %s\n", msg.c_str());
+  return 1;
+}
+
+bool ParseMcMethod(const std::string& spec, core::PlannerOptions* options) {
+  // spec = "mc:variant:mode"
+  size_t c1 = spec.find(':');
+  size_t c2 = spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) return false;
+  std::string variant = spec.substr(c1 + 1, c2 - c1 - 1);
+  std::string mode = spec.substr(c2 + 1);
+  if (variant == "basic") {
+    options->variant = core::McVariant::kBasic;
+  } else if (variant == "single") {
+    options->variant = core::McVariant::kSingle;
+  } else if (variant == "multiple") {
+    options->variant = core::McVariant::kMultiple;
+  } else if (variant == "recurring") {
+    options->variant = core::McVariant::kRecurring;
+  } else if (variant == "smart") {
+    options->variant = core::McVariant::kRecurringSmart;
+  } else {
+    return false;
+  }
+  if (mode == "ind") {
+    options->mode = core::McMode::kIndependent;
+  } else if (mode == "int") {
+    options->mode = core::McMode::kIntegrated;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mcmq PROGRAM.dl [--fact NAME=FILE]... "
+                 "[--method M] [--out FILE] [--profile]\n");
+    return 2;
+  }
+
+  std::string program_path = argv[1];
+  std::string method = "auto";
+  std::string out_path;
+  bool profile = false;
+  std::vector<std::pair<std::string, std::string>> facts;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--fact") {
+      std::string spec = next();
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Fail("--fact expects NAME=FILE");
+      facts.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--method") {
+      method = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--profile") {
+      profile = true;
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  std::ifstream file(program_path);
+  if (!file) return Fail("cannot open " + program_path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+
+  auto prog = dl::Parse(ss.str());
+  if (!prog.ok()) return Fail(prog.status().ToString());
+  if (prog->queries.size() != 1) {
+    return Fail("program must contain exactly one query");
+  }
+
+  Database db;
+  for (const auto& [name, path] : facts) {
+    Status st = LoadRelationTsv(&db, name, path);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  core::PlannerOptions options;
+  if (method == "auto") {
+    // defaults
+  } else if (method == "bottom_up") {
+    options.allow_magic_counting = false;
+    options.allow_magic_sets = false;
+  } else if (method == "magic") {
+    options.allow_magic_counting = false;
+  } else if (method.rfind("mc:", 0) == 0) {
+    if (!ParseMcMethod(method, &options)) {
+      return Fail("bad --method spec '" + method + "'");
+    }
+  } else {
+    return Fail("unknown --method '" + method + "'");
+  }
+
+  if (profile) {
+    // Profiling implies plain evaluation so every rule is observable.
+    eval::EvalOptions eopts;
+    eopts.profile = true;
+    eopts.max_iterations = 1u << 20;
+    eval::Engine engine(&db, eopts);
+    Status st = engine.Run(*prog);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("%s", engine.ProfileToString().c_str());
+    auto tuples = engine.Query(prog->queries[0].goal);
+    if (!tuples.ok()) return Fail(tuples.status().ToString());
+    std::printf("%zu result(s)\n", tuples->size());
+    return 0;
+  }
+
+  auto report = core::SolveProgram(&db, *prog, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::fprintf(stderr, "plan: %s [%s], %llu tuple reads\n",
+               core::PlanKindToString(report->kind).c_str(),
+               report->description.c_str(),
+               static_cast<unsigned long long>(report->stats.tuples_read));
+
+  auto print_tuple = [&](const Tuple& t, std::FILE* out) {
+    for (uint32_t i = 0; i < t.arity(); ++i) {
+      if (i > 0) std::fputc('\t', out);
+      if (db.symbols().Contains(t[i])) {
+        std::fputs(db.symbols().Resolve(t[i]).c_str(), out);
+      } else {
+        std::fprintf(out, "%lld", static_cast<long long>(t[i]));
+      }
+    }
+    std::fputc('\n', out);
+  };
+
+  if (!out_path.empty()) {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) return Fail("cannot write " + out_path);
+    for (const Tuple& t : report->results) print_tuple(t, out);
+    std::fclose(out);
+    std::fprintf(stderr, "%zu result(s) written to %s\n",
+                 report->results.size(), out_path.c_str());
+  } else {
+    for (const Tuple& t : report->results) print_tuple(t, stdout);
+    std::fprintf(stderr, "%zu result(s)\n", report->results.size());
+  }
+  return 0;
+}

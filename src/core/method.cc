@@ -1,0 +1,45 @@
+#include "core/method.h"
+
+#include "util/string_util.h"
+
+namespace mcm::core {
+
+std::string McVariantToString(McVariant v) {
+  switch (v) {
+    case McVariant::kBasic:
+      return "basic";
+    case McVariant::kSingle:
+      return "single";
+    case McVariant::kMultiple:
+      return "multiple";
+    case McVariant::kRecurring:
+      return "recurring";
+    case McVariant::kRecurringSmart:
+      return "recurring_smart";
+  }
+  return "?";
+}
+
+std::string McModeToString(McMode m) {
+  return m == McMode::kIndependent ? "independent" : "integrated";
+}
+
+std::string DetectionModeToString(DetectionMode m) {
+  return m == DetectionMode::kAnyDuplicate ? "any_duplicate"
+                                           : "differing_index";
+}
+
+std::string MethodRun::ToString() const {
+  return StringPrintf(
+      "%-28s answers=%zu reads=%llu (step1=%llu step2=%llu) iters=%llu "
+      "|MS|=%zu |RM|=%zu |RC|=%zu class=%s %.3fms",
+      method.c_str(), answers.size(),
+      static_cast<unsigned long long>(total.tuples_read),
+      static_cast<unsigned long long>(step1.tuples_read),
+      static_cast<unsigned long long>(step2.tuples_read),
+      static_cast<unsigned long long>(step2_iterations), ms_size, rm_size,
+      rc_size, graph::GraphClassToString(detected_class).c_str(),
+      seconds * 1e3);
+}
+
+}  // namespace mcm::core

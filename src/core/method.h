@@ -1,0 +1,87 @@
+// Method taxonomy and run results.
+//
+// The paper's family is indexed by two coordinates (Section 10):
+//   * variant:  basic / single / multiple / recurring — how precisely Step 1
+//     classifies magic-graph nodes (plus `recurring_smart`, the linear-time
+//     SCC refinement sketched at the end of Section 9);
+//   * mode: independent / integrated — whether Step 2 runs the counting and
+//     magic parts separately (Section 4) or pipes the magic results into the
+//     counting fixpoint (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/classify.h"
+#include "storage/access_stats.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace mcm::core {
+
+enum class McVariant : uint8_t {
+  kBasic,
+  kSingle,
+  kMultiple,
+  kRecurring,
+  kRecurringSmart,  ///< Tarjan-based Step 1 (Section 9's refinement)
+};
+
+enum class McMode : uint8_t { kIndependent, kIntegrated };
+
+std::string McVariantToString(McVariant v);
+std::string McModeToString(McMode m);
+
+/// How Step 1 decides that a node is non-single.
+enum class DetectionMode : uint8_t {
+  /// Flag a node whenever it is derived a second time, even at the same
+  /// index — the literal reading of the paper's Step-1 pseudo-code. Safe
+  /// over-approximation: a "diamond" (two equal-length paths) sends a
+  /// perfectly single node to the magic side.
+  kAnyDuplicate,
+  /// Flag only on re-derivation at a *different* index — exact with respect
+  /// to Proposition 1 (see the correctness argument in step1.cc). Default.
+  kDifferingIndex,
+};
+
+std::string DetectionModeToString(DetectionMode m);
+
+/// Safety and instrumentation knobs for a method run.
+struct RunOptions {
+  /// Fixpoint-round cap per recursive stratum; hit => Status::Unsafe.
+  /// 0 = auto: the solver derives a cap of 4*(|L| + |R|) + 64 rounds, which
+  /// every safe fixpoint on the instance is guaranteed to stay under (level
+  /// counts are bounded by path lengths, which are bounded by arc counts),
+  /// while a divergent counting fixpoint trips it quickly.
+  uint64_t max_iterations = 0;
+  /// Derived-tuple cap per recursive stratum; hit => Status::Unsafe.
+  /// 0 = unlimited.
+  uint64_t max_tuples = 0;
+  DetectionMode detection = DetectionMode::kDifferingIndex;
+};
+
+/// \brief Outcome and cost breakdown of one method execution.
+struct MethodRun {
+  std::string method;           ///< e.g. "counting", "mc/single/integrated"
+  std::vector<Value> answers;   ///< sorted distinct answer values
+
+  AccessStats step1;            ///< tuple-retrieval cost of Step 1
+  AccessStats step2;            ///< tuple-retrieval cost of Step 2
+  AccessStats total;            ///< step1 + step2
+
+  uint64_t step2_iterations = 0;
+  double seconds = 0.0;
+
+  size_t ms_size = 0;  ///< |MS|
+  size_t rm_size = 0;  ///< |RM|
+  size_t rc_size = 0;  ///< |RC| (index,value pairs)
+
+  /// Graph class as detected by Step 1 (kRegular when the method decided to
+  /// run pure counting).
+  graph::GraphClass detected_class = graph::GraphClass::kRegular;
+
+  std::string ToString() const;
+};
+
+}  // namespace mcm::core

@@ -1,0 +1,184 @@
+#include "core/planner.h"
+
+#include <unordered_set>
+
+#include "core/solver.h"
+#include "datalog/validate.h"
+#include "eval/engine.h"
+#include "rewrite/csl.h"
+#include "rewrite/magic.h"
+#include "rewrite/strongly_linear.h"
+
+namespace mcm::core {
+
+std::string PlanKindToString(PlanKind k) {
+  switch (k) {
+    case PlanKind::kMagicCounting:
+      return "magic_counting";
+    case PlanKind::kMagicSets:
+      return "magic_sets";
+    case PlanKind::kBottomUp:
+      return "bottom_up";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Split the program into the goal predicate's own rules and the support
+/// rules (which must not depend on the goal predicate). The goal rules can
+/// then be matched against the CSL / strongly-linear shapes while the
+/// support rules materialize any derived L/E/R predicates.
+struct GoalSplit {
+  dl::Program goal_part;  ///< rules for the goal predicate, plus the query
+  dl::Program support;    ///< everything else (may be empty)
+};
+
+Result<GoalSplit> SplitByGoal(const dl::Program& program) {
+  if (program.queries.size() != 1) {
+    return Status::Unsupported("planner expects exactly one query");
+  }
+  const std::string& p = program.queries[0].goal.predicate;
+
+  GoalSplit split;
+  for (const dl::Rule& r : program.rules) {
+    if (r.head.predicate == p) {
+      split.goal_part.rules.push_back(r);
+    } else {
+      // Support rules must not depend on the recursive predicate.
+      for (const dl::Literal& lit : r.body) {
+        if (lit.kind == dl::Literal::Kind::kAtom &&
+            lit.atom.predicate == p) {
+          return Status::Unsupported(
+              "predicate '" + r.head.predicate +
+              "' depends on the recursive query predicate");
+        }
+      }
+      split.support.rules.push_back(r);
+    }
+  }
+  split.goal_part.queries = program.queries;
+  return split;
+}
+
+}  // namespace
+
+Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
+                                const PlannerOptions& options) {
+  MCM_RETURN_NOT_OK(dl::Validate(program));
+  if (program.queries.size() != 1) {
+    return Status::Unsupported("planner expects exactly one query");
+  }
+  const dl::Query& query = program.queries[0];
+
+  AccessStats before = db->stats();
+
+  // --- Path 1: magic counting on a (possibly derived / composed)
+  // strongly linear query. ---
+  if (options.allow_magic_counting) {
+    auto split = SplitByGoal(program);
+    if (split.ok()) {
+      // Canonical shape first (no materialization at all), then the
+      // strongly linear generalization (conjunctive L/E/R, materialized).
+      Result<rewrite::CslQuery> csl = rewrite::RecognizeCsl(split->goal_part);
+      Result<rewrite::StronglyLinearQuery> slq =
+          csl.ok() ? Status::Unsupported("csl matched")
+                   : rewrite::RecognizeStronglyLinear(split->goal_part);
+      Result<rewrite::ReverseCsl> rev =
+          (csl.ok() || slq.ok())
+              ? Status::Unsupported("forward form matched")
+              : rewrite::RecognizeReverseCsl(split->goal_part,
+                                             "mcm_eswap");
+      if (csl.ok() || slq.ok() || rev.ok()) {
+        // Materialize derived support predicates first.
+        if (!split->support.rules.empty()) {
+          eval::Engine engine(db);
+          MCM_RETURN_NOT_OK(engine.Run(split->support));
+        }
+        std::string how;
+        if (!csl.ok() && slq.ok()) {
+          csl = rewrite::MaterializeStronglyLinear(db, *slq);
+          how = " via composed L/E/R (" + slq->ToString() + ")";
+        } else if (!csl.ok() && rev.ok()) {
+          // Reverse-bound query P(X, b): run the mirrored forward query
+          // over (L'=R, E'=E swapped, R'=L).
+          MCM_RETURN_NOT_OK(rewrite::MaterializeSwappedE(db, rev->original_e,
+                                                         "mcm_eswap"));
+          csl = rev->csl;
+          how = " via reverse binding (mirrored query)";
+        }
+        if (csl.ok() && db->Find(csl->l) != nullptr &&
+            db->Find(csl->e) != nullptr && db->Find(csl->r) != nullptr) {
+          Value a = rewrite::ResolveSource(*csl, db);
+          CslSolver solver(db, csl->l, csl->e, csl->r, a);
+          MCM_ASSIGN_OR_RETURN(
+              MethodRun run,
+              solver.RunMagicCounting(options.variant, options.mode,
+                                      options.run));
+          PlanReport report;
+          report.kind = PlanKind::kMagicCounting;
+          report.description =
+              "magic counting (" + McVariantToString(options.variant) + "/" +
+              McModeToString(options.mode) + ") over " + csl->ToString() +
+              how +
+              (split->support.rules.empty() ? ""
+                                            : " with materialized support");
+          report.detected_class = run.detected_class;
+          for (Value v : run.answers) {
+            report.results.push_back(Tuple{v});
+          }
+          AccessStats after = db->stats();
+          report.stats.tuples_read = after.tuples_read - before.tuples_read;
+          return report;
+        }
+      }
+    }
+  }
+
+  // --- Path 2: generalized magic sets when the goal carries bindings. ---
+  bool has_binding = false;
+  for (const dl::Term& t : query.goal.args) {
+    if (t.IsConstant()) has_binding = true;
+  }
+  if (options.allow_magic_sets && has_binding) {
+    auto magic = rewrite::MagicRewrite(program, query.goal);
+    if (magic.ok()) {
+      eval::EvalOptions eopts;
+      eopts.max_iterations = options.run.max_iterations;
+      eopts.max_tuples = options.run.max_tuples;
+      eval::Engine engine(db, eopts);
+      Status st = engine.Run(magic->program);
+      if (st.ok()) {
+        MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                             engine.Query(magic->adorned_goal));
+        PlanReport report;
+        report.kind = PlanKind::kMagicSets;
+        report.description = "generalized magic sets (goal pattern drives " +
+                             magic->adorned_goal.predicate + ")";
+        report.results = std::move(tuples);
+        AccessStats after = db->stats();
+        report.stats.tuples_read = after.tuples_read - before.tuples_read;
+        return report;
+      }
+      // Rewriting produced a non-stratifiable or unsafe program: fall
+      // through to bottom-up.
+    }
+  }
+
+  // --- Path 3: plain bottom-up evaluation. ---
+  eval::EvalOptions eopts;
+  eopts.max_iterations = options.run.max_iterations;
+  eopts.max_tuples = options.run.max_tuples;
+  eval::Engine engine(db, eopts);
+  MCM_RETURN_NOT_OK(engine.Run(program));
+  MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, engine.Query(query.goal));
+  PlanReport report;
+  report.kind = PlanKind::kBottomUp;
+  report.description = "bottom-up seminaive evaluation";
+  report.results = std::move(tuples);
+  AccessStats after = db->stats();
+  report.stats.tuples_read = after.tuples_read - before.tuples_read;
+  return report;
+}
+
+}  // namespace mcm::core

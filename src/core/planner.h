@@ -1,0 +1,61 @@
+// Query planner: evaluate an arbitrary program + query with the best
+// applicable strategy.
+//
+// Strategy selection, in order:
+//  1. If the query's recursive part is a canonical strongly linear (CSL)
+//     query — allowing L, E, R to be *derived* predicates defined in lower,
+//     non-recursive strata, the generalization Section 1 of the paper
+//     mentions — the support strata are materialized first and the query is
+//     answered with a magic counting method (by default: multiple /
+//     integrated, the best safe all-rounder of the family).
+//  2. Otherwise, if the query has at least one bound argument, the
+//     generalized magic set rewriting is applied and the rewritten program
+//     evaluated.
+//  3. Otherwise the program is evaluated bottom-up as-is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "datalog/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::core {
+
+/// Which strategy the planner ended up using.
+enum class PlanKind : uint8_t {
+  kMagicCounting,  ///< CSL path: Step1 + Step2 of the chosen MC method
+  kMagicSets,      ///< generalized magic rewriting
+  kBottomUp,       ///< plain seminaive evaluation
+};
+
+std::string PlanKindToString(PlanKind k);
+
+struct PlannerOptions {
+  /// MC method used on the CSL path.
+  McVariant variant = McVariant::kMultiple;
+  McMode mode = McMode::kIntegrated;
+  RunOptions run;
+  /// Disable the CSL fast path (for comparison runs).
+  bool allow_magic_counting = true;
+  /// Disable the magic-set rewriting fallback.
+  bool allow_magic_sets = true;
+};
+
+/// \brief Result of planning + executing one query.
+struct PlanReport {
+  PlanKind kind = PlanKind::kBottomUp;
+  std::string description;      ///< human-readable plan summary
+  std::vector<Tuple> results;   ///< tuples matching the query goal
+  AccessStats stats;            ///< total retrieval cost of the execution
+  graph::GraphClass detected_class = graph::GraphClass::kRegular;
+};
+
+/// Plan and execute the single query of `program` against `db` (EDB
+/// relations must be loaded; IDB relations are created).
+Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
+                                const PlannerOptions& options = {});
+
+}  // namespace mcm::core

@@ -1,0 +1,76 @@
+// Step 1 of the magic counting methods: computing the reduced sets RM, RC.
+//
+// Four fixpoint computations (Sections 6-9 of the paper) plus the
+// Tarjan-based refinement. Each reads the L relation through instrumented
+// index probes (so its cost is measured in the paper's unit) and populates
+// three relations in the database:
+//   MS(X)     — the full magic set (needed by independent Step 2),
+//   RM(X)     — the restricted magic set,
+//   RC(J, X)  — the restricted counting set with its indices.
+//
+// Correctness of the classifications (kDifferingIndex mode):
+//
+// * basic/single fixpoint (one expansion per node, BFS order): a node is
+//   flagged non-single iff it is re-derived at an index different from its
+//   first. If the magic graph is non-regular, take a non-single node whose
+//   smallest index j is minimal; walking its longer derivation backwards,
+//   each step either reveals an expansion at a different index (flagging the
+//   node) or a parent whose own first index differs from j-1 (flagging it),
+//   and the walk terminates at the source whose index set is {0} — so some
+//   node with first index <= j is flagged. Hence i_x (the minimum first
+//   index among flagged nodes) satisfies: every node with first index < i_x
+//   is single, which is exactly condition (b) of Theorem 1/2 for the single
+//   method's RC.
+//
+// * multiple fixpoint (expansion at up to two distinct indices per node): by
+//   induction along BFS levels, each node records min(I_b) and, when it
+//   exists, the second-smallest element of I_b — both of which are sums of
+//   recorded parent indices plus one. A node therefore keeps exactly one
+//   index iff it is single, so RC = single nodes with exact RI_b = I_b.
+//
+// * recurring fixpoint (levels capped at 2K-1): paths to non-recurring nodes
+//   are simple, so all their distances are < K and are enumerated exactly;
+//   a recurring node, having distances l + t*c with l < K and cycle length
+//   c <= K, always records some index in [K, 2K-1] — so RM = recurring
+//   nodes, exactly, and RC carries the full (finite) index sets of the
+//   single and multiple nodes.
+#pragma once
+
+#include "core/method.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::core {
+
+/// Working-relation names shared by Step 1 and Step 2.
+struct WorkNames {
+  std::string ms = "mcm_ms";
+  std::string rm = "mcm_rm";
+  std::string rc = "mcm_rc";
+};
+
+/// \brief Output summary of a Step-1 computation.
+struct Step1Result {
+  size_t ms_size = 0;
+  size_t rm_size = 0;
+  size_t rc_size = 0;
+  /// Graph class as this Step-1 variant could detect it. Basic/single/
+  /// multiple variants cannot distinguish cyclic from acyclic non-regular
+  /// graphs; they report kAcyclicNonRegular for both.
+  graph::GraphClass detected = graph::GraphClass::kRegular;
+  /// Fixpoint levels processed.
+  uint64_t levels = 0;
+};
+
+/// Run the Step-1 computation of `variant` for the query with L-relation
+/// `l_name` and source value `a`, writing MS/RM/RC into `db` (pre-existing
+/// contents of those relations are cleared). For integrated methods an
+/// empty RC is topped up with (0, a) as Theorem 2 requires; pass
+/// `integrated` accordingly.
+Result<Step1Result> ComputeReducedSets(Database* db, const std::string& l_name,
+                                       Value a, McVariant variant, McMode mode,
+                                       const WorkNames& names = {},
+                                       DetectionMode detection =
+                                           DetectionMode::kDifferingIndex);
+
+}  // namespace mcm::core

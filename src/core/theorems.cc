@@ -1,0 +1,103 @@
+#include "core/theorems.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/classify.h"
+#include "graph/query_graph.h"
+
+namespace mcm::core {
+
+Result<TheoremCheck> CheckReducedSets(Database* db, const std::string& l_name,
+                                      Value a, const WorkNames& names) {
+  Relation* l = db->Find(l_name);
+  if (l == nullptr) {
+    return Status::NotFound("L relation '" + l_name + "' not found");
+  }
+  Relation* rm = db->Find(names.rm);
+  Relation* rc = db->Find(names.rc);
+  if (rm == nullptr || rc == nullptr) {
+    return Status::NotFound("RM/RC relations not found — run Step 1 first");
+  }
+
+  // Ground truth from the exact analysis.
+  Relation empty_e("__empty_e", 2, nullptr);
+  Relation empty_r("__empty_r", 2, nullptr);
+  MCM_ASSIGN_OR_RETURN(graph::QueryGraph qg,
+                       graph::QueryGraph::Build(*l, empty_e, empty_r, a));
+  graph::MagicGraphAnalysis analysis =
+      graph::AnalyzeMagicGraph(qg.magic_graph(), qg.source());
+
+  std::unordered_set<Value> true_ms(qg.l_values().begin(),
+                                    qg.l_values().end());
+
+  std::unordered_set<Value> rm_set;
+  for (const Tuple& t : rm->TuplesUnchecked()) rm_set.insert(t[0]);
+  std::unordered_map<Value, std::set<int64_t>> rc_map;
+  for (const Tuple& t : rc->TuplesUnchecked()) rc_map[t[1]].insert(t[0]);
+
+  TheoremCheck check;
+
+  // (a) RM ∪ RC₋ᵢ = MS.
+  check.condition_a = true;
+  for (Value v : true_ms) {
+    if (rm_set.count(v) == 0 && rc_map.count(v) == 0) {
+      check.condition_a = false;
+      check.failure = "condition (a): magic value " + std::to_string(v) +
+                      " missing from RM ∪ RC";
+      break;
+    }
+  }
+  if (check.condition_a) {
+    for (Value v : rm_set) {
+      if (true_ms.count(v) == 0) {
+        check.condition_a = false;
+        check.failure =
+            "condition (a): RM contains non-magic value " + std::to_string(v);
+        break;
+      }
+    }
+    for (const auto& [v, idx] : rc_map) {
+      (void)idx;
+      if (true_ms.count(v) == 0) {
+        check.condition_a = false;
+        check.failure =
+            "condition (a): RC contains non-magic value " + std::to_string(v);
+        break;
+      }
+    }
+  }
+
+  // (b) RI_b = I_b for b in RC₋ᵢ − RM.
+  check.condition_b = true;
+  for (const auto& [v, ri] : rc_map) {
+    if (rm_set.count(v) > 0) continue;  // covered by the magic side
+    graph::NodeId node = qg.LNodeOf(v);
+    if (node == graph::kInvalidNode) continue;  // flagged by (a) already
+    if (analysis.node_class[node] == graph::NodeClass::kRecurring) {
+      check.condition_b = false;
+      check.failure = "condition (b): recurring node " + std::to_string(v) +
+                      " in RC − RM (I_b is infinite)";
+      break;
+    }
+    const std::vector<int64_t>& truth = analysis.distance_sets[node];
+    std::set<int64_t> truth_set(truth.begin(), truth.end());
+    if (truth_set != ri) {
+      check.condition_b = false;
+      check.failure = "condition (b): node " + std::to_string(v) +
+                      " has RI_b != I_b (|RI|=" + std::to_string(ri.size()) +
+                      ", |I|=" + std::to_string(truth_set.size()) + ")";
+      break;
+    }
+  }
+
+  // (c) (0, a) in RC.
+  auto it = rc_map.find(a);
+  check.condition_c = it != rc_map.end() && it->second.count(0) > 0;
+
+  return check;
+}
+
+}  // namespace mcm::core

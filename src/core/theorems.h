@@ -1,0 +1,46 @@
+// Checkers for the correctness conditions of Theorems 1 and 2.
+//
+// Theorem 1 (independent methods): a reduced-set pair (RM, RC) yields a
+// correct method iff
+//   (a) RM ∪ RC₋ᵢ = MS, and
+//   (b) for every b in RC₋ᵢ − RM,  RI_b = I_b.
+// Theorem 2 (integrated methods) additionally requires
+//   (c) (0, a) ∈ RC.
+//
+// These checkers compare the relations produced by a Step-1 computation
+// against ground truth obtained from the magic-graph analysis, and are used
+// both in tests (every Step-1 variant must satisfy them) and to demonstrate
+// that *violating* partitions produce wrong answers.
+#pragma once
+
+#include <string>
+
+#include "core/step1.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::core {
+
+/// Result of checking the Theorem 1/2 conditions.
+struct TheoremCheck {
+  bool condition_a = false;  ///< RM ∪ RC₋ᵢ = MS
+  bool condition_b = false;  ///< RI_b = I_b on RC₋ᵢ − RM
+  bool condition_c = false;  ///< (0, a) ∈ RC (integrated only)
+
+  bool CorrectIndependent() const { return condition_a && condition_b; }
+  bool CorrectIntegrated() const {
+    return condition_a && condition_b && condition_c;
+  }
+
+  std::string failure;  ///< human-readable description of first violation
+};
+
+/// Check the conditions for the (RM, RC) relations named by `names` in `db`
+/// against ground truth computed from the L relation `l_name` and source
+/// `a`. Ground truth (true MS, true I_b) comes from the exact graph
+/// analysis; recurring nodes must not appear in RC₋ᵢ − RM at all (their I_b
+/// is infinite, so condition (b) can only hold for them via RM membership).
+Result<TheoremCheck> CheckReducedSets(Database* db, const std::string& l_name,
+                                      Value a, const WorkNames& names = {});
+
+}  // namespace mcm::core

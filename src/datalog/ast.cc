@@ -1,0 +1,171 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mcm::dl {
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return name;
+    case Kind::kInt:
+      return std::to_string(value);
+    case Kind::kSymbol:
+      return "\"" + name + "\"";
+    case Kind::kAffine:
+      return name + (value >= 0 ? "+" : "") + std::to_string(value);
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, Value lhs, Value rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + CmpOpToString(op) + " " + rhs.ToString();
+}
+
+std::string Literal::ToString() const {
+  if (kind == Kind::kComparison) return cmp.ToString();
+  return (negated ? "not " : "") + atom.ToString();
+}
+
+std::vector<std::string> Rule::Variables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto visit = [&](const Term& t) {
+    if ((t.IsVariable() || t.IsAffine()) && seen.insert(t.name).second) {
+      out.push_back(t.name);
+    }
+  };
+  for (const Term& t : head.args) visit(t);
+  for (const Literal& l : body) {
+    if (l.kind == Literal::Kind::kAtom) {
+      for (const Term& t : l.atom.args) visit(t);
+    } else {
+      visit(l.cmp.lhs);
+      visit(l.cmp.rhs);
+    }
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string Query::ToString() const { return goal.ToString() + "?"; }
+
+std::vector<std::string> Program::HeadPredicates() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.predicate).second) out.push_back(r.head.predicate);
+  }
+  return out;
+}
+
+std::vector<std::string> Program::EdbPredicates() const {
+  std::unordered_set<std::string> heads;
+  for (const Rule& r : rules) heads.insert(r.head.predicate);
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (l.kind != Literal::Kind::kAtom) continue;
+      const std::string& p = l.atom.predicate;
+      if (heads.count(p) == 0 && seen.insert(p).second) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint32_t>> Program::PredicateArities()
+    const {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  std::unordered_map<std::string, uint32_t> seen;
+  auto visit = [&](const Atom& a) {
+    auto it = seen.find(a.predicate);
+    if (it == seen.end()) {
+      seen.emplace(a.predicate, a.arity());
+      out.emplace_back(a.predicate, a.arity());
+    }
+  };
+  for (const Rule& r : rules) {
+    visit(r.head);
+    for (const Literal& l : r.body) {
+      if (l.kind == Literal::Kind::kAtom) visit(l.atom);
+    }
+  }
+  for (const Query& q : queries) visit(q.goal);
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  for (const Query& q : queries) {
+    out += q.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mcm::dl

@@ -1,0 +1,167 @@
+// Abstract syntax for the Datalog fragment the engine evaluates.
+//
+// The fragment is exactly what the paper's programs need, and a bit more:
+//   * positive and (stratified) negated body atoms,
+//   * integer and interned-symbol constants,
+//   * affine terms `X + c` / `X - c` (used by the counting rules, where the
+//     index argument is J+1 or J-1),
+//   * comparison literals `X < Y`, `I >= 3`, ... (used by the single-method
+//     reduced-set construction `RC(I,Y) :- MS(I,1,Y), I < ix`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace mcm::dl {
+
+/// \brief A term: variable, constant, or affine expression over a variable.
+///
+/// An affine term `Var + offset` with offset 0 is a plain variable; a term
+/// with empty `var` is a constant. Symbol constants carry the source string
+/// and are interned when the program is bound to a database.
+struct Term {
+  enum class Kind {
+    kVariable,  ///< e.g. X
+    kInt,       ///< e.g. 42
+    kSymbol,    ///< e.g. "ann" or bare lowercase identifier ann
+    kAffine,    ///< e.g. J+1, J-2
+  };
+
+  Kind kind = Kind::kVariable;
+  std::string name;    ///< Variable name (kVariable/kAffine) or symbol text.
+  int64_t value = 0;   ///< Integer constant (kInt) or affine offset (kAffine).
+
+  static Term Var(std::string n) {
+    return Term{Kind::kVariable, std::move(n), 0};
+  }
+  static Term Int(int64_t v) { return Term{Kind::kInt, "", v}; }
+  static Term Sym(std::string s) {
+    return Term{Kind::kSymbol, std::move(s), 0};
+  }
+  static Term Affine(std::string var, int64_t offset) {
+    if (offset == 0) return Var(std::move(var));
+    return Term{Kind::kAffine, std::move(var), offset};
+  }
+
+  bool IsVariable() const { return kind == Kind::kVariable; }
+  bool IsConstant() const {
+    return kind == Kind::kInt || kind == Kind::kSymbol;
+  }
+  bool IsAffine() const { return kind == Kind::kAffine; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && name == o.name && value == o.value;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A predicate applied to terms: `P(X, Y)`.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  uint32_t arity() const { return static_cast<uint32_t>(args.size()); }
+  std::string ToString() const;
+
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+};
+
+/// Comparison operators for builtin literals.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string CmpOpToString(CmpOp op);
+
+/// Evaluate `lhs op rhs` on concrete values.
+bool EvalCmp(CmpOp op, Value lhs, Value rhs);
+
+/// \brief A builtin comparison literal in a rule body: `I < 3`, `X != Y`.
+struct Comparison {
+  CmpOp op = CmpOp::kEq;
+  Term lhs;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// \brief One body literal: a (possibly negated) atom or a comparison.
+struct Literal {
+  enum class Kind { kAtom, kComparison };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;            ///< Valid when kind == kAtom.
+  bool negated = false; ///< Only meaningful for atoms.
+  Comparison cmp;       ///< Valid when kind == kComparison.
+
+  static Literal Pos(Atom a) {
+    Literal l;
+    l.kind = Kind::kAtom;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Neg(Atom a) {
+    Literal l = Pos(std::move(a));
+    l.negated = true;
+    return l;
+  }
+  static Literal Cmp(Comparison c) {
+    Literal l;
+    l.kind = Kind::kComparison;
+    l.cmp = std::move(c);
+    return l;
+  }
+
+  bool IsPositiveAtom() const {
+    return kind == Kind::kAtom && !negated;
+  }
+  bool IsNegatedAtom() const { return kind == Kind::kAtom && negated; }
+  bool IsComparison() const { return kind == Kind::kComparison; }
+
+  std::string ToString() const;
+};
+
+/// \brief A Horn rule `head :- body.`; a fact is a rule with empty body.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  bool IsFact() const { return body.empty(); }
+
+  /// Names of variables occurring anywhere in the rule, in first-occurrence
+  /// order.
+  std::vector<std::string> Variables() const;
+
+  std::string ToString() const;
+};
+
+/// \brief A query goal `P(a, Y)?`.
+struct Query {
+  Atom goal;
+  std::string ToString() const;
+};
+
+/// \brief A parsed Datalog program: rules (+ facts) and optional queries.
+struct Program {
+  std::vector<Rule> rules;
+  std::vector<Query> queries;
+
+  /// Predicates defined in some rule head.
+  std::vector<std::string> HeadPredicates() const;
+
+  /// Predicates that occur only in bodies (EDB / database predicates).
+  std::vector<std::string> EdbPredicates() const;
+
+  /// All predicate names with their observed arity. Error later if a
+  /// predicate is used with two arities (checked by Validate()).
+  std::vector<std::pair<std::string, uint32_t>> PredicateArities() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mcm::dl

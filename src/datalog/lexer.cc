@@ -1,0 +1,195 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace mcm::dl {
+
+std::string TokenKindToString(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdent || kind == TokenKind::kString) {
+    return TokenKindToString(kind) + " '" + text + "'";
+  }
+  if (kind == TokenKind::kInt) return "integer " + std::to_string(int_value);
+  return TokenKindToString(kind);
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      MCM_RETURN_NOT_OK(SkipWhitespaceAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (AtEnd()) {
+        tok.kind = TokenKind::kEof;
+        tokens.push_back(tok);
+        return tokens;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::kIdent;
+        while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                            Peek() == '_')) {
+          tok.text += Advance();
+        }
+        if (tok.text == "not") tok.kind = TokenKind::kNot;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        tok.kind = TokenKind::kInt;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          tok.text += Advance();
+        }
+        tok.int_value = std::stoll(tok.text);
+      } else if (c == '"') {
+        Advance();
+        tok.kind = TokenKind::kString;
+        while (!AtEnd() && Peek() != '"') {
+          if (Peek() == '\n') {
+            return Error("unterminated string literal");
+          }
+          tok.text += Advance();
+        }
+        if (AtEnd()) return Error("unterminated string literal");
+        Advance();  // closing quote
+      } else {
+        switch (c) {
+          case '(': tok.kind = TokenKind::kLParen; Advance(); break;
+          case ')': tok.kind = TokenKind::kRParen; Advance(); break;
+          case ',': tok.kind = TokenKind::kComma; Advance(); break;
+          case '.': tok.kind = TokenKind::kPeriod; Advance(); break;
+          case '?': tok.kind = TokenKind::kQuestion; Advance(); break;
+          case '+': tok.kind = TokenKind::kPlus; Advance(); break;
+          case '-': tok.kind = TokenKind::kMinus; Advance(); break;
+          case '=': tok.kind = TokenKind::kEq; Advance(); break;
+          case ':':
+            Advance();
+            if (AtEnd() || Peek() != '-') return Error("expected '-' after ':'");
+            Advance();
+            tok.kind = TokenKind::kImplies;
+            break;
+          case '!':
+            Advance();
+            if (!AtEnd() && Peek() == '=') {
+              Advance();
+              tok.kind = TokenKind::kNe;
+            } else {
+              tok.kind = TokenKind::kNot;
+            }
+            break;
+          case '<':
+            Advance();
+            if (!AtEnd() && Peek() == '=') {
+              Advance();
+              tok.kind = TokenKind::kLe;
+            } else {
+              tok.kind = TokenKind::kLt;
+            }
+            break;
+          case '>':
+            Advance();
+            if (!AtEnd() && Peek() == '=') {
+              Advance();
+              tok.kind = TokenKind::kGe;
+            } else {
+              tok.kind = TokenKind::kGt;
+            }
+            break;
+          default:
+            return Error(std::string("unexpected character '") + c + "'");
+        }
+      }
+      tokens.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char PeekNext() const {
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && PeekNext() == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && PeekNext() == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && PeekNext() == '/')) Advance();
+        if (AtEnd()) {
+          return Status::ParseError("unterminated block comment at line " +
+                                    std::to_string(line_));
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace mcm::dl

@@ -1,0 +1,56 @@
+// Tokenizer for the Datalog surface syntax.
+//
+// Conventions follow Prolog: identifiers beginning with an uppercase letter
+// (or underscore) are variables; lowercase identifiers in argument position
+// are symbol constants; any identifier directly applied to `(` is a
+// predicate. `%`, `//` and `/* */` comments are supported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mcm::dl {
+
+enum class TokenKind {
+  kIdent,     ///< predicate / variable / bare symbol
+  kInt,       ///< integer literal (no sign; sign handled by parser)
+  kString,    ///< "quoted symbol"
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kQuestion,
+  kImplies,   ///< :-
+  kNot,       ///< keyword `not` or `!`
+  kPlus,
+  kMinus,
+  kEq,        ///< =
+  kNe,        ///< !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEof,
+};
+
+std::string TokenKindToString(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     ///< Identifier/string/integer spelling.
+  int64_t int_value = 0;
+  int line = 1;         ///< 1-based source line for error messages.
+  int column = 1;       ///< 1-based source column.
+
+  std::string ToString() const;
+};
+
+/// Tokenize `source`; returns all tokens ending with kEof, or a ParseError
+/// Status pinpointing the offending line/column.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace mcm::dl

@@ -1,0 +1,209 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+#include "datalog/lexer.h"
+
+namespace mcm::dl {
+
+namespace {
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!Check(TokenKind::kEof)) {
+      MCM_ASSIGN_OR_RETURN(Atom head, ParseAtomInternal());
+      if (Match(TokenKind::kQuestion)) {
+        prog.queries.push_back(Query{std::move(head)});
+        continue;
+      }
+      Rule rule;
+      rule.head = std::move(head);
+      if (Match(TokenKind::kImplies)) {
+        do {
+          MCM_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          rule.body.push_back(std::move(lit));
+        } while (Match(TokenKind::kComma));
+      }
+      MCM_RETURN_NOT_OK(Expect(TokenKind::kPeriod, "at end of rule"));
+      prog.rules.push_back(std::move(rule));
+    }
+    return prog;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    MCM_ASSIGN_OR_RETURN(Program prog, ParseProgram());
+    if (prog.rules.size() != 1 || !prog.queries.empty()) {
+      return Status::ParseError("expected exactly one rule");
+    }
+    return std::move(prog.rules[0]);
+  }
+
+  Result<Atom> ParseSingleAtom() {
+    MCM_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+    MCM_RETURN_NOT_OK(Expect(TokenKind::kEof, "after atom"));
+    return atom;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Previous() const { return tokens_[pos_ - 1]; }
+
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+
+  bool Match(TokenKind k) {
+    if (!Check(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind k, const std::string& context) {
+    if (Match(k)) return Status::OK();
+    return Status::ParseError("expected " + TokenKindToString(k) + " " +
+                              context + ", found " + Peek().ToString() +
+                              " at line " + std::to_string(Peek().line));
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (Match(TokenKind::kNot)) {
+      MCM_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+      return Literal::Neg(std::move(atom));
+    }
+    // Lookahead: IDENT followed by '(' is an atom; otherwise the literal is
+    // either a comparison or a zero-arity atom.
+    if (Check(TokenKind::kIdent) &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      MCM_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+      return Literal::Pos(std::move(atom));
+    }
+    // Try comparison: term cmpop term.
+    if (IsTermStart(Peek().kind)) {
+      size_t save = pos_;
+      MCM_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      CmpOp op;
+      if (MatchCmpOp(&op)) {
+        MCM_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+        return Literal::Cmp(Comparison{op, std::move(lhs), std::move(rhs)});
+      }
+      pos_ = save;
+    }
+    // Fall back to a zero-arity atom.
+    MCM_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+    return Literal::Pos(std::move(atom));
+  }
+
+  static bool IsTermStart(TokenKind k) {
+    return k == TokenKind::kIdent || k == TokenKind::kInt ||
+           k == TokenKind::kString || k == TokenKind::kMinus;
+  }
+
+  bool MatchCmpOp(CmpOp* op) {
+    switch (Peek().kind) {
+      case TokenKind::kEq: *op = CmpOp::kEq; break;
+      case TokenKind::kNe: *op = CmpOp::kNe; break;
+      case TokenKind::kLt: *op = CmpOp::kLt; break;
+      case TokenKind::kLe: *op = CmpOp::kLe; break;
+      case TokenKind::kGt: *op = CmpOp::kGt; break;
+      case TokenKind::kGe: *op = CmpOp::kGe; break;
+      default:
+        return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Result<Atom> ParseAtomInternal() {
+    if (!Check(TokenKind::kIdent)) {
+      return Status::ParseError("expected predicate name, found " +
+                                Peek().ToString() + " at line " +
+                                std::to_string(Peek().line));
+    }
+    Atom atom;
+    atom.predicate = Peek().text;
+    ++pos_;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          MCM_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          atom.args.push_back(std::move(t));
+        } while (Match(TokenKind::kComma));
+      }
+      MCM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close argument list"));
+    }
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    if (Match(TokenKind::kMinus)) {
+      if (!Check(TokenKind::kInt)) {
+        return Status::ParseError("expected integer after '-' at line " +
+                                  std::to_string(Peek().line));
+      }
+      int64_t v = Peek().int_value;
+      ++pos_;
+      return Term::Int(-v);
+    }
+    if (Check(TokenKind::kInt)) {
+      int64_t v = Peek().int_value;
+      ++pos_;
+      return Term::Int(v);
+    }
+    if (Check(TokenKind::kString)) {
+      std::string s = Peek().text;
+      ++pos_;
+      return Term::Sym(std::move(s));
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Peek().text;
+      ++pos_;
+      bool is_var = IsVariableName(name);
+      // Affine suffix: X+1, J-2 (variables only).
+      if (is_var && (Check(TokenKind::kPlus) || Check(TokenKind::kMinus))) {
+        bool plus = Check(TokenKind::kPlus);
+        ++pos_;
+        if (!Check(TokenKind::kInt)) {
+          return Status::ParseError(
+              "expected integer offset in affine term at line " +
+              std::to_string(Peek().line));
+        }
+        int64_t off = Peek().int_value;
+        ++pos_;
+        return Term::Affine(std::move(name), plus ? off : -off);
+      }
+      if (is_var) return Term::Var(std::move(name));
+      return Term::Sym(std::move(name));
+    }
+    return Status::ParseError("expected term, found " + Peek().ToString() +
+                              " at line " + std::to_string(Peek().line));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  MCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view source) {
+  MCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseSingleRule();
+}
+
+Result<Atom> ParseAtom(std::string_view source) {
+  MCM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseSingleAtom();
+}
+
+}  // namespace mcm::dl

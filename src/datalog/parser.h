@@ -1,0 +1,34 @@
+// Recursive-descent parser for the Datalog surface syntax.
+//
+// Grammar (EBNF):
+//   program     := clause* EOF
+//   clause      := atom ( ":-" literal ("," literal)* )? "." | atom "?"
+//   literal     := "not" atom | atom | comparison
+//   comparison  := term cmpop term
+//   atom        := IDENT "(" term ("," term)* ")" | IDENT
+//   term        := IDENT (("+"|"-") INT)?   -- variable or affine term
+//                | INT | "-" INT            -- integer constant
+//                | STRING                   -- symbol constant
+//   cmpop       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// A lowercase bare identifier in argument position parses as a symbol
+// constant (Prolog convention); uppercase / underscore starts a variable.
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mcm::dl {
+
+/// Parse a whole program from text.
+Result<Program> Parse(std::string_view source);
+
+/// Parse a single rule (must contain exactly one clause).
+Result<Rule> ParseRule(std::string_view source);
+
+/// Parse a single atom, e.g. "P(a, Y)".
+Result<Atom> ParseAtom(std::string_view source);
+
+}  // namespace mcm::dl

@@ -1,0 +1,120 @@
+#include "datalog/validate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/tuple.h"
+
+namespace mcm::dl {
+
+namespace {
+
+// Variables bound by positive body atoms (plain variable occurrences only;
+// an affine occurrence J+1 does not bind J).
+std::unordered_set<std::string> PositivelyBoundVars(const Rule& rule) {
+  std::unordered_set<std::string> bound;
+  for (const Literal& l : rule.body) {
+    if (!l.IsPositiveAtom()) continue;
+    for (const Term& t : l.atom.args) {
+      if (t.IsVariable()) bound.insert(t.name);
+    }
+  }
+  return bound;
+}
+
+Status CheckTermBound(const Term& t,
+                      const std::unordered_set<std::string>& bound,
+                      const Rule& rule, const char* where) {
+  if ((t.IsVariable() || t.IsAffine()) && bound.count(t.name) == 0) {
+    return Status::InvalidArgument("unsafe rule: variable '" + t.name +
+                                   "' in " + where +
+                                   " is not bound by a positive body atom: " +
+                                   rule.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRule(const Rule& rule) {
+  if (rule.head.arity() > kMaxTupleArity) {
+    return Status::InvalidArgument("predicate '" + rule.head.predicate +
+                                   "' exceeds maximum arity " +
+                                   std::to_string(kMaxTupleArity));
+  }
+  std::unordered_set<std::string> bound = PositivelyBoundVars(rule);
+
+  // Head: every variable (incl. affine bases) must be positively bound;
+  // facts must be ground.
+  for (const Term& t : rule.head.args) {
+    if (rule.IsFact()) {
+      if (!t.IsConstant()) {
+        return Status::InvalidArgument("fact must be ground: " +
+                                       rule.ToString());
+      }
+    } else {
+      MCM_RETURN_NOT_OK(CheckTermBound(t, bound, rule, "head"));
+    }
+  }
+
+  for (const Literal& l : rule.body) {
+    if (l.IsNegatedAtom()) {
+      for (const Term& t : l.atom.args) {
+        MCM_RETURN_NOT_OK(CheckTermBound(t, bound, rule, "negated atom"));
+      }
+    } else if (l.IsComparison()) {
+      MCM_RETURN_NOT_OK(CheckTermBound(l.cmp.lhs, bound, rule, "comparison"));
+      MCM_RETURN_NOT_OK(CheckTermBound(l.cmp.rhs, bound, rule, "comparison"));
+    } else {
+      // Positive atom: affine terms in positive body atoms are only allowed
+      // if the base variable is bound by some *other* positive occurrence.
+      for (const Term& t : l.atom.args) {
+        if (t.IsAffine()) {
+          MCM_RETURN_NOT_OK(
+              CheckTermBound(t, bound, rule, "positive body atom"));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Validate(const Program& program) {
+  std::unordered_map<std::string, uint32_t> arities;
+  auto check_arity = [&](const Atom& a) -> Status {
+    auto [it, inserted] = arities.emplace(a.predicate, a.arity());
+    if (!inserted && it->second != a.arity()) {
+      return Status::InvalidArgument(
+          "predicate '" + a.predicate + "' used with arity " +
+          std::to_string(a.arity()) + " and " + std::to_string(it->second));
+    }
+    if (a.arity() > kMaxTupleArity) {
+      return Status::InvalidArgument("predicate '" + a.predicate +
+                                     "' exceeds maximum arity " +
+                                     std::to_string(kMaxTupleArity));
+    }
+    return Status::OK();
+  };
+
+  for (const Rule& r : program.rules) {
+    MCM_RETURN_NOT_OK(check_arity(r.head));
+    for (const Literal& l : r.body) {
+      if (l.kind == Literal::Kind::kAtom) {
+        MCM_RETURN_NOT_OK(check_arity(l.atom));
+      }
+    }
+    MCM_RETURN_NOT_OK(ValidateRule(r));
+  }
+  for (const Query& q : program.queries) {
+    MCM_RETURN_NOT_OK(check_arity(q.goal));
+    for (const Term& t : q.goal.args) {
+      if (t.IsAffine()) {
+        return Status::InvalidArgument("affine term in query goal: " +
+                                       q.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mcm::dl

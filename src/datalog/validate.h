@@ -1,0 +1,25 @@
+// Static checks on parsed programs.
+//
+// A program is accepted by the engine only if:
+//  * every predicate is used with a single arity (<= kMaxTupleArity),
+//  * every rule is range-restricted (safe): every head variable occurs in a
+//    positive body atom; facts are ground,
+//  * variables in negated atoms and comparisons are bound by a positive atom
+//    in the same rule (no floundering),
+//  * affine terms appear only where the engine supports them (head args or
+//    comparison operands), and their base variable is bound positively.
+#pragma once
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mcm::dl {
+
+/// Validate the whole program; the first violation is reported.
+Status Validate(const Program& program);
+
+/// Validate a single rule in isolation (arity consistency across rules is
+/// not checked at this level).
+Status ValidateRule(const Rule& rule);
+
+}  // namespace mcm::dl

@@ -1,0 +1,299 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datalog/parser.h"
+#include "datalog/validate.h"
+
+namespace mcm::eval {
+
+namespace {
+
+// Materialize the tuples of `rel` with ids in [lo, hi) into a fresh
+// relation. Copying is engine bookkeeping, not a database retrieval, so it
+// bypasses instrumentation.
+void CopyRange(const Relation& rel, size_t lo, size_t hi, Relation* out) {
+  for (size_t id = lo; id < hi; ++id) {
+    out->Insert(rel.PeekUnchecked(id));
+  }
+}
+
+}  // namespace
+
+Status Engine::Run(const dl::Program& program) {
+  MCM_RETURN_NOT_OK(dl::Validate(program));
+  MCM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+  info_ = EvalRunInfo{};
+  info_.strata = strat.strata.size();
+
+  // Create all relations mentioned by the program (EDB relations may already
+  // exist and stay untouched).
+  for (const auto& [pred, arity] : program.PredicateArities()) {
+    Relation* existing = db_->Find(pred);
+    if (existing != nullptr) {
+      if (existing->arity() != arity) {
+        return Status::InvalidArgument(
+            "relation '" + pred + "' exists with arity " +
+            std::to_string(existing->arity()) + ", program uses " +
+            std::to_string(arity));
+      }
+    } else {
+      db_->GetOrCreateRelation(pred, arity);
+    }
+  }
+
+  profile_.clear();
+  if (options_.profile) {
+    profile_.resize(program.rules.size());
+    for (size_t i = 0; i < program.rules.size(); ++i) {
+      profile_[i].rule = program.rules[i].ToString();
+    }
+  }
+
+  // Compile all rules once.
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(program.rules.size());
+  for (const dl::Rule& r : program.rules) {
+    MCM_ASSIGN_OR_RETURN(CompiledRule cr, CompiledRule::Compile(r, db_));
+    compiled.push_back(std::move(cr));
+  }
+
+  for (const Stratum& stratum : strat.strata) {
+    MCM_RETURN_NOT_OK(EvaluateStratum(stratum, compiled));
+  }
+  return Status::OK();
+}
+
+Status Engine::EvaluateStratum(const Stratum& stratum,
+                               const std::vector<CompiledRule>& rules) {
+  std::unordered_set<std::string> local(stratum.predicates.begin(),
+                                        stratum.predicates.end());
+
+  auto full_source = [this](const std::string& pred) -> const Relation* {
+    return db_->Find(pred);
+  };
+
+  RelationView full_view;
+  full_view.body_source = [&](size_t, const std::string& pred) {
+    return full_source(pred);
+  };
+  full_view.negation_source = full_source;
+
+  // --- Non-recursive stratum: a single pass over its rules suffices. ---
+  if (!stratum.recursive) {
+    for (size_t ri : stratum.rule_indices) {
+      const CompiledRule& cr = rules[ri];
+      Relation* out = db_->Find(cr.rule().head.predicate);
+      info_.tuples_derived += EvaluateRule(ri, cr, full_view, out);
+    }
+    ++info_.iterations;
+    return Status::OK();
+  }
+
+  // --- Recursive stratum. ---
+  // Pre-compile delta-first variants: for each rule and each body position
+  // holding a local predicate, a copy of the rule whose join order starts
+  // at that position. This is what makes seminaive rounds cost O(|delta| *
+  // fanout) instead of O(|relation|) per round.
+  struct DeltaVariant {
+    size_t rule_index;
+    size_t pos;  // body position reading the delta
+    CompiledRule compiled;
+  };
+  std::vector<DeltaVariant> variants;
+  for (size_t ri : stratum.rule_indices) {
+    const CompiledRule& cr = rules[ri];
+    for (size_t pos : cr.positive_positions()) {
+      const std::string& pred = cr.rule().body[pos].atom.predicate;
+      if (local.count(pred) == 0) continue;
+      auto order = CompiledRule::DeltaFirstOrder(cr.rule(), pos);
+      Result<CompiledRule> variant =
+          CompiledRule::Compile(cr.rule(), db_, std::move(order));
+      if (variant.ok()) {
+        variants.push_back({ri, pos, std::move(variant).value()});
+      } else {
+        // Reordering rejected (e.g. affine-binding constraints): fall back
+        // to the written order; correctness is unaffected.
+        MCM_ASSIGN_OR_RETURN(CompiledRule fallback,
+                             CompiledRule::Compile(cr.rule(), db_));
+        variants.push_back({ri, pos, std::move(fallback)});
+      }
+    }
+  }
+
+  // Pre-existing tuples of local predicates (e.g. facts inserted by lower
+  // passes or by the caller) participate as initial deltas.
+  std::unordered_map<std::string, size_t> delta_lo;
+  for (const std::string& pred : stratum.predicates) {
+    delta_lo[pred] = 0;
+  }
+
+  // Round 0: naive pass so that derivations needing no recursive tuple
+  // (exit rules) fire.
+  uint64_t stratum_tuples = 0;
+  for (size_t ri : stratum.rule_indices) {
+    const CompiledRule& cr = rules[ri];
+    Relation* out = db_->Find(cr.rule().head.predicate);
+    size_t n = EvaluateRule(ri, cr, full_view, out);
+    info_.tuples_derived += n;
+    stratum_tuples += n;
+  }
+  ++info_.iterations;
+
+  uint64_t rounds = 1;
+  while (true) {
+    // Snapshot deltas: for each local predicate, the id range added since
+    // the previous round (append-only storage makes this a range).
+    std::unordered_map<std::string, std::unique_ptr<Relation>> deltas;
+    bool any_delta = false;
+    for (const std::string& pred : stratum.predicates) {
+      Relation* full = db_->Find(pred);
+      size_t lo = delta_lo[pred];
+      size_t hi = full->size();
+      auto delta = std::make_unique<Relation>("delta_" + pred, full->arity(),
+                                              &db_->stats());
+      CopyRange(*full, lo, hi, delta.get());
+      delta_lo[pred] = hi;
+      if (!delta->empty()) any_delta = true;
+      deltas.emplace(pred, std::move(delta));
+    }
+    if (!any_delta) break;
+
+    if (options_.max_iterations != 0 && rounds > options_.max_iterations) {
+      return Status::Unsafe(
+          "fixpoint exceeded iteration cap (" +
+          std::to_string(options_.max_iterations) +
+          ") in recursive stratum containing '" + stratum.predicates[0] +
+          "' — the computation is likely divergent (cyclic data)");
+    }
+
+    if (!options_.seminaive) {
+      // Naive round: every rule against full relations.
+      for (size_t ri : stratum.rule_indices) {
+        const CompiledRule& cr = rules[ri];
+        Relation* out = db_->Find(cr.rule().head.predicate);
+        size_t n = EvaluateRule(ri, cr, full_view, out);
+        info_.tuples_derived += n;
+        stratum_tuples += n;
+      }
+    } else {
+      // Seminaive round: for each rule and each body position holding a
+      // local (same-stratum) predicate, evaluate the delta-first variant
+      // where that position reads the delta and all others read the full
+      // relation.
+      for (const DeltaVariant& dv : variants) {
+        Relation* out = db_->Find(dv.compiled.rule().head.predicate);
+        size_t pos = dv.pos;
+        RelationView delta_view;
+        delta_view.body_source =
+            [&, pos](size_t body_pos,
+                     const std::string& p) -> const Relation* {
+          if (body_pos == pos) return deltas.at(p).get();
+          return db_->Find(p);
+        };
+        delta_view.negation_source = full_source;
+        size_t n = EvaluateRule(dv.rule_index, dv.compiled, delta_view, out);
+        info_.tuples_derived += n;
+        stratum_tuples += n;
+      }
+    }
+    ++info_.iterations;
+    ++rounds;
+
+    if (options_.max_tuples != 0 && stratum_tuples > options_.max_tuples) {
+      return Status::Unsafe(
+          "fixpoint exceeded tuple cap (" +
+          std::to_string(options_.max_tuples) +
+          ") in recursive stratum containing '" + stratum.predicates[0] +
+          "'");
+    }
+  }
+  return Status::OK();
+}
+
+size_t Engine::EvaluateRule(size_t rule_index, const CompiledRule& cr,
+                            const RelationView& view, Relation* out) {
+  if (!options_.profile) return cr.Evaluate(view, out);
+  uint64_t reads_before = db_->stats().tuples_read;
+  size_t derived = cr.Evaluate(view, out);
+  RuleProfile& p = profile_[rule_index];
+  p.evaluations++;
+  p.tuples_derived += derived;
+  p.tuples_read += db_->stats().tuples_read - reads_before;
+  return derived;
+}
+
+std::string Engine::ProfileToString() const {
+  std::vector<const RuleProfile*> sorted;
+  sorted.reserve(profile_.size());
+  for (const RuleProfile& p : profile_) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RuleProfile* a, const RuleProfile* b) {
+              return a->tuples_read > b->tuples_read;
+            });
+  std::string out = "rule profile (by tuple reads):\n";
+  for (const RuleProfile* p : sorted) {
+    out += "  reads=" + std::to_string(p->tuples_read) +
+           " derived=" + std::to_string(p->tuples_derived) +
+           " evals=" + std::to_string(p->evaluations) + "  " + p->rule +
+           "\n";
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Engine::Query(const dl::Atom& goal) const {
+  const Relation* rel = db_->Find(goal.predicate);
+  if (rel == nullptr) {
+    return Status::NotFound("relation '" + goal.predicate + "' not found");
+  }
+  if (rel->arity() != goal.arity()) {
+    return Status::InvalidArgument("goal arity mismatch for '" +
+                                   goal.predicate + "'");
+  }
+  // Resolve constant positions.
+  std::vector<std::pair<uint32_t, Value>> filters;
+  for (uint32_t i = 0; i < goal.args.size(); ++i) {
+    const dl::Term& t = goal.args[i];
+    if (t.kind == dl::Term::Kind::kInt) {
+      filters.emplace_back(i, t.value);
+    } else if (t.kind == dl::Term::Kind::kSymbol) {
+      Value v = db_->symbols().Find(t.name);
+      if (v < 0) return std::vector<Tuple>{};  // unknown symbol: no matches
+      filters.emplace_back(i, v);
+    } else if (t.IsAffine()) {
+      return Status::InvalidArgument("affine term in query goal");
+    }
+  }
+  std::vector<Tuple> out;
+  for (const Tuple& t : rel->TuplesUnchecked()) {
+    bool match = true;
+    for (const auto& [col, val] : filters) {
+      if (t[col] != val) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(t);
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Engine::Query(const std::string& goal_text) const {
+  MCM_ASSIGN_OR_RETURN(dl::Atom goal, dl::ParseAtom(goal_text));
+  return Query(goal);
+}
+
+Result<std::vector<Tuple>> RunProgram(Database* db, const dl::Program& program,
+                                      EvalOptions options) {
+  Engine engine(db, options);
+  MCM_RETURN_NOT_OK(engine.Run(program));
+  if (program.queries.size() != 1) {
+    return Status::InvalidArgument("RunProgram expects exactly one query");
+  }
+  return engine.Query(program.queries[0].goal);
+}
+
+}  // namespace mcm::eval

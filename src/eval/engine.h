@@ -1,0 +1,100 @@
+// Fixpoint evaluation of stratified Datalog programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "eval/rule_eval.h"
+#include "eval/strata.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::eval {
+
+/// Knobs for a fixpoint run.
+struct EvalOptions {
+  /// Seminaive (delta-driven) evaluation; naive re-derives everything each
+  /// round. Both compute the same fixpoint.
+  bool seminaive = true;
+
+  /// Abort with Status::Unsafe after this many rounds in a single recursive
+  /// stratum (0 = unlimited). This is the guard that turns the counting
+  /// method's divergence on cyclic data into a detectable error instead of
+  /// an infinite loop.
+  uint64_t max_iterations = 0;
+
+  /// Abort with Status::Unsafe once a stratum has derived this many tuples
+  /// (0 = unlimited).
+  uint64_t max_tuples = 0;
+
+  /// Collect a per-rule cost breakdown (Engine::profile()). Adds two stat
+  /// snapshots per rule evaluation; negligible overhead.
+  bool profile = false;
+};
+
+/// Statistics of one Run().
+struct EvalRunInfo {
+  uint64_t iterations = 0;      ///< Total fixpoint rounds over all strata.
+  uint64_t tuples_derived = 0;  ///< New tuples inserted into IDB relations.
+  size_t strata = 0;
+};
+
+/// Per-rule cost breakdown (collected when EvalOptions::profile is set).
+struct RuleProfile {
+  std::string rule;             ///< printable form of the rule
+  uint64_t evaluations = 0;     ///< evaluator invocations (incl. deltas)
+  uint64_t tuples_derived = 0;  ///< new tuples this rule produced
+  uint64_t tuples_read = 0;     ///< retrievals attributed to this rule
+};
+
+/// \brief Evaluates a stratified Datalog program against a Database.
+///
+/// IDB relations are created in the database (by predicate name) if absent;
+/// EDB relations must already be populated by the caller. The engine is
+/// reusable: construct once, Run() once per program.
+class Engine {
+ public:
+  explicit Engine(Database* db, EvalOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Evaluate `program` to fixpoint. On success, info() describes the run.
+  Status Run(const dl::Program& program);
+
+  /// Tuples of `goal`'s predicate matching the goal's constant arguments
+  /// (variables match anything). Run() must have succeeded.
+  Result<std::vector<Tuple>> Query(const dl::Atom& goal) const;
+
+  /// Convenience: parse `goal_text` (e.g. "answer(Y)") and Query().
+  Result<std::vector<Tuple>> Query(const std::string& goal_text) const;
+
+  const EvalRunInfo& info() const { return info_; }
+
+  /// Per-rule breakdown, parallel to the program's rule list. Empty unless
+  /// EvalOptions::profile was set.
+  const std::vector<RuleProfile>& profile() const { return profile_; }
+
+  /// Render profile() as an "EXPLAIN ANALYZE"-style table, most expensive
+  /// rule first.
+  std::string ProfileToString() const;
+
+ private:
+  Status EvaluateStratum(const Stratum& stratum,
+                         const std::vector<CompiledRule>& rules);
+
+  size_t EvaluateRule(size_t rule_index, const CompiledRule& cr,
+                      const RelationView& view, Relation* out);
+
+  Database* db_;
+  EvalOptions options_;
+  EvalRunInfo info_;
+  std::vector<RuleProfile> profile_;
+};
+
+/// One-shot helper: evaluate `program` against `db` and return the tuples
+/// matching the program's (single) query goal.
+Result<std::vector<Tuple>> RunProgram(Database* db, const dl::Program& program,
+                                      EvalOptions options = {});
+
+}  // namespace mcm::eval

@@ -1,0 +1,135 @@
+// Single-rule evaluation: indexed nested-loop join over the body literals.
+//
+// A rule is compiled once into an execution plan:
+//  * positive atoms are joined left-to-right; at each position the engine
+//    probes an index on the columns whose value is already bound (constants
+//    or previously bound variables), scanning only on the first atom when
+//    nothing is bound;
+//  * negated atoms and comparisons are attached as guards at the earliest
+//    position where all their variables are bound (the validator guarantees
+//    such a position exists);
+//  * affine terms (J+1) are computed from the binding environment.
+//
+// Evaluation can substitute a *delta* relation for one designated positive
+// atom — the primitive the seminaive fixpoint is built from.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mcm::eval {
+
+/// Resolves predicate names to the relations a rule should read from /
+/// write to. The seminaive engine supplies views where one occurrence reads
+/// a delta relation.
+struct RelationView {
+  /// Relation read for the positive body atom at position `body_pos`
+  /// (positions index `Rule::body`). Must not be nullptr for positive atoms.
+  std::function<const Relation*(size_t body_pos, const std::string& pred)>
+      body_source;
+  /// Relation read for negated atoms (always the full relation).
+  std::function<const Relation*(const std::string& pred)> negation_source;
+};
+
+/// \brief Compiled form of one rule, reusable across fixpoint rounds.
+class CompiledRule {
+ public:
+  /// Compile `rule` against `db` (interns symbol constants). Fails if the
+  /// rule is not safe in the sense checked by dl::ValidateRule.
+  ///
+  /// `join_order`, when non-empty, lists the body positions of the rule's
+  /// positive atoms in the order they should be joined (it must be a
+  /// permutation of exactly those positions). Guards still attach at the
+  /// earliest point their variables are bound. The seminaive engine uses
+  /// this to put the delta atom first.
+  static Result<CompiledRule> Compile(const dl::Rule& rule, Database* db,
+                                      std::vector<size_t> join_order = {});
+
+  /// A delta-first greedy join order for `rule`: `first_pos` (a positive
+  /// body position) leads; remaining positive atoms are appended most-bound
+  /// first (number of constant-or-bound arguments, ties by body order).
+  static std::vector<size_t> DeltaFirstOrder(const dl::Rule& rule,
+                                             size_t first_pos);
+
+  /// Evaluate the rule under `view`, inserting derived head tuples into
+  /// `out`. Returns the number of *new* tuples inserted.
+  size_t Evaluate(const RelationView& view, Relation* out) const;
+
+  const dl::Rule& rule() const { return rule_; }
+
+  /// Positions (into rule().body) of the positive atoms, in join order.
+  const std::vector<size_t>& positive_positions() const {
+    return positive_positions_;
+  }
+
+ private:
+  // A term resolved against the binding environment at runtime.
+  struct BoundTerm {
+    enum class Kind { kConstant, kVariable, kAffine } kind;
+    Value constant = 0;  // kConstant
+    int var = -1;        // kVariable / kAffine: slot in the env
+    int64_t offset = 0;  // kAffine
+  };
+
+  struct JoinStep {
+    size_t body_pos;                 // which body literal
+    const dl::Atom* atom;            // borrowed from rule_
+    // For each argument: is it bound at probe time?
+    std::vector<BoundTerm> args;
+    std::vector<uint32_t> probe_cols;   // columns with bound values
+    std::vector<uint32_t> bind_cols;    // columns that bind new variables
+    std::vector<int> bind_vars;         // env slot per bind_col
+    // Repeated free variable within this same atom: tuple column must equal
+    // the env slot bound by an earlier column of the same tuple.
+    std::vector<std::pair<uint32_t, int>> filter_checks;
+    // Guards evaluated right after this step binds its variables.
+    std::vector<size_t> guards;         // indices into guards_
+  };
+
+  struct Guard {
+    enum class Kind { kNegation, kComparison } kind;
+    // Negation:
+    const dl::Atom* atom = nullptr;
+    std::vector<BoundTerm> args;
+    // Comparison:
+    dl::CmpOp op = dl::CmpOp::kEq;
+    BoundTerm lhs, rhs;
+  };
+
+  CompiledRule() = default;
+
+  Value Resolve(const BoundTerm& t, const std::vector<Value>& env) const {
+    switch (t.kind) {
+      case BoundTerm::Kind::kConstant:
+        return t.constant;
+      case BoundTerm::Kind::kVariable:
+        return env[t.var];
+      case BoundTerm::Kind::kAffine:
+        return env[t.var] + t.offset;
+    }
+    return 0;
+  }
+
+  bool CheckGuards(const JoinStep& step, const RelationView& view,
+                   const std::vector<Value>& env) const;
+
+  size_t EvaluateFrom(size_t step_idx, const RelationView& view,
+                      std::vector<Value>* env, Relation* out) const;
+
+  dl::Rule rule_;
+  std::vector<std::string> var_names_;  // env slot -> variable name
+  std::vector<JoinStep> steps_;
+  std::vector<Guard> guards_;
+  std::vector<size_t> initial_guards_;  // guards with no variables at all
+  std::vector<BoundTerm> head_args_;
+  std::vector<size_t> positive_positions_;
+};
+
+}  // namespace mcm::eval

@@ -1,0 +1,162 @@
+#include "eval/strata.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mcm::eval {
+
+namespace {
+
+// Iterative Tarjan SCC over predicate names (indices into `preds`).
+class SccFinder {
+ public:
+  SccFinder(size_t n, const std::vector<std::vector<size_t>>& adj)
+      : adj_(adj),
+        index_(n, kUnvisited),
+        lowlink_(n, 0),
+        on_stack_(n, false) {}
+
+  // Returns components in *reverse topological* order (Tarjan property:
+  // a component is emitted only after all components it depends on).
+  std::vector<std::vector<size_t>> Run() {
+    for (size_t v = 0; v < index_.size(); ++v) {
+      if (index_[v] == kUnvisited) Visit(v);
+    }
+    return components_;
+  }
+
+ private:
+  static constexpr size_t kUnvisited = static_cast<size_t>(-1);
+
+  void Visit(size_t root) {
+    struct Frame {
+      size_t v;
+      size_t edge;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      size_t v = f.v;
+      if (f.edge == 0) {
+        index_[v] = lowlink_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (f.edge < adj_[v].size()) {
+        size_t w = adj_[v][f.edge++];
+        if (index_[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+      if (descended) continue;
+      // Post-order for v.
+      if (lowlink_[v] == index_[v]) {
+        std::vector<size_t> comp;
+        while (true) {
+          size_t w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        components_.push_back(std::move(comp));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        size_t parent = call_stack.back().v;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<size_t>>& adj_;
+  std::vector<size_t> index_;
+  std::vector<size_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<size_t> stack_;
+  std::vector<std::vector<size_t>> components_;
+  size_t next_index_ = 0;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const dl::Program& program) {
+  // Collect IDB predicates (those with rules).
+  std::vector<std::string> preds;
+  std::unordered_map<std::string, size_t> pred_id;
+  for (const dl::Rule& r : program.rules) {
+    if (pred_id.emplace(r.head.predicate, preds.size()).second) {
+      preds.push_back(r.head.predicate);
+    }
+  }
+
+  const size_t n = preds.size();
+  std::vector<std::vector<size_t>> adj(n);
+  // (head, body) pairs with negative dependency, for the stratification
+  // check after SCCs are known.
+  std::vector<std::pair<size_t, size_t>> neg_edges;
+
+  for (const dl::Rule& r : program.rules) {
+    size_t h = pred_id[r.head.predicate];
+    for (const dl::Literal& l : r.body) {
+      if (l.kind != dl::Literal::Kind::kAtom) continue;
+      auto it = pred_id.find(l.atom.predicate);
+      if (it == pred_id.end()) continue;  // EDB predicate
+      adj[h].push_back(it->second);
+      if (l.negated) neg_edges.emplace_back(h, it->second);
+    }
+  }
+
+  std::vector<std::vector<size_t>> comps = SccFinder(n, adj).Run();
+
+  std::vector<size_t> comp_of(n, 0);
+  for (size_t c = 0; c < comps.size(); ++c) {
+    for (size_t v : comps[c]) comp_of[v] = c;
+  }
+
+  // Negation must cross strata downward.
+  for (auto [h, b] : neg_edges) {
+    if (comp_of[h] == comp_of[b]) {
+      return Status::InvalidArgument(
+          "program is not stratifiable: '" + preds[h] +
+          "' depends negatively on '" + preds[b] +
+          "' inside a recursive component");
+    }
+  }
+
+  Stratification out;
+  out.strata.resize(comps.size());
+  for (size_t c = 0; c < comps.size(); ++c) {
+    Stratum& s = out.strata[c];
+    for (size_t v : comps[c]) {
+      s.predicates.push_back(preds[v]);
+      out.stratum_of[preds[v]] = c;
+    }
+  }
+
+  // Attach rules to the stratum of their head; detect recursion.
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const dl::Rule& r = program.rules[ri];
+    size_t c = comp_of[pred_id[r.head.predicate]];
+    out.strata[c].rule_indices.push_back(ri);
+    for (const dl::Literal& l : r.body) {
+      if (l.kind != dl::Literal::Kind::kAtom || l.negated) continue;
+      auto it = pred_id.find(l.atom.predicate);
+      if (it != pred_id.end() && comp_of[it->second] == c) {
+        out.strata[c].recursive = true;
+      }
+    }
+  }
+  // A predicate depending on itself in a single-node component also counts
+  // as recursive (self-loop); handled above since comp_of matches.
+
+  return out;
+}
+
+}  // namespace mcm::eval

@@ -1,0 +1,40 @@
+// Predicate dependency analysis and stratification.
+//
+// The engine evaluates programs with stratified negation: the predicate
+// dependency graph (edge q -> p when p occurs in the body of a rule whose
+// head is q) is condensed into strongly connected components; a negative
+// edge inside a component makes the program non-stratifiable and is
+// rejected. Components are ordered bottom-up and evaluated one stratum at a
+// time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mcm::eval {
+
+/// \brief One evaluation stratum: a set of mutually recursive predicates and
+/// the rules defining them.
+struct Stratum {
+  std::vector<std::string> predicates;
+  std::vector<size_t> rule_indices;  ///< Indices into the program's rules.
+  bool recursive = false;  ///< True if any rule depends on a predicate of
+                           ///< this same stratum (needs a fixpoint loop).
+};
+
+/// \brief Result of dependency analysis.
+struct Stratification {
+  std::vector<Stratum> strata;  ///< Bottom-up evaluation order.
+  /// Predicate -> stratum index.
+  std::unordered_map<std::string, size_t> stratum_of;
+};
+
+/// Compute a stratification of `program`, or fail with InvalidArgument if a
+/// negation occurs inside a recursive component.
+Result<Stratification> Stratify(const dl::Program& program);
+
+}  // namespace mcm::eval

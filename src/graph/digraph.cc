@@ -1,0 +1,191 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mcm::graph {
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+bool Digraph::AddArc(NodeId u, NodeId v) {
+  if (HasArc(u, v)) return false;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_arcs_;
+  return true;
+}
+
+bool Digraph::HasArc(NodeId u, NodeId v) const {
+  // Scan the smaller adjacency list.
+  if (out_[u].size() <= in_[v].size()) {
+    return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+  }
+  return std::find(in_[v].begin(), in_[v].end(), u) != in_[v].end();
+}
+
+std::vector<int64_t> Digraph::BfsDistances(NodeId src) const {
+  std::vector<int64_t> dist(NumNodes(), kUnreachable);
+  if (src >= NumNodes()) return dist;
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : out_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> Digraph::ReachableFrom(NodeId src) const {
+  std::vector<bool> seen(NumNodes(), false);
+  if (src >= NumNodes()) return seen;
+  std::vector<NodeId> stack{src};
+  seen[src] = true;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : out_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Digraph::CanReach(const std::vector<NodeId>& targets) const {
+  std::vector<bool> seen(NumNodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId t : targets) {
+    if (t < NumNodes() && !seen[t]) {
+      seen[t] = true;
+      stack.push_back(t);
+    }
+  }
+  // Backward traversal over in-arcs.
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : in_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph rev(NumNodes());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : out_[u]) rev.AddArc(v, u);
+  }
+  return rev;
+}
+
+std::vector<std::vector<NodeId>> Digraph::Sccs() const {
+  // Iterative Tarjan.
+  const size_t n = NumNodes();
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> comps;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t edge;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> call{{root, 0}};
+    while (!call.empty()) {
+      Frame& f = call.back();
+      NodeId v = f.v;
+      if (f.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.edge < out_[v].size()) {
+        NodeId w = out_[v][f.edge++];
+        if (index[w] == kUnvisited) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        std::vector<NodeId> comp;
+        while (true) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        comps.push_back(std::move(comp));
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+      }
+    }
+  }
+  return comps;
+}
+
+bool Digraph::IsAcyclic() const {
+  auto cyc = OnCycle();
+  return std::none_of(cyc.begin(), cyc.end(), [](bool b) { return b; });
+}
+
+std::vector<bool> Digraph::OnCycle() const {
+  std::vector<bool> cyc(NumNodes(), false);
+  for (const auto& comp : Sccs()) {
+    if (comp.size() > 1) {
+      for (NodeId v : comp) cyc[v] = true;
+    } else if (HasArc(comp[0], comp[0])) {
+      cyc[comp[0]] = true;
+    }
+  }
+  return cyc;
+}
+
+std::vector<NodeId> Digraph::TopologicalOrder() const {
+  // Kahn's algorithm.
+  std::vector<size_t> indeg(NumNodes(), 0);
+  for (NodeId u = 0; u < NumNodes(); ++u) indeg[u] = in_[u].size();
+  std::deque<NodeId> queue;
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    if (indeg[u] == 0) queue.push_back(u);
+  }
+  std::vector<NodeId> order;
+  order.reserve(NumNodes());
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : out_[u]) {
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  return order;  // shorter than NumNodes() iff cyclic
+}
+
+}  // namespace mcm::graph

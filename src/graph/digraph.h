@@ -1,0 +1,76 @@
+// Directed graph over dense node ids with the traversals the paper's
+// analysis needs: BFS distances, reachability (forward and backward),
+// Tarjan strongly connected components, topological order of the acyclic
+// condensation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcm::graph {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr int64_t kUnreachable = -1;
+
+/// \brief Adjacency-list digraph. Arcs are deduplicated (set semantics, like
+/// the database relations they come from).
+class Digraph {
+ public:
+  explicit Digraph(size_t num_nodes = 0)
+      : out_(num_nodes), in_(num_nodes), num_arcs_(0) {}
+
+  NodeId AddNode();
+
+  /// Add arc u -> v if not already present; returns true if added.
+  bool AddArc(NodeId u, NodeId v);
+
+  bool HasArc(NodeId u, NodeId v) const;
+
+  size_t NumNodes() const { return out_.size(); }
+  size_t NumArcs() const { return num_arcs_; }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId u) const { return out_[u]; }
+  const std::vector<NodeId>& InNeighbors(NodeId u) const { return in_[u]; }
+
+  size_t OutDegree(NodeId u) const { return out_[u].size(); }
+  size_t InDegree(NodeId u) const { return in_[u].size(); }
+
+  /// Shortest-path (arc count) distances from `src`; kUnreachable where
+  /// there is no path.
+  std::vector<int64_t> BfsDistances(NodeId src) const;
+
+  /// Nodes reachable from `src` (including `src`).
+  std::vector<bool> ReachableFrom(NodeId src) const;
+
+  /// Nodes from which some node in `targets` is reachable (including the
+  /// targets themselves).
+  std::vector<bool> CanReach(const std::vector<NodeId>& targets) const;
+
+  /// Arc-reversed copy.
+  Digraph Reversed() const;
+
+  /// Strongly connected components, each a list of node ids. Components are
+  /// returned in reverse topological order (dependencies first).
+  std::vector<std::vector<NodeId>> Sccs() const;
+
+  /// True iff the graph has no directed cycle (self-loops count as cycles).
+  bool IsAcyclic() const;
+
+  /// True iff node u lies on some directed cycle (member of a nontrivial
+  /// SCC or has a self-loop). Vector indexed by node.
+  std::vector<bool> OnCycle() const;
+
+  /// Topological order (valid only if IsAcyclic()).
+  std::vector<NodeId> TopologicalOrder() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  size_t num_arcs_;
+};
+
+}  // namespace mcm::graph

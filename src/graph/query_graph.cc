@@ -1,0 +1,133 @@
+#include "graph/query_graph.h"
+
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace mcm::graph {
+
+Result<QueryGraph> QueryGraph::Build(const Relation& l, const Relation& e,
+                                     const Relation& r, Value a) {
+  if (l.arity() != 2 || e.arity() != 2 || r.arity() != 2) {
+    return Status::InvalidArgument(
+        "query graph construction requires binary L, E, R relations");
+  }
+
+  QueryGraph qg;
+
+  // Adjacency over raw values.
+  std::unordered_map<Value, std::vector<Value>> l_adj;
+  for (const Tuple& t : l.TuplesUnchecked()) l_adj[t[0]].push_back(t[1]);
+  std::unordered_map<Value, std::vector<Value>> e_adj;
+  for (const Tuple& t : e.TuplesUnchecked()) e_adj[t[0]].push_back(t[1]);
+  // R arcs are reversed in G: (b, c) in R  =>  arc c -> b.
+  std::unordered_map<Value, std::vector<Value>> r_adj_rev;
+  for (const Tuple& t : r.TuplesUnchecked()) r_adj_rev[t[1]].push_back(t[0]);
+
+  // --- L-side BFS from the source: discovers MS = N_L. ---
+  auto l_id = [&](Value v) -> NodeId {
+    auto it = qg.l_node_of_.find(v);
+    if (it != qg.l_node_of_.end()) return it->second;
+    NodeId id = static_cast<NodeId>(qg.l_values_.size());
+    qg.l_node_of_.emplace(v, id);
+    qg.l_values_.push_back(v);
+    return id;
+  };
+
+  l_id(a);  // source gets id 0
+  std::deque<Value> queue{a};
+  std::vector<std::pair<NodeId, NodeId>> l_arcs;
+  while (!queue.empty()) {
+    Value u = queue.front();
+    queue.pop_front();
+    NodeId uid = qg.l_node_of_[u];
+    auto it = l_adj.find(u);
+    if (it == l_adj.end()) continue;
+    for (Value v : it->second) {
+      bool fresh = qg.l_node_of_.count(v) == 0;
+      NodeId vid = l_id(v);
+      if (fresh) queue.push_back(v);
+      l_arcs.emplace_back(uid, vid);
+    }
+  }
+  qg.num_l_nodes_ = qg.l_values_.size();
+  qg.magic_ = Digraph(qg.num_l_nodes_);
+  for (auto [u, v] : l_arcs) qg.magic_.AddArc(u, v);
+  qg.m_l_ = qg.magic_.NumArcs();
+
+  // --- R-side: E arcs from reachable L-nodes seed a BFS over reversed R
+  // arcs. ---
+  std::deque<Value> r_queue;
+  std::vector<std::pair<Value, Value>> raw_e_arcs;  // (l value, r value)
+  for (Value b : qg.l_values_) {
+    auto it = e_adj.find(b);
+    if (it == e_adj.end()) continue;
+    for (Value c : it->second) {
+      raw_e_arcs.emplace_back(b, c);
+      if (qg.r_node_of_.count(c) == 0) {
+        // Reserve: ids assigned after we know num_l_nodes_ (they already
+        // are); r full ids start at num_l_nodes_.
+        NodeId id = static_cast<NodeId>(qg.num_l_nodes_ + qg.r_values_.size());
+        qg.r_node_of_.emplace(c, id);
+        qg.r_values_.push_back(c);
+        r_queue.push_back(c);
+      }
+    }
+  }
+  std::vector<std::pair<Value, Value>> raw_r_arcs;  // (from, to) in G space
+  while (!r_queue.empty()) {
+    Value u = r_queue.front();
+    r_queue.pop_front();
+    auto it = r_adj_rev.find(u);
+    if (it == r_adj_rev.end()) continue;
+    for (Value v : it->second) {
+      raw_r_arcs.emplace_back(u, v);
+      if (qg.r_node_of_.count(v) == 0) {
+        NodeId id = static_cast<NodeId>(qg.num_l_nodes_ + qg.r_values_.size());
+        qg.r_node_of_.emplace(v, id);
+        qg.r_values_.push_back(v);
+        r_queue.push_back(v);
+      }
+    }
+  }
+  qg.n_r_ = qg.r_values_.size();
+
+  // --- Assemble the full graph. ---
+  qg.full_ = Digraph(qg.num_l_nodes_ + qg.n_r_);
+  for (auto [u, v] : l_arcs) qg.full_.AddArc(u, v);
+  for (auto [b, c] : raw_e_arcs) {
+    NodeId bid = qg.l_node_of_[b];
+    NodeId cid = qg.r_node_of_[c];
+    if (qg.full_.AddArc(bid, cid)) {
+      qg.e_arcs_.emplace_back(bid, cid);
+      ++qg.m_e_;
+    }
+  }
+  for (auto [u, v] : raw_r_arcs) {
+    if (qg.full_.AddArc(qg.r_node_of_[u], qg.r_node_of_[v])) ++qg.m_r_;
+  }
+
+  return qg;
+}
+
+NodeId QueryGraph::LNodeOf(Value v) const {
+  auto it = l_node_of_.find(v);
+  return it == l_node_of_.end() ? kInvalidNode : it->second;
+}
+
+NodeId QueryGraph::RNodeOf(Value v) const {
+  auto it = r_node_of_.find(v);
+  return it == r_node_of_.end() ? kInvalidNode : it->second;
+}
+
+Value QueryGraph::RValueOf(NodeId id) const {
+  return r_values_.at(id - num_l_nodes_);
+}
+
+std::string QueryGraph::ToString() const {
+  return StringPrintf(
+      "QueryGraph{n=%zu m=%zu | n_L=%zu m_L=%zu | n_R=%zu m_R=%zu | m_E=%zu}",
+      n(), m(), n_l(), m_l(), n_r(), m_r(), m_e());
+}
+
+}  // namespace mcm::graph

@@ -1,0 +1,96 @@
+// The query graph G_Q of Section 3.
+//
+// For the canonical strongly linear query
+//     P(a, Y)?   P(X,Y) :- E(X,Y).   P(X,Y) :- L(X,X1), P(X1,Y1), R(Y,Y1).
+// the paper associates a graph G with the database:
+//   * every value in the domain of L gets an L-node, every value in the
+//     domain of R (or the range of E) gets a *distinct* R-node;
+//   * (b,c) in L  => arc b -> c between L-nodes;
+//   * (b,c) in E  => arc b -> c from the L-node of b to the R-node of c;
+//   * (b,c) in R  => arc c -> b between R-nodes (reversed!).
+// G_Q is the subgraph induced by the nodes reachable from the source a.
+// The subgraph of L-arcs is the *magic graph* G_L, whose node set equals
+// the magic set MS (Proposition 1).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mcm::graph {
+
+/// \brief G_Q with its three arc classes and value <-> node mappings.
+class QueryGraph {
+ public:
+  /// Build the query graph from binary relations L, E, R and source value
+  /// `a`. Only the part reachable from `a` is materialized (that is G_Q by
+  /// definition). Reads the relations without instrumentation: graph
+  /// construction is the analysis the paper performs "for free" as part of
+  /// Step 1, whose cost it accounts separately via the Step-1 fixpoints.
+  static Result<QueryGraph> Build(const Relation& l, const Relation& e,
+                                  const Relation& r, Value a);
+
+  /// The combined graph over both node classes (L-nodes and R-nodes share
+  /// this one id space).
+  const Digraph& full() const { return full_; }
+
+  /// The magic graph G_L: L-arcs between L-nodes, compact L-node ids.
+  const Digraph& magic_graph() const { return magic_; }
+
+  /// Node id of the source value `a` in the magic graph (always 0 by
+  /// construction).
+  NodeId source() const { return 0; }
+
+  // --- value <-> node translation ------------------------------------
+  /// Magic-graph node id of L-value `v`, or kInvalidNode if v is not in MS.
+  NodeId LNodeOf(Value v) const;
+  /// The L-value of magic-graph node `id`.
+  Value LValueOf(NodeId id) const { return l_values_[id]; }
+  /// All L-values (the magic set MS), indexed by magic-graph node id.
+  const std::vector<Value>& l_values() const { return l_values_; }
+
+  /// R-node id (in the full graph) of R-value `v`, or kInvalidNode.
+  NodeId RNodeOf(Value v) const;
+  /// R-value of full-graph node `id` (must be an R-node).
+  Value RValueOf(NodeId id) const;
+  /// Whether full-graph node `id` is an R-node.
+  bool IsRNode(NodeId id) const { return id >= num_l_nodes_; }
+
+  /// Full-graph id of magic-graph node `id` (L-nodes keep their ids).
+  NodeId FullIdOfLNode(NodeId id) const { return id; }
+
+  // --- sizes (the paper's n / m parameters) ----------------------------
+  size_t n_l() const { return num_l_nodes_; }
+  size_t m_l() const { return m_l_; }
+  size_t n_r() const { return n_r_; }
+  size_t m_r() const { return m_r_; }
+  size_t m_e() const { return m_e_; }
+  size_t n() const { return full_.NumNodes(); }
+  size_t m() const { return full_.NumArcs(); }
+
+  /// E-arcs as (l_node_in_magic_ids, r_node_in_full_ids) pairs.
+  const std::vector<std::pair<NodeId, NodeId>>& e_arcs() const {
+    return e_arcs_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  QueryGraph() = default;
+
+  Digraph full_;
+  Digraph magic_;
+  size_t num_l_nodes_ = 0;
+  size_t m_l_ = 0, n_r_ = 0, m_r_ = 0, m_e_ = 0;
+  std::vector<Value> l_values_;
+  std::vector<Value> r_values_;  // indexed by (full_id - num_l_nodes_)
+  std::unordered_map<Value, NodeId> l_node_of_;
+  std::unordered_map<Value, NodeId> r_node_of_;  // full-graph ids
+  std::vector<std::pair<NodeId, NodeId>> e_arcs_;
+};
+
+}  // namespace mcm::graph

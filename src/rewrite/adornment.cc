@@ -1,0 +1,122 @@
+#include "rewrite/adornment.h"
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mcm::rewrite {
+
+std::string AdornedName(const std::string& pred, const Pattern& pattern) {
+  if (pattern.find('b') == Pattern::npos) return pred;
+  return pred + "__" + pattern;
+}
+
+Pattern GoalPattern(const dl::Atom& goal) {
+  Pattern p;
+  p.reserve(goal.args.size());
+  for (const dl::Term& t : goal.args) {
+    p += t.IsConstant() ? 'b' : 'f';
+  }
+  return p;
+}
+
+namespace {
+
+Pattern AtomPattern(const dl::Atom& atom,
+                    const std::unordered_set<std::string>& bound) {
+  Pattern p;
+  p.reserve(atom.args.size());
+  for (const dl::Term& t : atom.args) {
+    bool b = t.IsConstant() ||
+             ((t.IsVariable() || t.IsAffine()) && bound.count(t.name) > 0);
+    p += b ? 'b' : 'f';
+  }
+  return p;
+}
+
+void BindAtomVars(const dl::Atom& atom,
+                  std::unordered_set<std::string>* bound) {
+  for (const dl::Term& t : atom.args) {
+    if (t.IsVariable() || t.IsAffine()) bound->insert(t.name);
+  }
+}
+
+}  // namespace
+
+Result<AdornedProgram> Adorn(const dl::Program& program,
+                             const dl::Atom& goal) {
+  // Group rules by head predicate.
+  std::unordered_map<std::string, std::vector<const dl::Rule*>> defs;
+  for (const dl::Rule& r : program.rules) {
+    defs[r.head.predicate].push_back(&r);
+  }
+  if (defs.count(goal.predicate) == 0) {
+    return Status::InvalidArgument("query predicate '" + goal.predicate +
+                                   "' has no rules");
+  }
+
+  AdornedProgram out;
+  out.goal_pattern = GoalPattern(goal);
+  out.adorned_goal = goal;
+  out.adorned_goal.predicate = AdornedName(goal.predicate, out.goal_pattern);
+
+  std::set<std::pair<std::string, Pattern>> done;
+  std::deque<std::pair<std::string, Pattern>> worklist;
+  worklist.emplace_back(goal.predicate, out.goal_pattern);
+  done.emplace(goal.predicate, out.goal_pattern);
+
+  while (!worklist.empty()) {
+    auto [pred, pattern] = worklist.front();
+    worklist.pop_front();
+
+    for (const dl::Rule* rule : defs[pred]) {
+      if (rule->head.arity() != pattern.size()) {
+        return Status::InvalidArgument("arity mismatch adorning '" + pred +
+                                       "'");
+      }
+      dl::Rule adorned = *rule;
+      adorned.head.predicate = AdornedName(pred, pattern);
+
+      // Head variables at bound positions are bound; constants too.
+      std::unordered_set<std::string> bound;
+      for (uint32_t i = 0; i < pattern.size(); ++i) {
+        const dl::Term& t = rule->head.args[i];
+        if (pattern[i] == 'b' && (t.IsVariable() || t.IsAffine())) {
+          bound.insert(t.name);
+        }
+      }
+
+      for (dl::Literal& lit : adorned.body) {
+        if (lit.kind != dl::Literal::Kind::kAtom) continue;
+        // Copy: the literal's predicate is renamed below, and the original
+        // name is still needed for the worklist.
+        const std::string p = lit.atom.predicate;
+        bool idb = defs.count(p) > 0;
+        if (lit.negated) {
+          // Safety guarantees all variables of a negated literal are bound
+          // at evaluation time.
+          if (idb) {
+            Pattern np(lit.atom.args.size(), 'b');
+            lit.atom.predicate = AdornedName(p, np);
+            if (done.emplace(p, np).second) worklist.emplace_back(p, np);
+          }
+          continue;
+        }
+        if (idb) {
+          Pattern ap = AtomPattern(lit.atom, bound);
+          lit.atom.predicate = AdornedName(p, ap);
+          if (done.emplace(p, ap).second) worklist.emplace_back(p, ap);
+        }
+        // After a positive atom, its variables are bound.
+        BindAtomVars(lit.atom, &bound);
+      }
+      out.program.rules.push_back(std::move(adorned));
+    }
+  }
+
+  out.program.queries.push_back(dl::Query{out.adorned_goal});
+  return out;
+}
+
+}  // namespace mcm::rewrite

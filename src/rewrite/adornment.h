@@ -1,0 +1,43 @@
+// Adornment of Datalog programs (binding-pattern analysis).
+//
+// Given a program and a query goal, computes the set of adorned predicate
+// versions reachable from the goal's binding pattern under the standard
+// left-to-right sideways information passing strategy, and emits a program
+// in which every IDB predicate is replaced by its adorned versions
+// (`pred__bf` etc.). This is the front half of the generalized magic set
+// transformation; the paper's Q_M is the instance for the pattern `bf` on
+// canonical strongly linear queries.
+#pragma once
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace mcm::rewrite {
+
+/// Binding pattern: one char per argument, 'b' (bound) or 'f' (free).
+using Pattern = std::string;
+
+/// Name of the adorned version of `pred` under `pattern` ("p" + "bf" ->
+/// "p__bf"). A pattern with no bound position keeps the original name: no
+/// binding ever propagates into it.
+std::string AdornedName(const std::string& pred, const Pattern& pattern);
+
+/// Pattern of a goal atom: constants are bound, variables free.
+Pattern GoalPattern(const dl::Atom& goal);
+
+/// \brief Result of adorning a program.
+struct AdornedProgram {
+  dl::Program program;   ///< rules over adorned IDB predicates
+  dl::Atom adorned_goal; ///< the query goal against the adorned predicate
+  Pattern goal_pattern;
+};
+
+/// Adorn `program` for `goal`. The program must define the goal predicate;
+/// every rule is range-restricted (checked by the engine later). Supports
+/// arbitrary stratified programs; negated IDB literals are adorned with
+/// the all-bound pattern (their variables are bound at evaluation time).
+Result<AdornedProgram> Adorn(const dl::Program& program, const dl::Atom& goal);
+
+}  // namespace mcm::rewrite

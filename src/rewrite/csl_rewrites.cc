@@ -1,0 +1,157 @@
+#include "rewrite/csl_rewrites.h"
+
+namespace mcm::rewrite {
+
+namespace {
+
+using dl::Atom;
+using dl::CmpOp;
+using dl::Comparison;
+using dl::Literal;
+using dl::Program;
+using dl::Rule;
+using dl::Term;
+
+Term V(const char* name) { return Term::Var(name); }
+
+Atom A2(const std::string& pred, Term t0, Term t1) {
+  return Atom{pred, {std::move(t0), std::move(t1)}};
+}
+
+Atom A1(const std::string& pred, Term t0) {
+  return Atom{pred, {std::move(t0)}};
+}
+
+Rule MakeRule(Atom head, std::vector<Literal> body) {
+  return Rule{std::move(head), std::move(body)};
+}
+
+Literal Pos(Atom a) { return Literal::Pos(std::move(a)); }
+
+Literal Gt0(const char* var) {
+  return Literal::Cmp(Comparison{CmpOp::kGt, V(var), Term::Int(0)});
+}
+
+}  // namespace
+
+Program CountingProgram(const CslQuery& q, const RewriteNames& n) {
+  Program prog;
+  // CS(0, a).
+  prog.rules.push_back(MakeRule(A2(n.cs, Term::Int(0), q.source), {}));
+  // CS(J+1, X1) :- CS(J, X), L(X, X1).
+  prog.rules.push_back(MakeRule(A2(n.cs, Term::Affine("J", 1), V("X1")),
+                                {Pos(A2(n.cs, V("J"), V("X"))),
+                                 Pos(A2(q.l, V("X"), V("X1")))}));
+  // P_C(J, Y) :- CS(J, X), E(X, Y).
+  prog.rules.push_back(MakeRule(A2(n.pc, V("J"), V("Y")),
+                                {Pos(A2(n.cs, V("J"), V("X"))),
+                                 Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+  prog.rules.push_back(MakeRule(A2(n.pc, Term::Affine("J", -1), V("Y")),
+                                {Pos(A2(n.pc, V("J"), V("Y1"))),
+                                 Pos(A2(q.r, V("Y"), V("Y1"))), Gt0("J")}));
+  // Answer(Y) :- P_C(0, Y).
+  prog.rules.push_back(
+      MakeRule(A1(n.answer, V("Y")), {Pos(A2(n.pc, Term::Int(0), V("Y")))}));
+  prog.queries.push_back(dl::Query{A1(n.answer, V("Y"))});
+  return prog;
+}
+
+Program MagicSetProgram(const CslQuery& q, const RewriteNames& n) {
+  Program prog;
+  // MS(a).
+  prog.rules.push_back(MakeRule(A1(n.ms, q.source), {}));
+  // MS(X1) :- MS(X), L(X, X1).
+  prog.rules.push_back(MakeRule(
+      A1(n.ms, V("X1")),
+      {Pos(A1(n.ms, V("X"))), Pos(A2(q.l, V("X"), V("X1")))}));
+  // P_M(X, Y) :- MS(X), E(X, Y).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.ms, V("X"))), Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_M(X, Y) :- MS(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.ms, V("X"))), Pos(A2(q.l, V("X"), V("X1"))),
+       Pos(A2(n.pm, V("X1"), V("Y1"))), Pos(A2(q.r, V("Y"), V("Y1")))}));
+  // Answer(Y) :- P_M(a, Y).
+  prog.rules.push_back(
+      MakeRule(A1(n.answer, V("Y")), {Pos(A2(n.pm, q.source, V("Y")))}));
+  prog.queries.push_back(dl::Query{A1(n.answer, V("Y"))});
+  return prog;
+}
+
+Program IndependentMcProgram(const CslQuery& q, const RewriteNames& n) {
+  Program prog;
+  // P_C(J, Y) :- RC(J, X), E(X, Y).
+  prog.rules.push_back(MakeRule(A2(n.pc, V("J"), V("Y")),
+                                {Pos(A2(n.rc, V("J"), V("X"))),
+                                 Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+  prog.rules.push_back(MakeRule(A2(n.pc, Term::Affine("J", -1), V("Y")),
+                                {Pos(A2(n.pc, V("J"), V("Y1"))),
+                                 Pos(A2(q.r, V("Y"), V("Y1"))), Gt0("J")}));
+  // P_M(X, Y) :- RM(X), E(X, Y).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.rm, V("X"))), Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_M(X, Y) :- MS(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.ms, V("X"))), Pos(A2(q.l, V("X"), V("X1"))),
+       Pos(A2(n.pm, V("X1"), V("Y1"))), Pos(A2(q.r, V("Y"), V("Y1")))}));
+  // Answer(Y) :- P_C(0, Y).   Answer(Y) :- P_M(a, Y).
+  prog.rules.push_back(
+      MakeRule(A1(n.answer, V("Y")), {Pos(A2(n.pc, Term::Int(0), V("Y")))}));
+  prog.rules.push_back(
+      MakeRule(A1(n.answer, V("Y")), {Pos(A2(n.pm, q.source, V("Y")))}));
+  prog.queries.push_back(dl::Query{A1(n.answer, V("Y"))});
+  return prog;
+}
+
+Program IntegratedMcProgram(const CslQuery& q, const RewriteNames& n) {
+  Program prog;
+  // P_M(X, Y) :- RM(X), E(X, Y).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.rm, V("X"))), Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_M(X, Y) :- RM(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+  prog.rules.push_back(MakeRule(
+      A2(n.pm, V("X"), V("Y")),
+      {Pos(A1(n.rm, V("X"))), Pos(A2(q.l, V("X"), V("X1"))),
+       Pos(A2(n.pm, V("X1"), V("Y1"))), Pos(A2(q.r, V("Y"), V("Y1")))}));
+  // P_C(J, Y) :- RC(J, X), L(X, X1), P_M(X1, Y1), R(Y, Y1).  (transfer)
+  prog.rules.push_back(MakeRule(
+      A2(n.pc, V("J"), V("Y")),
+      {Pos(A2(n.rc, V("J"), V("X"))), Pos(A2(q.l, V("X"), V("X1"))),
+       Pos(A2(n.pm, V("X1"), V("Y1"))), Pos(A2(q.r, V("Y"), V("Y1")))}));
+  // P_C(J, Y) :- RC(J, X), E(X, Y).
+  prog.rules.push_back(MakeRule(A2(n.pc, V("J"), V("Y")),
+                                {Pos(A2(n.rc, V("J"), V("X"))),
+                                 Pos(A2(q.e, V("X"), V("Y")))}));
+  // P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+  prog.rules.push_back(MakeRule(A2(n.pc, Term::Affine("J", -1), V("Y")),
+                                {Pos(A2(n.pc, V("J"), V("Y1"))),
+                                 Pos(A2(q.r, V("Y"), V("Y1"))), Gt0("J")}));
+  // Answer(Y) :- P_C(0, Y).
+  prog.rules.push_back(
+      MakeRule(A1(n.answer, V("Y")), {Pos(A2(n.pc, Term::Int(0), V("Y")))}));
+  prog.queries.push_back(dl::Query{A1(n.answer, V("Y"))});
+  return prog;
+}
+
+Program OriginalProgram(const CslQuery& q) {
+  Program prog;
+  // P(X, Y) :- E(X, Y).
+  prog.rules.push_back(MakeRule(
+      A2(q.p, V("X"), V("Y")), {Pos(A2(q.e, V("X"), V("Y")))}));
+  // P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+  prog.rules.push_back(MakeRule(
+      A2(q.p, V("X"), V("Y")),
+      {Pos(A2(q.l, V("X"), V("X1"))), Pos(A2(q.p, V("X1"), V("Y1"))),
+       Pos(A2(q.r, V("Y"), V("Y1")))}));
+  prog.queries.push_back(dl::Query{A2(q.p, q.source, V("Y"))});
+  return prog;
+}
+
+}  // namespace mcm::rewrite

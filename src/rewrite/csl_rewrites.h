@@ -1,0 +1,81 @@
+// The paper's program rewritings for CSL queries (Sections 2, 4, 5).
+//
+// Each emitter returns a complete Datalog program (rules + answer query)
+// that can be handed to eval::Engine. Working-predicate names are
+// configurable so several rewritings can coexist in one database.
+#pragma once
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "rewrite/csl.h"
+#include "util/status.h"
+
+namespace mcm::rewrite {
+
+/// Names of the auxiliary predicates introduced by the rewritings.
+struct RewriteNames {
+  std::string cs = "mcm_cs";          ///< counting set CS(J, X)
+  std::string ms = "mcm_ms";          ///< magic set MS(X)
+  std::string pc = "mcm_pc";          ///< counting-modified P_C(J, Y)
+  std::string pm = "mcm_pm";          ///< magic-modified P_M(X, Y)
+  std::string rm = "mcm_rm";          ///< restricted magic set RM(X)
+  std::string rc = "mcm_rc";          ///< restricted counting set RC(J, X)
+  std::string answer = "mcm_answer";  ///< Answer(Y)
+};
+
+/// The counting rewriting Q_C (Section 2):
+///   CS(0, a).
+///   CS(J+1, X1) :- CS(J, X), L(X, X1).
+///   P_C(J, Y)   :- CS(J, X), E(X, Y).
+///   P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+///   Answer(Y)   :- P_C(0, Y).
+/// The J > 0 guard (implicit in the paper, explicit in [SZ1]) keeps the
+/// descending index non-negative; it does not change the answer because
+/// only index 0 feeds Answer. Note that the *ascending* CS fixpoint is left
+/// unguarded: on cyclic magic graphs it diverges — that divergence is the
+/// unsafety the paper attributes to the counting method, and the engine's
+/// iteration cap turns it into Status::Unsafe.
+dl::Program CountingProgram(const CslQuery& q, const RewriteNames& names = {});
+
+/// The magic set rewriting Q_M (Section 2):
+///   MS(a).
+///   MS(X1)     :- MS(X), L(X, X1).
+///   P_M(X, Y)  :- MS(X), E(X, Y).
+///   P_M(X, Y)  :- MS(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+///   Answer(Y)  :- P_M(a, Y).
+dl::Program MagicSetProgram(const CslQuery& q, const RewriteNames& names = {});
+
+/// Step-2 program of the *independent* magic counting methods (Section 4).
+/// Expects RM (unary), RC (binary) and MS (unary) to be populated by a
+/// Step-1 computation before evaluation:
+///   P_C(J, Y)   :- RC(J, X), E(X, Y).
+///   P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+///   P_M(X, Y)   :- RM(X), E(X, Y).
+///   P_M(X, Y)   :- MS(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+///   Answer(Y)   :- P_C(0, Y).
+///   Answer(Y)   :- P_M(a, Y).
+dl::Program IndependentMcProgram(const CslQuery& q,
+                                 const RewriteNames& names = {});
+
+/// Step-2 program of the *integrated* magic counting methods (Section 5).
+/// Rule 3 transfers magic-set results into the counting fixpoint:
+///   P_M(X, Y)   :- RM(X), E(X, Y).
+///   P_M(X, Y)   :- RM(X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+///   P_C(J, Y)   :- RC(J, X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+///   P_C(J, Y)   :- RC(J, X), E(X, Y).
+///   P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1), J > 0.
+///   Answer(Y)   :- P_C(0, Y).
+/// (The paper prints rule 3 with P_M(X, Y); consistently with its proof of
+/// Theorem 2 and with [SZ1], the intended literal is P_M(X1, Y1): a P
+/// result at the L-child X1 of an RC node X with index J yields a P result
+/// for X at index J after one R step.)
+dl::Program IntegratedMcProgram(const CslQuery& q,
+                                const RewriteNames& names = {});
+
+/// The original (unrewritten) query program Q — used as the reference
+/// implementation for correctness cross-checks; its bottom-up fixpoint is
+/// always finite.
+dl::Program OriginalProgram(const CslQuery& q);
+
+}  // namespace mcm::rewrite

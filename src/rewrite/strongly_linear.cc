@@ -1,0 +1,248 @@
+#include "rewrite/strongly_linear.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/engine.h"
+
+namespace mcm::rewrite {
+
+namespace {
+
+std::vector<std::string> VarsOfLiteral(const dl::Literal& lit) {
+  std::vector<std::string> vars;
+  auto visit = [&vars](const dl::Term& t) {
+    if (t.IsVariable() || t.IsAffine()) vars.push_back(t.name);
+  };
+  if (lit.kind == dl::Literal::Kind::kAtom) {
+    for (const dl::Term& t : lit.atom.args) visit(t);
+  } else {
+    visit(lit.cmp.lhs);
+    visit(lit.cmp.rhs);
+  }
+  return vars;
+}
+
+/// True if `lits` is a single positive binary atom over exactly
+/// (first_var, second_var).
+bool IsCanonicalAtom(const std::vector<dl::Literal>& lits,
+                     const std::string& first_var,
+                     const std::string& second_var) {
+  if (lits.size() != 1 || !lits[0].IsPositiveAtom()) return false;
+  const dl::Atom& atom = lits[0].atom;
+  return atom.arity() == 2 && atom.args[0].IsVariable() &&
+         atom.args[0].name == first_var && atom.args[1].IsVariable() &&
+         atom.args[1].name == second_var;
+}
+
+}  // namespace
+
+std::string StronglyLinearQuery::ToString() const {
+  return "SL{P=" + p + " |prefix|=" + std::to_string(prefix.size()) +
+         " |suffix|=" + std::to_string(suffix.size()) +
+         " |exit|=" + std::to_string(exit_body.size()) +
+         " a=" + source.ToString() + "}";
+}
+
+Result<StronglyLinearQuery> RecognizeStronglyLinear(
+    const dl::Program& program) {
+  if (program.queries.size() != 1) {
+    return Status::Unsupported("expected exactly one query");
+  }
+  const dl::Query& query = program.queries[0];
+  if (query.goal.arity() != 2 || !query.goal.args[0].IsConstant() ||
+      !query.goal.args[1].IsVariable()) {
+    return Status::Unsupported("goal must be P(a, Y)");
+  }
+
+  StronglyLinearQuery out;
+  out.p = query.goal.predicate;
+  out.source = query.goal.args[0];
+  out.answer_var = query.goal.args[1].name;
+
+  const dl::Rule* exit_rule = nullptr;
+  const dl::Rule* rec_rule = nullptr;
+  for (const dl::Rule& rule : program.rules) {
+    if (rule.head.predicate != out.p) {
+      return Status::Unsupported("program defines extra predicate '" +
+                                 rule.head.predicate + "'");
+    }
+    bool recursive = false;
+    for (const dl::Literal& lit : rule.body) {
+      if (lit.kind == dl::Literal::Kind::kAtom &&
+          lit.atom.predicate == out.p) {
+        recursive = true;
+      }
+    }
+    if (recursive) {
+      if (rec_rule != nullptr) {
+        return Status::Unsupported("more than one recursive rule");
+      }
+      rec_rule = &rule;
+    } else {
+      if (exit_rule != nullptr) {
+        return Status::Unsupported("more than one exit rule");
+      }
+      exit_rule = &rule;
+    }
+  }
+  if (exit_rule == nullptr || rec_rule == nullptr) {
+    return Status::Unsupported("need exactly one exit and one recursive rule");
+  }
+
+  // Heads: P(X, Y) with distinct variables, shared by both rules (after
+  // renaming we simply require each rule's own head variables).
+  auto head_vars = [](const dl::Rule& r,
+                      std::string* hx, std::string* hy) -> bool {
+    if (r.head.arity() != 2 || !r.head.args[0].IsVariable() ||
+        !r.head.args[1].IsVariable() ||
+        r.head.args[0].name == r.head.args[1].name) {
+      return false;
+    }
+    *hx = r.head.args[0].name;
+    *hy = r.head.args[1].name;
+    return true;
+  };
+  if (!head_vars(*exit_rule, &out.exit_x, &out.exit_y) ||
+      !head_vars(*rec_rule, &out.x, &out.y)) {
+    return Status::Unsupported("rule heads must be P(X, Y)");
+  }
+  out.exit_body = exit_rule->body;
+  // Normalize the exit body to use the recursive rule's head variable
+  // names? Not needed: the exit composition rule is emitted with the exit
+  // rule's own variables.
+
+  // Locate the recursive atom; it must be linear with variable arguments.
+  const dl::Atom* rec_atom = nullptr;
+  std::vector<dl::Literal> others;
+  for (const dl::Literal& lit : rec_rule->body) {
+    if (lit.kind == dl::Literal::Kind::kAtom &&
+        lit.atom.predicate == out.p) {
+      if (lit.negated || rec_atom != nullptr) {
+        return Status::Unsupported("recursive rule must be linear");
+      }
+      rec_atom = &lit.atom;
+    } else {
+      others.push_back(lit);
+    }
+  }
+  if (rec_atom == nullptr || rec_atom->arity() != 2 ||
+      !rec_atom->args[0].IsVariable() || !rec_atom->args[1].IsVariable()) {
+    return Status::Unsupported("recursive atom must be P(Xr, Yr)");
+  }
+  out.xr = rec_atom->args[0].name;
+  out.yr = rec_atom->args[1].name;
+  if (out.xr == out.x || out.yr == out.y || out.xr == out.yr) {
+    return Status::Unsupported(
+        "degenerate variable pattern in recursive rule");
+  }
+
+  // Partition the remaining literals into the X-side (prefix) and Y-side
+  // (suffix) connected components of the variable-sharing graph.
+  // Union-find over variable names seeded with the four anchors.
+  std::unordered_map<std::string, std::string> parent;
+  std::function<std::string(const std::string&)> find =
+      [&](const std::string& v) -> std::string {
+    auto it = parent.find(v);
+    if (it == parent.end() || it->second == v) {
+      parent[v] = v;
+      return v;
+    }
+    std::string root = find(it->second);
+    parent[v] = root;
+    return root;
+  };
+  auto unite = [&](const std::string& a, const std::string& b) {
+    parent[find(a)] = find(b);
+  };
+  unite(out.x, out.xr);  // the L side
+  unite(out.y, out.yr);  // the R side
+  for (const dl::Literal& lit : others) {
+    std::vector<std::string> vars = VarsOfLiteral(lit);
+    for (size_t i = 1; i < vars.size(); ++i) unite(vars[0], vars[i]);
+  }
+  std::string x_root = find(out.x);
+  std::string y_root = find(out.y);
+  if (x_root == y_root) {
+    return Status::Unsupported(
+        "prefix and suffix share variables (not strongly linear)");
+  }
+  for (const dl::Literal& lit : others) {
+    std::vector<std::string> vars = VarsOfLiteral(lit);
+    if (vars.empty()) {
+      return Status::Unsupported("ground literal in recursive rule body");
+    }
+    std::string root = find(vars[0]);
+    if (root == x_root) {
+      out.prefix.push_back(lit);
+    } else if (root == y_root) {
+      out.suffix.push_back(lit);
+    } else {
+      return Status::Unsupported(
+          "body literal connected to neither side: " + lit.ToString());
+    }
+  }
+  if (out.prefix.empty() || out.suffix.empty()) {
+    return Status::Unsupported(
+        "empty prefix or suffix (identity L/R is outside the supported "
+        "fragment)");
+  }
+
+  out.prefix_is_atom = IsCanonicalAtom(out.prefix, out.x, out.xr);
+  out.suffix_is_atom = IsCanonicalAtom(out.suffix, out.y, out.yr);
+  out.exit_is_atom = IsCanonicalAtom(out.exit_body, out.exit_x, out.exit_y);
+  return out;
+}
+
+Result<CslQuery> MaterializeStronglyLinear(Database* db,
+                                           const StronglyLinearQuery& slq,
+                                           const SlNames& names) {
+  dl::Program comp;
+  CslQuery csl;
+  csl.p = "mcm_p";
+  csl.source = slq.source;
+  csl.answer_var = slq.answer_var;
+
+  if (slq.prefix_is_atom) {
+    csl.l = slq.prefix[0].atom.predicate;
+  } else {
+    csl.l = names.l_star;
+    dl::Rule r;
+    r.head = dl::Atom{names.l_star,
+                      {dl::Term::Var(slq.x), dl::Term::Var(slq.xr)}};
+    r.body = slq.prefix;
+    comp.rules.push_back(std::move(r));
+  }
+
+  if (slq.suffix_is_atom) {
+    csl.r = slq.suffix[0].atom.predicate;
+  } else {
+    csl.r = names.r_star;
+    dl::Rule r;
+    r.head = dl::Atom{names.r_star,
+                      {dl::Term::Var(slq.y), dl::Term::Var(slq.yr)}};
+    r.body = slq.suffix;
+    comp.rules.push_back(std::move(r));
+  }
+
+  if (slq.exit_is_atom) {
+    csl.e = slq.exit_body[0].atom.predicate;
+  } else {
+    csl.e = names.e_star;
+    dl::Rule r;
+    // The composition keeps the exit rule's own head variables.
+    r.head = dl::Atom{names.e_star,
+                      {dl::Term::Var(slq.exit_x), dl::Term::Var(slq.exit_y)}};
+    r.body = slq.exit_body;
+    comp.rules.push_back(std::move(r));
+  }
+
+  if (!comp.rules.empty()) {
+    eval::Engine engine(db);
+    MCM_RETURN_NOT_OK(engine.Run(comp));
+  }
+  return csl;
+}
+
+}  // namespace mcm::rewrite

@@ -1,0 +1,78 @@
+// Recognition of (canonical) strongly linear queries beyond the literal
+// L/E/R shape.
+//
+// The paper notes (Section 1) that its results extend to queries where L,
+// E and R are conjunctions of database predicates. This module recognizes
+// that class:
+//
+//   query:  P(a, Y)?
+//   exit:   P(X, Y) :- <exit body>.
+//   rec:    P(X, Y) :- <prefix>, P(Xr, Yr), <suffix>.
+//
+// where the non-recursive body literals of the recursive rule split into a
+// *prefix* component connected (by shared variables) to {X, Xr} and a
+// *suffix* component connected to {Y, Yr}, with no variable shared across
+// the two components. Under those conditions the query is equivalent to
+// the canonical form over the compositions
+//   l*(X, Xr)  :- <prefix>.
+//   e*(X, Y)   :- <exit body>.
+//   r*(Y, Yr)  :- <suffix>.
+// which MaterializeStronglyLinear() evaluates into relations so the magic
+// counting machinery applies unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "rewrite/csl.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::rewrite {
+
+/// \brief A recognized strongly linear query.
+struct StronglyLinearQuery {
+  std::string p;
+  dl::Term source;
+  std::string answer_var;
+
+  std::string x, y;          ///< head variables of the recursive rule
+  std::string xr, yr;        ///< arguments of the recursive body atom
+  std::string exit_x, exit_y;  ///< head variables of the exit rule
+
+  std::vector<dl::Literal> exit_body;
+  std::vector<dl::Literal> prefix;  ///< the L-part conjunction
+  std::vector<dl::Literal> suffix;  ///< the R-part conjunction
+
+  /// True when the prefix (resp. suffix / exit body) is a single positive
+  /// binary atom in canonical argument order — then no materialization is
+  /// needed and the atom's relation is used directly.
+  bool prefix_is_atom = false;
+  bool suffix_is_atom = false;
+  bool exit_is_atom = false;
+
+  std::string ToString() const;
+};
+
+/// Recognize the strongly linear form of `program` (rules for one
+/// predicate plus one query with bound first argument). Canonical CSL
+/// queries are a special case and always recognized.
+Result<StronglyLinearQuery> RecognizeStronglyLinear(
+    const dl::Program& program);
+
+/// Names used for materialized composition relations.
+struct SlNames {
+  std::string l_star = "mcm_lstar";
+  std::string e_star = "mcm_estar";
+  std::string r_star = "mcm_rstar";
+};
+
+/// Evaluate the composition rules into `db` (skipping compositions that are
+/// single atoms) and return the equivalent CslQuery referencing the
+/// resulting relation names.
+Result<CslQuery> MaterializeStronglyLinear(Database* db,
+                                           const StronglyLinearQuery& slq,
+                                           const SlNames& names = {});
+
+}  // namespace mcm::rewrite

@@ -1,0 +1,17 @@
+#include "storage/access_stats.h"
+
+#include "util/string_util.h"
+
+namespace mcm {
+
+std::string AccessStats::ToString() const {
+  return StringPrintf(
+      "reads=%llu inserts=%llu attempts=%llu scans=%llu probes=%llu",
+      static_cast<unsigned long long>(tuples_read),
+      static_cast<unsigned long long>(tuples_inserted),
+      static_cast<unsigned long long>(insert_attempts),
+      static_cast<unsigned long long>(scans),
+      static_cast<unsigned long long>(probes));
+}
+
+}  // namespace mcm

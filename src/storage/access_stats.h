@@ -1,0 +1,42 @@
+// Tuple-retrieval accounting.
+//
+// The paper measures every method in a single unit: "the cost of retrieving
+// a tuple in a database relation" (Section 3). AccessStats is the engine's
+// implementation of that unit: every tuple yielded by a relation scan or an
+// index probe increments `tuples_read`. Benchmarks compare methods by this
+// counter, which makes the measured numbers directly comparable to the
+// Theta-formulas of Tables 1-5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcm {
+
+/// \brief Shared counters for relation accesses.
+///
+/// One AccessStats object is owned by a Database and shared by all of its
+/// relations; standalone relations may carry their own. Counters are plain
+/// (non-atomic) — the engine is single-threaded by design.
+struct AccessStats {
+  uint64_t tuples_read = 0;      ///< Paper's cost unit: tuples retrieved.
+  uint64_t tuples_inserted = 0;  ///< Successful (non-duplicate) inserts.
+  uint64_t insert_attempts = 0;  ///< Inserts including duplicates.
+  uint64_t scans = 0;            ///< Full-relation scan operations started.
+  uint64_t probes = 0;           ///< Index probe operations started.
+
+  void Reset() { *this = AccessStats(); }
+
+  AccessStats& operator+=(const AccessStats& o) {
+    tuples_read += o.tuples_read;
+    tuples_inserted += o.tuples_inserted;
+    insert_attempts += o.insert_attempts;
+    scans += o.scans;
+    probes += o.probes;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mcm

@@ -1,0 +1,60 @@
+// Catalog of named relations plus the shared symbol table and access stats.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/access_stats.h"
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+#include "util/status.h"
+
+namespace mcm {
+
+/// \brief An in-memory database: named relations + interning + cost counters.
+///
+/// All relations created through a Database share its AccessStats, so a
+/// single counter captures the total tuple-retrieval cost of evaluating a
+/// query — the unit used throughout the paper's complexity tables.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a relation; error if the name is taken.
+  Result<Relation*> CreateRelation(const std::string& name, uint32_t arity);
+
+  /// Fetch an existing relation or create it.
+  Relation* GetOrCreateRelation(const std::string& name, uint32_t arity);
+
+  /// nullptr if absent.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  /// Error Status if absent.
+  Result<Relation*> Get(const std::string& name);
+
+  bool Drop(const std::string& name);
+
+  std::vector<std::string> RelationNames() const;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  AccessStats& stats() { return stats_; }
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  SymbolTable symbols_;
+  AccessStats stats_;
+};
+
+}  // namespace mcm

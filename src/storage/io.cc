@@ -1,0 +1,102 @@
+#include "storage/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mcm {
+
+namespace {
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+Status LoadRelationTsvStream(Database* db, const std::string& name,
+                             std::istream& in, const std::string& origin) {
+  Relation* rel = db->Find(name);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    if (rel == nullptr) {
+      rel = db->GetOrCreateRelation(name,
+                                    static_cast<uint32_t>(fields.size()));
+    }
+    if (fields.size() != rel->arity()) {
+      return Status::InvalidArgument(
+          origin + ":" + std::to_string(line_no) + ": expected " +
+          std::to_string(rel->arity()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple t(rel->arity());
+    for (uint32_t i = 0; i < rel->arity(); ++i) {
+      int64_t v;
+      if (ParseInt(fields[i], &v)) {
+        t[i] = v;
+      } else {
+        t[i] = db->symbols().Intern(fields[i]);
+      }
+    }
+    rel->Insert(t);
+  }
+  if (rel == nullptr) {
+    // Empty file: create a relation only if it already exists elsewhere —
+    // we cannot guess the arity, so report it.
+    return Status::InvalidArgument(origin +
+                                   ": empty file and relation '" + name +
+                                   "' does not exist (arity unknown)");
+  }
+  return Status::OK();
+}
+
+Status LoadRelationTsv(Database* db, const std::string& name,
+                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return LoadRelationTsvStream(db, name, in, path);
+}
+
+Status SaveRelationTsvStream(const Database& db, const std::string& name,
+                             std::ostream& out, bool resolve_symbols) {
+  const Relation* rel = db.Find(name);
+  if (rel == nullptr) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  for (const Tuple& t : rel->TuplesUnchecked()) {
+    for (uint32_t i = 0; i < t.arity(); ++i) {
+      if (i > 0) out << '\t';
+      if (resolve_symbols && db.symbols().Contains(t[i])) {
+        out << db.symbols().Resolve(t[i]);
+      } else {
+        out << t[i];
+      }
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status SaveRelationTsv(const Database& db, const std::string& name,
+                       const std::string& path, bool resolve_symbols) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  return SaveRelationTsvStream(db, name, out, resolve_symbols);
+}
+
+}  // namespace mcm

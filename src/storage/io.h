@@ -1,0 +1,39 @@
+// Loading and saving relations as TSV text files.
+//
+// Format: one tuple per line, values separated by tabs. A value that parses
+// as a signed 64-bit integer is stored as the integer; anything else is
+// interned as a symbol. Lines starting with '#' and blank lines are
+// skipped. This is the interchange format used by the mcmq command-line
+// tool (and mirrors the facts format of engines like Souffle).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm {
+
+/// Read tuples from `path` into relation `name` (created with the arity of
+/// the first data line if absent). Fails on arity mismatches or I/O errors.
+Status LoadRelationTsv(Database* db, const std::string& name,
+                       const std::string& path);
+
+/// Stream variant of LoadRelationTsv.
+Status LoadRelationTsvStream(Database* db, const std::string& name,
+                             std::istream& in, const std::string& origin);
+
+/// Write relation `name` to `path`, resolving symbol ids back to their
+/// strings. Integer values that happen to collide with symbol ids are
+/// written as symbols only when the relation was built from symbols; since
+/// the engine does not track per-column types, the caller chooses with
+/// `resolve_symbols`.
+Status SaveRelationTsv(const Database& db, const std::string& name,
+                       const std::string& path, bool resolve_symbols = true);
+
+/// Stream variant of SaveRelationTsv.
+Status SaveRelationTsvStream(const Database& db, const std::string& name,
+                             std::ostream& out, bool resolve_symbols = true);
+
+}  // namespace mcm

@@ -1,0 +1,122 @@
+#include "storage/relation.h"
+
+#include <cassert>
+
+namespace mcm {
+
+const std::vector<uint32_t> Relation::kEmptyPostings{};
+
+namespace {
+
+std::string EncodeKeyCols(const IndexKey& cols) {
+  std::string s;
+  s.reserve(cols.size() * 3);
+  for (uint32_t c : cols) {
+    s += std::to_string(c);
+    s += ',';
+  }
+  return s;
+}
+
+}  // namespace
+
+bool Relation::Insert(const Tuple& t) {
+  assert(t.arity() == arity_ && "tuple arity mismatch");
+  if (stats_ != nullptr) stats_->insert_attempts++;
+  auto [it, inserted] = dedup_.insert(t);
+  (void)it;
+  if (!inserted) return false;
+  uint32_t id = static_cast<uint32_t>(tuples_.size());
+  tuples_.push_back(t);
+  if (stats_ != nullptr) stats_->tuples_inserted++;
+  // Maintain existing indexes incrementally (relations only ever grow
+  // during fixpoint computation, so indexes never need rebuilds).
+  for (auto& [enc, index] : indexes_) {
+    index.buckets[MakeKey(index.key_cols, t)].push_back(id);
+    (void)enc;
+  }
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  if (stats_ != nullptr) stats_->probes++;
+  bool found = dedup_.count(t) > 0;
+  if (found) CountRead(1);
+  return found;
+}
+
+const Tuple& Relation::Get(size_t id) const {
+  CountRead(1);
+  return tuples_.at(id);
+}
+
+std::vector<Tuple> Relation::Scan() const {
+  if (stats_ != nullptr) stats_->scans++;
+  CountRead(tuples_.size());
+  return tuples_;
+}
+
+Tuple Relation::MakeKey(const IndexKey& cols, const Tuple& t) const {
+  Tuple key(static_cast<uint32_t>(cols.size()));
+  for (uint32_t i = 0; i < cols.size(); ++i) {
+    key[i] = t[cols[i]];
+  }
+  return key;
+}
+
+Relation::Index& Relation::GetOrBuildIndex(const IndexKey& cols) const {
+  std::string enc = EncodeKeyCols(cols);
+  auto it = indexes_.find(enc);
+  if (it != indexes_.end()) return it->second;
+  Index& index = indexes_[enc];
+  index.key_cols = cols;
+  for (uint32_t id = 0; id < tuples_.size(); ++id) {
+    index.buckets[MakeKey(cols, tuples_[id])].push_back(id);
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& Relation::Probe(
+    const IndexKey& key_cols, const std::vector<Value>& key_vals) const {
+  assert(key_cols.size() == key_vals.size());
+  if (stats_ != nullptr) stats_->probes++;
+  Index& index = GetOrBuildIndex(key_cols);
+  Tuple key(static_cast<uint32_t>(key_vals.size()));
+  for (uint32_t i = 0; i < key_vals.size(); ++i) key[i] = key_vals[i];
+  auto it = index.buckets.find(key);
+  if (it == index.buckets.end()) return kEmptyPostings;
+  CountRead(it->second.size());
+  return it->second;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+std::vector<Value> Relation::DistinctColumn(uint32_t col) const {
+  std::unordered_set<Value> seen;
+  std::vector<Value> out;
+  for (const Tuple& t : tuples_) {
+    if (seen.insert(t[col]).second) out.push_back(t[col]);
+  }
+  return out;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::string out = name_ + "[" + std::to_string(arity_) + "] {";
+  size_t shown = 0;
+  for (const Tuple& t : tuples_) {
+    if (shown >= limit) {
+      out += " ...";
+      break;
+    }
+    out += " " + t.ToString();
+    ++shown;
+  }
+  out += " } (" + std::to_string(tuples_.size()) + " tuples)";
+  return out;
+}
+
+}  // namespace mcm

@@ -1,0 +1,114 @@
+// Instrumented in-memory relation with incremental hash indexes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/access_stats.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace mcm {
+
+/// Set of column positions an index is keyed on (in key order).
+using IndexKey = std::vector<uint32_t>;
+
+/// \brief A deduplicated multiset-free relation (set semantics).
+///
+/// Storage model:
+///  * `tuples_` keeps insertion order, which gives fixpoint engines stable
+///    snapshot/delta iteration (tuples are only ever appended);
+///  * a hash set over tuple ids provides O(1) duplicate elimination;
+///  * secondary hash indexes on arbitrary column subsets are created on
+///    demand and maintained incrementally on insert.
+///
+/// Every access that yields tuples reports to the attached AccessStats, which
+/// implements the paper's cost unit (tuple retrievals).
+class Relation {
+ public:
+  Relation(std::string name, uint32_t arity,
+           AccessStats* stats = nullptr)
+      : name_(std::move(name)), arity_(arity), stats_(stats) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const std::string& name() const { return name_; }
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Redirect instrumentation to `stats` (may be nullptr to disable).
+  void set_stats(AccessStats* stats) { stats_ = stats; }
+  AccessStats* stats() const { return stats_; }
+
+  /// Insert `t`; returns true iff the tuple was new. Asserts on arity
+  /// mismatch in debug builds.
+  bool Insert(const Tuple& t);
+
+  /// Convenience for binary relations.
+  bool Insert2(Value a, Value b) { return Insert(Tuple{a, b}); }
+
+  /// Membership test (counts as one probe + one tuple read if found).
+  bool Contains(const Tuple& t) const;
+
+  /// Tuple by dense id in [0, size()). Counts one tuple read.
+  const Tuple& Get(size_t id) const;
+
+  /// Tuple by id without instrumentation — for engine-internal bookkeeping
+  /// (e.g. copying between snapshots) that the paper's cost model does not
+  /// charge for.
+  const Tuple& PeekUnchecked(size_t id) const { return tuples_[id]; }
+
+  /// All tuples, uninstrumented view (used by printers/tests).
+  const std::vector<Tuple>& TuplesUnchecked() const { return tuples_; }
+
+  /// Full scan: returns all tuples, charging one read per tuple.
+  std::vector<Tuple> Scan() const;
+
+  /// Probe the index on `key_cols` with `key_vals`; returns matching tuple
+  /// ids, charging one read per match. Builds the index on first use.
+  const std::vector<uint32_t>& Probe(const IndexKey& key_cols,
+                                     const std::vector<Value>& key_vals) const;
+
+  /// Remove everything (indexes included).
+  void Clear();
+
+  /// Distinct values in column `col` (uninstrumented; used by statistics).
+  std::vector<Value> DistinctColumn(uint32_t col) const;
+
+  std::string ToString(size_t limit = 32) const;
+
+ private:
+  struct Index {
+    // Column positions this index is keyed on.
+    IndexKey key_cols;
+    // Packed key -> tuple ids. Keys are hashed tuples over the key columns.
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+  };
+
+  Tuple MakeKey(const IndexKey& cols, const Tuple& t) const;
+  Index& GetOrBuildIndex(const IndexKey& cols) const;
+
+  void CountRead(uint64_t n) const {
+    if (stats_ != nullptr) stats_->tuples_read += n;
+  }
+
+  std::string name_;
+  uint32_t arity_;
+  AccessStats* stats_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+  // Keyed by the column list; mutable because indexes are built lazily from
+  // const probes.
+  mutable std::unordered_map<std::string, Index> indexes_;
+  static const std::vector<uint32_t> kEmptyPostings;
+};
+
+}  // namespace mcm

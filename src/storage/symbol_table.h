@@ -1,0 +1,49 @@
+// Interning table mapping string constants to dense Value ids.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace mcm {
+
+/// \brief Bidirectional string <-> id interning table.
+///
+/// Ids are dense and start at 0, so they can double as graph node ids. The
+/// table grows monotonically; symbols are never removed.
+class SymbolTable {
+ public:
+  /// Intern `s`, returning its id (existing or freshly assigned).
+  Value Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    Value id = static_cast<Value>(symbols_.size());
+    symbols_.emplace_back(s);
+    ids_.emplace(symbols_.back(), id);
+    return id;
+  }
+
+  /// Lookup without interning; returns -1 if absent.
+  Value Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// The string for an id previously returned by Intern().
+  const std::string& Resolve(Value id) const { return symbols_.at(static_cast<size_t>(id)); }
+
+  bool Contains(Value id) const {
+    return id >= 0 && static_cast<size_t>(id) < symbols_.size();
+  }
+
+  size_t size() const { return symbols_.size(); }
+
+ private:
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, Value> ids_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,17 @@
+#include "storage/tuple.h"
+
+#include <string>
+
+namespace mcm {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mcm

@@ -1,0 +1,35 @@
+// Domain values.
+//
+// Following the design of compiled Datalog engines (e.g. Souffle's
+// RamDomain), every domain value is a 64-bit integer. String constants are
+// interned in a SymbolTable and represented by their symbol id, so joins and
+// hashing never touch string data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mcm {
+
+/// A single domain value: either a plain integer or an interned symbol id.
+/// The engine does not distinguish the two at runtime; the distinction lives
+/// in the schema / printing layer.
+using Value = int64_t;
+
+/// 64-bit mixer used for tuple hashing (xxhash/wyhash-style avalanche).
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine a hash with a new value (boost::hash_combine flavour, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (HashMix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace mcm

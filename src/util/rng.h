@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Workload generators must be reproducible across runs and platforms, so we
+// ship our own xoshiro256** implementation instead of relying on
+// implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mcm {
+
+/// \brief xoshiro256** PRNG with SplitMix64 seeding.
+///
+/// Fast, high-quality, and fully deterministic given a seed. Used by all
+/// workload generators so that benchmark datasets are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seed the generator (SplitMix64 expansion of `seed`).
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBounded(size)); }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mcm

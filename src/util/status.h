@@ -1,0 +1,141 @@
+// Status and Result<T>: lightweight error propagation in the style of
+// Arrow/RocksDB. The engine avoids exceptions on hot paths; fallible
+// operations return Status (or Result<T>) and callers either handle the
+// error or propagate it with MCM_RETURN_NOT_OK.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcm {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a bad value (arity, name, range).
+  kNotFound = 2,          ///< Named entity (relation, predicate) is absent.
+  kAlreadyExists = 3,     ///< Attempt to redefine an existing entity.
+  kParseError = 4,        ///< Datalog text could not be parsed.
+  kUnsafe = 5,            ///< A fixpoint computation exceeded its safety cap
+                          ///< (e.g. counting on a cyclic magic graph).
+  kUnsupported = 6,       ///< Feature outside the implemented fragment.
+  kInternal = 7,          ///< Invariant violation inside the engine.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy in the
+/// error case and free in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsafe(std::string msg) {
+    return Status(StatusCode::kUnsafe, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsUnsafe() const { return code_ == StatusCode::kUnsafe; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Result is used by APIs that compute a value but can fail, e.g.
+/// `Result<Program> Parse(std::string_view)`. Access the value only after
+/// checking ok().
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mcm
+
+/// Propagate a non-OK Status out of the enclosing function.
+#define MCM_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::mcm::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Assign the value of a Result to `lhs`, or propagate its error Status.
+#define MCM_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto MCM_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!MCM_CONCAT_(_res_, __LINE__).ok())                  \
+    return MCM_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(MCM_CONCAT_(_res_, __LINE__)).value()
+
+#define MCM_CONCAT_IMPL_(a, b) a##b
+#define MCM_CONCAT_(a, b) MCM_CONCAT_IMPL_(a, b)

@@ -1,0 +1,25 @@
+// Small string helpers shared by the parser, printers and CLI examples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcm {
+
+/// Join `parts` with `sep` ("a", "b" -> "a, b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split `s` on `delim`, trimming nothing; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mcm

@@ -1,0 +1,33 @@
+// Wall-clock timing helper used by benchmark harnesses and examples.
+#pragma once
+
+#include <chrono>
+
+namespace mcm {
+
+/// \brief Monotonic stopwatch.
+///
+/// Starts on construction; ElapsedSeconds()/ElapsedMicros() report time since
+/// construction or the last Restart().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcm

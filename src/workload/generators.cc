@@ -1,0 +1,261 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace mcm::workload {
+
+namespace {
+
+/// Offset separating R-side values from L-side values.
+constexpr Value kROffset = 1'000'000;
+
+}  // namespace
+
+void CslData::Load(Database* db, const std::string& l_name,
+                   const std::string& e_name,
+                   const std::string& r_name) const {
+  Relation* lr = db->GetOrCreateRelation(l_name, 2);
+  Relation* er = db->GetOrCreateRelation(e_name, 2);
+  Relation* rr = db->GetOrCreateRelation(r_name, 2);
+  lr->Clear();
+  if (er != lr) er->Clear();
+  if (rr != lr && rr != er) rr->Clear();
+  for (auto [a, b] : l) lr->Insert2(a, b);
+  for (auto [a, b] : e) er->Insert2(a, b);
+  for (auto [a, b] : r) rr->Insert2(a, b);
+}
+
+LGraph MakeChainL(size_t n) {
+  LGraph g;
+  g.n = n;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.arcs.emplace_back(static_cast<Value>(i), static_cast<Value>(i + 1));
+  }
+  return g;
+}
+
+LGraph MakeTreeL(size_t branching, size_t depth) {
+  LGraph g;
+  g.n = 1;
+  std::vector<Value> frontier{0};
+  for (size_t d = 0; d < depth; ++d) {
+    std::vector<Value> next;
+    for (Value u : frontier) {
+      for (size_t c = 0; c < branching; ++c) {
+        Value v = static_cast<Value>(g.n++);
+        g.arcs.emplace_back(u, v);
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+LGraph MakeLayeredL(const LayeredSpec& spec) {
+  Rng rng(spec.seed);
+  LGraph g;
+  // Node ids: 0 = source; layer d in 1..layers holds ids
+  // 1 + (d-1)*width .. d*width.
+  auto node_at = [&](size_t layer, size_t j) -> Value {
+    if (layer == 0) return 0;
+    return static_cast<Value>(1 + (layer - 1) * spec.width + j);
+  };
+  auto layer_size = [&](size_t layer) -> size_t {
+    return layer == 0 ? 1 : spec.width;
+  };
+  g.n = 1 + spec.layers * spec.width;
+
+  std::set<std::pair<Value, Value>> arcs;
+  auto add = [&](Value u, Value v) {
+    if (arcs.emplace(u, v).second) g.arcs.emplace_back(u, v);
+  };
+
+  for (size_t d = 1; d <= spec.layers; ++d) {
+    for (size_t j = 0; j < spec.width; ++j) {
+      Value v = node_at(d, j);
+      // Guaranteed in-arc for connectivity.
+      add(node_at(d - 1, rng.NextIndex(layer_size(d - 1))), v);
+      for (size_t k = 0; k < spec.extra_arcs; ++k) {
+        add(node_at(d - 1, rng.NextIndex(layer_size(d - 1))), v);
+      }
+    }
+  }
+
+  // Skip arcs (layer i -> i+2): the target gains a path one arc shorter
+  // than its layer, becoming multiple.
+  size_t placed = 0, guard = 0;
+  while (placed < spec.skip_arcs && guard++ < spec.skip_arcs * 20 + 100) {
+    if (spec.layers < 2) break;
+    size_t lo = std::max<size_t>(spec.bad_start_layer, 0);
+    if (lo > spec.layers - 2) break;
+    size_t i = lo + rng.NextIndex(spec.layers - 1 - lo);  // i in [lo, layers-2]
+    Value u = node_at(i, rng.NextIndex(layer_size(i)));
+    Value v = node_at(i + 2, rng.NextIndex(layer_size(i + 2)));
+    if (arcs.emplace(u, v).second) {
+      g.arcs.emplace_back(u, v);
+      ++placed;
+    }
+  }
+
+  // Back arcs (layer i -> earlier layer >= max(bad_start_layer,1)): cycles.
+  placed = 0;
+  guard = 0;
+  while (placed < spec.back_arcs && guard++ < spec.back_arcs * 20 + 100) {
+    size_t lo = std::max<size_t>(spec.bad_start_layer, 1);
+    if (lo + 1 > spec.layers) break;
+    size_t i = lo + 1 + rng.NextIndex(spec.layers - lo);  // i in [lo+1, layers]
+    if (i > spec.layers) i = spec.layers;
+    size_t back = std::min(i - lo, spec.back_span);
+    size_t target_layer = i - back;
+    if (target_layer < lo) target_layer = lo;
+    Value u = node_at(i, rng.NextIndex(layer_size(i)));
+    Value v = node_at(target_layer, rng.NextIndex(layer_size(target_layer)));
+    if (arcs.emplace(u, v).second) {
+      g.arcs.emplace_back(u, v);
+      ++placed;
+    }
+  }
+
+  return g;
+}
+
+CslData AssembleCsl(const LGraph& lg, const ErSpec& er,
+                    std::string description) {
+  CslData data;
+  data.description = std::move(description);
+  data.l = lg.arcs;
+  data.source = 0;
+
+  if (er.kind == ErSpec::Kind::kMirror) {
+    // R mirrors L: R(y, y1) for every L arc (y, y1); walking R downward
+    // undoes one L step. E is the identity between the two domains.
+    for (auto [u, v] : lg.arcs) {
+      data.r.emplace_back(u + kROffset, v + kROffset);
+    }
+    for (size_t i = 0; i < lg.n; ++i) {
+      data.e.emplace_back(static_cast<Value>(i),
+                          static_cast<Value>(i) + kROffset);
+    }
+    return data;
+  }
+
+  // kRandom: R-side nodes get random "levels" so that R tuples always
+  // descend (R(y, y1) with level(y) < level(y1)) and the R-side of the
+  // query graph stays acyclic (finite P relation, safe reference runs).
+  Rng rng(er.seed);
+  size_t rn = std::max<size_t>(er.r_nodes, 1);
+  std::vector<size_t> level(rn);
+  for (size_t i = 0; i < rn; ++i) level[i] = rng.NextIndex(64);
+  for (size_t k = 0; k < er.r_arcs; ++k) {
+    size_t y = rng.NextIndex(rn);
+    size_t y1 = rng.NextIndex(rn);
+    if (level[y] == level[y1]) continue;
+    if (level[y] > level[y1]) std::swap(y, y1);
+    data.r.emplace_back(static_cast<Value>(y) + kROffset,
+                        static_cast<Value>(y1) + kROffset);
+  }
+  // One E arc per L node to a random R node.
+  for (size_t i = 0; i < lg.n; ++i) {
+    data.e.emplace_back(static_cast<Value>(i),
+                        static_cast<Value>(rng.NextIndex(rn)) + kROffset);
+  }
+  return data;
+}
+
+CslData MakeSameGeneration(size_t people, size_t max_parents, uint64_t seed) {
+  Rng rng(seed);
+  CslData data;
+  data.description = "same-generation(" + std::to_string(people) + ")";
+  data.source = 0;
+  // Person 0 is the query constant. parent(X, XP): XP is a parent of X.
+  // Parents have *higher* ids than children so the parent DAG is acyclic
+  // (generations ascend with id).
+  for (size_t x = 0; x + 1 < people; ++x) {
+    size_t parents = 1 + rng.NextIndex(max_parents);
+    for (size_t p = 0; p < parents; ++p) {
+      size_t xp = x + 1 + rng.NextIndex(people - x - 1);
+      data.l.emplace_back(static_cast<Value>(x), static_cast<Value>(xp));
+    }
+  }
+  // R is the same relation; E is the identity ("everyone is of the same
+  // generation as himself").
+  data.r = data.l;
+  for (size_t x = 0; x < people; ++x) {
+    data.e.emplace_back(static_cast<Value>(x), static_cast<Value>(x));
+  }
+  return data;
+}
+
+CslData MakeFigure1Style() {
+  // L side (values 0..5, source 0): a regular magic graph —
+  //   0 -> 1, 0 -> 2, 1 -> 3, 2 -> 4, 3 -> 5, 4 -> 5
+  // (5 is reached by two paths, both of length 3: still single.)
+  // R side (values 100..108): a DAG mirroring three levels; E connects the
+  // L frontier into it. Ground truth is worked out in figure1_test.cc.
+  CslData data;
+  data.description = "figure1-style regular instance";
+  data.source = 0;
+  data.l = {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 5}};
+  // E arcs: from L nodes at distance d to R nodes whose downward R-chains
+  // have length >= d in places, < d in others.
+  data.e = {{1, 101}, {3, 103}, {5, 105}, {2, 106}};
+  // R(y, y1): y1 is one level above y; the R-side graph arcs run y1 -> y.
+  data.r = {{100, 101},  // 101 -> 100
+            {102, 103}, {101, 102},  // 103 -> 102 -> 101 (chain)
+            {104, 105}, {103, 104},  // 105 -> 104 -> 103
+            {107, 106}, {108, 107}};
+  return data;
+}
+
+LGraph MakeFigure2StyleL() {
+  // Values 0..11 mimic the paper's a..l magic graph: a clean single region
+  // near the source, two multiple nodes, and a recurring cluster deepest.
+  //   single:    0 (source), 1, 2, 3, 4, 5
+  //   multiple:  6 (dists 2,3), 7 (dists 3,4)
+  //   recurring: 8, 9, 10, 11 (8 -> 9 -> 10 -> 8 cycle, 11 off 10)
+  LGraph g;
+  g.n = 12;
+  g.arcs = {
+      {0, 1}, {0, 2}, {0, 3},          // source fan-out (dist 1)
+      {2, 4}, {2, 5}, {3, 5},          // singles at dist 2
+      {3, 6}, {4, 6},                  // 6: dists {2, 3} -> multiple
+      {5, 7}, {6, 7},                  // 7: dists {3} u {3,4} -> multiple
+      {7, 8},                          // gateway into the cycle
+      {8, 9}, {9, 10}, {10, 8},        // 3-cycle: recurring
+      {10, 11},                        // recurring tail
+  };
+  return g;
+}
+
+CslData MakeRandomCsl(size_t l_nodes, size_t l_arcs, size_t r_nodes,
+                      size_t r_arcs, size_t e_arcs, uint64_t seed) {
+  Rng rng(seed);
+  CslData data;
+  data.description = "random";
+  data.source = 0;
+  std::set<std::pair<Value, Value>> seen;
+  for (size_t k = 0; k < l_arcs && l_nodes > 0; ++k) {
+    Value u = static_cast<Value>(rng.NextIndex(l_nodes));
+    Value v = static_cast<Value>(rng.NextIndex(l_nodes));
+    if (seen.emplace(u, v).second) data.l.emplace_back(u, v);
+  }
+  seen.clear();
+  for (size_t k = 0; k < r_arcs && r_nodes > 0; ++k) {
+    Value u = static_cast<Value>(rng.NextIndex(r_nodes)) + kROffset;
+    Value v = static_cast<Value>(rng.NextIndex(r_nodes)) + kROffset;
+    if (seen.emplace(u, v).second) data.r.emplace_back(u, v);
+  }
+  seen.clear();
+  for (size_t k = 0; k < e_arcs && l_nodes > 0 && r_nodes > 0; ++k) {
+    Value u = static_cast<Value>(rng.NextIndex(l_nodes));
+    Value v = static_cast<Value>(rng.NextIndex(r_nodes)) + kROffset;
+    if (seen.emplace(u, v).second) data.e.emplace_back(u, v);
+  }
+  return data;
+}
+
+}  // namespace mcm::workload

@@ -1,0 +1,121 @@
+// Synthetic CSL query instances for tests and benchmarks.
+//
+// Every generator is deterministic given its seed. L-side node values are
+// 0..n-1 with the source at 0; R-side values live at an offset so the two
+// domains never collide (the paper keeps L-nodes and R-nodes distinct even
+// when values coincide — same-generation instances exercise the colliding
+// case separately).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace mcm::workload {
+
+/// A fully materialized CSL instance: the three binary relations plus the
+/// query constant.
+struct CslData {
+  std::vector<std::pair<Value, Value>> l;
+  std::vector<std::pair<Value, Value>> e;
+  std::vector<std::pair<Value, Value>> r;
+  Value source = 0;
+  std::string description;
+
+  /// Load into `db` as relations named `l_name`/`e_name`/`r_name`
+  /// (replacing any existing contents).
+  void Load(Database* db, const std::string& l_name = "l",
+            const std::string& e_name = "e",
+            const std::string& r_name = "r") const;
+
+  size_t m_l() const { return l.size(); }
+  size_t m_e() const { return e.size(); }
+  size_t m_r() const { return r.size(); }
+};
+
+/// \brief An L-side graph under construction: arcs over values 0..n-1,
+/// source 0.
+struct LGraph {
+  size_t n = 0;
+  std::vector<std::pair<Value, Value>> arcs;
+};
+
+/// Simple chain 0 -> 1 -> ... -> n-1 (regular).
+LGraph MakeChainL(size_t n);
+
+/// Complete tree with `branching` children per node and `depth` levels
+/// below the root (regular; unique paths).
+LGraph MakeTreeL(size_t branching, size_t depth);
+
+/// \brief Layered random graph spec.
+///
+/// Layer 0 is the source; layers 1..layers each have `width` nodes. Every
+/// node has one guaranteed in-arc from the previous layer (connectivity)
+/// plus `extra_arcs` random previous-layer in-arcs — all of which keep the
+/// graph *regular* (every path to a layer-d node has length d).
+/// Non-regularity is injected separately:
+///  * `skip_arcs` arcs jump from layer i to layer i+2 (targets become
+///    multiple);
+///  * `back_arcs` arcs go from layer i to layer max(i-back_span, 1)
+///    (creates cycles; targets and everything reachable become recurring).
+/// Both kinds are only placed at layers >= `bad_start_layer`, which makes
+/// two-region instances (clean near the source, dirty deep) — the shape
+/// that separates single/multiple/recurring methods from basic.
+struct LayeredSpec {
+  size_t layers = 8;
+  size_t width = 8;
+  size_t extra_arcs = 1;
+  size_t skip_arcs = 0;
+  size_t back_arcs = 0;
+  size_t back_span = 3;
+  size_t bad_start_layer = 0;
+  uint64_t seed = 42;
+};
+
+LGraph MakeLayeredL(const LayeredSpec& spec);
+
+/// How the E and R relations are derived from an L-side graph.
+struct ErSpec {
+  enum class Kind {
+    kMirror,  ///< R mirrors L (m_R = m_L) and E is the identity — the
+              ///< same-generation shape; answers are "same level" nodes.
+    kRandom,  ///< R is a random graph on `r_nodes` with `r_arcs` arcs whose
+              ///< arcs descend level-wise so R-side walks terminate; E maps
+              ///< each L-node to one random R-node.
+  };
+  Kind kind = Kind::kMirror;
+  size_t r_nodes = 0;  ///< kRandom only
+  size_t r_arcs = 0;   ///< kRandom only
+  uint64_t seed = 7;
+};
+
+/// Assemble a full instance from an L graph and an E/R recipe.
+CslData AssembleCsl(const LGraph& lg, const ErSpec& er,
+                    std::string description = "");
+
+/// Random same-generation instance: `people` persons, each non-root person
+/// gets 1..max_parents parents among lower-numbered persons; L = R = the
+/// parent relation, E = identity. Colliding L/R value domains on purpose.
+CslData MakeSameGeneration(size_t people, size_t max_parents, uint64_t seed);
+
+/// A small instance in the style of the paper's Figure 1: a regular magic
+/// graph of 6 nodes over an R-side of 9 nodes, with a hand-checkable answer
+/// set (documented in the corresponding test).
+CslData MakeFigure1Style();
+
+/// A small magic graph in the style of the paper's Figure 2: contains
+/// single, multiple and recurring nodes with a clean region near the source
+/// (i_x = 2), so all four Step-1 variants produce different RC/RM splits.
+/// Returns only the L side; callers attach E/R via AssembleCsl.
+LGraph MakeFigure2StyleL();
+
+/// Fully random CSL instance for property tests: arcs sprinkled uniformly,
+/// may be cyclic, disconnected, or degenerate.
+CslData MakeRandomCsl(size_t l_nodes, size_t l_arcs, size_t r_nodes,
+                      size_t r_arcs, size_t e_arcs, uint64_t seed);
+
+}  // namespace mcm::workload

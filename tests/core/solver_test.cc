@@ -1,0 +1,213 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace mcm::core {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  void Load(const workload::CslData& data) {
+    data.Load(&db_);
+    solver_ = std::make_unique<CslSolver>(&db_, "l", "e", "r", data.source);
+  }
+
+  Database db_;
+  std::unique_ptr<CslSolver> solver_;
+};
+
+TEST_F(SolverTest, TinyChainAnswers) {
+  // L: 0 -> 1; E: 1 -> 101, 0 -> 100; R: 100 <- 101.
+  workload::CslData data;
+  data.l = {{0, 1}};
+  data.e = {{1, 101}, {0, 100}};
+  data.r = {{100, 101}};
+  data.source = 0;
+  Load(data);
+  auto ref = solver_->RunReference();
+  ASSERT_TRUE(ref.ok());
+  // k=0: E(0,100) -> 100.  k=1: 0->1, E(1,101), 101->100 -> 100.
+  EXPECT_EQ(ref->answers, (std::vector<Value>{100}));
+  auto counting = solver_->RunCounting();
+  ASSERT_TRUE(counting.ok());
+  EXPECT_EQ(counting->answers, ref->answers);
+}
+
+TEST_F(SolverTest, EmptyAnswerSet) {
+  workload::CslData data;
+  data.l = {{0, 1}};
+  data.e = {};  // no exit tuples at all
+  data.r = {{100, 101}};
+  data.source = 0;
+  Load(data);
+  for (auto run : {solver_->RunCounting(), solver_->RunMagicSets(),
+                   solver_->RunMagicCounting(McVariant::kMultiple,
+                                             McMode::kIntegrated)}) {
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run->answers.empty());
+  }
+}
+
+TEST_F(SolverTest, SourceNotInLStillAnswersViaExitRule) {
+  // The magic set is just {a}; only k=0 paths exist.
+  workload::CslData data;
+  data.l = {{5, 6}};  // source 0 has no L arcs
+  data.e = {{0, 100}};
+  data.r = {};
+  data.source = 0;
+  Load(data);
+  auto ref = solver_->RunReference();
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->answers, (std::vector<Value>{100}));
+  for (auto variant : {McVariant::kBasic, McVariant::kRecurring}) {
+    auto run = solver_->RunMagicCounting(variant, McMode::kIntegrated);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->answers, ref->answers);
+    EXPECT_EQ(run->ms_size, 1u);
+  }
+}
+
+TEST_F(SolverTest, CountingUnsafeOnCyclicMagicGraph) {
+  workload::CslData data;
+  data.l = {{0, 1}, {1, 0}};
+  data.e = {{0, 100}};
+  data.r = {};
+  data.source = 0;
+  Load(data);
+  auto counting = solver_->RunCounting();
+  ASSERT_FALSE(counting.ok());
+  EXPECT_TRUE(counting.status().IsUnsafe());
+  // Every magic counting method stays safe and correct.
+  auto ref = solver_->RunMagicSets();
+  ASSERT_TRUE(ref.ok());
+  for (auto variant :
+       {McVariant::kBasic, McVariant::kSingle, McVariant::kMultiple,
+        McVariant::kRecurring, McVariant::kRecurringSmart}) {
+    for (auto mode : {McMode::kIndependent, McMode::kIntegrated}) {
+      auto run = solver_->RunMagicCounting(variant, mode);
+      ASSERT_TRUE(run.ok()) << McVariantToString(variant);
+      EXPECT_EQ(run->answers, ref->answers);
+    }
+  }
+}
+
+TEST_F(SolverTest, CyclicRSideIsSafeEverywhere) {
+  // Cycles in R (not L) never threaten safety: the descent is guarded.
+  workload::CslData data;
+  data.l = {{0, 1}, {1, 2}};
+  data.e = {{2, 102}};
+  data.r = {{101, 102}, {102, 101}, {100, 101}};
+  data.source = 0;
+  Load(data);
+  auto ref = solver_->RunReference();
+  ASSERT_TRUE(ref.ok());
+  auto counting = solver_->RunCounting();
+  ASSERT_TRUE(counting.ok());
+  EXPECT_EQ(counting->answers, ref->answers);
+  auto mc = solver_->RunMagicCounting(McVariant::kSingle, McMode::kIntegrated);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_EQ(mc->answers, ref->answers);
+}
+
+TEST_F(SolverTest, RegularInstanceAllMethodsCostLikeCounting) {
+  workload::LayeredSpec spec;
+  spec.layers = 6;
+  spec.width = 6;
+  workload::LGraph lg = workload::MakeLayeredL(spec);
+  Load(workload::AssembleCsl(lg, workload::ErSpec{}));
+  auto counting = solver_->RunCounting();
+  auto magic = solver_->RunMagicSets();
+  ASSERT_TRUE(counting.ok());
+  ASSERT_TRUE(magic.ok());
+  EXPECT_LT(counting->total.tuples_read, magic->total.tuples_read);
+  for (auto variant : {McVariant::kBasic, McVariant::kMultiple}) {
+    auto run = solver_->RunMagicCounting(variant, McMode::kIntegrated);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->detected_class, graph::GraphClass::kRegular);
+    // Step 2 should be counting-sized, far below the magic-set cost.
+    EXPECT_LT(run->total.tuples_read, magic->total.tuples_read / 2);
+  }
+}
+
+TEST_F(SolverTest, IntegratedBeatsIndependentOnTwoRegionGraphs) {
+  workload::LayeredSpec spec;
+  spec.layers = 10;
+  spec.width = 12;
+  spec.extra_arcs = 2;
+  spec.skip_arcs = 12;
+  spec.bad_start_layer = 6;
+  workload::LGraph lg = workload::MakeLayeredL(spec);
+  Load(workload::AssembleCsl(lg, workload::ErSpec{}));
+  for (auto variant : {McVariant::kSingle, McVariant::kMultiple}) {
+    auto ind = solver_->RunMagicCounting(variant, McMode::kIndependent);
+    auto integ = solver_->RunMagicCounting(variant, McMode::kIntegrated);
+    ASSERT_TRUE(ind.ok());
+    ASSERT_TRUE(integ.ok());
+    EXPECT_EQ(ind->answers, integ->answers);
+    EXPECT_LE(integ->total.tuples_read, ind->total.tuples_read)
+        << McVariantToString(variant);
+  }
+}
+
+TEST_F(SolverTest, MethodRunMetadataFilled) {
+  Load(workload::MakeSameGeneration(20, 2, 5));
+  auto run = solver_->RunMagicCounting(McVariant::kMultiple,
+                                       McMode::kIntegrated);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->method, "mc/multiple/integrated");
+  EXPECT_GT(run->ms_size, 0u);
+  EXPECT_GT(run->total.tuples_read, 0u);
+  EXPECT_EQ(run->total.tuples_read,
+            run->step1.tuples_read + run->step2.tuples_read);
+  EXPECT_GE(run->seconds, 0.0);
+  EXPECT_NE(run->ToString().find("mc/multiple/integrated"),
+            std::string::npos);
+}
+
+TEST_F(SolverTest, RepeatedRunsAreIdempotent) {
+  Load(workload::MakeSameGeneration(25, 2, 9));
+  auto first = solver_->RunCounting();
+  auto second = solver_->RunCounting();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->answers, second->answers);
+  EXPECT_EQ(first->total.tuples_read, second->total.tuples_read);
+}
+
+TEST_F(SolverTest, InterleavedMethodsDontContaminate) {
+  Load(workload::MakeSameGeneration(25, 2, 11));
+  auto ref = solver_->RunReference();
+  ASSERT_TRUE(ref.ok());
+  auto m1 = solver_->RunMagicSets();
+  auto m2 = solver_->RunMagicCounting(McVariant::kBasic, McMode::kIndependent);
+  auto m3 = solver_->RunCounting();
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m1->answers, ref->answers);
+  EXPECT_EQ(m2->answers, ref->answers);
+  EXPECT_EQ(m3->answers, ref->answers);
+}
+
+TEST_F(SolverTest, AllMethodNamesEnumerates) {
+  auto names = CslSolver::AllMethodNames();
+  EXPECT_EQ(names.size(), 12u);  // 2 baselines + 5 variants x 2 modes
+}
+
+TEST_F(SolverTest, ExplicitIterationCapRespected) {
+  workload::CslData data;
+  data.l = {{0, 1}, {1, 0}};
+  data.e = {{0, 100}};
+  data.source = 0;
+  Load(data);
+  RunOptions options;
+  options.max_iterations = 10;
+  auto counting = solver_->RunCounting(options);
+  ASSERT_FALSE(counting.ok());
+  EXPECT_TRUE(counting.status().IsUnsafe());
+}
+
+}  // namespace
+}  // namespace mcm::core

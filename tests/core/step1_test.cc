@@ -1,0 +1,263 @@
+#include "core/step1.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/theorems.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mcm::core {
+namespace {
+
+class Step1Test : public ::testing::Test {
+ protected:
+  void LoadArcs(const std::vector<std::pair<Value, Value>>& arcs) {
+    Relation* l = db_.GetOrCreateRelation("l", 2);
+    l->Clear();
+    for (auto [u, v] : arcs) l->Insert2(u, v);
+  }
+
+  Result<Step1Result> Run(McVariant variant,
+                          McMode mode = McMode::kIndependent,
+                          DetectionMode detection =
+                              DetectionMode::kDifferingIndex) {
+    return ComputeReducedSets(&db_, "l", 0, variant, mode, {}, detection);
+  }
+
+  std::set<Value> RmSet() {
+    std::set<Value> out;
+    for (const Tuple& t : db_.Find("mcm_rm")->TuplesUnchecked()) {
+      out.insert(t[0]);
+    }
+    return out;
+  }
+
+  std::set<std::pair<int64_t, Value>> RcSet() {
+    std::set<std::pair<int64_t, Value>> out;
+    for (const Tuple& t : db_.Find("mcm_rc")->TuplesUnchecked()) {
+      out.emplace(t[0], t[1]);
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+// ------------------------- basic variant -------------------------
+
+TEST_F(Step1Test, BasicRegularGoesAllCounting) {
+  LoadArcs({{0, 1}, {1, 2}, {2, 3}});
+  auto r = Run(McVariant::kBasic);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->detected, graph::GraphClass::kRegular);
+  EXPECT_EQ(r->rm_size, 0u);
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{
+                         {0, 0}, {1, 1}, {2, 2}, {3, 3}}));
+}
+
+TEST_F(Step1Test, BasicNonRegularGoesAllMagic) {
+  LoadArcs({{0, 1}, {1, 2}, {0, 2}});  // 2 has distances {1, 2}
+  auto r = Run(McVariant::kBasic);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rm_size, 3u);
+  EXPECT_EQ(r->rc_size, 0u);
+}
+
+TEST_F(Step1Test, BasicIntegratedTopsUpRc) {
+  LoadArcs({{0, 1}, {1, 2}, {0, 2}});
+  auto r = Run(McVariant::kBasic, McMode::kIntegrated);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{{0, 0}}));
+}
+
+TEST_F(Step1Test, BasicDiamondRegularUnderRefinedDetection) {
+  // Two equal-length paths: a diamond. Refined detection keeps it regular;
+  // the paper-literal mode conservatively flags it.
+  LoadArcs({{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto refined = Run(McVariant::kBasic, McMode::kIndependent,
+                     DetectionMode::kDifferingIndex);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->detected, graph::GraphClass::kRegular);
+  EXPECT_EQ(refined->rm_size, 0u);
+
+  auto literal = Run(McVariant::kBasic, McMode::kIndependent,
+                     DetectionMode::kAnyDuplicate);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ(literal->rm_size, 4u);  // over-approximation: all-magic
+}
+
+TEST_F(Step1Test, BasicSafeOnCycles) {
+  LoadArcs({{0, 1}, {1, 2}, {2, 0}});
+  auto r = Run(McVariant::kBasic);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rm_size, 3u);
+  EXPECT_EQ(r->ms_size, 3u);
+}
+
+// ------------------------- single variant -------------------------
+
+TEST_F(Step1Test, SingleSplitsAtIx) {
+  // 0 -> 1 -> 2 -> 3 -> 4 with skip 2 -> 4: node 4 multiple (min idx 3).
+  LoadArcs({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}});
+  auto r = Run(McVariant::kSingle);
+  ASSERT_TRUE(r.ok());
+  // i_x = 3: RC gets nodes with first index < 3.
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{
+                         {0, 0}, {1, 1}, {2, 2}}));
+  EXPECT_EQ(RmSet(), (std::set<Value>{3, 4}));
+}
+
+TEST_F(Step1Test, SingleSourceFlaggedMakesEmptyRc) {
+  // Cycle back to the source: the source itself is recurring (i_x = 0).
+  LoadArcs({{0, 1}, {1, 0}});
+  auto ind = Run(McVariant::kSingle, McMode::kIndependent);
+  ASSERT_TRUE(ind.ok());
+  EXPECT_EQ(ind->rc_size, 0u);
+  EXPECT_EQ(ind->rm_size, 2u);
+  auto integ = Run(McVariant::kSingle, McMode::kIntegrated);
+  ASSERT_TRUE(integ.ok());
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{{0, 0}}));
+}
+
+TEST_F(Step1Test, SingleRegularSameAsBasic) {
+  LoadArcs({{0, 1}, {0, 2}, {1, 3}});
+  auto r = Run(McVariant::kSingle);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rm_size, 0u);
+  EXPECT_EQ(r->rc_size, 4u);
+}
+
+// ------------------------- multiple variant -------------------------
+
+TEST_F(Step1Test, MultipleKeepsAllSingles) {
+  // Figure-2-style: singles deep in the graph stay in RC.
+  workload::LGraph g = workload::MakeFigure2StyleL();
+  LoadArcs(g.arcs);
+  auto r = Run(McVariant::kMultiple);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RmSet(), (std::set<Value>{6, 7, 8, 9, 10, 11}));
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{
+                         {0, 0}, {1, 1}, {1, 2}, {1, 3}, {2, 4}, {2, 5}}));
+}
+
+TEST_F(Step1Test, MultipleDetectsChildOfMultiple) {
+  // 4 is a child of the multiple node 2 only: its own multiplicity is
+  // inherited, which the basic/single fixpoint cannot see but the multiple
+  // fixpoint must.
+  LoadArcs({{0, 1}, {1, 2}, {0, 2}, {2, 4}});
+  auto r = Run(McVariant::kMultiple);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RmSet(), (std::set<Value>{2, 4}));
+}
+
+TEST_F(Step1Test, MultipleSafeOnCycles) {
+  LoadArcs({{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  auto r = Run(McVariant::kMultiple);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{{0, 0}}));
+  EXPECT_EQ(RmSet(), (std::set<Value>{1, 2, 3}));
+}
+
+// ------------------------- recurring variant -------------------------
+
+TEST_F(Step1Test, RecurringSeparatesMultipleFromRecurring) {
+  workload::LGraph g = workload::MakeFigure2StyleL();
+  LoadArcs(g.arcs);
+  for (auto variant : {McVariant::kRecurring, McVariant::kRecurringSmart}) {
+    auto r = Run(variant);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(RmSet(), (std::set<Value>{8, 9, 10, 11}))
+        << McVariantToString(variant);
+    // Multiple nodes carry *all* their indices in RC.
+    auto rc = RcSet();
+    EXPECT_TRUE(rc.count({2, 6}) && rc.count({3, 6}));
+    EXPECT_TRUE(rc.count({3, 7}) && rc.count({4, 7}));
+    EXPECT_EQ(r->detected, graph::GraphClass::kCyclic);
+  }
+}
+
+TEST_F(Step1Test, RecurringOnAcyclicKeepsEverything) {
+  LoadArcs({{0, 1}, {1, 2}, {0, 2}});
+  for (auto variant : {McVariant::kRecurring, McVariant::kRecurringSmart}) {
+    auto r = Run(variant);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rm_size, 0u) << McVariantToString(variant);
+    auto rc = RcSet();
+    EXPECT_TRUE(rc.count({1, 2}) && rc.count({2, 2}));  // both indices of 2
+    EXPECT_EQ(r->detected, graph::GraphClass::kAcyclicNonRegular);
+  }
+}
+
+TEST_F(Step1Test, RecurringAllRecurringIntegratedTopsUp) {
+  LoadArcs({{0, 0}});  // self-loop at the source
+  auto r = Run(McVariant::kRecurring, McMode::kIntegrated);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RmSet(), (std::set<Value>{0}));
+  EXPECT_EQ(RcSet(), (std::set<std::pair<int64_t, Value>>{{0, 0}}));
+}
+
+// ------------------------- cross-variant properties -------------------------
+
+TEST_F(Step1Test, AllVariantsSatisfyTheoremConditionsOnRandomGraphs) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 2 + rng.NextIndex(12);
+    std::vector<std::pair<Value, Value>> arcs;
+    size_t m = rng.NextIndex(3 * n);
+    for (size_t k = 0; k < m; ++k) {
+      arcs.emplace_back(static_cast<Value>(rng.NextIndex(n)),
+                        static_cast<Value>(rng.NextIndex(n)));
+    }
+    LoadArcs(arcs);
+    for (auto variant :
+         {McVariant::kBasic, McVariant::kSingle, McVariant::kMultiple,
+          McVariant::kRecurring, McVariant::kRecurringSmart}) {
+      for (auto mode : {McMode::kIndependent, McMode::kIntegrated}) {
+        auto r = Run(variant, mode);
+        ASSERT_TRUE(r.ok());
+        auto check = CheckReducedSets(&db_, "l", 0);
+        ASSERT_TRUE(check.ok()) << check.status().ToString();
+        if (mode == McMode::kIndependent) {
+          EXPECT_TRUE(check->CorrectIndependent())
+              << "trial " << trial << " " << McVariantToString(variant)
+              << ": " << check->failure;
+        } else {
+          EXPECT_TRUE(check->CorrectIntegrated())
+              << "trial " << trial << " " << McVariantToString(variant)
+              << ": " << check->failure;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Step1Test, MsAlwaysEqualsReachableSet) {
+  LoadArcs({{0, 1}, {1, 2}, {5, 6}});  // 5, 6 unreachable
+  for (auto variant :
+       {McVariant::kBasic, McVariant::kSingle, McVariant::kMultiple,
+        McVariant::kRecurring, McVariant::kRecurringSmart}) {
+    auto r = Run(variant);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->ms_size, 3u) << McVariantToString(variant);
+  }
+}
+
+TEST_F(Step1Test, MissingLRelationFails) {
+  Database empty;
+  auto r = ComputeReducedSets(&empty, "nope", 0, McVariant::kBasic,
+                              McMode::kIndependent);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(Step1Test, StepOneCostsAreCharged) {
+  LoadArcs({{0, 1}, {1, 2}, {2, 3}});
+  db_.ResetStats();
+  auto r = Run(McVariant::kBasic);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(db_.stats().tuples_read, 0u);
+}
+
+}  // namespace
+}  // namespace mcm::core

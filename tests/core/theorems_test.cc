@@ -1,0 +1,161 @@
+#include "core/theorems.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "core/step1.h"
+#include "eval/engine.h"
+#include "workload/generators.h"
+
+namespace mcm::core {
+namespace {
+
+class TheoremsTest : public ::testing::Test {
+ protected:
+  void LoadL(const std::vector<std::pair<Value, Value>>& arcs) {
+    Relation* l = db_.GetOrCreateRelation("l", 2);
+    l->Clear();
+    for (auto [u, v] : arcs) l->Insert2(u, v);
+  }
+
+  void SetReducedSets(const std::vector<Value>& rm,
+                      const std::vector<std::pair<int64_t, Value>>& rc) {
+    Relation* rmr = db_.GetOrCreateRelation("mcm_rm", 1);
+    Relation* rcr = db_.GetOrCreateRelation("mcm_rc", 2);
+    rmr->Clear();
+    rcr->Clear();
+    for (Value v : rm) rmr->Insert(Tuple{v});
+    for (auto [i, v] : rc) rcr->Insert(Tuple{i, v});
+  }
+
+  Database db_;
+};
+
+TEST_F(TheoremsTest, ValidPartitionPasses) {
+  LoadL({{0, 1}, {1, 2}});
+  SetReducedSets({}, {{0, 0}, {1, 1}, {2, 2}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->CorrectIndependent());
+  EXPECT_TRUE(check->CorrectIntegrated());
+}
+
+TEST_F(TheoremsTest, MissingMagicValueViolatesConditionA) {
+  LoadL({{0, 1}, {1, 2}});
+  SetReducedSets({}, {{0, 0}, {1, 1}});  // node 2 dropped entirely
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_FALSE(check->condition_a);
+  EXPECT_FALSE(check->CorrectIndependent());
+  EXPECT_NE(check->failure.find("condition (a)"), std::string::npos);
+}
+
+TEST_F(TheoremsTest, ForeignValueViolatesConditionA) {
+  LoadL({{0, 1}});
+  SetReducedSets({99}, {{0, 0}, {1, 1}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_FALSE(check->condition_a);
+}
+
+TEST_F(TheoremsTest, IncompleteIndexSetViolatesConditionB) {
+  // Node 2 is multiple ({1,2}); putting it in RC with only one index
+  // violates RI_b = I_b.
+  LoadL({{0, 1}, {1, 2}, {0, 2}});
+  SetReducedSets({}, {{0, 0}, {1, 1}, {1, 2}});  // missing (2, 2)
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->condition_a);
+  EXPECT_FALSE(check->condition_b);
+}
+
+TEST_F(TheoremsTest, FullIndexSetSatisfiesConditionB) {
+  LoadL({{0, 1}, {1, 2}, {0, 2}});
+  SetReducedSets({}, {{0, 0}, {1, 1}, {1, 2}, {2, 2}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->CorrectIndependent());
+}
+
+TEST_F(TheoremsTest, NodeInBothSetsNeedsNoExactIndices) {
+  // A multiple node in RM *and* RC with partial indices: condition (b)
+  // only constrains RC - RM, so this is fine.
+  LoadL({{0, 1}, {1, 2}, {0, 2}});
+  SetReducedSets({2}, {{0, 0}, {1, 1}, {1, 2}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->CorrectIndependent());
+}
+
+TEST_F(TheoremsTest, RecurringNodeInRcOnlyViolatesConditionB) {
+  LoadL({{0, 1}, {1, 0}});
+  SetReducedSets({}, {{0, 0}, {1, 1}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_FALSE(check->condition_b);
+  EXPECT_NE(check->failure.find("recurring"), std::string::npos);
+}
+
+TEST_F(TheoremsTest, ConditionCRequiresSourcePair) {
+  LoadL({{0, 1}});
+  SetReducedSets({0, 1}, {});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->CorrectIndependent());
+  EXPECT_FALSE(check->CorrectIntegrated());  // (0, a) missing
+  SetReducedSets({0, 1}, {{0, 0}});
+  check = CheckReducedSets(&db_, "l", 0);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->CorrectIntegrated());
+}
+
+TEST_F(TheoremsTest, MissingStepOneRelationsError) {
+  LoadL({{0, 1}});
+  auto check = CheckReducedSets(&db_, "l", 0);
+  EXPECT_FALSE(check.ok());
+}
+
+// A violating partition must actually produce a wrong answer — this is the
+// "only if" direction of Theorem 1 made concrete.
+TEST_F(TheoremsTest, ViolatingPartitionProducesWrongAnswer) {
+  // L: 0 -> 1 -> 2 and skip 0 -> 2 (node 2 multiple, I = {1, 2}).
+  // E: 2 -> 100; R chain: 100 <- 101 <- 102 of length 2.
+  // True answers: via path length 1 (0 ->skip 2): descend 1 R-step from
+  // 100... E target must support both k=1 and k=2 descents.
+  LoadL({{0, 1}, {1, 2}, {0, 2}});
+  db_.GetOrCreateRelation("e", 2)->Insert2(2, 102);
+  Relation* r = db_.GetOrCreateRelation("r", 2);
+  r->Insert2(101, 102);  // 102 -> 101 in G
+  r->Insert2(100, 101);  // 101 -> 100 in G
+
+  CslSolver solver(&db_, "l", "e", "r", 0);
+  auto reference = solver.RunReference();
+  ASSERT_TRUE(reference.ok());
+  // k=1 (skip path) lands on 101; k=2 (chain path) lands on 100.
+  EXPECT_EQ(reference->answers, (std::vector<Value>{100, 101}));
+
+  // Now run *only Step 2 independent* with a partition that drops index 1
+  // of node 2 (condition (b) violated): the k=1 answer disappears.
+  SetReducedSets({}, {{0, 0}, {1, 1}, {2, 2}});
+  db_.GetOrCreateRelation("mcm_ms", 1)->Clear();
+  for (Value v : {0, 1, 2}) db_.Find("mcm_ms")->Insert(Tuple{v});
+
+  rewrite::CslQuery q;
+  q.p = "p";
+  q.l = "l";
+  q.e = "e";
+  q.r = "r";
+  q.source = dl::Term::Int(0);
+  auto prog = rewrite::IndependentMcProgram(q);
+  eval::Engine engine(&db_);
+  ASSERT_TRUE(engine.Run(prog).ok());
+  auto tuples = engine.Query(prog.queries[0].goal);
+  ASSERT_TRUE(tuples.ok());
+  std::vector<Value> answers;
+  for (const Tuple& t : *tuples) answers.push_back(t[0]);
+  std::sort(answers.begin(), answers.end());
+  EXPECT_EQ(answers, (std::vector<Value>{100}));  // 101 was lost
+}
+
+}  // namespace
+}  // namespace mcm::core

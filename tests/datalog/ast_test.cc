@@ -1,0 +1,100 @@
+#include "datalog/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace mcm::dl {
+namespace {
+
+TEST(Term, Factories) {
+  EXPECT_TRUE(Term::Var("X").IsVariable());
+  EXPECT_TRUE(Term::Int(3).IsConstant());
+  EXPECT_TRUE(Term::Sym("a").IsConstant());
+  EXPECT_TRUE(Term::Affine("J", 1).IsAffine());
+  EXPECT_TRUE(Term::Affine("J", 0).IsVariable());  // collapses
+}
+
+TEST(Term, ToString) {
+  EXPECT_EQ(Term::Var("X").ToString(), "X");
+  EXPECT_EQ(Term::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Term::Sym("ann").ToString(), "\"ann\"");
+  EXPECT_EQ(Term::Affine("J", 1).ToString(), "J+1");
+  EXPECT_EQ(Term::Affine("J", -2).ToString(), "J-2");
+}
+
+TEST(EvalCmp, AllOperators) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, 1, 1));
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, 1, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, 1, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, 1, 2));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, 2, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, 2, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, 3, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, 2, 2));
+  EXPECT_FALSE(EvalCmp(CmpOp::kGe, 1, 2));
+}
+
+TEST(Rule, VariablesInFirstOccurrenceOrder) {
+  auto rule = ParseRule("p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->Variables(),
+            (std::vector<std::string>{"X", "Y", "X1", "Y1"}));
+}
+
+TEST(Rule, VariablesIncludeAffineAndComparison) {
+  auto rule = ParseRule("p(J+1, X) :- q(J, X), K < J, m(K).");
+  ASSERT_TRUE(rule.ok());
+  auto vars = rule->Variables();
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "K"), vars.end());
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "J"), vars.end());
+}
+
+TEST(Program, HeadAndEdbPredicates) {
+  auto prog = Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+  )");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->HeadPredicates(), (std::vector<std::string>{"p"}));
+  auto edb = prog->EdbPredicates();
+  std::sort(edb.begin(), edb.end());
+  EXPECT_EQ(edb, (std::vector<std::string>{"e", "l", "r"}));
+}
+
+TEST(Program, PredicateArities) {
+  auto prog = Parse("p(1, 2). q(X) :- p(X, X).");
+  ASSERT_TRUE(prog.ok());
+  auto arities = prog->PredicateArities();
+  ASSERT_EQ(arities.size(), 2u);
+  EXPECT_EQ(arities[0], (std::pair<std::string, uint32_t>{"p", 2}));
+  EXPECT_EQ(arities[1], (std::pair<std::string, uint32_t>{"q", 1}));
+}
+
+TEST(Literal, ToStringForms) {
+  auto rule = ParseRule("p(X) :- q(X), not r(X), X < 3.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body[0].ToString(), "q(X)");
+  EXPECT_EQ(rule->body[1].ToString(), "not r(X)");
+  EXPECT_EQ(rule->body[2].ToString(), "X < 3");
+}
+
+TEST(Program, ToStringListsRulesAndQueries) {
+  auto prog = Parse("p(1). p(X)?");
+  ASSERT_TRUE(prog.ok());
+  std::string s = prog->ToString();
+  EXPECT_NE(s.find("p(1)."), std::string::npos);
+  EXPECT_NE(s.find("p(X)?"), std::string::npos);
+}
+
+TEST(Atom, Equality) {
+  auto a1 = ParseAtom("p(X, 1)");
+  auto a2 = ParseAtom("p(X, 1)");
+  auto a3 = ParseAtom("p(X, 2)");
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  EXPECT_EQ(*a1, *a2);
+  EXPECT_FALSE(*a1 == *a3);
+}
+
+}  // namespace
+}  // namespace mcm::dl

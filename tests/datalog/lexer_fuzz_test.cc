@@ -1,0 +1,77 @@
+// Robustness: the lexer and parser must never crash on arbitrary input —
+// they either produce a program or a ParseError with a position.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+#include "util/rng.h"
+
+namespace mcm::dl {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, RandomBytesNeverCrashLexer) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.NextIndex(80);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(32 + rng.NextIndex(95));  // printable ASCII
+    }
+    auto toks = Tokenize(input);
+    if (toks.ok()) {
+      EXPECT_EQ(toks->back().kind, TokenKind::kEof);
+    } else {
+      EXPECT_EQ(toks.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(FuzzTest, RandomTokenSoupNeverCrashesParser) {
+  Rng rng(GetParam() + 500);
+  const char* pieces[] = {"p",  "X",  "q",   "(", ")",  ",", ".",
+                          ":-", "?",  "not", "1", "+",  "-", "<",
+                          ">=", "!=", "\"s\"", "%c\n", " "};
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.NextIndex(30);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += pieces[rng.NextIndex(std::size(pieces))];
+    }
+    auto prog = Parse(input);  // must not crash or hang
+    if (!prog.ok()) {
+      EXPECT_EQ(prog.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(FuzzTest, StructuredMutationsRoundTripOrFail) {
+  // Start from a valid program and flip characters; parse either fails
+  // cleanly or yields a program whose ToString re-parses.
+  const std::string base =
+      "p(X, Y) :- e(X, Y). p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1). "
+      "p(a, Y)?";
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = base;
+    size_t flips = 1 + rng.NextIndex(3);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextIndex(mutated.size())] =
+          static_cast<char>(32 + rng.NextIndex(95));
+    }
+    auto prog = Parse(mutated);
+    if (prog.ok()) {
+      auto again = Parse(prog->ToString());
+      ASSERT_TRUE(again.ok()) << prog->ToString();
+      EXPECT_EQ(again->ToString(), prog->ToString());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mcm::dl

@@ -1,0 +1,111 @@
+#include "datalog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dl {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  auto toks = Tokenize(src);
+  EXPECT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(Lexer, SimpleRule) {
+  EXPECT_EQ(Kinds("p(X) :- q(X)."),
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kIdent,
+                TokenKind::kRParen, TokenKind::kImplies, TokenKind::kIdent,
+                TokenKind::kLParen, TokenKind::kIdent, TokenKind::kRParen,
+                TokenKind::kPeriod, TokenKind::kEof}));
+}
+
+TEST(Lexer, Integers) {
+  auto toks = Tokenize("42 007");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].int_value, 7);
+}
+
+TEST(Lexer, Strings) {
+  auto toks = Tokenize("\"hello world\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[0].text, "hello world");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+  EXPECT_FALSE(Tokenize("\"oops\nnext\"").ok());
+}
+
+TEST(Lexer, Comparisons) {
+  EXPECT_EQ(Kinds("< <= > >= = !="),
+            (std::vector<TokenKind>{TokenKind::kLt, TokenKind::kLe,
+                                    TokenKind::kGt, TokenKind::kGe,
+                                    TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kEof}));
+}
+
+TEST(Lexer, NotKeywordAndBang) {
+  auto kinds = Kinds("not !x");
+  EXPECT_EQ(kinds[0], TokenKind::kNot);
+  EXPECT_EQ(kinds[1], TokenKind::kNot);  // bare '!' (not '!=')
+}
+
+TEST(Lexer, PlusMinusQuestion) {
+  EXPECT_EQ(Kinds("+ - ?"),
+            (std::vector<TokenKind>{TokenKind::kPlus, TokenKind::kMinus,
+                                    TokenKind::kQuestion, TokenKind::kEof}));
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(Kinds("x % comment\ny // another\nz"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kIdent, TokenKind::kEof}));
+}
+
+TEST(Lexer, BlockComments) {
+  EXPECT_EQ(Kinds("a /* multi\nline */ b"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kEof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("a /* never closed").ok());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = Tokenize("a\nb\n  c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+  EXPECT_EQ((*toks)[2].column, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("p(X) @ q").ok());
+  EXPECT_FALSE(Tokenize("#").ok());
+}
+
+TEST(Lexer, ColonRequiresDash) {
+  EXPECT_FALSE(Tokenize("p : q").ok());
+}
+
+TEST(Lexer, IdentifiersWithUnderscoresAndDigits) {
+  auto toks = Tokenize("my_pred_2 X_1 _anon");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "my_pred_2");
+  EXPECT_EQ((*toks)[1].text, "X_1");
+  EXPECT_EQ((*toks)[2].text, "_anon");
+}
+
+}  // namespace
+}  // namespace mcm::dl

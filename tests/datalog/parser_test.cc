@@ -1,0 +1,161 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dl {
+namespace {
+
+TEST(Parser, Fact) {
+  auto prog = Parse("edge(1, 2).");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->rules.size(), 1u);
+  const Rule& r = prog->rules[0];
+  EXPECT_TRUE(r.IsFact());
+  EXPECT_EQ(r.head.predicate, "edge");
+  EXPECT_EQ(r.head.args[0].value, 1);
+  EXPECT_EQ(r.head.args[1].value, 2);
+}
+
+TEST(Parser, SymbolConstants) {
+  auto prog = Parse("parent(ann, bob). parent(\"carol d\", ann).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->rules[0].head.args[0].kind, Term::Kind::kSymbol);
+  EXPECT_EQ(prog->rules[0].head.args[0].name, "ann");
+  EXPECT_EQ(prog->rules[1].head.args[0].name, "carol d");
+}
+
+TEST(Parser, VariablesAreUppercase) {
+  auto rule = ParseRule("p(X, ann) :- q(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->head.args[0].IsVariable());
+  EXPECT_EQ(rule->head.args[1].kind, Term::Kind::kSymbol);
+}
+
+TEST(Parser, UnderscoreStartsVariable) {
+  auto rule = ParseRule("p(_x) :- q(_x).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->head.args[0].IsVariable());
+}
+
+TEST(Parser, RecursiveRule) {
+  auto rule = ParseRule("sg(X, Y) :- par(X, X1), sg(X1, Y1), par(Y, Y1).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body.size(), 3u);
+  EXPECT_EQ(rule->body[1].atom.predicate, "sg");
+}
+
+TEST(Parser, NegatedLiteral) {
+  auto rule = ParseRule("p(X) :- q(X), not r(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->body[1].IsNegatedAtom());
+}
+
+TEST(Parser, BangNegation) {
+  auto rule = ParseRule("p(X) :- q(X), ! r(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->body[1].IsNegatedAtom());
+}
+
+TEST(Parser, AffineTerms) {
+  auto rule = ParseRule("cs(J+1, X1) :- cs(J, X), l(X, X1).");
+  ASSERT_TRUE(rule.ok());
+  const Term& t = rule->head.args[0];
+  EXPECT_TRUE(t.IsAffine());
+  EXPECT_EQ(t.name, "J");
+  EXPECT_EQ(t.value, 1);
+}
+
+TEST(Parser, NegativeAffineOffset) {
+  auto rule = ParseRule("pc(J-1, Y) :- pc(J, Y1), r(Y, Y1).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.args[0].value, -1);
+}
+
+TEST(Parser, AffineWithZeroOffsetIsVariable) {
+  Term t = Term::Affine("X", 0);
+  EXPECT_TRUE(t.IsVariable());
+}
+
+TEST(Parser, NegativeIntegerConstant) {
+  auto prog = Parse("val(-5).");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->rules[0].head.args[0].value, -5);
+}
+
+TEST(Parser, Comparisons) {
+  auto rule = ParseRule("p(I, Y) :- m(I, Y), I >= 2, I != 5.");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->body.size(), 3u);
+  EXPECT_TRUE(rule->body[1].IsComparison());
+  EXPECT_EQ(rule->body[1].cmp.op, CmpOp::kGe);
+  EXPECT_EQ(rule->body[2].cmp.op, CmpOp::kNe);
+}
+
+TEST(Parser, ComparisonBetweenVariables) {
+  auto rule = ParseRule("p(X, Y) :- q(X, Y), X < Y.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->body[1].IsComparison());
+}
+
+TEST(Parser, Query) {
+  auto prog = Parse("sg(ann, Y)?");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog->queries.size(), 1u);
+  EXPECT_EQ(prog->queries[0].goal.predicate, "sg");
+}
+
+TEST(Parser, MixedProgram) {
+  auto prog = Parse(R"(
+    % the canonical query
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(a, Y)?
+  )");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog->rules.size(), 2u);
+  EXPECT_EQ(prog->queries.size(), 1u);
+}
+
+TEST(Parser, ZeroArityAtom) {
+  auto prog = Parse("flag. p(X) :- q(X), flag.");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->rules[0].head.arity(), 0u);
+  EXPECT_EQ(prog->rules[1].body[1].atom.predicate, "flag");
+}
+
+TEST(Parser, MissingPeriodFails) {
+  EXPECT_FALSE(Parse("p(X) :- q(X)").ok());
+}
+
+TEST(Parser, UnbalancedParensFails) {
+  EXPECT_FALSE(Parse("p(X :- q(X).").ok());
+}
+
+TEST(Parser, GarbageFails) {
+  EXPECT_FALSE(Parse("p(X) :- .").ok());
+  EXPECT_FALSE(Parse(":- q(X).").ok());
+}
+
+TEST(Parser, ParseAtomHelper) {
+  auto atom = ParseAtom("answer(Y)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->predicate, "answer");
+  EXPECT_FALSE(ParseAtom("answer(Y) extra").ok());
+}
+
+TEST(Parser, ParseRuleRejectsPrograms) {
+  EXPECT_FALSE(ParseRule("a(1). b(2).").ok());
+  EXPECT_FALSE(ParseRule("a(X)?").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* src = "p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1), X != Y.";
+  auto rule = ParseRule(src);
+  ASSERT_TRUE(rule.ok());
+  auto again = ParseRule(rule->ToString());
+  ASSERT_TRUE(again.ok()) << rule->ToString();
+  EXPECT_EQ(again->ToString(), rule->ToString());
+}
+
+}  // namespace
+}  // namespace mcm::dl

@@ -1,0 +1,90 @@
+#include "datalog/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace mcm::dl {
+namespace {
+
+Status ValidateSrc(const std::string& src) {
+  auto prog = Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return Validate(*prog);
+}
+
+TEST(Validate, AcceptsCanonicalQuery) {
+  EXPECT_TRUE(ValidateSrc(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(a, Y)?
+  )").ok());
+}
+
+TEST(Validate, RejectsUnboundHeadVariable) {
+  Status st = ValidateSrc("p(X, Z) :- q(X).");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Z"), std::string::npos);
+}
+
+TEST(Validate, RejectsNonGroundFact) {
+  EXPECT_FALSE(ValidateSrc("p(X).").ok());
+}
+
+TEST(Validate, AcceptsGroundFact) {
+  EXPECT_TRUE(ValidateSrc("p(1, ann).").ok());
+}
+
+TEST(Validate, RejectsArityMismatchAcrossRules) {
+  EXPECT_FALSE(ValidateSrc("p(1). p(1, 2).").ok());
+  EXPECT_FALSE(ValidateSrc("q(1). p(X) :- q(X, X).").ok());
+}
+
+TEST(Validate, RejectsUnboundNegation) {
+  EXPECT_FALSE(ValidateSrc("p(X) :- q(X), not r(Z).").ok());
+}
+
+TEST(Validate, AcceptsBoundNegation) {
+  EXPECT_TRUE(ValidateSrc("p(X) :- q(X), not r(X).").ok());
+}
+
+TEST(Validate, NegationWithConstantIsFine) {
+  EXPECT_TRUE(ValidateSrc("p(X) :- q(X), not r(1).").ok());
+}
+
+TEST(Validate, RejectsUnboundComparison) {
+  EXPECT_FALSE(ValidateSrc("p(X) :- q(X), Z < 3.").ok());
+}
+
+TEST(Validate, AcceptsBoundComparison) {
+  EXPECT_TRUE(ValidateSrc("p(X) :- q(X), X < 3.").ok());
+}
+
+TEST(Validate, AffineHeadNeedsBoundBase) {
+  EXPECT_TRUE(ValidateSrc("cs(J+1, X) :- cs(J, X).").ok());
+  EXPECT_FALSE(ValidateSrc("cs(J+1, X) :- q(X).").ok());
+}
+
+TEST(Validate, NegatedOccurrenceDoesNotBind) {
+  // X appears only in a negated atom and the head: unsafe.
+  EXPECT_FALSE(ValidateSrc("p(X) :- not q(X).").ok());
+}
+
+TEST(Validate, QueryWithAffineTermRejected) {
+  auto prog = Parse("p(J, X) :- q(J, X). p(J+1, X)?");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_FALSE(Validate(*prog).ok());
+}
+
+TEST(Validate, ArityCheckCoversQueries) {
+  EXPECT_FALSE(ValidateSrc("p(1, 2). p(X)?").ok());
+}
+
+TEST(ValidateRule, StandaloneRuleCheck) {
+  auto rule = ParseRule("p(X) :- q(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(ValidateRule(*rule).ok());
+}
+
+}  // namespace
+}  // namespace mcm::dl

@@ -1,0 +1,187 @@
+// Stress and edge-case coverage for the fixpoint engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "util/rng.h"
+
+namespace mcm::eval {
+namespace {
+
+TEST(EngineStress, DeepChainTransitiveClosure) {
+  Database db;
+  Relation* e = db.GetOrCreateRelation("e", 2);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) e->Insert2(i, i + 1);
+  auto prog = dl::Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    tc(0, Y)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  auto result = RunProgram(&db, *prog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), static_cast<size_t>(n));
+}
+
+TEST(EngineStress, MaxArityTuplesFlowThrough) {
+  Database db;
+  Relation* wide = db.GetOrCreateRelation("wide", 8);
+  Tuple t{1, 2, 3, 4, 5, 6, 7, 8};
+  wide->Insert(t);
+  auto prog = dl::Parse(R"(
+    pick(A, H) :- wide(A, B, C, D, E, F, G, H).
+    pick(A, H)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  auto result = RunProgram(&db, *prog);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], (Tuple{1, 8}));
+}
+
+TEST(EngineStress, ManySymbolsInterned) {
+  Database db;
+  Relation* likes = db.GetOrCreateRelation("likes", 2);
+  for (int i = 0; i < 500; ++i) {
+    likes->Insert2(db.symbols().Intern("person" + std::to_string(i)),
+                   db.symbols().Intern("person" + std::to_string(i + 1)));
+  }
+  auto prog = dl::Parse(R"(
+    chain(X, Z) :- likes(X, Y), likes(Y, Z).
+    chain(person0, Z)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  auto result = RunProgram(&db, *prog);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0][1], db.symbols().Find("person2"));
+}
+
+struct RandomTcCase {
+  uint64_t seed;
+  size_t nodes, arcs;
+};
+
+class NaiveSeminaiveTest : public ::testing::TestWithParam<RandomTcCase> {};
+
+// Naive and seminaive evaluation compute identical fixpoints on random
+// graphs — the fundamental engine property.
+TEST_P(NaiveSeminaiveTest, SameFixpoint) {
+  const RandomTcCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<std::pair<Value, Value>> arcs;
+  for (size_t k = 0; k < c.arcs; ++k) {
+    arcs.emplace_back(static_cast<Value>(rng.NextIndex(c.nodes)),
+                      static_cast<Value>(rng.NextIndex(c.nodes)));
+  }
+  const char* src = R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    tc(X, Y)?
+  )";
+  auto prog = dl::Parse(src);
+  ASSERT_TRUE(prog.ok());
+
+  auto run = [&](bool seminaive) {
+    Database db;
+    Relation* e = db.GetOrCreateRelation("e", 2);
+    for (auto [u, v] : arcs) e->Insert2(u, v);
+    EvalOptions options;
+    options.seminaive = seminaive;
+    auto result = RunProgram(&db, *prog, options);
+    EXPECT_TRUE(result.ok());
+    std::vector<Tuple> tuples = result.ok() ? *result : std::vector<Tuple>{};
+    std::sort(tuples.begin(), tuples.end());
+    return tuples;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+std::vector<RandomTcCase> TcCases() {
+  std::vector<RandomTcCase> cases;
+  for (uint64_t s = 0; s < 10; ++s) {
+    cases.push_back({9000 + s, 4 + s, 2 * (4 + s)});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, NaiveSeminaiveTest,
+                         ::testing::ValuesIn(TcCases()),
+                         [](const ::testing::TestParamInfo<RandomTcCase>&
+                                info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+TEST(EngineStress, SeminaiveNeverCostsMoreThanNaiveOnChains) {
+  // On a chain, naive evaluation re-derives everything each round
+  // (quadratic); seminaive touches each new tuple once.
+  auto cost = [](bool seminaive) {
+    Database db;
+    Relation* e = db.GetOrCreateRelation("e", 2);
+    for (int i = 0; i < 100; ++i) e->Insert2(i, i + 1);
+    auto prog = dl::Parse(R"(
+      tc(X, Y) :- e(X, Y).
+      tc(X, Y) :- tc(X, Z), e(Z, Y).
+      tc(X, Y)?
+    )");
+    EvalOptions options;
+    options.seminaive = seminaive;
+    db.ResetStats();
+    auto result = RunProgram(&db, *prog, options);
+    EXPECT_TRUE(result.ok());
+    return db.stats().tuples_read;
+  };
+  uint64_t semi = cost(true);
+  uint64_t naive = cost(false);
+  EXPECT_LT(semi, naive / 2) << "seminaive=" << semi << " naive=" << naive;
+}
+
+TEST(EngineStress, RerunOnGrownEdbExtendsFixpoint) {
+  Database db;
+  Relation* e = db.GetOrCreateRelation("e", 2);
+  e->Insert2(0, 1);
+  auto prog = dl::Parse(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )");
+  ASSERT_TRUE(prog.ok());
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*prog).ok());
+  EXPECT_EQ(db.Find("tc")->size(), 1u);
+  // Grow the EDB and re-run: existing tc tuples participate as deltas.
+  e->Insert2(1, 2);
+  ASSERT_TRUE(engine.Run(*prog).ok());
+  EXPECT_EQ(db.Find("tc")->size(), 3u);
+}
+
+TEST(EngineStress, DisconnectedRuleGroups) {
+  Database db;
+  db.GetOrCreateRelation("a", 1)->Insert(Tuple{1});
+  db.GetOrCreateRelation("b", 1)->Insert(Tuple{2});
+  auto prog = dl::Parse(R"(
+    pa(X) :- a(X).
+    pb(X) :- b(X).
+    pab(X, Y) :- pa(X), pb(Y).
+    pab(X, Y)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  auto result = RunProgram(&db, *prog);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], (Tuple{1, 2}));
+}
+
+TEST(EngineStress, EmptyProgramIsFine) {
+  Database db;
+  dl::Program empty;
+  Engine engine(&db);
+  EXPECT_TRUE(engine.Run(empty).ok());
+  EXPECT_EQ(engine.info().strata, 0u);
+}
+
+}  // namespace
+}  // namespace mcm::eval

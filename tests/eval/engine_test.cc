@@ -1,0 +1,272 @@
+#include "eval/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+
+namespace mcm::eval {
+namespace {
+
+// Evaluate `src` against a fresh database and return the sorted tuples
+// matching its (single) query.
+std::vector<Tuple> Eval(const std::string& src, EvalOptions opts = {}) {
+  auto prog = dl::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  Database db;
+  auto result = RunProgram(&db, *prog, opts);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<Tuple> tuples = result.ok() ? *result : std::vector<Tuple>{};
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+TEST(Engine, FactsOnly) {
+  auto t = Eval("e(1, 2). e(2, 3). e(1, 2)?");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], (Tuple{1, 2}));
+}
+
+TEST(Engine, SimpleJoin) {
+  auto t = Eval(R"(
+    e(1, 2). e(2, 3). e(3, 4).
+    two(X, Z) :- e(X, Y), e(Y, Z).
+    two(X, Z)?
+  )");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Tuple{1, 3}));
+  EXPECT_EQ(t[1], (Tuple{2, 4}));
+}
+
+TEST(Engine, TransitiveClosure) {
+  auto t = Eval(R"(
+    e(1, 2). e(2, 3). e(3, 4).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    tc(1, Y)?
+  )");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2], (Tuple{1, 4}));
+}
+
+TEST(Engine, TransitiveClosureOnCycleTerminates) {
+  auto t = Eval(R"(
+    e(1, 2). e(2, 3). e(3, 1).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    tc(1, Y)?
+  )");
+  EXPECT_EQ(t.size(), 3u);  // 1 reaches 1, 2, 3
+}
+
+TEST(Engine, NaiveMatchesSeminaive) {
+  const char* src = R"(
+    e(1, 2). e(2, 3). e(3, 4). e(4, 2).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    tc(X, Y)?
+  )";
+  EvalOptions naive;
+  naive.seminaive = false;
+  EXPECT_EQ(Eval(src), Eval(src, naive));
+}
+
+TEST(Engine, QueryFiltersOnConstants) {
+  auto t = Eval(R"(
+    e(1, 2). e(1, 3). e(2, 3).
+    e(1, Y)?
+  )");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Engine, StratifiedNegation) {
+  auto t = Eval(R"(
+    node(1). node(2). node(3).
+    e(1, 2).
+    has_out(X) :- e(X, Y).
+    sink(X) :- node(X), not has_out(X).
+    sink(X)?
+  )");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Tuple{2}));
+  EXPECT_EQ(t[1], (Tuple{3}));
+}
+
+TEST(Engine, NegationInsideRecursionRejected) {
+  auto prog = dl::Parse(R"(
+    p(X) :- q(X), not p(X).
+    q(1).
+    p(X)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  Database db;
+  auto result = RunProgram(&db, *prog);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Engine, ComparisonGuards) {
+  auto t = Eval(R"(
+    v(1). v(2). v(3). v(4).
+    small(X) :- v(X), X < 3.
+    small(X)?
+  )");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Engine, AffineHeadTerm) {
+  auto t = Eval(R"(
+    start(0).
+    count(J+1) :- count(J), J < 5.
+    count(J) :- start(J).
+    count(J)?
+  )");
+  EXPECT_EQ(t.size(), 6u);  // 0..5: the J < 5 guard stops the ascent
+}
+
+TEST(Engine, CountingStyleProgram) {
+  auto t = Eval(R"(
+    l(10, 11). l(11, 12).
+    cs(0, 10).
+    cs(J+1, X1) :- cs(J, X), l(X, X1).
+    cs(J, X)?
+  )");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], (Tuple{0, 10}));
+  EXPECT_EQ(t[1], (Tuple{1, 11}));
+  EXPECT_EQ(t[2], (Tuple{2, 12}));
+}
+
+TEST(Engine, IterationCapTripsOnDivergence) {
+  auto prog = dl::Parse(R"(
+    l(1, 2). l(2, 1).
+    cs(0, 1).
+    cs(J+1, X1) :- cs(J, X), l(X, X1).
+    cs(J, X)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  Database db;
+  EvalOptions opts;
+  opts.max_iterations = 50;
+  auto result = RunProgram(&db, *prog, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnsafe());
+}
+
+TEST(Engine, TupleCapTrips) {
+  auto prog = dl::Parse(R"(
+    l(1, 2). l(2, 1).
+    cs(0, 1).
+    cs(J+1, X1) :- cs(J, X), l(X, X1).
+    cs(J, X)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  Database db;
+  EvalOptions opts;
+  opts.max_tuples = 100;
+  auto result = RunProgram(&db, *prog, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnsafe());
+}
+
+TEST(Engine, EdbRelationsPreloaded) {
+  Database db;
+  Relation* e = db.GetOrCreateRelation("e", 2);
+  e->Insert2(7, 8);
+  e->Insert2(8, 9);
+  auto prog = dl::Parse("tc(X,Y) :- e(X,Y). tc(X,Y) :- tc(X,Z), e(Z,Y). tc(7,Y)?");
+  ASSERT_TRUE(prog.ok());
+  auto result = RunProgram(&db, *prog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(Engine, ArityConflictWithExistingRelation) {
+  Database db;
+  db.GetOrCreateRelation("e", 3);
+  auto prog = dl::Parse("p(X) :- e(X, X). p(X)?");
+  ASSERT_TRUE(prog.ok());
+  Engine engine(&db);
+  EXPECT_FALSE(engine.Run(*prog).ok());
+}
+
+TEST(Engine, SymbolsResolvedAcrossRules) {
+  auto t = Eval(R"(
+    parent(ann, carol). parent(bob, carol).
+    sibling(X, Y) :- parent(X, P), parent(Y, P), X != Y.
+    sibling(ann, Y)?
+  )");
+  ASSERT_EQ(t.size(), 1u);
+}
+
+TEST(Engine, QueryUnknownSymbolGivesEmpty) {
+  auto t = Eval(R"(
+    e(ann, bob).
+    e(zed, Y)?
+  )");
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Engine, QueryTextHelper) {
+  Database db;
+  auto prog = dl::Parse("e(1, 2). e(1, 3).");
+  ASSERT_TRUE(prog.ok());
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*prog).ok());
+  auto r = engine.Query("e(1, Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_FALSE(engine.Query("missing(X)").ok());
+}
+
+TEST(Engine, MutuallyRecursivePredicates) {
+  auto t = Eval(R"(
+    e(1, 2). e(2, 3). e(3, 4). e(4, 5).
+    even(1).
+    odd(Y) :- even(X), e(X, Y).
+    even(Y) :- odd(X), e(X, Y).
+    even(X)?
+  )");
+  ASSERT_EQ(t.size(), 3u);  // 1, 3, 5
+  EXPECT_EQ(t[0], (Tuple{1}));
+  EXPECT_EQ(t[1], (Tuple{3}));
+  EXPECT_EQ(t[2], (Tuple{5}));
+}
+
+TEST(Engine, RepeatedVariableInBodyAtom) {
+  auto t = Eval(R"(
+    e(1, 1). e(1, 2). e(3, 3).
+    loop(X) :- e(X, X).
+    loop(X)?
+  )");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Tuple{1}));
+  EXPECT_EQ(t[1], (Tuple{3}));
+}
+
+TEST(Engine, RepeatedVariableInHead) {
+  auto t = Eval(R"(
+    v(1). v(2).
+    pair(X, X) :- v(X).
+    pair(X, Y)?
+  )");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Tuple{1, 1}));
+}
+
+TEST(Engine, InfoCountsStrataAndDerivations) {
+  Database db;
+  auto prog = dl::Parse(R"(
+    e(1, 2). e(2, 3).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )");
+  ASSERT_TRUE(prog.ok());
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*prog).ok());
+  EXPECT_GE(engine.info().strata, 2u);  // e-facts stratum + tc stratum
+  EXPECT_EQ(engine.info().tuples_derived, 2u + 3u);  // 2 facts + 3 tc tuples
+}
+
+}  // namespace
+}  // namespace mcm::eval

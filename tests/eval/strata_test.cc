@@ -1,0 +1,121 @@
+#include "eval/strata.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+
+namespace mcm::eval {
+namespace {
+
+Result<Stratification> StratifySrc(const std::string& src) {
+  auto prog = dl::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return Stratify(*prog);
+}
+
+TEST(Stratify, SinglePredicate) {
+  auto s = StratifySrc("p(X) :- e(X).");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->strata.size(), 1u);
+  EXPECT_FALSE(s->strata[0].recursive);
+}
+
+TEST(Stratify, SelfRecursionDetected) {
+  auto s = StratifySrc("p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), e(Z, Y).");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->strata.size(), 1u);
+  EXPECT_TRUE(s->strata[0].recursive);
+  EXPECT_EQ(s->strata[0].rule_indices.size(), 2u);
+}
+
+TEST(Stratify, MutualRecursionOneStratum) {
+  auto s = StratifySrc(R"(
+    even(Y) :- odd(X), e(X, Y).
+    odd(Y) :- even(X), e(X, Y).
+    even(0).
+  )");
+  ASSERT_TRUE(s.ok());
+  // even/odd together; the fact rule belongs to the same stratum as even.
+  size_t se = s->stratum_of.at("even");
+  size_t so = s->stratum_of.at("odd");
+  EXPECT_EQ(se, so);
+  EXPECT_TRUE(s->strata[se].recursive);
+}
+
+TEST(Stratify, DependenciesOrderedBottomUp) {
+  auto s = StratifySrc(R"(
+    base(X) :- e(X).
+    derived(X) :- base(X).
+    top(X) :- derived(X).
+  )");
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->stratum_of.at("base"), s->stratum_of.at("derived"));
+  EXPECT_LT(s->stratum_of.at("derived"), s->stratum_of.at("top"));
+}
+
+TEST(Stratify, NegationAcrossStrataOk) {
+  auto s = StratifySrc(R"(
+    has(X) :- e(X, Y).
+    sink(X) :- v(X), not has(X).
+  )");
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->stratum_of.at("has"), s->stratum_of.at("sink"));
+}
+
+TEST(Stratify, NegationInCycleRejected) {
+  auto s = StratifySrc(R"(
+    p(X) :- q(X).
+    q(X) :- e(X), not p(X).
+  )");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Stratify, DirectNegativeSelfLoopRejected) {
+  auto s = StratifySrc("p(X) :- e(X), not p(X).");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Stratify, EdbPredicatesIgnored) {
+  auto s = StratifySrc("p(X) :- e(X), f(X, Y), not g(Y).");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->strata.size(), 1u);
+  EXPECT_EQ(s->stratum_of.count("e"), 0u);
+}
+
+TEST(Stratify, CountingProgramShape) {
+  // cs and pc are separate strata; answer last.
+  auto s = StratifySrc(R"(
+    cs(0, 10).
+    cs(J+1, X1) :- cs(J, X), l(X, X1).
+    pc(J, Y) :- cs(J, X), e(X, Y).
+    pc(J-1, Y) :- pc(J, Y1), r(Y, Y1), J > 0.
+    answer(Y) :- pc(0, Y).
+  )");
+  ASSERT_TRUE(s.ok());
+  size_t cs = s->stratum_of.at("cs");
+  size_t pc = s->stratum_of.at("pc");
+  size_t ans = s->stratum_of.at("answer");
+  EXPECT_LT(cs, pc);
+  EXPECT_LT(pc, ans);
+  EXPECT_TRUE(s->strata[cs].recursive);
+  EXPECT_TRUE(s->strata[pc].recursive);
+  EXPECT_FALSE(s->strata[ans].recursive);
+}
+
+TEST(Stratify, DiamondDependencies) {
+  auto s = StratifySrc(R"(
+    a(X) :- e(X).
+    b(X) :- a(X).
+    c(X) :- a(X).
+    d(X) :- b(X), c(X).
+  )");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->strata.size(), 4u);
+  EXPECT_LT(s->stratum_of.at("b"), s->stratum_of.at("d"));
+  EXPECT_LT(s->stratum_of.at("c"), s->stratum_of.at("d"));
+}
+
+}  // namespace
+}  // namespace mcm::eval

@@ -1,0 +1,224 @@
+#include "graph/classify.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace mcm::graph {
+namespace {
+
+// Brute-force reference classification: enumerate all path lengths up to
+// 2n+2 by level-synchronous expansion. A node with a recorded length >= n
+// must lie on / behind a cycle (pigeonhole), i.e. is recurring; otherwise
+// its recorded lengths are its exact (finite) distance set.
+struct BruteForce {
+  std::vector<std::set<int64_t>> lengths;
+  std::vector<NodeClass> cls;
+
+  explicit BruteForce(const Digraph& g, NodeId src) {
+    const int64_t n = static_cast<int64_t>(g.NumNodes());
+    lengths.assign(g.NumNodes(), {});
+    std::vector<NodeId> frontier{src};
+    lengths[src].insert(0);
+    for (int64_t step = 0; step < 2 * n + 2 && !frontier.empty(); ++step) {
+      std::vector<NodeId> next;
+      std::set<NodeId> queued;
+      for (NodeId u : frontier) {
+        if (lengths[u].count(step) == 0) continue;
+        for (NodeId v : g.OutNeighbors(u)) {
+          if (lengths[v].insert(step + 1).second && queued.insert(v).second) {
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    cls.assign(g.NumNodes(), NodeClass::kSingle);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      bool recurring = false;
+      for (int64_t len : lengths[v]) {
+        if (len >= n) recurring = true;
+      }
+      if (recurring) {
+        cls[v] = NodeClass::kRecurring;
+      } else {
+        cls[v] = lengths[v].size() > 1 ? NodeClass::kMultiple
+                                       : NodeClass::kSingle;
+      }
+    }
+  }
+};
+
+TEST(Classify, ChainIsRegular) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kRegular);
+  EXPECT_TRUE(a.regular());
+  EXPECT_EQ(a.i_x, MagicGraphAnalysis::kNoLimit);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(a.node_class[v], NodeClass::kSingle);
+    EXPECT_EQ(a.distance_sets[v], (std::vector<int64_t>{v}));
+  }
+}
+
+TEST(Classify, DiamondIsStillRegular) {
+  // Two paths of the same length: single per Proposition 1a.
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kRegular);
+  EXPECT_EQ(a.node_class[3], NodeClass::kSingle);
+  EXPECT_EQ(a.distance_sets[3], (std::vector<int64_t>{2}));
+}
+
+TEST(Classify, SkipArcMakesMultiple) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.AddArc(0, 2);  // skip: 2 has distances {1, 2}
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kAcyclicNonRegular);
+  EXPECT_EQ(a.node_class[2], NodeClass::kMultiple);
+  EXPECT_EQ(a.distance_sets[2], (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(a.node_class[3], NodeClass::kMultiple);  // inherits both
+  EXPECT_EQ(a.distance_sets[3], (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(a.i_x, 1);  // node 2 is non-single with min index 1
+}
+
+TEST(Classify, CycleMakesRecurring) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 1);  // cycle {1,2}
+  g.AddArc(2, 3);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kCyclic);
+  EXPECT_EQ(a.node_class[0], NodeClass::kSingle);
+  EXPECT_EQ(a.node_class[1], NodeClass::kRecurring);
+  EXPECT_EQ(a.node_class[2], NodeClass::kRecurring);
+  EXPECT_EQ(a.node_class[3], NodeClass::kRecurring);  // behind the cycle
+  EXPECT_TRUE(a.distance_sets[1].empty());            // infinite set
+}
+
+TEST(Classify, SelfLoopIsRecurring) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  g.AddArc(1, 1);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.node_class[1], NodeClass::kRecurring);
+  EXPECT_EQ(a.node_class[0], NodeClass::kSingle);
+}
+
+TEST(Classify, Figure2StyleGraph) {
+  // The two-region magic graph from workload::MakeFigure2StyleL, checked
+  // against hand-computed ground truth (see comments in generators.cc).
+  Digraph g(12);
+  for (auto [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {0, 2}, {0, 3}, {2, 4}, {2, 5}, {3, 5}, {3, 6},
+           {4, 6}, {5, 7}, {6, 7}, {7, 8}, {8, 9}, {9, 10}, {10, 8},
+           {10, 11}}) {
+    g.AddArc(u, v);
+  }
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kCyclic);
+
+  for (NodeId v : {0, 1, 2, 3, 4, 5}) {
+    EXPECT_EQ(a.node_class[v], NodeClass::kSingle) << v;
+  }
+  for (NodeId v : {6, 7}) {
+    EXPECT_EQ(a.node_class[v], NodeClass::kMultiple) << v;
+  }
+  for (NodeId v : {8, 9, 10, 11}) {
+    EXPECT_EQ(a.node_class[v], NodeClass::kRecurring) << v;
+  }
+  EXPECT_EQ(a.distance_sets[6], (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(a.distance_sets[7], (std::vector<int64_t>{3, 4}));
+
+  EXPECT_EQ(a.i_x, 2);
+  // Single-method parameters.
+  EXPECT_EQ(a.n_s_hat, 4u);  // {0,1,2,3}
+  EXPECT_EQ(a.m_s_hat, 3u);  // 0->1, 0->2, 0->3
+  EXPECT_EQ(a.n_j_hat, 1u);  // only the sink 1 cannot reach depth >= 2
+  EXPECT_EQ(a.m_j_hat, 1u);  // arc 0->1
+  // Multiple-method parameters.
+  EXPECT_EQ(a.n_single, 6u);
+  EXPECT_EQ(a.m_single, 6u);  // arcs among {0..5}
+  EXPECT_EQ(a.n_i, 1u);       // only 1 avoids all multiple/recurring nodes
+  EXPECT_EQ(a.m_i, 1u);
+  // Recurring-method parameters.
+  EXPECT_EQ(a.n_m, 8u);       // {0..7}
+  EXPECT_EQ(a.m_m, 10u);      // all arcs except the five touching 8..11
+  EXPECT_EQ(a.n_m_hat, 1u);   // only 1 avoids the recurring cluster
+  EXPECT_EQ(a.m_m_hat, 1u);
+}
+
+TEST(Classify, IxIsMinFirstIndexOfNonSingle) {
+  // Non-single node at depth 3; everything shallower single.
+  Digraph g(6);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.AddArc(3, 4);
+  g.AddArc(2, 4);  // 4: distances {3, 4} -> multiple, min 3
+  g.AddArc(4, 5);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.i_x, 3);
+}
+
+TEST(Classify, UnreachableNodesIgnored) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(2, 3);
+  g.AddArc(3, 2);  // unreachable cycle must not make the graph cyclic
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_EQ(a.graph_class, GraphClass::kRegular);
+  EXPECT_EQ(a.min_dist[2], kUnreachable);
+}
+
+TEST(Classify, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 2 + rng.NextIndex(14);
+    Digraph g(n);
+    size_t arcs = rng.NextIndex(3 * n);
+    for (size_t k = 0; k < arcs; ++k) {
+      g.AddArc(static_cast<NodeId>(rng.NextIndex(n)),
+               static_cast<NodeId>(rng.NextIndex(n)));
+    }
+    auto a = AnalyzeMagicGraph(g, 0);
+    BruteForce bf(g, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (a.min_dist[v] == kUnreachable) continue;
+      EXPECT_EQ(a.node_class[v], bf.cls[v])
+          << "trial " << trial << " node " << v;
+      if (bf.cls[v] != NodeClass::kRecurring) {
+        std::vector<int64_t> expect(bf.lengths[v].begin(),
+                                    bf.lengths[v].end());
+        EXPECT_EQ(a.distance_sets[v], expect)
+            << "trial " << trial << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(Classify, ToStringSmoke) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  auto a = AnalyzeMagicGraph(g, 0);
+  EXPECT_NE(a.ToString().find("regular"), std::string::npos);
+  EXPECT_EQ(NodeClassToString(NodeClass::kMultiple), "multiple");
+  EXPECT_EQ(GraphClassToString(GraphClass::kCyclic), "cyclic");
+}
+
+}  // namespace
+}  // namespace mcm::graph

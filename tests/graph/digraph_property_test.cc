@@ -1,0 +1,145 @@
+// Property tests: graph algorithms vs brute-force references on random
+// digraphs.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace mcm::graph {
+namespace {
+
+Digraph RandomGraph(Rng* rng, size_t n, size_t m) {
+  Digraph g(n);
+  for (size_t k = 0; k < m; ++k) {
+    g.AddArc(static_cast<NodeId>(rng->NextIndex(n)),
+             static_cast<NodeId>(rng->NextIndex(n)));
+  }
+  return g;
+}
+
+// O(n^3) Floyd-Warshall reachability + shortest path lengths.
+struct Brute {
+  std::vector<std::vector<int64_t>> dist;  // -1 = unreachable
+
+  explicit Brute(const Digraph& g) {
+    size_t n = g.NumNodes();
+    dist.assign(n, std::vector<int64_t>(n, -1));
+    for (NodeId u = 0; u < n; ++u) {
+      dist[u][u] = 0;
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (dist[u][v] == -1 || dist[u][v] > 1) dist[u][v] = u == v ? 0 : 1;
+      }
+    }
+    for (NodeId k = 0; k < n; ++k) {
+      for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = 0; j < n; ++j) {
+          if (dist[i][k] >= 0 && dist[k][j] >= 0) {
+            int64_t via = dist[i][k] + dist[k][j];
+            if (dist[i][j] == -1 || via < dist[i][j]) dist[i][j] = via;
+          }
+        }
+      }
+    }
+  }
+};
+
+class DigraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DigraphPropertyTest, BfsMatchesFloydWarshall) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextIndex(12);
+    Digraph g = RandomGraph(&rng, n, rng.NextIndex(3 * n));
+    Brute brute(g);
+    for (NodeId src = 0; src < n; ++src) {
+      auto d = g.BfsDistances(src);
+      for (NodeId v = 0; v < n; ++v) {
+        int64_t expect = brute.dist[src][v];
+        EXPECT_EQ(d[v], expect == -1 ? kUnreachable : expect)
+            << "src=" << src << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, ReachabilityMatchesBfs) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextIndex(12);
+    Digraph g = RandomGraph(&rng, n, rng.NextIndex(3 * n));
+    Brute brute(g);
+    auto r = g.ReachableFrom(0);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(r[v], brute.dist[0][v] >= 0);
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, CanReachIsReverseReachability) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextIndex(12);
+    Digraph g = RandomGraph(&rng, n, rng.NextIndex(3 * n));
+    NodeId target = static_cast<NodeId>(rng.NextIndex(n));
+    auto can = g.CanReach({target});
+    auto rev = g.Reversed().ReachableFrom(target);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(can[v], rev[v]) << "v=" << v;
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, SccsPartitionAndMutualReachability) {
+  Rng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextIndex(10);
+    Digraph g = RandomGraph(&rng, n, rng.NextIndex(3 * n));
+    Brute brute(g);
+    auto mutually = [&](NodeId a, NodeId b) {
+      return brute.dist[a][b] >= 0 && brute.dist[b][a] >= 0;
+    };
+    auto sccs = g.Sccs();
+    // Partition check.
+    std::vector<int> comp_of(n, -1);
+    for (size_t c = 0; c < sccs.size(); ++c) {
+      for (NodeId v : sccs[c]) {
+        EXPECT_EQ(comp_of[v], -1);
+        comp_of[v] = static_cast<int>(c);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) EXPECT_NE(comp_of[v], -1);
+    // Same component iff mutually reachable.
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        EXPECT_EQ(comp_of[a] == comp_of[b], mutually(a, b))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(DigraphPropertyTest, OnCycleMatchesSelfReachability) {
+  Rng rng(GetParam() + 4000);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextIndex(10);
+    Digraph g = RandomGraph(&rng, n, rng.NextIndex(3 * n));
+    Brute brute(g);
+    auto cyc = g.OnCycle();
+    for (NodeId v = 0; v < n; ++v) {
+      // On a cycle iff v reaches itself through at least one arc.
+      bool self = false;
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (w == v || brute.dist[w][v] >= 0) self = true;
+      }
+      EXPECT_EQ(cyc[v], self) << "v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mcm::graph

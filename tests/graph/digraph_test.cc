@@ -1,0 +1,197 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcm::graph {
+namespace {
+
+Digraph Chain(size_t n) {
+  Digraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddArc(i, i + 1);
+  return g;
+}
+
+TEST(Digraph, AddNodesAndArcs) {
+  Digraph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  EXPECT_TRUE(g.AddArc(a, b));
+  EXPECT_FALSE(g.AddArc(a, b));  // dedup
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumArcs(), 1u);
+  EXPECT_TRUE(g.HasArc(a, b));
+  EXPECT_FALSE(g.HasArc(b, a));
+}
+
+TEST(Digraph, InOutNeighbors) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutNeighbors(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(g.InNeighbors(1), (std::vector<NodeId>{0}));
+}
+
+TEST(Digraph, BfsDistancesChain) {
+  Digraph g = Chain(5);
+  auto d = g.BfsDistances(0);
+  EXPECT_EQ(d, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Digraph, BfsUnreachable) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  auto d = g.BfsDistances(0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Digraph, BfsPicksShortestPath) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 3);
+  g.AddArc(0, 2);
+  g.AddArc(2, 3);
+  g.AddArc(0, 3);  // direct shortcut
+  EXPECT_EQ(g.BfsDistances(0)[3], 1);
+}
+
+TEST(Digraph, ReachableFrom) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  auto r = g.ReachableFrom(0);
+  EXPECT_TRUE(r[0] && r[1] && r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(Digraph, CanReachBackward) {
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(3, 2);
+  auto r = g.CanReach({2});
+  EXPECT_TRUE(r[0] && r[1] && r[2] && r[3]);
+  EXPECT_FALSE(r[4]);
+}
+
+TEST(Digraph, CanReachEmptyTargets) {
+  Digraph g = Chain(3);
+  auto r = g.CanReach({});
+  EXPECT_TRUE(std::none_of(r.begin(), r.end(), [](bool b) { return b; }));
+}
+
+TEST(Digraph, Reversed) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  Digraph rev = g.Reversed();
+  EXPECT_TRUE(rev.HasArc(1, 0));
+  EXPECT_TRUE(rev.HasArc(2, 1));
+  EXPECT_EQ(rev.NumArcs(), 2u);
+}
+
+TEST(Digraph, SccsOnDag) {
+  Digraph g = Chain(4);
+  auto sccs = g.Sccs();
+  EXPECT_EQ(sccs.size(), 4u);
+}
+
+TEST(Digraph, SccsFindCycle) {
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 1);  // cycle {1,2}
+  g.AddArc(2, 3);
+  auto sccs = g.Sccs();
+  size_t big = 0;
+  for (const auto& c : sccs) {
+    if (c.size() > 1) {
+      ++big;
+      std::vector<NodeId> sorted = c;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(sorted, (std::vector<NodeId>{1, 2}));
+    }
+  }
+  EXPECT_EQ(big, 1u);
+}
+
+TEST(Digraph, SccsReverseTopologicalOrder) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  auto sccs = g.Sccs();
+  // Tarjan emits dependencies (sinks) first: 2 before 1 before 0.
+  ASSERT_EQ(sccs.size(), 3u);
+  EXPECT_EQ(sccs[0][0], 2u);
+  EXPECT_EQ(sccs[2][0], 0u);
+}
+
+TEST(Digraph, IsAcyclic) {
+  EXPECT_TRUE(Chain(4).IsAcyclic());
+  Digraph g = Chain(4);
+  g.AddArc(3, 0);
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph g(2);
+  g.AddArc(0, 1);
+  g.AddArc(1, 1);
+  EXPECT_FALSE(g.IsAcyclic());
+  auto cyc = g.OnCycle();
+  EXPECT_FALSE(cyc[0]);
+  EXPECT_TRUE(cyc[1]);
+}
+
+TEST(Digraph, OnCycleMarksOnlyCycleMembers) {
+  Digraph g(5);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 1);
+  g.AddArc(2, 3);
+  g.AddArc(3, 4);
+  auto cyc = g.OnCycle();
+  EXPECT_FALSE(cyc[0]);
+  EXPECT_TRUE(cyc[1]);
+  EXPECT_TRUE(cyc[2]);
+  EXPECT_FALSE(cyc[3]);  // downstream of a cycle but not on one
+  EXPECT_FALSE(cyc[4]);
+}
+
+TEST(Digraph, TopologicalOrderValidOnDag) {
+  Digraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 3);
+  g.AddArc(2, 3);
+  auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Digraph, TopologicalOrderShortOnCycle) {
+  Digraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(1, 2);
+  EXPECT_LT(g.TopologicalOrder().size(), 3u);
+}
+
+TEST(Digraph, LargeChainIterativeTarjanNoOverflow) {
+  // The iterative SCC must handle deep graphs that would blow a recursive
+  // implementation's stack.
+  const size_t n = 200000;
+  Digraph g = Chain(n);
+  EXPECT_EQ(g.Sccs().size(), n);
+}
+
+}  // namespace
+}  // namespace mcm::graph

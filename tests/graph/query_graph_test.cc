@@ -1,0 +1,152 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm::graph {
+namespace {
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  QueryGraphTest()
+      : l_("l", 2), e_("e", 2), r_("r", 2) {}
+
+  Result<QueryGraph> Build(Value a = 0) {
+    return QueryGraph::Build(l_, e_, r_, a);
+  }
+
+  Relation l_, e_, r_;
+};
+
+TEST_F(QueryGraphTest, SourceOnlyGraph) {
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n_l(), 1u);  // the source is always an L-node
+  EXPECT_EQ(qg->m_l(), 0u);
+  EXPECT_EQ(qg->n_r(), 0u);
+}
+
+TEST_F(QueryGraphTest, MagicGraphIsReachableLPart) {
+  l_.Insert2(0, 1);
+  l_.Insert2(1, 2);
+  l_.Insert2(5, 6);  // unreachable from 0
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n_l(), 3u);
+  EXPECT_EQ(qg->m_l(), 2u);
+  EXPECT_EQ(qg->LNodeOf(5), kInvalidNode);
+  EXPECT_NE(qg->LNodeOf(2), kInvalidNode);
+}
+
+TEST_F(QueryGraphTest, SourceGetsNodeZero) {
+  l_.Insert2(0, 1);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->source(), 0u);
+  EXPECT_EQ(qg->LValueOf(0), 0);
+}
+
+TEST_F(QueryGraphTest, EArcsOnlyFromReachableLNodes) {
+  l_.Insert2(0, 1);
+  e_.Insert2(1, 100);
+  e_.Insert2(7, 200);  // 7 not reachable in L
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->m_e(), 1u);
+  EXPECT_EQ(qg->n_r(), 1u);
+  EXPECT_NE(qg->RNodeOf(100), kInvalidNode);
+  EXPECT_EQ(qg->RNodeOf(200), kInvalidNode);
+}
+
+TEST_F(QueryGraphTest, RArcsAreReversed) {
+  // R(y, y1) produces arc y1 -> y in G.
+  l_.Insert2(0, 1);
+  e_.Insert2(1, 101);
+  r_.Insert2(100, 101);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->m_r(), 1u);
+  NodeId n101 = qg->RNodeOf(101);
+  NodeId n100 = qg->RNodeOf(100);
+  ASSERT_NE(n101, kInvalidNode);
+  ASSERT_NE(n100, kInvalidNode);
+  EXPECT_TRUE(qg->full().HasArc(n101, n100));
+  EXPECT_FALSE(qg->full().HasArc(n100, n101));
+}
+
+TEST_F(QueryGraphTest, RSideBfsFollowsReversedArcs) {
+  // Chain 100 <- 101 <- 102 in G (R tuples (100,101), (101,102)); E lands
+  // on 102, so all three are reachable.
+  l_.Insert2(0, 1);
+  e_.Insert2(1, 102);
+  r_.Insert2(100, 101);
+  r_.Insert2(101, 102);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n_r(), 3u);
+  // R tuples whose G-arcs never become reachable are excluded.
+  r_.Insert2(300, 301);
+  auto qg2 = Build();
+  ASSERT_TRUE(qg2.ok());
+  EXPECT_EQ(qg2->n_r(), 3u);
+  EXPECT_EQ(qg2->m_r(), 2u);
+}
+
+TEST_F(QueryGraphTest, LAndRValueSpacesAreDistinct) {
+  // Value 1 appears both as an L-value and an R-value: two distinct nodes.
+  l_.Insert2(0, 1);
+  e_.Insert2(0, 1);   // R-node with value 1
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  NodeId l1 = qg->LNodeOf(1);
+  NodeId r1 = qg->RNodeOf(1);
+  ASSERT_NE(l1, kInvalidNode);
+  ASSERT_NE(r1, kInvalidNode);
+  EXPECT_NE(l1, r1);
+  EXPECT_TRUE(qg->IsRNode(r1));
+  EXPECT_FALSE(qg->IsRNode(l1));
+  EXPECT_EQ(qg->RValueOf(r1), 1);
+}
+
+TEST_F(QueryGraphTest, SizesAddUp) {
+  l_.Insert2(0, 1);
+  l_.Insert2(0, 2);
+  e_.Insert2(1, 101);
+  e_.Insert2(2, 102);
+  r_.Insert2(100, 101);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n(), qg->n_l() + qg->n_r());
+  EXPECT_EQ(qg->m(), qg->m_l() + qg->m_e() + qg->m_r());
+}
+
+TEST_F(QueryGraphTest, CyclicLHandled) {
+  l_.Insert2(0, 1);
+  l_.Insert2(1, 0);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n_l(), 2u);
+  EXPECT_EQ(qg->m_l(), 2u);
+  EXPECT_FALSE(qg->magic_graph().IsAcyclic());
+}
+
+TEST_F(QueryGraphTest, NonBinaryRelationRejected) {
+  Relation bad("bad", 3);
+  auto qg = QueryGraph::Build(bad, e_, r_, 0);
+  EXPECT_FALSE(qg.ok());
+}
+
+TEST_F(QueryGraphTest, EArcsListedWithMagicIds) {
+  l_.Insert2(0, 1);
+  e_.Insert2(0, 100);
+  e_.Insert2(1, 100);
+  auto qg = Build();
+  ASSERT_TRUE(qg.ok());
+  ASSERT_EQ(qg->e_arcs().size(), 2u);
+  for (auto [lnode, rnode] : qg->e_arcs()) {
+    EXPECT_LT(lnode, qg->n_l());
+    EXPECT_TRUE(qg->IsRNode(rnode));
+  }
+}
+
+}  // namespace
+}  // namespace mcm::graph

@@ -1,0 +1,122 @@
+// Property test for Fact 1 (Q ≡ Q_C ≡ Q_M) and the correctness of every
+// magic counting method: on random databases, every safe method returns
+// exactly the reference answers.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mcm {
+namespace {
+
+struct EquivalenceCase {
+  uint64_t seed;
+  size_t l_nodes, l_arcs, r_nodes, r_arcs, e_arcs;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(EquivalenceTest, AllSafeMethodsMatchReference) {
+  const EquivalenceCase& c = GetParam();
+  workload::CslData data = workload::MakeRandomCsl(
+      c.l_nodes, c.l_arcs, c.r_nodes, c.r_arcs, c.e_arcs, c.seed);
+  Database db;
+  data.Load(&db);
+  core::CslSolver solver(&db, "l", "e", "r", data.source);
+
+  auto ref = solver.RunReference();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  auto magic = solver.RunMagicSets();
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  EXPECT_EQ(magic->answers, ref->answers) << "magic sets vs reference";
+
+  // Counting may legitimately be unsafe (cyclic magic graph); when it
+  // completes it must agree.
+  auto counting = solver.RunCounting();
+  if (counting.ok()) {
+    EXPECT_EQ(counting->answers, ref->answers) << "counting vs reference";
+  } else {
+    EXPECT_TRUE(counting.status().IsUnsafe());
+  }
+
+  for (auto variant :
+       {core::McVariant::kBasic, core::McVariant::kSingle,
+        core::McVariant::kMultiple, core::McVariant::kRecurring,
+        core::McVariant::kRecurringSmart}) {
+    for (auto mode :
+         {core::McMode::kIndependent, core::McMode::kIntegrated}) {
+      for (auto detection : {core::DetectionMode::kDifferingIndex,
+                             core::DetectionMode::kAnyDuplicate}) {
+        core::RunOptions options;
+        options.detection = detection;
+        auto run = solver.RunMagicCounting(variant, mode, options);
+        ASSERT_TRUE(run.ok())
+            << core::McVariantToString(variant) << "/"
+            << core::McModeToString(mode) << ": " << run.status().ToString();
+        EXPECT_EQ(run->answers, ref->answers)
+            << run->method << " detection="
+            << core::DetectionModeToString(detection);
+      }
+    }
+  }
+}
+
+std::vector<EquivalenceCase> MakeCases() {
+  std::vector<EquivalenceCase> cases;
+  Rng rng(20260704);
+  for (uint64_t i = 0; i < 24; ++i) {
+    EquivalenceCase c;
+    c.seed = 1000 + i;
+    c.l_nodes = 2 + rng.NextIndex(10);
+    c.l_arcs = rng.NextIndex(3 * c.l_nodes + 1);
+    c.r_nodes = 2 + rng.NextIndex(10);
+    c.r_arcs = rng.NextIndex(3 * c.r_nodes + 1);
+    c.e_arcs = rng.NextIndex(c.l_nodes * 2 + 1);
+    cases.push_back(c);
+  }
+  // Degenerate corners.
+  cases.push_back({1, 1, 0, 1, 0, 0});   // nothing anywhere
+  cases.push_back({2, 1, 0, 1, 0, 1});   // only an E arc
+  cases.push_back({3, 4, 16, 1, 0, 4});  // dense L, no R
+  cases.push_back({4, 1, 0, 6, 12, 3});  // no L, busy R
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, EquivalenceTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<EquivalenceCase>&
+                                info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Larger structured instances: same-generation families.
+class SameGenerationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SameGenerationTest, AllMethodsAgree) {
+  workload::CslData data = workload::MakeSameGeneration(60, 3, GetParam());
+  Database db;
+  data.Load(&db, "parent", "eq", "parent");
+  core::CslSolver solver(&db, "parent", "eq", "parent", data.source);
+
+  auto ref = solver.RunReference();
+  ASSERT_TRUE(ref.ok());
+  auto counting = solver.RunCounting();
+  if (counting.ok()) {
+    EXPECT_EQ(counting->answers, ref->answers);
+  }
+  for (auto variant :
+       {core::McVariant::kSingle, core::McVariant::kMultiple,
+        core::McVariant::kRecurringSmart}) {
+    auto run = solver.RunMagicCounting(variant, core::McMode::kIntegrated);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->answers, ref->answers) << run->method;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SameGenerationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mcm

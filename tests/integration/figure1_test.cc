@@ -1,0 +1,87 @@
+// A Figure-1-style walkthrough: a fully hand-checked regular instance, the
+// graph interpretation of Fact 2, and agreement of every method on it.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "graph/classify.h"
+#include "graph/query_graph.h"
+#include "workload/generators.h"
+
+namespace mcm {
+namespace {
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1Test() {
+    data_ = workload::MakeFigure1Style();
+    data_.Load(&db_);
+  }
+
+  // Hand-derivation of the answer set (Fact 2: k L-arcs, one E-arc, k
+  // R-arcs):
+  //   L paths from 0:  len 1 -> {1, 2}; len 2 -> {3, 4}; len 3 -> {5}.
+  //   E arcs: 1->101 (k=1), 3->103 (k=2), 5->105 (k=3), 2->106 (k=1).
+  //   R-side arcs (from R(y,y1): y1 -> y):
+  //     101->100, 102->101, 103->102, 104->103, 105->104, 106->107,
+  //     107->108.
+  //   k=1 via node 1: E to 101, one step: 101->100  => 100.
+  //   k=1 via node 2: E to 106, one step: 106->107  => 107.
+  //   k=2 via node 3: E to 103, two steps: 103->102->101 => 101.
+  //   k=3 via node 5: E to 105, three steps: 105->104->103->102 => 102.
+  const std::vector<Value> kExpectedAnswers{100, 101, 102, 107};
+
+  workload::CslData data_;
+  Database db_;
+};
+
+TEST_F(Figure1Test, GraphStatistics) {
+  auto qg = graph::QueryGraph::Build(*db_.Find("l"), *db_.Find("e"),
+                                     *db_.Find("r"), 0);
+  ASSERT_TRUE(qg.ok());
+  EXPECT_EQ(qg->n_l(), 6u);
+  EXPECT_EQ(qg->m_l(), 6u);
+  EXPECT_EQ(qg->m_e(), 4u);
+  auto a = graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source());
+  EXPECT_EQ(a.graph_class, graph::GraphClass::kRegular);
+}
+
+TEST_F(Figure1Test, ReferenceMatchesHandDerivation) {
+  core::CslSolver solver(&db_, "l", "e", "r", 0);
+  auto ref = solver.RunReference();
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->answers, kExpectedAnswers);
+}
+
+TEST_F(Figure1Test, EveryMethodMatchesHandDerivation) {
+  core::CslSolver solver(&db_, "l", "e", "r", 0);
+  auto counting = solver.RunCounting();
+  ASSERT_TRUE(counting.ok());
+  EXPECT_EQ(counting->answers, kExpectedAnswers);
+  auto magic = solver.RunMagicSets();
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(magic->answers, kExpectedAnswers);
+  for (auto variant :
+       {core::McVariant::kBasic, core::McVariant::kSingle,
+        core::McVariant::kMultiple, core::McVariant::kRecurring,
+        core::McVariant::kRecurringSmart}) {
+    for (auto mode :
+         {core::McMode::kIndependent, core::McMode::kIntegrated}) {
+      auto run = solver.RunMagicCounting(variant, mode);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(run->answers, kExpectedAnswers) << run->method;
+    }
+  }
+}
+
+TEST_F(Figure1Test, RegularInstanceUsesPureCounting) {
+  core::CslSolver solver(&db_, "l", "e", "r", 0);
+  auto run = solver.RunMagicCounting(core::McVariant::kBasic,
+                                     core::McMode::kIndependent);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->detected_class, graph::GraphClass::kRegular);
+  EXPECT_EQ(run->rm_size, 0u);
+  EXPECT_EQ(run->rc_size, 6u);
+}
+
+}  // namespace
+}  // namespace mcm

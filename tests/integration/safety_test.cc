@@ -1,0 +1,122 @@
+// Safety properties (Proposition 3 and the unsafety of pure counting):
+// magic counting methods terminate on every input; the counting method
+// diverges exactly when the magic graph is cyclic.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "graph/classify.h"
+#include "graph/query_graph.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mcm {
+namespace {
+
+graph::GraphClass TrueClass(Database* db, Value source) {
+  Relation empty_e("e0", 2), empty_r("r0", 2);
+  auto qg = graph::QueryGraph::Build(*db->Find("l"), empty_e, empty_r, source);
+  EXPECT_TRUE(qg.ok());
+  return graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source())
+      .graph_class;
+}
+
+TEST(Safety, CountingDivergesIffMagicGraphCyclic) {
+  Rng rng(777);
+  int cyclic_seen = 0, acyclic_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + rng.NextIndex(8);
+    workload::CslData data =
+        workload::MakeRandomCsl(n, rng.NextIndex(3 * n), 4, 4, n, 600 + trial);
+    Database db;
+    data.Load(&db);
+    graph::GraphClass cls = TrueClass(&db, data.source);
+
+    core::CslSolver solver(&db, "l", "e", "r", data.source);
+    auto counting = solver.RunCounting();
+    if (cls == graph::GraphClass::kCyclic) {
+      ++cyclic_seen;
+      EXPECT_FALSE(counting.ok()) << "trial " << trial;
+      if (!counting.ok()) {
+        EXPECT_TRUE(counting.status().IsUnsafe());
+      }
+    } else {
+      ++acyclic_seen;
+      EXPECT_TRUE(counting.ok())
+          << "trial " << trial << ": " << counting.status().ToString();
+    }
+  }
+  // The trial mix must actually exercise both sides.
+  EXPECT_GT(cyclic_seen, 3);
+  EXPECT_GT(acyclic_seen, 3);
+}
+
+TEST(Safety, McMethodsTerminateOnAdversarialGraphs) {
+  // Dense cyclic cores, self loops, cycles through the source.
+  std::vector<std::vector<std::pair<Value, Value>>> adversarial = {
+      {{0, 0}},                              // self-loop at source
+      {{0, 1}, {1, 0}},                      // 2-cycle through source
+      {{0, 1}, {1, 2}, {2, 1}},              // off-source 2-cycle
+      {{0, 1}, {1, 2}, {2, 3}, {3, 1}},      // longer cycle
+      {{0, 1}, {1, 1}, {1, 2}, {2, 2}},      // chained self-loops
+      {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}},  // cycle back to source
+  };
+  for (size_t i = 0; i < adversarial.size(); ++i) {
+    workload::CslData data;
+    data.l = adversarial[i];
+    data.e = {{0, 100}, {1, 101}};
+    data.r = {{100, 101}};
+    data.source = 0;
+    Database db;
+    data.Load(&db);
+    core::CslSolver solver(&db, "l", "e", "r", data.source);
+    auto ref = solver.RunMagicSets();
+    ASSERT_TRUE(ref.ok()) << "graph " << i;
+    for (auto variant :
+         {core::McVariant::kBasic, core::McVariant::kSingle,
+          core::McVariant::kMultiple, core::McVariant::kRecurring,
+          core::McVariant::kRecurringSmart}) {
+      for (auto mode :
+           {core::McMode::kIndependent, core::McMode::kIntegrated}) {
+        auto run = solver.RunMagicCounting(variant, mode);
+        ASSERT_TRUE(run.ok())
+            << "graph " << i << " " << core::McVariantToString(variant);
+        EXPECT_EQ(run->answers, ref->answers) << "graph " << i;
+      }
+    }
+  }
+}
+
+TEST(Safety, UnsafeStatusNamesTheCulprit) {
+  workload::CslData data;
+  data.l = {{0, 1}, {1, 0}};
+  data.e = {{0, 100}};
+  data.source = 0;
+  Database db;
+  data.Load(&db);
+  core::CslSolver solver(&db, "l", "e", "r", data.source);
+  auto counting = solver.RunCounting();
+  ASSERT_FALSE(counting.ok());
+  EXPECT_NE(counting.status().message().find("mcm_cs"), std::string::npos);
+}
+
+TEST(Safety, RecurringStepOneCapBoundsWork) {
+  // Even a large strongly connected magic graph stays cheap for Step 1 of
+  // the recurring method: levels are capped at 2K-1.
+  workload::CslData data;
+  const size_t n = 60;
+  for (size_t i = 0; i < n; ++i) {
+    data.l.emplace_back(static_cast<Value>(i), static_cast<Value>((i + 1) % n));
+  }
+  data.e = {{0, 100}};
+  data.source = 0;
+  Database db;
+  data.Load(&db);
+  auto r = core::ComputeReducedSets(&db, "l", 0, core::McVariant::kRecurring,
+                                    core::McMode::kIndependent);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rm_size, n);  // everything recurring
+  EXPECT_LE(r->levels, 2 * n);
+}
+
+}  // namespace
+}  // namespace mcm

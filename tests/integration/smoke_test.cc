@@ -1,0 +1,46 @@
+// End-to-end smoke: all methods agree on a small same-generation instance.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "workload/generators.h"
+
+namespace mcm {
+namespace {
+
+TEST(Smoke, AllMethodsAgreeOnSameGeneration) {
+  workload::CslData data = workload::MakeSameGeneration(40, 2, 123);
+  Database db;
+  data.Load(&db, "parent", "eq", "parent");
+
+  core::CslSolver solver(&db, "parent", "eq", "parent", data.source);
+
+  auto ref = solver.RunReference();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_FALSE(ref->answers.empty());
+
+  auto counting = solver.RunCounting();
+  ASSERT_TRUE(counting.ok()) << counting.status().ToString();
+  EXPECT_EQ(counting->answers, ref->answers);
+
+  auto magic = solver.RunMagicSets();
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  EXPECT_EQ(magic->answers, ref->answers);
+
+  for (auto variant :
+       {core::McVariant::kBasic, core::McVariant::kSingle,
+        core::McVariant::kMultiple, core::McVariant::kRecurring,
+        core::McVariant::kRecurringSmart}) {
+    for (auto mode :
+         {core::McMode::kIndependent, core::McMode::kIntegrated}) {
+      auto run = solver.RunMagicCounting(variant, mode);
+      ASSERT_TRUE(run.ok()) << core::McVariantToString(variant) << "/"
+                            << core::McModeToString(mode) << ": "
+                            << run.status().ToString();
+      EXPECT_EQ(run->answers, ref->answers)
+          << run->method << " disagrees with reference";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,124 @@
+#include "rewrite/adornment.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace mcm::rewrite {
+namespace {
+
+Result<AdornedProgram> AdornSrc(const std::string& src,
+                                const std::string& goal_src) {
+  auto prog = dl::Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto goal = dl::ParseAtom(goal_src);
+  EXPECT_TRUE(goal.ok()) << goal.status().ToString();
+  return Adorn(*prog, *goal);
+}
+
+TEST(AdornedName, Basics) {
+  EXPECT_EQ(AdornedName("p", "bf"), "p__bf");
+  EXPECT_EQ(AdornedName("p", "bb"), "p__bb");
+  EXPECT_EQ(AdornedName("p", "ff"), "p");  // no binding: name unchanged
+  EXPECT_EQ(AdornedName("p", ""), "p");
+}
+
+TEST(GoalPattern, ConstantsAreBound) {
+  auto goal = dl::ParseAtom("p(a, Y, 3)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_EQ(GoalPattern(*goal), "bfb");
+}
+
+TEST(Adorn, CanonicalQueryGetsBf) {
+  auto ap = AdornSrc(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+  )", "p(a, Y)");
+  ASSERT_TRUE(ap.ok()) << ap.status().ToString();
+  EXPECT_EQ(ap->adorned_goal.predicate, "p__bf");
+  ASSERT_EQ(ap->program.rules.size(), 2u);
+  // The recursive occurrence is adorned bf as well: X1 is bound after
+  // l(X, X1).
+  const dl::Rule& rec = ap->program.rules[1];
+  EXPECT_EQ(rec.head.predicate, "p__bf");
+  EXPECT_EQ(rec.body[1].atom.predicate, "p__bf");
+  // EDB atoms keep their names.
+  EXPECT_EQ(rec.body[0].atom.predicate, "l");
+  EXPECT_EQ(rec.body[2].atom.predicate, "r");
+}
+
+TEST(Adorn, FreeGoalKeepsNames) {
+  auto ap = AdornSrc(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )", "tc(X, Y)");
+  ASSERT_TRUE(ap.ok());
+  EXPECT_EQ(ap->adorned_goal.predicate, "tc");  // pattern ff
+}
+
+TEST(Adorn, SecondArgumentBound) {
+  // tc(X, b)? : binding flows through the *second* argument only if the
+  // rule shape supports it; with the left-linear rule the recursive call
+  // sees X free and Y... here Z is free at the recursive occurrence.
+  auto ap = AdornSrc(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+  )", "tc(X, 5)");
+  ASSERT_TRUE(ap.ok());
+  EXPECT_EQ(ap->adorned_goal.predicate, "tc__fb");
+  // The recursive occurrence tc(X, Z) has neither bound: plain "tc" and a
+  // new worklist entry for the unrestricted version.
+  bool has_ff_rules = false;
+  for (const dl::Rule& r : ap->program.rules) {
+    if (r.head.predicate == "tc") has_ff_rules = true;
+  }
+  EXPECT_TRUE(has_ff_rules);
+}
+
+TEST(Adorn, MultiplePatternsCoexist) {
+  auto ap = AdornSrc(R"(
+    p(X, Y) :- e(X, Y).
+    q(X, Y) :- p(X, Y), p(Y, X).
+  )", "q(3, Y)");
+  ASSERT_TRUE(ap.ok());
+  // p is reached as p__bf (X bound) and p__bb (after p(X,Y) binds Y, the
+  // atom p(Y, X) has both bound).
+  std::set<std::string> heads;
+  for (const dl::Rule& r : ap->program.rules) heads.insert(r.head.predicate);
+  EXPECT_TRUE(heads.count("q__bf"));
+  EXPECT_TRUE(heads.count("p__bf"));
+  EXPECT_TRUE(heads.count("p__bb"));
+}
+
+TEST(Adorn, NegatedIdbGetsAllBound) {
+  auto ap = AdornSrc(R"(
+    bad(X) :- e(X, X).
+    ok(X) :- v(X), not bad(X).
+  )", "ok(7)");
+  ASSERT_TRUE(ap.ok());
+  bool found = false;
+  for (const dl::Rule& r : ap->program.rules) {
+    if (r.head.predicate == "ok__b") {
+      ASSERT_EQ(r.body.size(), 2u);
+      EXPECT_EQ(r.body[1].atom.predicate, "bad__b");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Adorn, UnknownGoalPredicateFails) {
+  auto ap = AdornSrc("p(1, 2).", "q(X)");
+  EXPECT_FALSE(ap.ok());
+}
+
+TEST(Adorn, ConstantInRuleHeadTreatedAsBound) {
+  auto ap = AdornSrc(R"(
+    p(X, Y) :- e(X, Y).
+  )", "p(a, Y)");
+  ASSERT_TRUE(ap.ok());
+  EXPECT_EQ(ap->program.rules[0].head.predicate, "p__bf");
+}
+
+}  // namespace
+}  // namespace mcm::rewrite

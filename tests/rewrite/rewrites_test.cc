@@ -1,0 +1,189 @@
+#include "rewrite/csl_rewrites.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/validate.h"
+#include "eval/engine.h"
+#include "eval/strata.h"
+
+namespace mcm::rewrite {
+namespace {
+
+CslQuery TestQuery() {
+  CslQuery q;
+  q.p = "p";
+  q.e = "e";
+  q.l = "l";
+  q.r = "r";
+  q.source = dl::Term::Int(0);
+  q.answer_var = "Y";
+  return q;
+}
+
+bool DefinesPredicate(const dl::Program& prog, const std::string& name) {
+  for (const dl::Rule& r : prog.rules) {
+    if (r.head.predicate == name) return true;
+  }
+  return false;
+}
+
+bool UsesPredicateInBody(const dl::Program& prog, const std::string& name) {
+  for (const dl::Rule& r : prog.rules) {
+    for (const dl::Literal& l : r.body) {
+      if (l.kind == dl::Literal::Kind::kAtom && l.atom.predicate == name) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(CountingProgram, ShapeMatchesPaper) {
+  dl::Program prog = CountingProgram(TestQuery());
+  EXPECT_EQ(prog.rules.size(), 5u);
+  EXPECT_EQ(prog.queries.size(), 1u);
+  EXPECT_TRUE(dl::Validate(prog).ok()) << prog.ToString();
+  EXPECT_TRUE(DefinesPredicate(prog, "mcm_cs"));
+  EXPECT_TRUE(DefinesPredicate(prog, "mcm_pc"));
+  EXPECT_TRUE(DefinesPredicate(prog, "mcm_answer"));
+  // Seed fact CS(0, a).
+  EXPECT_TRUE(prog.rules[0].IsFact());
+  EXPECT_EQ(prog.rules[0].head.args[0].value, 0);
+}
+
+TEST(CountingProgram, StratifiesIntoCsThenPc) {
+  dl::Program prog = CountingProgram(TestQuery());
+  auto strat = eval::Stratify(prog);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_LT(strat->stratum_of.at("mcm_cs"), strat->stratum_of.at("mcm_pc"));
+}
+
+TEST(MagicSetProgram, ShapeMatchesPaper) {
+  dl::Program prog = MagicSetProgram(TestQuery());
+  EXPECT_EQ(prog.rules.size(), 5u);
+  EXPECT_TRUE(dl::Validate(prog).ok()) << prog.ToString();
+  EXPECT_TRUE(DefinesPredicate(prog, "mcm_ms"));
+  EXPECT_TRUE(DefinesPredicate(prog, "mcm_pm"));
+  // The modified recursive rule guards with MS(X).
+  bool found = false;
+  for (const dl::Rule& r : prog.rules) {
+    if (r.head.predicate == "mcm_pm" && r.body.size() == 4) {
+      EXPECT_EQ(r.body[0].atom.predicate, "mcm_ms");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IndependentMcProgram, UsesFullMagicSetInRecursion) {
+  dl::Program prog = IndependentMcProgram(TestQuery());
+  EXPECT_TRUE(dl::Validate(prog).ok()) << prog.ToString();
+  // RM feeds only the exit rule; the recursive P_M rule ranges over MS.
+  EXPECT_TRUE(UsesPredicateInBody(prog, "mcm_ms"));
+  EXPECT_TRUE(UsesPredicateInBody(prog, "mcm_rm"));
+  EXPECT_TRUE(UsesPredicateInBody(prog, "mcm_rc"));
+  // Two answer rules (counting side and magic side).
+  int answer_rules = 0;
+  for (const dl::Rule& r : prog.rules) {
+    if (r.head.predicate == "mcm_answer") ++answer_rules;
+  }
+  EXPECT_EQ(answer_rules, 2);
+}
+
+TEST(IntegratedMcProgram, RecursionRestrictedToRm) {
+  dl::Program prog = IntegratedMcProgram(TestQuery());
+  EXPECT_TRUE(dl::Validate(prog).ok()) << prog.ToString();
+  // No reference to the full MS: the integrated method never needs it.
+  EXPECT_FALSE(UsesPredicateInBody(prog, "mcm_ms"));
+  // Exactly one answer rule (the counting side only).
+  int answer_rules = 0;
+  for (const dl::Rule& r : prog.rules) {
+    if (r.head.predicate == "mcm_answer") ++answer_rules;
+  }
+  EXPECT_EQ(answer_rules, 1);
+}
+
+TEST(IntegratedMcProgram, TransferRuleShape) {
+  // P_C(J, Y) :- RC(J, X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+  dl::Program prog = IntegratedMcProgram(TestQuery());
+  bool found = false;
+  for (const dl::Rule& r : prog.rules) {
+    if (r.head.predicate != "mcm_pc" || r.body.size() != 4) continue;
+    if (r.body[0].atom.predicate == "mcm_rc" &&
+        r.body[1].atom.predicate == "l" &&
+        r.body[2].atom.predicate == "mcm_pm" &&
+        r.body[3].atom.predicate == "r") {
+      // The recursive-result literal must be P_M(X1, Y1), sharing X1 with L.
+      EXPECT_EQ(r.body[2].atom.args[0].name, r.body[1].atom.args[1].name);
+      EXPECT_EQ(r.body[2].atom.args[1].name, r.body[3].atom.args[1].name);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << prog.ToString();
+}
+
+TEST(OriginalProgram, MatchesQueryShape) {
+  dl::Program prog = OriginalProgram(TestQuery());
+  EXPECT_EQ(prog.rules.size(), 2u);
+  EXPECT_TRUE(dl::Validate(prog).ok());
+  EXPECT_EQ(prog.queries[0].goal.predicate, "p");
+}
+
+TEST(RewriteNames, CustomNamesRespected) {
+  RewriteNames names;
+  names.cs = "my_cs";
+  names.answer = "my_answer";
+  dl::Program prog = CountingProgram(TestQuery(), names);
+  EXPECT_TRUE(DefinesPredicate(prog, "my_cs"));
+  EXPECT_TRUE(DefinesPredicate(prog, "my_answer"));
+  EXPECT_FALSE(DefinesPredicate(prog, "mcm_cs"));
+}
+
+TEST(Programs, DescendingRuleGuarded) {
+  // Every emitted P_C descent rule carries the J > 0 guard, keeping the
+  // descent finite even on cyclic R graphs.
+  for (const dl::Program& prog :
+       {CountingProgram(TestQuery()), IndependentMcProgram(TestQuery()),
+        IntegratedMcProgram(TestQuery())}) {
+    bool found_descent = false;
+    for (const dl::Rule& r : prog.rules) {
+      if (r.head.predicate == "mcm_pc" && !r.head.args.empty() &&
+          r.head.args[0].IsAffine() && r.head.args[0].value == -1) {
+        found_descent = true;
+        bool has_guard = false;
+        for (const dl::Literal& l : r.body) {
+          if (l.IsComparison() && l.cmp.op == dl::CmpOp::kGt) has_guard = true;
+        }
+        EXPECT_TRUE(has_guard) << r.ToString();
+      }
+    }
+    EXPECT_TRUE(found_descent);
+  }
+}
+
+TEST(Programs, EndToEndOnTinyInstance) {
+  // L: 0->1; E: 1 -> 101; R: 100 <- 101 (one descent step).
+  // Answer: from 0 via 1 L-arc, E, 1 R-arc: {100}.
+  auto run = [](const dl::Program& prog) {
+    Database db;
+    db.GetOrCreateRelation("l", 2)->Insert2(0, 1);
+    db.GetOrCreateRelation("e", 2)->Insert2(1, 101);
+    db.GetOrCreateRelation("r", 2)->Insert2(100, 101);
+    auto result = eval::RunProgram(&db, prog);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Value> vals;
+    for (const Tuple& t : *result) vals.push_back(t[t.arity() - 1]);
+    std::sort(vals.begin(), vals.end());
+    return vals;
+  };
+
+  auto reference = run(OriginalProgram(TestQuery()));
+  EXPECT_EQ(reference, (std::vector<Value>{100}));
+  EXPECT_EQ(run(CountingProgram(TestQuery())), reference);
+  EXPECT_EQ(run(MagicSetProgram(TestQuery())), reference);
+}
+
+}  // namespace
+}  // namespace mcm::rewrite

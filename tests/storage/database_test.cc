@@ -1,0 +1,99 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcm {
+namespace {
+
+TEST(Database, CreateAndFind) {
+  Database db;
+  auto r = db.CreateRelation("edge", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "edge");
+  EXPECT_EQ(db.Find("edge"), *r);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+}
+
+TEST(Database, CreateDuplicateFails) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("t", 1).ok());
+  auto dup = db.CreateRelation("t", 1);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Database, GetOrCreateIdempotent) {
+  Database db;
+  Relation* a = db.GetOrCreateRelation("t", 2);
+  Relation* b = db.GetOrCreateRelation("t", 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Database, GetReportsNotFound) {
+  Database db;
+  auto r = db.Get("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Database, Drop) {
+  Database db;
+  db.GetOrCreateRelation("t", 1);
+  EXPECT_TRUE(db.Drop("t"));
+  EXPECT_FALSE(db.Drop("t"));
+  EXPECT_EQ(db.Find("t"), nullptr);
+}
+
+TEST(Database, SharedStatsAcrossRelations) {
+  Database db;
+  Relation* a = db.GetOrCreateRelation("a", 1);
+  Relation* b = db.GetOrCreateRelation("b", 1);
+  a->Insert(Tuple{1});
+  b->Insert(Tuple{2});
+  a->Scan();
+  b->Scan();
+  EXPECT_EQ(db.stats().tuples_read, 2u);
+  EXPECT_EQ(db.stats().tuples_inserted, 2u);
+  db.ResetStats();
+  EXPECT_EQ(db.stats().tuples_read, 0u);
+}
+
+TEST(Database, RelationNamesAndTotals) {
+  Database db;
+  db.GetOrCreateRelation("x", 1)->Insert(Tuple{1});
+  db.GetOrCreateRelation("y", 1)->Insert(Tuple{1});
+  db.GetOrCreateRelation("y", 1)->Insert(Tuple{2});
+  auto names = db.RelationNames();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(Database, SymbolTableAttached) {
+  Database db;
+  Value a = db.symbols().Intern("ann");
+  EXPECT_EQ(db.symbols().Resolve(a), "ann");
+}
+
+TEST(AccessStats, Accumulate) {
+  AccessStats a, b;
+  a.tuples_read = 5;
+  a.probes = 1;
+  b.tuples_read = 7;
+  b.scans = 2;
+  a += b;
+  EXPECT_EQ(a.tuples_read, 12u);
+  EXPECT_EQ(a.scans, 2u);
+  EXPECT_EQ(a.probes, 1u);
+}
+
+TEST(AccessStats, ToStringHasCounters) {
+  AccessStats s;
+  s.tuples_read = 42;
+  EXPECT_NE(s.ToString().find("reads=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,133 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcm {
+namespace {
+
+TEST(Io, LoadIntegers) {
+  Database db;
+  std::istringstream in("1\t2\n3\t4\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "e", in, "<test>").ok());
+  Relation* e = db.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->arity(), 2u);
+  EXPECT_EQ(e->size(), 2u);
+  EXPECT_TRUE(e->Contains(Tuple{3, 4}));
+}
+
+TEST(Io, LoadSymbols) {
+  Database db;
+  std::istringstream in("ann\tbob\nbob\tcarol\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "parent", in, "<test>").ok());
+  Value ann = db.symbols().Find("ann");
+  Value bob = db.symbols().Find("bob");
+  ASSERT_GE(ann, 0);
+  ASSERT_GE(bob, 0);
+  EXPECT_TRUE(db.Find("parent")->Contains(Tuple{ann, bob}));
+}
+
+TEST(Io, MixedColumnsAndNegatives) {
+  Database db;
+  std::istringstream in("x\t-5\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "t", in, "<test>").ok());
+  Value x = db.symbols().Find("x");
+  EXPECT_TRUE(db.Find("t")->Contains(Tuple{x, -5}));
+}
+
+TEST(Io, SkipsCommentsAndBlanks) {
+  Database db;
+  std::istringstream in("# header\n\n1\t2\n   \n# done\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "e", in, "<test>").ok());
+  EXPECT_EQ(db.Find("e")->size(), 1u);
+}
+
+TEST(Io, ArityMismatchFails) {
+  Database db;
+  std::istringstream in("1\t2\n1\t2\t3\n");
+  Status st = LoadRelationTsvStream(&db, "e", in, "<test>");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(":2"), std::string::npos);  // line number
+}
+
+TEST(Io, ArityCheckedAgainstExistingRelation) {
+  Database db;
+  db.GetOrCreateRelation("e", 3);
+  std::istringstream in("1\t2\n");
+  EXPECT_FALSE(LoadRelationTsvStream(&db, "e", in, "<test>").ok());
+}
+
+TEST(Io, EmptyFileWithoutRelationFails) {
+  Database db;
+  std::istringstream in("# nothing\n");
+  EXPECT_FALSE(LoadRelationTsvStream(&db, "e", in, "<test>").ok());
+}
+
+TEST(Io, EmptyFileWithExistingRelationOk) {
+  Database db;
+  db.GetOrCreateRelation("e", 2);
+  std::istringstream in("");
+  EXPECT_TRUE(LoadRelationTsvStream(&db, "e", in, "<test>").ok());
+}
+
+TEST(Io, SaveResolvesSymbols) {
+  Database db;
+  Relation* r = db.GetOrCreateRelation("t", 2);
+  r->Insert2(db.symbols().Intern("ann"), 42);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveRelationTsvStream(db, "t", out).ok());
+  // 42 is not a symbol id (only one symbol interned), so it stays numeric.
+  EXPECT_EQ(out.str(), "ann\t42\n");
+}
+
+TEST(Io, SaveWithoutSymbolResolution) {
+  Database db;
+  Relation* r = db.GetOrCreateRelation("t", 1);
+  Value ann = db.symbols().Intern("ann");
+  r->Insert(Tuple{ann});
+  std::ostringstream out;
+  ASSERT_TRUE(SaveRelationTsvStream(db, "t", out, false).ok());
+  EXPECT_EQ(out.str(), std::to_string(ann) + "\n");
+}
+
+TEST(Io, SaveMissingRelationFails) {
+  Database db;
+  std::ostringstream out;
+  EXPECT_FALSE(SaveRelationTsvStream(db, "nope", out).ok());
+}
+
+TEST(Io, RoundTrip) {
+  Database db;
+  std::istringstream in("a\t1\nb\t2\nc\t3\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "t", in, "<test>").ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveRelationTsvStream(db, "t", out).ok());
+
+  Database db2;
+  std::istringstream in2(out.str());
+  ASSERT_TRUE(LoadRelationTsvStream(&db2, "t", in2, "<test>").ok());
+  EXPECT_EQ(db2.Find("t")->size(), 3u);
+  EXPECT_TRUE(db2.Find("t")->Contains(
+      Tuple{db2.symbols().Find("b"), 2}));
+}
+
+TEST(Io, FileNotFound) {
+  Database db;
+  EXPECT_FALSE(LoadRelationTsv(&db, "e", "/no/such/file.tsv").ok());
+}
+
+TEST(Io, LoadAppendsToExisting) {
+  Database db;
+  std::istringstream in1("1\t2\n");
+  std::istringstream in2("3\t4\n1\t2\n");
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "e", in1, "<a>").ok());
+  ASSERT_TRUE(LoadRelationTsvStream(&db, "e", in2, "<b>").ok());
+  // (3,4) added; the duplicate (1,2) is deduped.
+  EXPECT_EQ(db.Find("e")->size(), 2u);
+  EXPECT_TRUE(db.Find("e")->Contains(Tuple{3, 4}));
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,167 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcm {
+namespace {
+
+TEST(Relation, InsertDeduplicates) {
+  Relation r("t", 2);
+  EXPECT_TRUE(r.Insert(Tuple{1, 2}));
+  EXPECT_FALSE(r.Insert(Tuple{1, 2}));
+  EXPECT_TRUE(r.Insert(Tuple{2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Relation, PreservesInsertionOrder) {
+  Relation r("t", 1);
+  r.Insert(Tuple{3});
+  r.Insert(Tuple{1});
+  r.Insert(Tuple{2});
+  const auto& tuples = r.TuplesUnchecked();
+  EXPECT_EQ(tuples[0][0], 3);
+  EXPECT_EQ(tuples[1][0], 1);
+  EXPECT_EQ(tuples[2][0], 2);
+}
+
+TEST(Relation, Contains) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 2});
+  EXPECT_TRUE(r.Contains(Tuple{1, 2}));
+  EXPECT_FALSE(r.Contains(Tuple{2, 1}));
+}
+
+TEST(Relation, ProbeSingleColumn) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 20});
+  const auto& ids = r.Probe({0}, {1});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(r.PeekUnchecked(ids[0])[1], 10);
+  EXPECT_EQ(r.PeekUnchecked(ids[1])[1], 11);
+  EXPECT_TRUE(r.Probe({0}, {3}).empty());
+}
+
+TEST(Relation, ProbeSecondColumn) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{2, 10});
+  r.Insert(Tuple{3, 11});
+  EXPECT_EQ(r.Probe({1}, {10}).size(), 2u);
+  EXPECT_EQ(r.Probe({1}, {11}).size(), 1u);
+}
+
+TEST(Relation, ProbeMultiColumn) {
+  Relation r("t", 3);
+  r.Insert(Tuple{1, 2, 3});
+  r.Insert(Tuple{1, 2, 4});
+  r.Insert(Tuple{1, 3, 5});
+  EXPECT_EQ(r.Probe({0, 1}, {1, 2}).size(), 2u);
+  EXPECT_EQ(r.Probe({0, 1}, {1, 3}).size(), 1u);
+  EXPECT_TRUE(r.Probe({0, 1}, {2, 2}).empty());
+}
+
+TEST(Relation, IndexMaintainedIncrementally) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 10});
+  EXPECT_EQ(r.Probe({0}, {1}).size(), 1u);  // builds the index
+  r.Insert(Tuple{1, 11});                   // must be added to it
+  EXPECT_EQ(r.Probe({0}, {1}).size(), 2u);
+}
+
+TEST(Relation, ScanReturnsAll) {
+  Relation r("t", 1);
+  for (int i = 0; i < 5; ++i) r.Insert(Tuple{i});
+  EXPECT_EQ(r.Scan().size(), 5u);
+}
+
+TEST(Relation, ClearResetsEverything) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 2});
+  r.Probe({0}, {1});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.Probe({0}, {1}).empty());
+  EXPECT_TRUE(r.Insert(Tuple{1, 2}));  // re-insert after clear works
+}
+
+TEST(Relation, DistinctColumn) {
+  Relation r("t", 2);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 10});
+  auto d0 = r.DistinctColumn(0);
+  auto d1 = r.DistinctColumn(1);
+  EXPECT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d1.size(), 2u);
+}
+
+TEST(RelationStats, ScanChargesPerTuple) {
+  AccessStats stats;
+  Relation r("t", 1, &stats);
+  for (int i = 0; i < 7; ++i) r.Insert(Tuple{i});
+  stats.Reset();
+  r.Scan();
+  EXPECT_EQ(stats.tuples_read, 7u);
+  EXPECT_EQ(stats.scans, 1u);
+}
+
+TEST(RelationStats, ProbeChargesPerMatch) {
+  AccessStats stats;
+  Relation r("t", 2, &stats);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 20});
+  stats.Reset();
+  r.Probe({0}, {1});
+  EXPECT_EQ(stats.tuples_read, 2u);
+  EXPECT_EQ(stats.probes, 1u);
+  stats.Reset();
+  r.Probe({0}, {99});
+  EXPECT_EQ(stats.tuples_read, 0u);  // no matches, no reads
+}
+
+TEST(RelationStats, ContainsChargesOnHit) {
+  AccessStats stats;
+  Relation r("t", 1, &stats);
+  r.Insert(Tuple{1});
+  stats.Reset();
+  r.Contains(Tuple{1});
+  EXPECT_EQ(stats.tuples_read, 1u);
+  stats.Reset();
+  r.Contains(Tuple{2});
+  EXPECT_EQ(stats.tuples_read, 0u);
+}
+
+TEST(RelationStats, InsertCountsAttemptsAndSuccesses) {
+  AccessStats stats;
+  Relation r("t", 1, &stats);
+  r.Insert(Tuple{1});
+  r.Insert(Tuple{1});
+  EXPECT_EQ(stats.insert_attempts, 2u);
+  EXPECT_EQ(stats.tuples_inserted, 1u);
+}
+
+TEST(RelationStats, PeekUncheckedIsFree) {
+  AccessStats stats;
+  Relation r("t", 1, &stats);
+  r.Insert(Tuple{1});
+  stats.Reset();
+  r.PeekUnchecked(0);
+  r.TuplesUnchecked();
+  EXPECT_EQ(stats.tuples_read, 0u);
+}
+
+TEST(Relation, ToStringMentionsNameAndSize) {
+  Relation r("edges", 2);
+  r.Insert(Tuple{1, 2});
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("edges"), std::string::npos);
+  EXPECT_NE(s.find("1 tuples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm

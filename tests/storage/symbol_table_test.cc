@@ -1,0 +1,65 @@
+#include "storage/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(SymbolTable, InternAssignsDenseIds) {
+  SymbolTable t;
+  EXPECT_EQ(t.Intern("a"), 0);
+  EXPECT_EQ(t.Intern("b"), 1);
+  EXPECT_EQ(t.Intern("c"), 2);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  Value a = t.Intern("x");
+  EXPECT_EQ(t.Intern("x"), a);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTable, Resolve) {
+  SymbolTable t;
+  Value a = t.Intern("alpha");
+  Value b = t.Intern("beta");
+  EXPECT_EQ(t.Resolve(a), "alpha");
+  EXPECT_EQ(t.Resolve(b), "beta");
+}
+
+TEST(SymbolTable, FindWithoutInterning) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("missing"), -1);
+  t.Intern("present");
+  EXPECT_EQ(t.Find("present"), 0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTable, Contains) {
+  SymbolTable t;
+  EXPECT_FALSE(t.Contains(0));
+  t.Intern("x");
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_FALSE(t.Contains(1));
+  EXPECT_FALSE(t.Contains(-1));
+}
+
+TEST(SymbolTable, EmptyStringIsValidSymbol) {
+  SymbolTable t;
+  Value e = t.Intern("");
+  EXPECT_EQ(t.Resolve(e), "");
+  EXPECT_EQ(t.Find(""), e);
+}
+
+TEST(SymbolTable, ManySymbols) {
+  SymbolTable t;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.Intern("sym" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_EQ(t.Resolve(500), "sym500");
+}
+
+}  // namespace
+}  // namespace mcm

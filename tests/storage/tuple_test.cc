@@ -1,0 +1,93 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mcm {
+namespace {
+
+TEST(Tuple, DefaultEmpty) {
+  Tuple t;
+  EXPECT_EQ(t.arity(), 0u);
+}
+
+TEST(Tuple, InitializerList) {
+  Tuple t{1, 2, 3};
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t[0], 1);
+  EXPECT_EQ(t[1], 2);
+  EXPECT_EQ(t[2], 3);
+}
+
+TEST(Tuple, MutationThroughIndex) {
+  Tuple t(2);
+  t[0] = 10;
+  t[1] = -5;
+  EXPECT_EQ(t[0], 10);
+  EXPECT_EQ(t[1], -5);
+}
+
+TEST(Tuple, EqualityRespectsArity) {
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{1, 2, 0}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{2, 1}));
+  EXPECT_EQ(Tuple{}, Tuple{});
+}
+
+TEST(Tuple, LexicographicOrder) {
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_LT((Tuple{1, 2}), (Tuple{2, 0}));
+  EXPECT_LT((Tuple{1}), (Tuple{1, 0}));  // shorter first on prefix tie
+  EXPECT_FALSE((Tuple{2, 0}) < (Tuple{1, 9}));
+}
+
+TEST(Tuple, HashConsistentWithEquality) {
+  Tuple a{5, 6, 7};
+  Tuple b{5, 6, 7};
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(Tuple, HashSpreadsValues) {
+  std::unordered_set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Tuple{i, i * 2}.Hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on this easy set
+}
+
+TEST(Tuple, ArityDistinguishesPaddedTuples) {
+  // (1) vs (1, 0): same inline storage contents, different arity.
+  EXPECT_NE((Tuple{1}).Hash(), (Tuple{1, 0}).Hash());
+}
+
+TEST(Tuple, MaxArity) {
+  Tuple t(kMaxTupleArity);
+  for (uint32_t i = 0; i < kMaxTupleArity; ++i) t[i] = i;
+  EXPECT_EQ(t.arity(), kMaxTupleArity);
+  EXPECT_EQ(t[kMaxTupleArity - 1], static_cast<Value>(kMaxTupleArity - 1));
+}
+
+TEST(Tuple, NegativeValues) {
+  Tuple t{-1, -100};
+  EXPECT_EQ(t[0], -1);
+  EXPECT_EQ(t.ToString(), "(-1, -100)");
+}
+
+TEST(Tuple, ToString) {
+  EXPECT_EQ((Tuple{1, 2}).ToString(), "(1, 2)");
+  EXPECT_EQ(Tuple{}.ToString(), "()");
+}
+
+TEST(TupleHash, UsableInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{2, 1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Tuple{1, 2}) > 0);
+  EXPECT_FALSE(set.count(Tuple{3, 3}) > 0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,183 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/classify.h"
+#include "graph/query_graph.h"
+
+namespace mcm::workload {
+namespace {
+
+graph::MagicGraphAnalysis AnalyzeL(const LGraph& lg) {
+  Database db;
+  Relation* l = db.GetOrCreateRelation("l", 2);
+  for (auto [u, v] : lg.arcs) l->Insert2(u, v);
+  Relation e("e", 2), r("r", 2);
+  auto qg = graph::QueryGraph::Build(*l, e, r, 0);
+  EXPECT_TRUE(qg.ok());
+  return graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source());
+}
+
+TEST(Generators, ChainShape) {
+  LGraph g = MakeChainL(5);
+  EXPECT_EQ(g.n, 5u);
+  EXPECT_EQ(g.arcs.size(), 4u);
+  EXPECT_EQ(AnalyzeL(g).graph_class, graph::GraphClass::kRegular);
+}
+
+TEST(Generators, TreeShape) {
+  LGraph g = MakeTreeL(2, 3);
+  EXPECT_EQ(g.n, 15u);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(g.arcs.size(), 14u);
+  EXPECT_EQ(AnalyzeL(g).graph_class, graph::GraphClass::kRegular);
+}
+
+TEST(Generators, LayeredIsRegularWithoutBadArcs) {
+  LayeredSpec spec;
+  spec.layers = 6;
+  spec.width = 5;
+  spec.extra_arcs = 2;
+  LGraph g = MakeLayeredL(spec);
+  EXPECT_EQ(g.n, 31u);
+  EXPECT_EQ(AnalyzeL(g).graph_class, graph::GraphClass::kRegular);
+}
+
+TEST(Generators, LayeredDeterministicPerSeed) {
+  LayeredSpec spec;
+  spec.seed = 99;
+  LGraph a = MakeLayeredL(spec);
+  LGraph b = MakeLayeredL(spec);
+  EXPECT_EQ(a.arcs, b.arcs);
+  spec.seed = 100;
+  LGraph c = MakeLayeredL(spec);
+  EXPECT_NE(a.arcs, c.arcs);
+}
+
+TEST(Generators, SkipArcsCreateMultiples) {
+  LayeredSpec spec;
+  spec.layers = 6;
+  spec.width = 5;
+  spec.skip_arcs = 5;
+  LGraph g = MakeLayeredL(spec);
+  EXPECT_EQ(AnalyzeL(g).graph_class, graph::GraphClass::kAcyclicNonRegular);
+}
+
+TEST(Generators, BackArcsCreateCycles) {
+  LayeredSpec spec;
+  spec.layers = 6;
+  spec.width = 5;
+  spec.back_arcs = 4;
+  LGraph g = MakeLayeredL(spec);
+  EXPECT_EQ(AnalyzeL(g).graph_class, graph::GraphClass::kCyclic);
+}
+
+TEST(Generators, BadRegionConfinedToDeepLayers) {
+  LayeredSpec spec;
+  spec.layers = 8;
+  spec.width = 6;
+  spec.skip_arcs = 10;
+  spec.bad_start_layer = 5;
+  LGraph g = MakeLayeredL(spec);
+  auto a = AnalyzeL(g);
+  EXPECT_EQ(a.graph_class, graph::GraphClass::kAcyclicNonRegular);
+  // Everything shallower than the bad region is single: i_x >= 5.
+  EXPECT_GE(a.i_x, 5);
+}
+
+TEST(Generators, MirrorErDoublesStructure) {
+  LGraph g = MakeChainL(4);
+  CslData data = AssembleCsl(g, ErSpec{});
+  EXPECT_EQ(data.m_l(), data.m_r());
+  EXPECT_EQ(data.e.size(), g.n);  // identity E
+}
+
+TEST(Generators, RandomErDescendsLevels) {
+  LGraph g = MakeChainL(4);
+  ErSpec er;
+  er.kind = ErSpec::Kind::kRandom;
+  er.r_nodes = 20;
+  er.r_arcs = 60;
+  CslData data = AssembleCsl(g, er);
+  EXPECT_EQ(data.e.size(), g.n);
+  EXPECT_FALSE(data.r.empty());
+}
+
+TEST(Generators, SameGenerationAcyclicParentDag) {
+  CslData data = MakeSameGeneration(30, 3, 7);
+  // parent arcs always ascend in id: acyclic by construction.
+  for (auto [child, parent] : data.l) {
+    EXPECT_LT(child, parent);
+  }
+  EXPECT_EQ(data.l, data.r);
+  EXPECT_EQ(data.e.size(), 30u);
+}
+
+TEST(Generators, Figure1StyleHasDocumentedShape) {
+  CslData data = MakeFigure1Style();
+  EXPECT_EQ(data.m_l(), 6u);
+  Database db;
+  data.Load(&db);
+  auto qg = graph::QueryGraph::Build(*db.Find("l"), *db.Find("e"),
+                                     *db.Find("r"), 0);
+  ASSERT_TRUE(qg.ok());
+  auto a = graph::AnalyzeMagicGraph(qg->magic_graph(), qg->source());
+  EXPECT_EQ(a.graph_class, graph::GraphClass::kRegular);
+  EXPECT_EQ(qg->n_l(), 6u);
+}
+
+TEST(Generators, Figure2StyleHasAllThreeClasses) {
+  LGraph g = MakeFigure2StyleL();
+  auto a = AnalyzeL(g);
+  EXPECT_EQ(a.graph_class, graph::GraphClass::kCyclic);
+  EXPECT_EQ(a.n_single, 6u);
+  EXPECT_EQ(a.n_m, 8u);  // single + multiple
+  EXPECT_EQ(a.i_x, 2);
+}
+
+TEST(Generators, LoadReplacesContents) {
+  CslData data;
+  data.l = {{0, 1}};
+  data.e = {{0, 100}};
+  data.r = {{100, 101}};
+  Database db;
+  data.Load(&db);
+  EXPECT_EQ(db.Find("l")->size(), 1u);
+  data.l = {{0, 1}, {1, 2}};
+  data.Load(&db);
+  EXPECT_EQ(db.Find("l")->size(), 2u);
+  data.l = {{5, 6}};
+  data.Load(&db);
+  EXPECT_EQ(db.Find("l")->size(), 1u);  // cleared, not appended
+}
+
+TEST(Generators, LoadSharedRelationNames) {
+  CslData data = MakeSameGeneration(10, 2, 3);
+  Database db;
+  data.Load(&db, "parent", "eq", "parent");
+  // l and r share one relation; loading must not double-clear or lose data.
+  // (The generator may emit duplicate parent pairs; the relation dedups.)
+  EXPECT_GT(db.Find("parent")->size(), 0u);
+  EXPECT_LE(db.Find("parent")->size(), data.l.size());
+  EXPECT_EQ(db.Find("eq")->size(), 10u);
+}
+
+TEST(Generators, RandomCslRespectsSizes) {
+  CslData data = MakeRandomCsl(10, 20, 8, 16, 12, 55);
+  EXPECT_LE(data.m_l(), 20u);
+  EXPECT_LE(data.m_r(), 16u);
+  EXPECT_LE(data.e.size(), 12u);
+  // L values < 1'000'000, R values offset.
+  for (auto [u, v] : data.l) {
+    EXPECT_LT(u, 1'000'000);
+    EXPECT_LT(v, 1'000'000);
+  }
+  for (auto [u, v] : data.r) {
+    EXPECT_GE(u, 1'000'000);
+    EXPECT_GE(v, 1'000'000);
+  }
+}
+
+}  // namespace
+}  // namespace mcm::workload
