@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_impl.dir/bench_ablation_impl.cc.o"
+  "CMakeFiles/bench_ablation_impl.dir/bench_ablation_impl.cc.o.d"
+  "bench_ablation_impl"
+  "bench_ablation_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop2_crossover.dir/bench_prop2_crossover.cc.o"
+  "CMakeFiles/bench_prop2_crossover.dir/bench_prop2_crossover.cc.o.d"
+  "bench_prop2_crossover"
+  "bench_prop2_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop2_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

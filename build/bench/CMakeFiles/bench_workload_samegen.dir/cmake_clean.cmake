@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_samegen.dir/bench_workload_samegen.cc.o"
+  "CMakeFiles/bench_workload_samegen.dir/bench_workload_samegen.cc.o.d"
+  "bench_workload_samegen"
+  "bench_workload_samegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_samegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_safety.dir/cyclic_safety.cpp.o"
+  "CMakeFiles/cyclic_safety.dir/cyclic_safety.cpp.o.d"
+  "cyclic_safety"
+  "cyclic_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_repl.dir/datalog_repl.cpp.o"
+  "CMakeFiles/datalog_repl.dir/datalog_repl.cpp.o.d"
+  "datalog_repl"
+  "datalog_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_walkthrough.dir/figure_walkthrough.cpp.o"
+  "CMakeFiles/figure_walkthrough.dir/figure_walkthrough.cpp.o.d"
+  "figure_walkthrough"
+  "figure_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

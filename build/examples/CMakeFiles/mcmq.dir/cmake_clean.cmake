@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmq.dir/mcmq.cpp.o"
+  "CMakeFiles/mcmq.dir/mcmq.cpp.o.d"
+  "mcmq"
+  "mcmq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

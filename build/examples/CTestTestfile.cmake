@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_method_comparison "/root/repo/build/examples/method_comparison")
+set_tests_properties(example_method_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cyclic_safety "/root/repo/build/examples/cyclic_safety")
+set_tests_properties(example_cyclic_safety PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_figure_walkthrough "/root/repo/build/examples/figure_walkthrough")
+set_tests_properties(example_figure_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mcmq "/root/repo/build/examples/mcmq" "/root/repo/examples/data/samegen.dl" "--fact" "parent=/root/repo/examples/data/parents.tsv" "--fact" "person=/root/repo/examples/data/person_eq.tsv")
+set_tests_properties(example_mcmq PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_datalog_repl "/root/repo/build/examples/datalog_repl" "/root/repo/examples/data/repl_demo.dl")
+set_tests_properties(example_datalog_repl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

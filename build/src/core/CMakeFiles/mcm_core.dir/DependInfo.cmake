@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/direct.cc" "src/core/CMakeFiles/mcm_core.dir/direct.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/direct.cc.o.d"
+  "/root/repo/src/core/method.cc" "src/core/CMakeFiles/mcm_core.dir/method.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/method.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/mcm_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/mcm_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/step1.cc" "src/core/CMakeFiles/mcm_core.dir/step1.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/step1.cc.o.d"
+  "/root/repo/src/core/theorems.cc" "src/core/CMakeFiles/mcm_core.dir/theorems.cc.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/theorems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mcm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mcm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/mcm_rewrite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

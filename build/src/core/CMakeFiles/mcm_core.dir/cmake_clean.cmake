@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_core.dir/direct.cc.o"
+  "CMakeFiles/mcm_core.dir/direct.cc.o.d"
+  "CMakeFiles/mcm_core.dir/method.cc.o"
+  "CMakeFiles/mcm_core.dir/method.cc.o.d"
+  "CMakeFiles/mcm_core.dir/planner.cc.o"
+  "CMakeFiles/mcm_core.dir/planner.cc.o.d"
+  "CMakeFiles/mcm_core.dir/solver.cc.o"
+  "CMakeFiles/mcm_core.dir/solver.cc.o.d"
+  "CMakeFiles/mcm_core.dir/step1.cc.o"
+  "CMakeFiles/mcm_core.dir/step1.cc.o.d"
+  "CMakeFiles/mcm_core.dir/theorems.cc.o"
+  "CMakeFiles/mcm_core.dir/theorems.cc.o.d"
+  "libmcm_core.a"
+  "libmcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/mcm_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/mcm_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/datalog/CMakeFiles/mcm_datalog.dir/lexer.cc.o" "gcc" "src/datalog/CMakeFiles/mcm_datalog.dir/lexer.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/mcm_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/mcm_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/validate.cc" "src/datalog/CMakeFiles/mcm_datalog.dir/validate.cc.o" "gcc" "src/datalog/CMakeFiles/mcm_datalog.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_datalog.dir/ast.cc.o"
+  "CMakeFiles/mcm_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/mcm_datalog.dir/lexer.cc.o"
+  "CMakeFiles/mcm_datalog.dir/lexer.cc.o.d"
+  "CMakeFiles/mcm_datalog.dir/parser.cc.o"
+  "CMakeFiles/mcm_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/mcm_datalog.dir/validate.cc.o"
+  "CMakeFiles/mcm_datalog.dir/validate.cc.o.d"
+  "libmcm_datalog.a"
+  "libmcm_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

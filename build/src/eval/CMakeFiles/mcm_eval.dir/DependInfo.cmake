@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/engine.cc" "src/eval/CMakeFiles/mcm_eval.dir/engine.cc.o" "gcc" "src/eval/CMakeFiles/mcm_eval.dir/engine.cc.o.d"
+  "/root/repo/src/eval/rule_eval.cc" "src/eval/CMakeFiles/mcm_eval.dir/rule_eval.cc.o" "gcc" "src/eval/CMakeFiles/mcm_eval.dir/rule_eval.cc.o.d"
+  "/root/repo/src/eval/strata.cc" "src/eval/CMakeFiles/mcm_eval.dir/strata.cc.o" "gcc" "src/eval/CMakeFiles/mcm_eval.dir/strata.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mcm_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_eval.dir/engine.cc.o"
+  "CMakeFiles/mcm_eval.dir/engine.cc.o.d"
+  "CMakeFiles/mcm_eval.dir/rule_eval.cc.o"
+  "CMakeFiles/mcm_eval.dir/rule_eval.cc.o.d"
+  "CMakeFiles/mcm_eval.dir/strata.cc.o"
+  "CMakeFiles/mcm_eval.dir/strata.cc.o.d"
+  "libmcm_eval.a"
+  "libmcm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/classify.cc" "src/graph/CMakeFiles/mcm_graph.dir/classify.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/classify.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/mcm_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/graph/CMakeFiles/mcm_graph.dir/query_graph.cc.o" "gcc" "src/graph/CMakeFiles/mcm_graph.dir/query_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_graph.dir/classify.cc.o"
+  "CMakeFiles/mcm_graph.dir/classify.cc.o.d"
+  "CMakeFiles/mcm_graph.dir/digraph.cc.o"
+  "CMakeFiles/mcm_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/mcm_graph.dir/query_graph.cc.o"
+  "CMakeFiles/mcm_graph.dir/query_graph.cc.o.d"
+  "libmcm_graph.a"
+  "libmcm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

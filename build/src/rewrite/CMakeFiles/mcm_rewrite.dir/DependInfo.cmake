@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/adornment.cc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/adornment.cc.o" "gcc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/adornment.cc.o.d"
+  "/root/repo/src/rewrite/csl.cc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/csl.cc.o" "gcc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/csl.cc.o.d"
+  "/root/repo/src/rewrite/csl_rewrites.cc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/csl_rewrites.cc.o" "gcc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/csl_rewrites.cc.o.d"
+  "/root/repo/src/rewrite/magic.cc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/magic.cc.o" "gcc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/magic.cc.o.d"
+  "/root/repo/src/rewrite/strongly_linear.cc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/strongly_linear.cc.o" "gcc" "src/rewrite/CMakeFiles/mcm_rewrite.dir/strongly_linear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mcm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mcm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_rewrite.dir/adornment.cc.o"
+  "CMakeFiles/mcm_rewrite.dir/adornment.cc.o.d"
+  "CMakeFiles/mcm_rewrite.dir/csl.cc.o"
+  "CMakeFiles/mcm_rewrite.dir/csl.cc.o.d"
+  "CMakeFiles/mcm_rewrite.dir/csl_rewrites.cc.o"
+  "CMakeFiles/mcm_rewrite.dir/csl_rewrites.cc.o.d"
+  "CMakeFiles/mcm_rewrite.dir/magic.cc.o"
+  "CMakeFiles/mcm_rewrite.dir/magic.cc.o.d"
+  "CMakeFiles/mcm_rewrite.dir/strongly_linear.cc.o"
+  "CMakeFiles/mcm_rewrite.dir/strongly_linear.cc.o.d"
+  "libmcm_rewrite.a"
+  "libmcm_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_storage.dir/access_stats.cc.o"
+  "CMakeFiles/mcm_storage.dir/access_stats.cc.o.d"
+  "CMakeFiles/mcm_storage.dir/database.cc.o"
+  "CMakeFiles/mcm_storage.dir/database.cc.o.d"
+  "CMakeFiles/mcm_storage.dir/io.cc.o"
+  "CMakeFiles/mcm_storage.dir/io.cc.o.d"
+  "CMakeFiles/mcm_storage.dir/relation.cc.o"
+  "CMakeFiles/mcm_storage.dir/relation.cc.o.d"
+  "CMakeFiles/mcm_storage.dir/tuple.cc.o"
+  "CMakeFiles/mcm_storage.dir/tuple.cc.o.d"
+  "libmcm_storage.a"
+  "libmcm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_util.dir/rng.cc.o"
+  "CMakeFiles/mcm_util.dir/rng.cc.o.d"
+  "CMakeFiles/mcm_util.dir/status.cc.o"
+  "CMakeFiles/mcm_util.dir/status.cc.o.d"
+  "CMakeFiles/mcm_util.dir/string_util.cc.o"
+  "CMakeFiles/mcm_util.dir/string_util.cc.o.d"
+  "libmcm_util.a"
+  "libmcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

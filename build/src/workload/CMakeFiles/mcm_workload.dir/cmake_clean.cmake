@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_workload.dir/generators.cc.o"
+  "CMakeFiles/mcm_workload.dir/generators.cc.o.d"
+  "libmcm_workload.a"
+  "libmcm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

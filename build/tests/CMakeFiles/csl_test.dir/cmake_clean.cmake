@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csl_test.dir/rewrite/csl_test.cc.o"
+  "CMakeFiles/csl_test.dir/rewrite/csl_test.cc.o.d"
+  "csl_test"
+  "csl_test.pdb"
+  "csl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

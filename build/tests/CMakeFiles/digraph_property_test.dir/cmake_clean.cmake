@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_property_test.dir/graph/digraph_property_test.cc.o"
+  "CMakeFiles/digraph_property_test.dir/graph/digraph_property_test.cc.o.d"
+  "digraph_property_test"
+  "digraph_property_test.pdb"
+  "digraph_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_test.dir/core/direct_test.cc.o"
+  "CMakeFiles/direct_test.dir/core/direct_test.cc.o.d"
+  "direct_test"
+  "direct_test.pdb"
+  "direct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

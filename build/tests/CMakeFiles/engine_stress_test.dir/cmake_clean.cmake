@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_stress_test.dir/eval/engine_stress_test.cc.o"
+  "CMakeFiles/engine_stress_test.dir/eval/engine_stress_test.cc.o.d"
+  "engine_stress_test"
+  "engine_stress_test.pdb"
+  "engine_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

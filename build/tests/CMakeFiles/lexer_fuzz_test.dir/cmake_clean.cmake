@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexer_fuzz_test.dir/datalog/lexer_fuzz_test.cc.o"
+  "CMakeFiles/lexer_fuzz_test.dir/datalog/lexer_fuzz_test.cc.o.d"
+  "lexer_fuzz_test"
+  "lexer_fuzz_test.pdb"
+  "lexer_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexer_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_csl_test.dir/rewrite/reverse_csl_test.cc.o"
+  "CMakeFiles/reverse_csl_test.dir/rewrite/reverse_csl_test.cc.o.d"
+  "reverse_csl_test"
+  "reverse_csl_test.pdb"
+  "reverse_csl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_csl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

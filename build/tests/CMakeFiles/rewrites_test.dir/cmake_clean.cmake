@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrites_test.dir/rewrite/rewrites_test.cc.o"
+  "CMakeFiles/rewrites_test.dir/rewrite/rewrites_test.cc.o.d"
+  "rewrites_test"
+  "rewrites_test.pdb"
+  "rewrites_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_eval_test.dir/eval/rule_eval_test.cc.o"
+  "CMakeFiles/rule_eval_test.dir/eval/rule_eval_test.cc.o.d"
+  "rule_eval_test"
+  "rule_eval_test.pdb"
+  "rule_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/safety_test.cc" "tests/CMakeFiles/safety_test.dir/integration/safety_test.cc.o" "gcc" "tests/CMakeFiles/safety_test.dir/integration/safety_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/mcm_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mcm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/mcm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mcm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step1_test.dir/core/step1_test.cc.o"
+  "CMakeFiles/step1_test.dir/core/step1_test.cc.o.d"
+  "step1_test"
+  "step1_test.pdb"
+  "step1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

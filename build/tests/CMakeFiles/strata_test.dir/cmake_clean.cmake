@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strata_test.dir/eval/strata_test.cc.o"
+  "CMakeFiles/strata_test.dir/eval/strata_test.cc.o.d"
+  "strata_test"
+  "strata_test.pdb"
+  "strata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strongly_linear_test.dir/rewrite/strongly_linear_test.cc.o"
+  "CMakeFiles/strongly_linear_test.dir/rewrite/strongly_linear_test.cc.o.d"
+  "strongly_linear_test"
+  "strongly_linear_test.pdb"
+  "strongly_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strongly_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

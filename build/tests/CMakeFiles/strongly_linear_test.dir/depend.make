@@ -1,0 +1,2 @@
+# Empty dependencies file for strongly_linear_test.
+# This may be replaced when dependencies are built.
