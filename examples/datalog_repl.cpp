@@ -3,17 +3,32 @@
 // Usage:
 //   datalog_repl [file.dl]       evaluate a program file and print query
 //                                results
-//   datalog_repl                 read a program from stdin
+//   datalog_repl                 piped stdin: evaluate it like a file;
+//                                terminal stdin: interactive session
+//   datalog_repl -i              force the interactive session even when
+//                                stdin is piped (for scripted use)
 //
-// If the program happens to be a canonical strongly linear query (the
-// paper's class), the interpreter also reports the magic-graph class and
-// evaluates it with an automatically chosen magic counting method,
-// printing the cost comparison against plain bottom-up evaluation.
+// Batch mode: if the program happens to be a canonical strongly linear
+// query (the paper's class), the interpreter also reports the magic-graph
+// class and evaluates it with an automatically chosen magic counting
+// method, printing the cost comparison against plain bottom-up evaluation.
+//
+// Interactive mode accumulates rules/facts/queries line by line and
+// understands:
+//   :check   run the static analyzer (diagnostics + safety verdict table)
+//   :run     evaluate the program and print query results
+//   :list    show the accumulated program
+//   :reset   discard the accumulated program
+//   :quit    exit (as does end-of-input)
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
+#include "analysis/analyzer.h"
 #include "core/solver.h"
 #include "datalog/parser.h"
 #include "eval/engine.h"
@@ -51,25 +66,7 @@ void PrintTuples(const Database& db, const dl::Atom& goal,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string source;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-    std::stringstream ss;
-    ss << file.rdbuf();
-    source = ss.str();
-  } else {
-    std::stringstream ss;
-    ss << std::cin.rdbuf();
-    source = ss.str();
-  }
-
+int RunBatch(const std::string& source) {
   auto prog = dl::Parse(source);
   if (!prog.ok()) return Fail(prog.status());
 
@@ -118,4 +115,106 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(baseline_reads));
   }
   return 0;
+}
+
+void CheckProgram(const std::string& source) {
+  auto prog = dl::Parse(source);
+  if (!prog.ok()) {
+    std::printf("parse error: %s\n", prog.status().ToString().c_str());
+    return;
+  }
+  analysis::AnalysisResult result = analysis::Analyze(*prog);
+  for (const dl::Diagnostic& d : result.diagnostics.diagnostics()) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  std::printf("%zu error(s), %zu warning(s)\n",
+              result.diagnostics.error_count(),
+              result.diagnostics.warning_count());
+  if (result.safety.form != analysis::QueryForm::kNotStronglyLinear) {
+    std::printf("query form: %s (%s)\n",
+                std::string(QueryFormToString(result.safety.form)).c_str(),
+                result.safety.signature.c_str());
+    std::printf("%s", result.safety.ToString().c_str());
+  }
+}
+
+void RunInteractiveProgram(const std::string& source) {
+  auto prog = dl::Parse(source);
+  if (!prog.ok()) {
+    std::printf("parse error: %s\n", prog.status().ToString().c_str());
+    return;
+  }
+  Database db;
+  eval::EvalOptions options;
+  options.max_iterations = 100000;
+  eval::Engine engine(&db, options);
+  Status st = engine.Run(*prog);
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("%llu tuples derived in %llu rounds\n",
+              static_cast<unsigned long long>(engine.info().tuples_derived),
+              static_cast<unsigned long long>(engine.info().iterations));
+  for (const dl::Query& query : prog->queries) {
+    auto tuples = engine.Query(query.goal);
+    if (!tuples.ok()) {
+      std::printf("error: %s\n", tuples.status().ToString().c_str());
+      return;
+    }
+    PrintTuples(db, query.goal, *tuples);
+  }
+}
+
+int RunInteractive() {
+  std::printf("mcm datalog repl — enter rules/facts/queries; "
+              ":check  :run  :list  :reset  :quit\n");
+  std::string program;
+  std::string line;
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":check") {
+      CheckProgram(program);
+    } else if (line == ":run") {
+      RunInteractiveProgram(program);
+    } else if (line == ":list") {
+      std::printf("%s", program.c_str());
+    } else if (line == ":reset") {
+      program.clear();
+      std::printf("program cleared\n");
+    } else if (!line.empty() && line[0] == ':') {
+      std::printf("unknown command '%s'\n", line.c_str());
+    } else {
+      program += line;
+      program += '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "-i") {
+    return RunInteractive();
+  }
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    return RunBatch(ss.str());
+  }
+  if (isatty(fileno(stdin)) == 0) {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    return RunBatch(ss.str());
+  }
+  return RunInteractive();
 }

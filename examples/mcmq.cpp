@@ -10,6 +10,9 @@
 //                      auto       planner picks (default)
 //                      bottom_up  plain seminaive evaluation
 //                      magic      generalized magic sets
+//                      counting   pure counting if statically safe; the
+//                                 planner refuses it on a cyclic magic
+//                                 graph and uses magic counting instead
 //                      mc:V:M     magic counting, V in
 //                                 basic|single|multiple|recurring|smart,
 //                                 M in ind|int
@@ -129,6 +132,11 @@ int main(int argc, char** argv) {
     options.allow_magic_sets = false;
   } else if (method == "magic") {
     options.allow_magic_counting = false;
+  } else if (method == "counting") {
+    // Pure counting, gated by the static safety verdict: the planner
+    // refuses it (and falls back to magic counting) on a cyclic magic
+    // graph.
+    options.allow_plain_counting = true;
   } else if (method.rfind("mc:", 0) == 0) {
     if (!ParseMcMethod(method, &options)) {
       return Fail("bad --method spec '" + method + "'");

@@ -1,0 +1,61 @@
+// Multi-pass static analyzer over parsed Datalog programs.
+//
+// Pass order (each appends structured diagnostics to one shared bag):
+//   1. validation       — every arity / range-restriction / floundering /
+//                         affine violation in the program (dl::ValidateInto),
+//   2. dependency graph — IDB/EDB split, undefined / unused / unreachable
+//                         predicates, negation-through-recursion,
+//   3. binding analysis — adornment feasibility of the query's binding
+//                         pattern under the left-to-right SIPS,
+//   4. counting safety  — query-form classification (CSL and friends),
+//                         magic-graph skeleton from EDB statistics, and the
+//                         per-method safe/unsafe verdict table of
+//                         Theorems 1-2.
+//
+// Passes 2-4 are advisory (warnings/notes) and run even when validation
+// found errors, so one lint run paints the whole picture. The planner
+// (core::SolveProgram) and mcm-lint both consume AnalysisResult instead of
+// re-deriving any of this.
+#pragma once
+
+#include "analysis/depgraph.h"
+#include "analysis/safety.h"
+#include "datalog/ast.h"
+#include "datalog/diagnostic.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::analysis {
+
+/// Which passes to run and what context they may use.
+struct AnalyzeOptions {
+  /// EDB statistics source for the dependency and safety passes. May be
+  /// null: the passes then fall back to in-program facts and structural
+  /// reasoning. Never mutated.
+  const Database* db = nullptr;
+
+  bool validate = true;
+  bool dependencies = true;
+  bool bindings = true;
+  bool counting_safety = true;
+};
+
+/// \brief Everything the analyzer learned about one program.
+struct AnalysisResult {
+  dl::DiagnosticBag diagnostics;
+  DependencyInfo deps;
+  CountingSafetyReport safety;
+
+  bool ok() const { return !diagnostics.has_errors(); }
+
+  /// OK when no errors were found; first error otherwise (same contract as
+  /// dl::Validate, so engine callers can swap it in directly).
+  Status ToStatus() const { return diagnostics.ToStatus(); }
+};
+
+/// Run all enabled passes over `program`. Diagnostics come back sorted by
+/// source position.
+AnalysisResult Analyze(const dl::Program& program,
+                       const AnalyzeOptions& options = {});
+
+}  // namespace mcm::analysis

@@ -1,0 +1,92 @@
+// Pass 4: static counting-safety analysis (Theorems 1-2, before any
+// fixpoint runs).
+//
+// Classifies the program's query form (canonical / derived strongly linear /
+// reverse-bound), builds the magic-graph skeleton from the program's ground
+// facts plus any supplied EDB relations, classifies its nodes
+// (single / multiple / recurring, Proposition 1), and renders a per-method
+// verdict table:
+//   * pure counting is unsafe exactly when the magic graph is cyclic — a
+//     recurring node has an infinite index set I_b, so condition (b) of
+//     Theorem 1 cannot hold for a counting set containing it;
+//   * the magic set method is always safe;
+//   * every magic counting method (basic/single/multiple/recurring x
+//     independent/integrated) is safe on every instance: Step 1 routes the
+//     offending nodes to the restricted magic set RM, satisfying the
+//     theorems by construction (Proposition 3).
+// The planner consumes the table to refuse plain-counting plans statically
+// instead of discovering divergence mid-fixpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/diagnostic.h"
+#include "graph/classify.h"
+#include "storage/database.h"
+
+namespace mcm::analysis {
+
+enum class Verdict : uint8_t {
+  kSafe,     ///< method terminates and is correct on this instance
+  kUnsafe,   ///< method diverges (counting-set fixpoint never closes)
+  kUnknown,  ///< no EDB statistics: cannot decide statically
+};
+
+std::string_view VerdictToString(Verdict v);
+
+/// One row of the verdict table.
+struct MethodVerdict {
+  std::string method;  ///< "counting", "magic_sets", "mc/basic/ind", ...
+  Verdict verdict = Verdict::kUnknown;
+  std::string reason;
+};
+
+/// How the safety pass classified the query's recursive part.
+enum class QueryForm : uint8_t {
+  kNotStronglyLinear,  ///< outside the paper's class; no verdicts
+  kCanonical,          ///< literal L/E/R shape
+  kComposed,           ///< derived/conjunctive L,E,R (strongly linear)
+  kReverseBound,       ///< P(X, b)? evaluated via the mirrored signature
+};
+
+std::string_view QueryFormToString(QueryForm f);
+
+/// \brief Result of the static counting-safety analysis.
+struct CountingSafetyReport {
+  QueryForm form = QueryForm::kNotStronglyLinear;
+  std::string signature;  ///< CSL signature when recognized ("p over l/e/r")
+  std::string l_predicate;  ///< relation whose graph is the magic graph
+
+  /// True when EDB statistics were available and the magic graph was built.
+  bool analyzed = false;
+  graph::GraphClass graph_class = graph::GraphClass::kRegular;
+  size_t magic_nodes = 0;
+  size_t magic_arcs = 0;
+  size_t single_nodes = 0;
+  size_t multiple_nodes = 0;
+  size_t recurring_nodes = 0;
+
+  std::vector<MethodVerdict> verdicts;
+
+  /// Methods with an unsafe verdict ("counting", ...).
+  std::vector<std::string> UnsafeMethods() const;
+
+  /// Verdict for a named method; kUnknown if the method is not in the table.
+  Verdict VerdictFor(const std::string& method) const;
+
+  /// Render the verdict table (aligned columns, one method per row).
+  std::string ToString() const;
+};
+
+/// Analyze the query of `program` (the paper's single-query form). `db`
+/// supplies EDB statistics and may be null; in-program ground facts are
+/// always considered (materialized into a scratch database when `db` lacks
+/// the L relation). Appends W401 when pure counting is statically unsafe
+/// and N501/N502 notes describing what was (or could not be) decided.
+CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
+                                           const Database* db,
+                                           dl::DiagnosticBag* bag);
+
+}  // namespace mcm::analysis

@@ -13,6 +13,8 @@ namespace mcm::core {
 
 std::string PlanKindToString(PlanKind k) {
   switch (k) {
+    case PlanKind::kCounting:
+      return "counting";
     case PlanKind::kMagicCounting:
       return "magic_counting";
     case PlanKind::kMagicSets:
@@ -65,11 +67,28 @@ Result<GoalSplit> SplitByGoal(const dl::Program& program) {
 
 Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
                                 const PlannerOptions& options) {
-  MCM_RETURN_NOT_OK(dl::Validate(program));
+  // One analyzer run replaces the per-engine dl::Validate calls: planning
+  // aborts on errors, warnings ride along in the report, and the static
+  // counting-safety verdicts gate the strategy choice below.
+  analysis::AnalysisResult local_analysis;
+  const analysis::AnalysisResult* analysis = options.analysis;
+  if (analysis == nullptr) {
+    analysis::AnalyzeOptions aopts;
+    aopts.db = db;
+    local_analysis = analysis::Analyze(program, aopts);
+    analysis = &local_analysis;
+  }
+  MCM_RETURN_NOT_OK(analysis->ToStatus());
   if (program.queries.size() != 1) {
     return Status::Unsupported("planner expects exactly one query");
   }
   const dl::Query& query = program.queries[0];
+
+  auto finish_report = [&analysis](PlanReport report) {
+    report.diagnostics = analysis->diagnostics.diagnostics();
+    report.safety = analysis->safety;
+    return report;
+  };
 
   AccessStats before = db->stats();
 
@@ -92,7 +111,9 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
       if (csl.ok() || slq.ok() || rev.ok()) {
         // Materialize derived support predicates first.
         if (!split->support.rules.empty()) {
-          eval::Engine engine(db);
+          eval::EvalOptions eopts;
+          eopts.assume_validated = true;
+          eval::Engine engine(db, eopts);
           MCM_RETURN_NOT_OK(engine.Run(split->support));
         }
         std::string how;
@@ -111,6 +132,45 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
             db->Find(csl->e) != nullptr && db->Find(csl->r) != nullptr) {
           Value a = rewrite::ResolveSource(*csl, db);
           CslSolver solver(db, csl->l, csl->e, csl->r, a);
+
+          // Plain counting only over the analyzer's dead body: the static
+          // verdict must prove the magic graph acyclic, otherwise the
+          // planner refuses and stays on the always-safe MC method.
+          std::string counting_note;
+          if (options.allow_plain_counting) {
+            analysis::Verdict verdict =
+                analysis->safety.VerdictFor("counting");
+            if (verdict == analysis::Verdict::kSafe) {
+              auto run = solver.RunCounting(options.run);
+              if (run.ok()) {
+                PlanReport report;
+                report.kind = PlanKind::kCounting;
+                report.description =
+                    "pure counting (statically proven safe: acyclic magic "
+                    "graph) over " + csl->ToString() + how;
+                report.detected_class = run->detected_class;
+                for (Value v : run->answers) {
+                  report.results.push_back(Tuple{v});
+                }
+                AccessStats after = db->stats();
+                report.stats.tuples_read =
+                    after.tuples_read - before.tuples_read;
+                return finish_report(std::move(report));
+              }
+              counting_note =
+                  "; counting attempt failed (" + run.status().ToString() +
+                  "), fell back to magic counting";
+            } else if (verdict == analysis::Verdict::kUnsafe) {
+              counting_note =
+                  "; plain counting refused: statically unsafe "
+                  "(cyclic magic graph)";
+            } else {
+              counting_note =
+                  "; plain counting refused: safety not statically "
+                  "decidable";
+            }
+          }
+
           MCM_ASSIGN_OR_RETURN(
               MethodRun run,
               solver.RunMagicCounting(options.variant, options.mode,
@@ -122,14 +182,15 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
               McModeToString(options.mode) + ") over " + csl->ToString() +
               how +
               (split->support.rules.empty() ? ""
-                                            : " with materialized support");
+                                            : " with materialized support") +
+              counting_note;
           report.detected_class = run.detected_class;
           for (Value v : run.answers) {
             report.results.push_back(Tuple{v});
           }
           AccessStats after = db->stats();
           report.stats.tuples_read = after.tuples_read - before.tuples_read;
-          return report;
+          return finish_report(std::move(report));
         }
       }
     }
@@ -147,6 +208,9 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
       eopts.max_iterations = options.run.max_iterations;
       eopts.max_tuples = options.run.max_tuples;
       eval::Engine engine(db, eopts);
+      // Note: the rewritten program is *not* the analyzed one (magic
+      // predicates violate the head-boundedness checks by design), so it is
+      // validated by the engine as usual.
       Status st = engine.Run(magic->program);
       if (st.ok()) {
         MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
@@ -158,7 +222,7 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
         report.results = std::move(tuples);
         AccessStats after = db->stats();
         report.stats.tuples_read = after.tuples_read - before.tuples_read;
-        return report;
+        return finish_report(std::move(report));
       }
       // Rewriting produced a non-stratifiable or unsafe program: fall
       // through to bottom-up.
@@ -169,6 +233,7 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   eval::EvalOptions eopts;
   eopts.max_iterations = options.run.max_iterations;
   eopts.max_tuples = options.run.max_tuples;
+  eopts.assume_validated = true;  // the analyzer above already validated
   eval::Engine engine(db, eopts);
   MCM_RETURN_NOT_OK(engine.Run(program));
   MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, engine.Query(query.goal));
@@ -178,7 +243,7 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   report.results = std::move(tuples);
   AccessStats after = db->stats();
   report.stats.tuples_read = after.tuples_read - before.tuples_read;
-  return report;
+  return finish_report(std::move(report));
 }
 
 }  // namespace mcm::core

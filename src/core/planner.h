@@ -2,12 +2,18 @@
 // applicable strategy.
 //
 // Strategy selection, in order:
+//  0. The static analyzer (analysis::Analyze) runs once over the program:
+//     validation errors abort planning, and its counting-safety verdict
+//     table gates the strategies below.
 //  1. If the query's recursive part is a canonical strongly linear (CSL)
 //     query — allowing L, E, R to be *derived* predicates defined in lower,
 //     non-recursive strata, the generalization Section 1 of the paper
 //     mentions — the support strata are materialized first and the query is
 //     answered with a magic counting method (by default: multiple /
-//     integrated, the best safe all-rounder of the family).
+//     integrated, the best safe all-rounder of the family). When the caller
+//     opts into plain counting, it is selected only if the analyzer
+//     statically proved the magic graph acyclic; a cyclic (or undecidable)
+//     verdict makes the planner refuse counting and keep the safe method.
 //  2. Otherwise, if the query has at least one bound argument, the
 //     generalized magic set rewriting is applied and the rewritten program
 //     evaluated.
@@ -17,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/method.h"
 #include "datalog/ast.h"
 #include "storage/database.h"
@@ -26,6 +33,7 @@ namespace mcm::core {
 
 /// Which strategy the planner ended up using.
 enum class PlanKind : uint8_t {
+  kCounting,       ///< pure counting (only when statically proven safe)
   kMagicCounting,  ///< CSL path: Step1 + Step2 of the chosen MC method
   kMagicSets,      ///< generalized magic rewriting
   kBottomUp,       ///< plain seminaive evaluation
@@ -42,6 +50,14 @@ struct PlannerOptions {
   bool allow_magic_counting = true;
   /// Disable the magic-set rewriting fallback.
   bool allow_magic_sets = true;
+  /// Prefer pure counting on the CSL path when the analyzer statically
+  /// proves the magic graph acyclic. On a cyclic (or undecidable) verdict
+  /// the planner *refuses* counting and uses the configured MC method —
+  /// the refusal is recorded in PlanReport::description.
+  bool allow_plain_counting = false;
+  /// Precomputed analysis of `program` against the same database. When
+  /// null, SolveProgram runs the analyzer itself.
+  const analysis::AnalysisResult* analysis = nullptr;
 };
 
 /// \brief Result of planning + executing one query.
@@ -51,6 +67,10 @@ struct PlanReport {
   std::vector<Tuple> results;   ///< tuples matching the query goal
   AccessStats stats;            ///< total retrieval cost of the execution
   graph::GraphClass detected_class = graph::GraphClass::kRegular;
+  /// Analyzer output for the planned program: warnings/notes (errors abort
+  /// planning before a report exists) and the static safety verdicts.
+  std::vector<dl::Diagnostic> diagnostics;
+  analysis::CountingSafetyReport safety;
 };
 
 /// Plan and execute the single query of `program` against `db` (EDB

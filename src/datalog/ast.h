@@ -14,6 +14,7 @@
 #include <variant>
 #include <vector>
 
+#include "datalog/span.h"
 #include "storage/value.h"
 
 namespace mcm::dl {
@@ -34,17 +35,18 @@ struct Term {
   Kind kind = Kind::kVariable;
   std::string name;    ///< Variable name (kVariable/kAffine) or symbol text.
   int64_t value = 0;   ///< Integer constant (kInt) or affine offset (kAffine).
+  Span span;           ///< Source position; invalid for synthesized terms.
 
   static Term Var(std::string n) {
-    return Term{Kind::kVariable, std::move(n), 0};
+    return Term{Kind::kVariable, std::move(n), 0, Span{}};
   }
-  static Term Int(int64_t v) { return Term{Kind::kInt, "", v}; }
+  static Term Int(int64_t v) { return Term{Kind::kInt, "", v, Span{}}; }
   static Term Sym(std::string s) {
-    return Term{Kind::kSymbol, std::move(s), 0};
+    return Term{Kind::kSymbol, std::move(s), 0, Span{}};
   }
   static Term Affine(std::string var, int64_t offset) {
     if (offset == 0) return Var(std::move(var));
-    return Term{Kind::kAffine, std::move(var), offset};
+    return Term{Kind::kAffine, std::move(var), offset, Span{}};
   }
 
   bool IsVariable() const { return kind == Kind::kVariable; }
@@ -64,6 +66,7 @@ struct Term {
 struct Atom {
   std::string predicate;
   std::vector<Term> args;
+  Span span;  ///< Position of the predicate name; invalid if synthesized.
 
   uint32_t arity() const { return static_cast<uint32_t>(args.size()); }
   std::string ToString() const;
@@ -86,6 +89,7 @@ struct Comparison {
   CmpOp op = CmpOp::kEq;
   Term lhs;
   Term rhs;
+  Span span;  ///< Position of the left operand; invalid if synthesized.
 
   std::string ToString() const;
 };
@@ -123,6 +127,11 @@ struct Literal {
   bool IsNegatedAtom() const { return kind == Kind::kAtom && negated; }
   bool IsComparison() const { return kind == Kind::kComparison; }
 
+  /// Source position of the literal (its atom or comparison).
+  const Span& span() const {
+    return kind == Kind::kAtom ? atom.span : cmp.span;
+  }
+
   std::string ToString() const;
 };
 
@@ -132,6 +141,9 @@ struct Rule {
   std::vector<Literal> body;
 
   bool IsFact() const { return body.empty(); }
+
+  /// Source position of the rule (its head atom).
+  const Span& span() const { return head.span; }
 
   /// Names of variables occurring anywhere in the rule, in first-occurrence
   /// order.
@@ -143,6 +155,10 @@ struct Rule {
 /// \brief A query goal `P(a, Y)?`.
 struct Query {
   Atom goal;
+
+  /// Source position of the query (its goal atom).
+  const Span& span() const { return goal.span; }
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,115 @@
+#include "datalog/diagnostic.h"
+
+#include <algorithm>
+
+namespace mcm::dl {
+
+std::string_view SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+Severity DiagCodeSeverity(DiagCode code) {
+  int n = static_cast<int>(code);
+  if (n < 200) return Severity::kError;
+  if (n < 500) return Severity::kWarning;
+  return Severity::kNote;
+}
+
+std::string DiagCodeToString(DiagCode code) {
+  char letter = 'N';
+  switch (DiagCodeSeverity(code)) {
+    case Severity::kError: letter = 'E'; break;
+    case Severity::kWarning: letter = 'W'; break;
+    case Severity::kNote: letter = 'N'; break;
+  }
+  return letter + std::to_string(static_cast<int>(code));
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (span.valid()) {
+    out += span.ToString();
+    out += ": ";
+  }
+  out += SeverityToString(severity);
+  out += ": ";
+  out += message;
+  out += " [" + DiagCodeToString(code) + "]";
+  return out;
+}
+
+void DiagnosticBag::Add(DiagCode code, Span span, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = DiagCodeSeverity(code);
+  d.span = span;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+size_t DiagnosticBag::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+size_t DiagnosticBag::warning_count() const {
+  return static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kWarning;
+      }));
+}
+
+bool DiagnosticBag::Has(DiagCode code) const {
+  return std::any_of(
+      diags_.begin(), diags_.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+void DiagnosticBag::SortBySpan() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.valid() != b.span.valid()) {
+                       return a.span.valid();  // unknown spans last
+                     }
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     return a.span.column < b.span.column;
+                   });
+}
+
+std::string DiagnosticBag::Render(const std::string& filename) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    if (!filename.empty()) {
+      out += filename;
+      out += ":";
+    }
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status DiagnosticBag::ToStatus() const {
+  size_t errors = error_count();
+  if (errors == 0) return Status::OK();
+  for (const Diagnostic& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    std::string msg = d.message;
+    if (errors > 1) {
+      msg += " (and " + std::to_string(errors - 1) + " more error(s))";
+    }
+    return Status::InvalidArgument(std::move(msg));
+  }
+  return Status::OK();  // unreachable
+}
+
+}  // namespace mcm::dl

@@ -72,6 +72,10 @@ class Parser {
                               " at line " + std::to_string(Peek().line));
   }
 
+  static Span SpanOf(const Token& tok) {
+    return Span::At(tok.line, tok.column);
+  }
+
   Result<Literal> ParseLiteral() {
     if (Match(TokenKind::kNot)) {
       MCM_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
@@ -91,7 +95,9 @@ class Parser {
       CmpOp op;
       if (MatchCmpOp(&op)) {
         MCM_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
-        return Literal::Cmp(Comparison{op, std::move(lhs), std::move(rhs)});
+        Span span = lhs.span;
+        return Literal::Cmp(
+            Comparison{op, std::move(lhs), std::move(rhs), span});
       }
       pos_ = save;
     }
@@ -128,6 +134,7 @@ class Parser {
     }
     Atom atom;
     atom.predicate = Peek().text;
+    atom.span = SpanOf(Peek());
     ++pos_;
     if (Match(TokenKind::kLParen)) {
       if (!Check(TokenKind::kRParen)) {
@@ -142,6 +149,11 @@ class Parser {
   }
 
   Result<Term> ParseTerm() {
+    Span span = SpanOf(Peek());
+    auto spanned = [&span](Term t) {
+      t.span = span;
+      return t;
+    };
     if (Match(TokenKind::kMinus)) {
       if (!Check(TokenKind::kInt)) {
         return Status::ParseError("expected integer after '-' at line " +
@@ -149,17 +161,17 @@ class Parser {
       }
       int64_t v = Peek().int_value;
       ++pos_;
-      return Term::Int(-v);
+      return spanned(Term::Int(-v));
     }
     if (Check(TokenKind::kInt)) {
       int64_t v = Peek().int_value;
       ++pos_;
-      return Term::Int(v);
+      return spanned(Term::Int(v));
     }
     if (Check(TokenKind::kString)) {
       std::string s = Peek().text;
       ++pos_;
-      return Term::Sym(std::move(s));
+      return spanned(Term::Sym(std::move(s)));
     }
     if (Check(TokenKind::kIdent)) {
       std::string name = Peek().text;
@@ -176,10 +188,10 @@ class Parser {
         }
         int64_t off = Peek().int_value;
         ++pos_;
-        return Term::Affine(std::move(name), plus ? off : -off);
+        return spanned(Term::Affine(std::move(name), plus ? off : -off));
       }
-      if (is_var) return Term::Var(std::move(name));
-      return Term::Sym(std::move(name));
+      if (is_var) return spanned(Term::Var(std::move(name)));
+      return spanned(Term::Sym(std::move(name)));
     }
     return Status::ParseError("expected term, found " + Peek().ToString() +
                               " at line " + std::to_string(Peek().line));

@@ -1,0 +1,32 @@
+// Source locations for AST nodes and diagnostics.
+//
+// A Span records the 1-based line/column where a construct begins in the
+// source text. Programs built programmatically (tests, rewrites) carry
+// invalid spans — every consumer must tolerate span.valid() == false.
+#pragma once
+
+#include <string>
+
+namespace mcm::dl {
+
+/// \brief A 1-based source position; line 0 means "unknown".
+struct Span {
+  int line = 0;
+  int column = 0;
+
+  static Span At(int line, int column) { return Span{line, column}; }
+
+  bool valid() const { return line > 0; }
+
+  bool operator==(const Span& o) const {
+    return line == o.line && column == o.column;
+  }
+
+  /// "12:3" for valid spans, "?" otherwise.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+}  // namespace mcm::dl

@@ -22,26 +22,24 @@ std::unordered_set<std::string> PositivelyBoundVars(const Rule& rule) {
   return bound;
 }
 
-Status CheckTermBound(const Term& t,
-                      const std::unordered_set<std::string>& bound,
-                      const Rule& rule, const char* where) {
+void CheckTermBound(const Term& t,
+                    const std::unordered_set<std::string>& bound,
+                    const Rule& rule, const char* where, DiagCode code,
+                    DiagnosticBag* bag) {
   if ((t.IsVariable() || t.IsAffine()) && bound.count(t.name) == 0) {
-    return Status::InvalidArgument("unsafe rule: variable '" + t.name +
-                                   "' in " + where +
-                                   " is not bound by a positive body atom: " +
-                                   rule.ToString());
+    Span span = t.span.valid() ? t.span : rule.span();
+    bag->Add(code, span,
+             "unsafe rule: variable '" + t.name + "' in " + where +
+                 " is not bound by a positive body atom: " + rule.ToString());
   }
-  return Status::OK();
 }
 
 }  // namespace
 
-Status ValidateRule(const Rule& rule) {
-  if (rule.head.arity() > kMaxTupleArity) {
-    return Status::InvalidArgument("predicate '" + rule.head.predicate +
-                                   "' exceeds maximum arity " +
-                                   std::to_string(kMaxTupleArity));
-  }
+void ValidateRuleInto(const Rule& rule, DiagnosticBag* bag) {
+  // Arity limits are checked by ValidateInto()'s program-wide arity pass
+  // (and by the ValidateRule() wrapper for standalone rules) so the full
+  // validation never reports the same head twice.
   std::unordered_set<std::string> bound = PositivelyBoundVars(rule);
 
   // Head: every variable (incl. affine bases) must be positively bound;
@@ -49,72 +47,95 @@ Status ValidateRule(const Rule& rule) {
   for (const Term& t : rule.head.args) {
     if (rule.IsFact()) {
       if (!t.IsConstant()) {
-        return Status::InvalidArgument("fact must be ground: " +
-                                       rule.ToString());
+        Span span = t.span.valid() ? t.span : rule.span();
+        bag->Add(DiagCode::kNonGroundFact, span,
+                 "fact must be ground: " + rule.ToString());
       }
+    } else if (t.IsAffine()) {
+      CheckTermBound(t, bound, rule, "head", DiagCode::kUnboundAffineBase,
+                     bag);
     } else {
-      MCM_RETURN_NOT_OK(CheckTermBound(t, bound, rule, "head"));
+      CheckTermBound(t, bound, rule, "head", DiagCode::kUnboundHeadVar, bag);
     }
   }
 
   for (const Literal& l : rule.body) {
     if (l.IsNegatedAtom()) {
       for (const Term& t : l.atom.args) {
-        MCM_RETURN_NOT_OK(CheckTermBound(t, bound, rule, "negated atom"));
+        CheckTermBound(t, bound, rule, "negated atom",
+                       DiagCode::kUnboundNegatedVar, bag);
       }
     } else if (l.IsComparison()) {
-      MCM_RETURN_NOT_OK(CheckTermBound(l.cmp.lhs, bound, rule, "comparison"));
-      MCM_RETURN_NOT_OK(CheckTermBound(l.cmp.rhs, bound, rule, "comparison"));
+      CheckTermBound(l.cmp.lhs, bound, rule, "comparison",
+                     DiagCode::kUnboundComparisonVar, bag);
+      CheckTermBound(l.cmp.rhs, bound, rule, "comparison",
+                     DiagCode::kUnboundComparisonVar, bag);
     } else {
       // Positive atom: affine terms in positive body atoms are only allowed
       // if the base variable is bound by some *other* positive occurrence.
       for (const Term& t : l.atom.args) {
         if (t.IsAffine()) {
-          MCM_RETURN_NOT_OK(
-              CheckTermBound(t, bound, rule, "positive body atom"));
+          CheckTermBound(t, bound, rule, "positive body atom",
+                         DiagCode::kUnboundAffineBase, bag);
         }
       }
     }
   }
-  return Status::OK();
 }
 
-Status Validate(const Program& program) {
+void ValidateInto(const Program& program, DiagnosticBag* bag) {
   std::unordered_map<std::string, uint32_t> arities;
-  auto check_arity = [&](const Atom& a) -> Status {
+  auto check_arity = [&](const Atom& a) {
     auto [it, inserted] = arities.emplace(a.predicate, a.arity());
     if (!inserted && it->second != a.arity()) {
-      return Status::InvalidArgument(
-          "predicate '" + a.predicate + "' used with arity " +
-          std::to_string(a.arity()) + " and " + std::to_string(it->second));
+      bag->Add(DiagCode::kArityConflict, a.span,
+               "predicate '" + a.predicate + "' used with arity " +
+                   std::to_string(a.arity()) + " and " +
+                   std::to_string(it->second));
     }
     if (a.arity() > kMaxTupleArity) {
-      return Status::InvalidArgument("predicate '" + a.predicate +
-                                     "' exceeds maximum arity " +
-                                     std::to_string(kMaxTupleArity));
+      bag->Add(DiagCode::kArityExceedsMax, a.span,
+               "predicate '" + a.predicate + "' exceeds maximum arity " +
+                   std::to_string(kMaxTupleArity));
     }
-    return Status::OK();
   };
 
   for (const Rule& r : program.rules) {
-    MCM_RETURN_NOT_OK(check_arity(r.head));
+    check_arity(r.head);
     for (const Literal& l : r.body) {
       if (l.kind == Literal::Kind::kAtom) {
-        MCM_RETURN_NOT_OK(check_arity(l.atom));
+        check_arity(l.atom);
       }
     }
-    MCM_RETURN_NOT_OK(ValidateRule(r));
+    ValidateRuleInto(r, bag);
   }
   for (const Query& q : program.queries) {
-    MCM_RETURN_NOT_OK(check_arity(q.goal));
+    check_arity(q.goal);
     for (const Term& t : q.goal.args) {
       if (t.IsAffine()) {
-        return Status::InvalidArgument("affine term in query goal: " +
-                                       q.ToString());
+        Span span = t.span.valid() ? t.span : q.span();
+        bag->Add(DiagCode::kAffineInQuery, span,
+                 "affine term in query goal: " + q.ToString());
       }
     }
   }
-  return Status::OK();
+}
+
+Status Validate(const Program& program) {
+  DiagnosticBag bag;
+  ValidateInto(program, &bag);
+  return bag.ToStatus();
+}
+
+Status ValidateRule(const Rule& rule) {
+  DiagnosticBag bag;
+  if (rule.head.arity() > kMaxTupleArity) {
+    bag.Add(DiagCode::kArityExceedsMax, rule.head.span,
+            "predicate '" + rule.head.predicate + "' exceeds maximum arity " +
+                std::to_string(kMaxTupleArity));
+  }
+  ValidateRuleInto(rule, &bag);
+  return bag.ToStatus();
 }
 
 }  // namespace mcm::dl

@@ -8,18 +8,31 @@
 //    in the same rule (no floundering),
 //  * affine terms appear only where the engine supports them (head args or
 //    comparison operands), and their base variable is bound positively.
+//
+// ValidateInto() is the collecting form used by the analyzer: it records
+// *every* violation as a structured Diagnostic (code + span) instead of
+// stopping at the first. Validate()/ValidateRule() are Status wrappers over
+// the same checks for engine-internal callers.
 #pragma once
 
 #include "datalog/ast.h"
+#include "datalog/diagnostic.h"
 #include "util/status.h"
 
 namespace mcm::dl {
 
+/// Run all validation checks over `program`, appending one Diagnostic per
+/// violation (never stops early).
+void ValidateInto(const Program& program, DiagnosticBag* bag);
+
+/// Collecting form of ValidateRule: all violations of a single rule.
+/// Arity consistency across rules is not checked at this level.
+void ValidateRuleInto(const Rule& rule, DiagnosticBag* bag);
+
 /// Validate the whole program; the first violation is reported.
 Status Validate(const Program& program);
 
-/// Validate a single rule in isolation (arity consistency across rules is
-/// not checked at this level).
+/// Validate a single rule in isolation.
 Status ValidateRule(const Rule& rule);
 
 }  // namespace mcm::dl

@@ -32,6 +32,11 @@ struct EvalOptions {
   /// Collect a per-rule cost breakdown (Engine::profile()). Adds two stat
   /// snapshots per rule evaluation; negligible overhead.
   bool profile = false;
+
+  /// Skip program validation in Run(). Set by callers that already ran the
+  /// static analyzer (analysis::Analyze) over the same program — e.g. the
+  /// planner — so the checks are not re-derived per evaluation.
+  bool assume_validated = false;
 };
 
 /// Statistics of one Run().

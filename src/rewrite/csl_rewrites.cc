@@ -15,11 +15,11 @@ using dl::Term;
 Term V(const char* name) { return Term::Var(name); }
 
 Atom A2(const std::string& pred, Term t0, Term t1) {
-  return Atom{pred, {std::move(t0), std::move(t1)}};
+  return Atom{pred, {std::move(t0), std::move(t1)}, dl::Span{}};
 }
 
 Atom A1(const std::string& pred, Term t0) {
-  return Atom{pred, {std::move(t0)}};
+  return Atom{pred, {std::move(t0)}, dl::Span{}};
 }
 
 Rule MakeRule(Atom head, std::vector<Literal> body) {
@@ -29,7 +29,7 @@ Rule MakeRule(Atom head, std::vector<Literal> body) {
 Literal Pos(Atom a) { return Literal::Pos(std::move(a)); }
 
 Literal Gt0(const char* var) {
-  return Literal::Cmp(Comparison{CmpOp::kGt, V(var), Term::Int(0)});
+  return Literal::Cmp(Comparison{CmpOp::kGt, V(var), Term::Int(0), dl::Span{}});
 }
 
 }  // namespace

@@ -210,7 +210,8 @@ Result<CslQuery> MaterializeStronglyLinear(Database* db,
     csl.l = names.l_star;
     dl::Rule r;
     r.head = dl::Atom{names.l_star,
-                      {dl::Term::Var(slq.x), dl::Term::Var(slq.xr)}};
+                      {dl::Term::Var(slq.x), dl::Term::Var(slq.xr)},
+                      dl::Span{}};
     r.body = slq.prefix;
     comp.rules.push_back(std::move(r));
   }
@@ -221,7 +222,8 @@ Result<CslQuery> MaterializeStronglyLinear(Database* db,
     csl.r = names.r_star;
     dl::Rule r;
     r.head = dl::Atom{names.r_star,
-                      {dl::Term::Var(slq.y), dl::Term::Var(slq.yr)}};
+                      {dl::Term::Var(slq.y), dl::Term::Var(slq.yr)},
+                      dl::Span{}};
     r.body = slq.suffix;
     comp.rules.push_back(std::move(r));
   }
@@ -233,7 +235,8 @@ Result<CslQuery> MaterializeStronglyLinear(Database* db,
     dl::Rule r;
     // The composition keeps the exit rule's own head variables.
     r.head = dl::Atom{names.e_star,
-                      {dl::Term::Var(slq.exit_x), dl::Term::Var(slq.exit_y)}};
+                      {dl::Term::Var(slq.exit_x), dl::Term::Var(slq.exit_y)},
+                      dl::Span{}};
     r.body = slq.exit_body;
     comp.rules.push_back(std::move(r));
   }

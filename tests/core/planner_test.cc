@@ -170,9 +170,138 @@ TEST_F(PlannerTest, StatsAreCharged) {
 }
 
 TEST_F(PlannerTest, PlanKindNames) {
+  EXPECT_EQ(PlanKindToString(PlanKind::kCounting), "counting");
   EXPECT_EQ(PlanKindToString(PlanKind::kMagicCounting), "magic_counting");
   EXPECT_EQ(PlanKindToString(PlanKind::kMagicSets), "magic_sets");
   EXPECT_EQ(PlanKindToString(PlanKind::kBottomUp), "bottom_up");
+}
+
+TEST_F(PlannerTest, PlainCountingChosenWhenStaticallySafe) {
+  workload::CslData data = workload::MakeFigure1Style();
+  data.Load(&db_);
+  const char* src = R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(0, Y)?
+  )";
+  PlannerOptions options;
+  options.allow_plain_counting = true;
+  auto report = Solve(src, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->kind, PlanKind::kCounting);
+  EXPECT_EQ(report->safety.VerdictFor("counting"),
+            analysis::Verdict::kSafe);
+  std::vector<Value> answers;
+  for (const Tuple& t : report->results) answers.push_back(t[0]);
+  std::sort(answers.begin(), answers.end());
+  EXPECT_EQ(answers, (std::vector<Value>{100, 101, 102, 107}));
+}
+
+TEST_F(PlannerTest, PlainCountingRefusedOnCyclicMagicGraph) {
+  workload::CslData data;
+  data.l = {{0, 1}, {1, 0}};
+  data.e = {{0, 100}, {1, 101}};
+  data.r = {{100, 101}};
+  data.Load(&db_);
+  const char* src = R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(0, Y)?
+  )";
+
+  PlannerOptions options;
+  options.allow_plain_counting = true;
+  auto report = Solve(src, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The static verdict is unsafe, so the planner must refuse pure counting
+  // and keep the magic counting method.
+  EXPECT_EQ(report->kind, PlanKind::kMagicCounting);
+  EXPECT_NE(report->description.find("refused"), std::string::npos);
+  EXPECT_EQ(report->safety.VerdictFor("counting"),
+            analysis::Verdict::kUnsafe);
+  bool warned = false;
+  for (const dl::Diagnostic& d : report->diagnostics) {
+    if (d.code == dl::DiagCode::kCountingUnsafe) warned = true;
+  }
+  EXPECT_TRUE(warned);
+
+  // ... and the fallback answers must match the magic-set reference.
+  Database db2;
+  data.Load(&db2);
+  PlannerOptions magic_only;
+  magic_only.allow_magic_counting = false;
+  auto prog = dl::Parse(src);
+  ASSERT_TRUE(prog.ok());
+  auto reference = SolveProgram(&db2, *prog, magic_only);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_EQ(reference->kind, PlanKind::kMagicSets);
+  auto ys = [](const std::vector<Tuple>& tuples) {
+    std::vector<Value> out;
+    for (const Tuple& t : tuples) out.push_back(t[t.arity() - 1]);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  EXPECT_FALSE(report->results.empty());
+  EXPECT_EQ(ys(report->results), ys(reference->results));
+}
+
+TEST_F(PlannerTest, CountingNotUsedWithoutOptIn) {
+  workload::CslData data = workload::MakeFigure1Style();
+  data.Load(&db_);
+  auto report = Solve(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(0, Y)?
+  )");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, PlanKind::kMagicCounting);
+}
+
+TEST_F(PlannerTest, ReportCarriesAnalyzerOutput) {
+  workload::CslData data = workload::MakeFigure1Style();
+  data.Load(&db_);
+  auto report = Solve(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(0, Y)?
+  )");
+  ASSERT_TRUE(report.ok());
+  bool classified = false;
+  for (const dl::Diagnostic& d : report->diagnostics) {
+    if (d.code == dl::DiagCode::kQueryClassCsl) classified = true;
+  }
+  EXPECT_TRUE(classified);
+  EXPECT_EQ(report->safety.form, analysis::QueryForm::kCanonical);
+  EXPECT_FALSE(report->safety.verdicts.empty());
+}
+
+TEST_F(PlannerTest, PrecomputedAnalysisIsReused) {
+  workload::CslData data = workload::MakeFigure1Style();
+  data.Load(&db_);
+  auto prog = dl::Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(0, Y)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  analysis::AnalyzeOptions aopts;
+  aopts.db = &db_;
+  analysis::AnalysisResult precomputed = analysis::Analyze(*prog, aopts);
+  PlannerOptions options;
+  options.analysis = &precomputed;
+  options.allow_plain_counting = true;
+  auto report = SolveProgram(&db_, *prog, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->kind, PlanKind::kCounting);
+  EXPECT_EQ(report->diagnostics.size(), precomputed.diagnostics.size());
+}
+
+TEST_F(PlannerTest, ValidationErrorsAbortPlanning) {
+  db_.GetOrCreateRelation("q", 1)->Insert(Tuple{1});
+  auto report = Solve("p(X, Z) :- q(X).\np(1, Y)?");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("Z"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#include "datalog/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dl {
+namespace {
+
+TEST(DiagCode, StringFormIsSeverityLetterPlusNumber) {
+  EXPECT_EQ(DiagCodeToString(DiagCode::kArityConflict), "E101");
+  EXPECT_EQ(DiagCodeToString(DiagCode::kAffineInQuery), "E108");
+  EXPECT_EQ(DiagCodeToString(DiagCode::kUndefinedPredicate), "W201");
+  EXPECT_EQ(DiagCodeToString(DiagCode::kCountingUnsafe), "W401");
+  EXPECT_EQ(DiagCodeToString(DiagCode::kQueryClassCsl), "N501");
+}
+
+TEST(DiagCode, SeverityFollowsNumericBand) {
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kNonGroundFact), Severity::kError);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kUnusedPredicate), Severity::kWarning);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kAdornmentFailed), Severity::kWarning);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kCountingUnsafe), Severity::kWarning);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kBindingSummary), Severity::kNote);
+}
+
+TEST(Span, ValidityAndFormatting) {
+  EXPECT_FALSE(Span{}.valid());
+  Span s = Span::At(3, 7);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.ToString(), "3:7");
+  EXPECT_EQ(s, (Span{3, 7}));
+}
+
+TEST(DiagnosticBag, CountsBySeverity) {
+  DiagnosticBag bag;
+  EXPECT_TRUE(bag.empty());
+  bag.Add(DiagCode::kUnboundHeadVar, Span::At(1, 1), "first");
+  bag.Add(DiagCode::kNonGroundFact, Span::At(2, 1), "second");
+  bag.Add(DiagCode::kUnusedPredicate, Span::At(3, 1), "third");
+  bag.Add(DiagCode::kQueryClassCsl, Span{}, "fourth");
+  EXPECT_EQ(bag.size(), 4u);
+  EXPECT_EQ(bag.error_count(), 2u);
+  EXPECT_EQ(bag.warning_count(), 1u);
+  EXPECT_TRUE(bag.has_errors());
+  EXPECT_TRUE(bag.Has(DiagCode::kNonGroundFact));
+  EXPECT_FALSE(bag.Has(DiagCode::kNegationCycle));
+}
+
+TEST(DiagnosticBag, SeverityDerivedFromCode) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kCountingUnsafe, Span::At(1, 1), "m");
+  EXPECT_EQ(bag.diagnostics()[0].severity, Severity::kWarning);
+}
+
+TEST(DiagnosticBag, SortBySpanPutsUnknownSpansLast) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kQueryClassCsl, Span{}, "no span");
+  bag.Add(DiagCode::kUnboundHeadVar, Span::At(5, 2), "later");
+  bag.Add(DiagCode::kUnboundHeadVar, Span::At(5, 1), "earlier col");
+  bag.Add(DiagCode::kNonGroundFact, Span::At(1, 9), "first line");
+  bag.SortBySpan();
+  const auto& d = bag.diagnostics();
+  EXPECT_EQ(d[0].message, "first line");
+  EXPECT_EQ(d[1].message, "earlier col");
+  EXPECT_EQ(d[2].message, "later");
+  EXPECT_EQ(d[3].message, "no span");
+}
+
+TEST(DiagnosticBag, ToStatusOkWithoutErrors) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kUnusedPredicate, Span::At(1, 1), "warning only");
+  EXPECT_TRUE(bag.ToStatus().ok());
+}
+
+TEST(DiagnosticBag, ToStatusCarriesFirstErrorAndCount) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kUnboundHeadVar, Span::At(1, 1), "alpha");
+  bag.Add(DiagCode::kUnboundHeadVar, Span::At(2, 1), "beta");
+  Status st = bag.ToStatus();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("alpha"), std::string::npos);
+  EXPECT_NE(st.message().find("1 more error"), std::string::npos);
+}
+
+TEST(DiagnosticBag, RenderPrefixesFilename) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kNonGroundFact, Span::At(2, 3), "fact must be ground");
+  std::string rendered = bag.Render("prog.dl");
+  EXPECT_NE(rendered.find("prog.dl:2:3:"), std::string::npos);
+  EXPECT_NE(rendered.find("error:"), std::string::npos);
+  EXPECT_NE(rendered.find("[E103]"), std::string::npos);
+}
+
+TEST(Diagnostic, ToStringContainsSpanSeverityAndCode) {
+  DiagnosticBag bag;
+  bag.Add(DiagCode::kUnusedPredicate, Span::At(4, 1), "predicate 'r' unused");
+  std::string s = bag.diagnostics()[0].ToString();
+  EXPECT_NE(s.find("4:1:"), std::string::npos);
+  EXPECT_NE(s.find("warning:"), std::string::npos);
+  EXPECT_NE(s.find("[W202]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::dl

@@ -86,5 +86,72 @@ TEST(ValidateRule, StandaloneRuleCheck) {
   EXPECT_TRUE(ValidateRule(*rule).ok());
 }
 
+TEST(ValidateRule, StandaloneRuleChecksArityCap) {
+  auto rule = ParseRule("w(A, B, C, D, E, F, G, H, I) :- "
+                        "q(A, B, C, D, E, F, G, H, I).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(ValidateRule(*rule).ok());
+}
+
+// --- Collecting form (ValidateInto) ------------------------------------
+
+DiagnosticBag ValidateSrcInto(const std::string& src) {
+  auto prog = Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  DiagnosticBag bag;
+  ValidateInto(*prog, &bag);
+  return bag;
+}
+
+TEST(ValidateInto, ReportsEveryViolationNotJustTheFirst) {
+  DiagnosticBag bag = ValidateSrcInto(R"(
+    p(X).
+    q(Y, W) :- r(Y).
+    s(Z) :- t(Z), U < 3.
+  )");
+  EXPECT_EQ(bag.error_count(), 3u);
+  EXPECT_TRUE(bag.Has(DiagCode::kNonGroundFact));
+  EXPECT_TRUE(bag.Has(DiagCode::kUnboundHeadVar));
+  EXPECT_TRUE(bag.Has(DiagCode::kUnboundComparisonVar));
+}
+
+TEST(ValidateInto, ArityConflictReportedOncePerConflictingUse) {
+  DiagnosticBag bag = ValidateSrcInto("p(1). p(1, 2). p(1, 2, 3).");
+  // Two uses disagree with the first-seen arity; each is reported once.
+  size_t conflicts = 0;
+  for (const Diagnostic& d : bag.diagnostics()) {
+    if (d.code == DiagCode::kArityConflict) ++conflicts;
+  }
+  EXPECT_EQ(conflicts, 2u);
+}
+
+TEST(ValidateInto, CleanProgramLeavesBagEmpty) {
+  DiagnosticBag bag = ValidateSrcInto(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(a, Y)?
+  )");
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(ValidateInto, DiagnosticsCarrySourceSpans) {
+  DiagnosticBag bag = ValidateSrcInto("p(X, Z) :- q(X).");
+  ASSERT_EQ(bag.size(), 1u);
+  const Diagnostic& d = bag.diagnostics()[0];
+  EXPECT_EQ(d.code, DiagCode::kUnboundHeadVar);
+  EXPECT_TRUE(d.span.valid());
+  EXPECT_EQ(d.span, Span::At(1, 6));
+}
+
+TEST(ValidateInto, StatusWrapperMatchesBagOutcome) {
+  // The Status-returning wrapper and the collecting form must agree.
+  const char* bad = "p(X). q(1).";
+  const char* good = "p(1). q(1).";
+  EXPECT_FALSE(Validate(*Parse(bad)).ok());
+  EXPECT_FALSE(ValidateSrcInto(bad).ToStatus().ok());
+  EXPECT_TRUE(Validate(*Parse(good)).ok());
+  EXPECT_TRUE(ValidateSrcInto(good).ToStatus().ok());
+}
+
 }  // namespace
 }  // namespace mcm::dl
