@@ -16,23 +16,31 @@
 // Interactive mode accumulates rules/facts/queries line by line and
 // understands:
 //   :check   run the static analyzer (diagnostics + safety verdict table)
-//   :run     evaluate the program and print query results
+//   :run     evaluate the program and print query results (single-query
+//            programs go through the planner, so the execution governor and
+//            the degradation ladder apply)
+//   :set     show or change governor knobs:
+//              :set timeout MS | :set iterations N | :set tuples N |
+//              :set fallback on|off
 //   :list    show the accumulated program
 //   :reset   discard the accumulated program
 //   :quit    exit (as does end-of-input)
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "core/planner.h"
 #include "core/solver.h"
 #include "datalog/parser.h"
 #include "eval/engine.h"
 #include "rewrite/csl.h"
+#include "runtime/execution_context.h"
 
 using namespace mcm;
 
@@ -138,15 +146,55 @@ void CheckProgram(const std::string& source) {
   }
 }
 
-void RunInteractiveProgram(const std::string& source) {
+/// Governor knobs adjustable with :set.
+struct ReplSettings {
+  core::RunOptions run;
+  bool fallback = true;
+};
+
+void RunInteractiveProgram(const std::string& source,
+                           const ReplSettings& settings) {
   auto prog = dl::Parse(source);
   if (!prog.ok()) {
     std::printf("parse error: %s\n", prog.status().ToString().c_str());
     return;
   }
   Database db;
+
+  // Single-query programs go through the planner: governed execution plus
+  // the degradation ladder, with the attempt log echoed on fallback.
+  if (prog->queries.size() == 1) {
+    core::PlannerOptions options;
+    options.run = settings.run;
+    options.allow_fallback = settings.fallback;
+    auto report = core::SolveProgram(&db, *prog, options);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    if (report->attempts.size() > 1) {
+      std::printf("attempts:\n");
+      for (const core::PlanAttempt& a : report->attempts) {
+        std::printf("  %s\n", a.ToString().c_str());
+      }
+    }
+    std::printf("plan: %s [%s]\n",
+                core::PlanKindToString(report->kind).c_str(),
+                report->description.c_str());
+    PrintTuples(db, prog->queries[0].goal, report->results);
+    return;
+  }
+
   eval::EvalOptions options;
-  options.max_iterations = 100000;
+  options.max_iterations =
+      settings.run.max_iterations != 0 ? settings.run.max_iterations : 100000;
+  options.max_tuples = settings.run.max_tuples;
+  options.max_memory_bytes = settings.run.max_memory_bytes;
+  runtime::ExecutionContext ctx;
+  if (settings.run.timeout_ms > 0) {
+    ctx = runtime::ExecutionContext::WithTimeout(settings.run.timeout_ms);
+    options.context = &ctx;
+  }
   eval::Engine engine(&db, options);
   Status st = engine.Run(*prog);
   if (!st.ok()) {
@@ -166,11 +214,55 @@ void RunInteractiveProgram(const std::string& source) {
   }
 }
 
+void HandleSet(const std::string& line, ReplSettings* settings) {
+  std::istringstream in(line);
+  std::string cmd, key, value;
+  in >> cmd >> key >> value;
+  if (key.empty()) {
+    std::printf("timeout    %llu ms (0 = none)\n"
+                "iterations %llu (0 = auto: 4*(|L|+|R|)+64)\n"
+                "tuples     %llu (0 = unlimited)\n"
+                "fallback   %s\n",
+                static_cast<unsigned long long>(settings->run.timeout_ms),
+                static_cast<unsigned long long>(settings->run.max_iterations),
+                static_cast<unsigned long long>(settings->run.max_tuples),
+                settings->fallback ? "on" : "off");
+    return;
+  }
+  if (key == "fallback") {
+    if (value == "on" || value == "off") {
+      settings->fallback = value == "on";
+      std::printf("fallback %s\n", value.c_str());
+    } else {
+      std::printf(":set fallback expects on|off\n");
+    }
+    return;
+  }
+  char* end = nullptr;
+  uint64_t n = std::strtoull(value.c_str(), &end, 10);
+  bool numeric = !value.empty() && end != nullptr && *end == '\0';
+  if (key == "timeout" && numeric) {
+    settings->run.timeout_ms = n;
+    std::printf("timeout %llu ms\n", static_cast<unsigned long long>(n));
+  } else if (key == "iterations" && numeric) {
+    settings->run.max_iterations = n;
+    std::printf("iterations %llu\n", static_cast<unsigned long long>(n));
+  } else if (key == "tuples" && numeric) {
+    settings->run.max_tuples = n;
+    std::printf("tuples %llu\n", static_cast<unsigned long long>(n));
+  } else {
+    std::printf(
+        "usage: :set [timeout MS | iterations N | tuples N | "
+        "fallback on|off]\n");
+  }
+}
+
 int RunInteractive() {
   std::printf("mcm datalog repl — enter rules/facts/queries; "
-              ":check  :run  :list  :reset  :quit\n");
+              ":check  :run  :set  :list  :reset  :quit\n");
   std::string program;
   std::string line;
+  ReplSettings settings;
   while (true) {
     std::printf("> ");
     std::fflush(stdout);
@@ -179,7 +271,9 @@ int RunInteractive() {
     if (line == ":check") {
       CheckProgram(program);
     } else if (line == ":run") {
-      RunInteractiveProgram(program);
+      RunInteractiveProgram(program, settings);
+    } else if (line.rfind(":set", 0) == 0) {
+      HandleSet(line, &settings);
     } else if (line == ":list") {
       std::printf("%s", program.c_str());
     } else if (line == ":reset") {

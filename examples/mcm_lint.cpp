@@ -120,6 +120,16 @@ int main(int argc, char** argv) {
                 std::string(QueryFormToString(result.safety.form)).c_str(),
                 result.safety.signature.c_str());
     std::printf("%s", result.safety.ToString().c_str());
+    // Statically unprovable safety is not a dead end: the runtime governor
+    // can still attempt counting and degrade on divergence.
+    analysis::Verdict counting = result.safety.VerdictFor("counting");
+    if (counting != analysis::Verdict::kSafe) {
+      std::printf(
+          "hint: counting is not statically safe here; `mcmq --method "
+          "counting` attempts it under the execution governor (bound it "
+          "with --timeout-ms / --max-iterations) and falls back down the "
+          "Figure 3 ladder on divergence\n");
+    }
   }
 
   return result.diagnostics.has_errors() ? 1 : 0;

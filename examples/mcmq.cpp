@@ -3,6 +3,8 @@
 // Usage:
 //   mcmq PROGRAM.dl [--fact NAME=FILE.tsv]... [--method auto|bottom_up|
 //        magic|mc:<variant>:<mode>] [--out FILE.tsv] [--profile]
+//        [--timeout-ms N] [--max-tuples N] [--max-iterations N]
+//        [--max-memory-bytes N] [--no-fallback]
 //
 //   PROGRAM.dl       Datalog rules + one query
 //   --fact name=path load a TSV fact file into relation `name`
@@ -10,18 +12,29 @@
 //                      auto       planner picks (default)
 //                      bottom_up  plain seminaive evaluation
 //                      magic      generalized magic sets
-//                      counting   pure counting if statically safe; the
-//                                 planner refuses it on a cyclic magic
-//                                 graph and uses magic counting instead
+//                      counting   pure counting; when the static verdict is
+//                                 unsafe/undecidable it is *attempted* under
+//                                 the execution governor and the degradation
+//                                 ladder recovers on divergence
 //                      mc:V:M     magic counting, V in
 //                                 basic|single|multiple|recurring|smart,
 //                                 M in ind|int
 //   --out path       write the result tuples as TSV
 //   --profile        print a per-rule cost breakdown (bottom_up only)
+//   --timeout-ms N     wall-clock deadline for the whole run
+//   --max-tuples N     abort when a fixpoint materializes more tuples
+//   --max-iterations N fixpoint iteration / counting level cap
+//                      (default: 4*(|L|+|R|)+64, see RunOptions)
+//   --max-memory-bytes N  approximate memory budget for derived relations
+//   --no-fallback      fail on the first aborted attempt instead of
+//                      degrading to the next-safer method (Figure 3 order)
 //
-// Example:
+// Examples:
 //   mcmq samegen.dl --fact parent=parents.tsv --method mc:multiple:int
+//   mcmq cyclic_sg.dl --method counting --timeout-ms 500
+//   mcmq cyclic_sg.dl --method counting --no-fallback   # exits 1, Unsafe
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,6 +42,7 @@
 #include "core/planner.h"
 #include "datalog/parser.h"
 #include "eval/engine.h"
+#include "runtime/execution_context.h"
 #include "storage/io.h"
 
 using namespace mcm;
@@ -84,12 +98,20 @@ int main(int argc, char** argv) {
   std::string method = "auto";
   std::string out_path;
   bool profile = false;
+  bool no_fallback = false;
+  core::RunOptions run;
   std::vector<std::pair<std::string, std::string>> facts;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : "";
+    };
+    auto next_u64 = [&](uint64_t* out) {
+      std::string v = next();
+      char* end = nullptr;
+      *out = std::strtoull(v.c_str(), &end, 10);
+      return !v.empty() && end != nullptr && *end == '\0';
     };
     if (arg == "--fact") {
       std::string spec = next();
@@ -102,6 +124,20 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--timeout-ms") {
+      if (!next_u64(&run.timeout_ms)) return Fail("--timeout-ms expects N");
+    } else if (arg == "--max-tuples") {
+      if (!next_u64(&run.max_tuples)) return Fail("--max-tuples expects N");
+    } else if (arg == "--max-iterations") {
+      if (!next_u64(&run.max_iterations)) {
+        return Fail("--max-iterations expects N");
+      }
+    } else if (arg == "--max-memory-bytes") {
+      if (!next_u64(&run.max_memory_bytes)) {
+        return Fail("--max-memory-bytes expects N");
+      }
+    } else if (arg == "--no-fallback") {
+      no_fallback = true;
     } else {
       return Fail("unknown option '" + arg + "'");
     }
@@ -125,6 +161,8 @@ int main(int argc, char** argv) {
   }
 
   core::PlannerOptions options;
+  options.run = run;
+  options.allow_fallback = !no_fallback;
   if (method == "auto") {
     // defaults
   } else if (method == "bottom_up") {
@@ -133,10 +171,12 @@ int main(int argc, char** argv) {
   } else if (method == "magic") {
     options.allow_magic_counting = false;
   } else if (method == "counting") {
-    // Pure counting, gated by the static safety verdict: the planner
-    // refuses it (and falls back to magic counting) on a cyclic magic
-    // graph.
+    // Pure counting. Statically proven safe => selected outright. Unsafe or
+    // undecidable => attempted under the execution governor; the caps stop
+    // a divergent fixpoint and the degradation ladder answers the query
+    // with the next-safer method (unless --no-fallback).
     options.allow_plain_counting = true;
+    options.attempt_unsafe_counting = true;
   } else if (method.rfind("mc:", 0) == 0) {
     if (!ParseMcMethod(method, &options)) {
       return Fail("bad --method spec '" + method + "'");
@@ -149,7 +189,15 @@ int main(int argc, char** argv) {
     // Profiling implies plain evaluation so every rule is observable.
     eval::EvalOptions eopts;
     eopts.profile = true;
-    eopts.max_iterations = 1u << 20;
+    eopts.max_iterations =
+        run.max_iterations != 0 ? run.max_iterations : 1u << 20;
+    eopts.max_tuples = run.max_tuples;
+    eopts.max_memory_bytes = run.max_memory_bytes;
+    runtime::ExecutionContext ctx;
+    if (run.timeout_ms > 0) {
+      ctx = runtime::ExecutionContext::WithTimeout(run.timeout_ms);
+      eopts.context = &ctx;
+    }
     eval::Engine engine(&db, eopts);
     Status st = engine.Run(*prog);
     if (!st.ok()) return Fail(st.ToString());
@@ -162,6 +210,19 @@ int main(int argc, char** argv) {
 
   auto report = core::SolveProgram(&db, *prog, options);
   if (!report.ok()) return Fail(report.status().ToString());
+
+  // Surface the degradation ladder whenever more than one method ran (or a
+  // single governed attempt failed before the planner fell through).
+  bool any_failed = false;
+  for (const core::PlanAttempt& a : report->attempts) {
+    if (!a.status.ok()) any_failed = true;
+  }
+  if (report->attempts.size() > 1 || any_failed) {
+    std::fprintf(stderr, "attempts:\n");
+    for (const core::PlanAttempt& a : report->attempts) {
+      std::fprintf(stderr, "  %s\n", a.ToString().c_str());
+    }
+  }
 
   std::fprintf(stderr, "plan: %s [%s], %llu tuple reads\n",
                core::PlanKindToString(report->kind).c_str(),

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace mcm::core {
@@ -142,9 +143,18 @@ Result<MethodRun> DirectCounting(Database* db, const std::string& l,
   MethodRun run;
   run.method = "direct/counting";
 
-  uint64_t cap = options.max_iterations != 0
-                     ? options.max_iterations
-                     : 4 * static_cast<uint64_t>(rel.l->size()) + 64;
+  // Same default-cap policy as the engine path (RunOptions::EffectiveCaps).
+  ResolvedCaps caps = options.EffectiveCaps(rel.l->size(), rel.r->size());
+  runtime::ExecutionContext local_ctx;
+  const runtime::ExecutionContext* ctx = options.context;
+  if (ctx == nullptr && options.timeout_ms > 0) {
+    local_ctx = runtime::ExecutionContext::WithTimeout(options.timeout_ms);
+    ctx = &local_ctx;
+  }
+
+  if (ctx != nullptr) {
+    MCM_RETURN_NOT_OK(ctx->CheckStatus("direct counting (startup)"));
+  }
 
   // Counting-set BFS over (index, node) pairs — may diverge on cycles.
   PairSet cs;
@@ -152,13 +162,34 @@ Result<MethodRun> DirectCounting(Database* db, const std::string& l,
   cs.emplace(0, a);
   frontier.emplace_back(0, a);
   CountingSide pc(rel.r);
+  uint64_t pops = 0;
   while (!frontier.empty()) {
     auto [j, x] = frontier.front();
     frontier.pop_front();
-    if (static_cast<uint64_t>(j) > cap) {
+    MCM_FAULT_POINT("direct/round");
+    // Governor poll, amortized: the deadline/cancellation clock check is
+    // hoisted off every pop.
+    if (ctx != nullptr && (++pops & 63) == 0) {
+      MCM_RETURN_NOT_OK(ctx->CheckStatus("direct counting (level " +
+                                         std::to_string(j) + ")"));
+    }
+    if (static_cast<uint64_t>(j) > caps.max_iterations) {
       return Status::Unsafe(
-          "counting-set fixpoint exceeded level cap (" + std::to_string(cap) +
+          "counting-set fixpoint exceeded level cap (iteration cap " +
+          std::to_string(caps.max_iterations) +
           ") — divergent on cyclic magic graph");
+    }
+    if (caps.max_tuples != 0 && cs.size() > caps.max_tuples) {
+      return Status::Unsafe(
+          "counting-set fixpoint exceeded tuple cap (" +
+          std::to_string(caps.max_tuples) + ")");
+    }
+    if (options.max_memory_bytes != 0 &&
+        cs.size() * (sizeof(std::pair<int64_t, Value>) + 32) >
+            options.max_memory_bytes) {
+      return Status::Unsafe(
+          "counting-set fixpoint exceeded memory budget (" +
+          std::to_string(options.max_memory_bytes) + " bytes)");
     }
     // Exit rule: P_C(J, Y) :- CS(J, X), E(X, Y).
     for (uint32_t id : std::vector<uint32_t>(rel.e->Probe({0}, {x}))) {

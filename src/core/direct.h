@@ -21,8 +21,9 @@
 namespace mcm::core {
 
 /// The counting method (program Q_C run procedurally). Returns
-/// Status::Unsafe when the counting-set BFS exceeds `max_levels`
-/// (0 = auto: 4*|L| + 64).
+/// Status::Unsafe when the counting-set BFS trips a cap from
+/// RunOptions::EffectiveCaps (iteration cap = level cap here), and honors
+/// the execution governor (deadline / cancellation / memory budget).
 Result<MethodRun> DirectCounting(Database* db, const std::string& l,
                                  const std::string& e, const std::string& r,
                                  Value a, const RunOptions& options = {});

@@ -24,6 +24,18 @@ std::string McModeToString(McMode m) {
   return m == McMode::kIndependent ? "independent" : "integrated";
 }
 
+ResolvedCaps RunOptions::EffectiveCaps(uint64_t l_arcs,
+                                       uint64_t r_arcs) const {
+  ResolvedCaps caps;
+  // Auto iteration cap: generous enough for every safe fixpoint on the
+  // instance (fixpoint depth is bounded by path length <= arc count), tight
+  // enough that divergence is detected fast.
+  caps.max_iterations =
+      max_iterations != 0 ? max_iterations : 4 * (l_arcs + r_arcs) + 64;
+  caps.max_tuples = max_tuples;
+  return caps;
+}
+
 std::string DetectionModeToString(DetectionMode m) {
   return m == DetectionMode::kAnyDuplicate ? "any_duplicate"
                                            : "differing_index";

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/classify.h"
+#include "runtime/execution_context.h"
 #include "storage/access_stats.h"
 #include "storage/value.h"
 #include "util/status.h"
@@ -47,18 +48,40 @@ enum class DetectionMode : uint8_t {
 
 std::string DetectionModeToString(DetectionMode m);
 
+/// Caps as actually enforced by a run, after auto-derivation. See
+/// RunOptions::EffectiveCaps.
+struct ResolvedCaps {
+  uint64_t max_iterations = 0;  ///< never 0: the auto cap fills it in
+  uint64_t max_tuples = 0;      ///< 0 = unlimited
+};
+
 /// Safety and instrumentation knobs for a method run.
 struct RunOptions {
   /// Fixpoint-round cap per recursive stratum; hit => Status::Unsafe.
-  /// 0 = auto: the solver derives a cap of 4*(|L| + |R|) + 64 rounds, which
-  /// every safe fixpoint on the instance is guaranteed to stay under (level
-  /// counts are bounded by path lengths, which are bounded by arc counts),
-  /// while a divergent counting fixpoint trips it quickly.
+  /// 0 = auto: EffectiveCaps derives a cap of 4*(|L| + |R|) + 64 rounds,
+  /// which every safe fixpoint on the instance is guaranteed to stay under
+  /// (level counts are bounded by path lengths, which are bounded by arc
+  /// counts), while a divergent counting fixpoint trips it quickly.
   uint64_t max_iterations = 0;
   /// Derived-tuple cap per recursive stratum; hit => Status::Unsafe.
   /// 0 = unlimited.
   uint64_t max_tuples = 0;
+  /// Approximate memory budget for the whole database during the run; hit
+  /// => Status::Unsafe. 0 = unlimited.
+  uint64_t max_memory_bytes = 0;
+  /// Wall-clock budget; on expiry the run aborts with
+  /// Status::DeadlineExceeded. 0 = none. Ignored when `context` is set —
+  /// an explicit context carries its own deadline.
+  uint64_t timeout_ms = 0;
+  /// Optional externally-owned governor (deadline + cancellation token).
+  /// When null and timeout_ms > 0, the solver builds a per-run context.
+  const runtime::ExecutionContext* context = nullptr;
   DetectionMode detection = DetectionMode::kDifferingIndex;
+
+  /// The single home of the default-cap policy (both the Datalog-engine
+  /// solver path and the direct procedural loops resolve their caps here):
+  /// max_iterations == 0 becomes 4*(l_arcs + r_arcs) + 64.
+  ResolvedCaps EffectiveCaps(uint64_t l_arcs, uint64_t r_arcs) const;
 };
 
 /// \brief Outcome and cost breakdown of one method execution.

@@ -1,6 +1,8 @@
 #include "core/planner.h"
 
+#include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "core/solver.h"
 #include "datalog/validate.h"
@@ -8,6 +10,9 @@
 #include "rewrite/csl.h"
 #include "rewrite/magic.h"
 #include "rewrite/strongly_linear.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+#include "util/timer.h"
 
 namespace mcm::core {
 
@@ -25,7 +30,64 @@ std::string PlanKindToString(PlanKind k) {
   return "?";
 }
 
+std::string PlanAttempt::ToString() const {
+  std::string out = method + ": ";
+  if (status.ok()) {
+    out += "ok";
+  } else {
+    out += std::string(StatusCodeToString(status.code()));
+    if (abort != runtime::AbortReason::kNone) {
+      out += " [" + std::string(runtime::AbortReasonToString(abort)) + "]";
+    }
+  }
+  out += StringPrintf(" (%.2fms)", seconds * 1e3);
+  return out;
+}
+
 namespace {
+
+/// "counting: Unsafe [iteration_cap] (0.4ms) -> magic_sets: ok (1.2ms)".
+std::string AttemptLogSummary(const std::vector<PlanAttempt>& attempts) {
+  std::string out;
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += attempts[i].ToString();
+  }
+  return out;
+}
+
+/// Fold the attempt log into a final failure Status so callers that only
+/// see the error still learn what was tried.
+Status WithAttemptLog(const Status& last,
+                      const std::vector<PlanAttempt>& attempts) {
+  if (attempts.size() <= 1) return last;
+  return Status(last.code(),
+                last.message() + "; attempts: " + AttemptLogSummary(attempts));
+}
+
+/// Position of a variant in the Figure 3 degradation order (counting ->
+/// single -> multiple -> recurring -> magic sets). RecurringSmart is
+/// recurring with a faster Step 1, so it degrades like recurring.
+int DegradationRank(McVariant v) {
+  switch (v) {
+    case McVariant::kBasic:
+      return 0;
+    case McVariant::kSingle:
+      return 1;
+    case McVariant::kMultiple:
+      return 2;
+    case McVariant::kRecurring:
+    case McVariant::kRecurringSmart:
+      return 3;
+  }
+  return 0;
+}
+
+/// An abort the degradation ladder may recover from; cancellation and
+/// genuine errors (parse, arity, internal) always propagate.
+bool IsRecoverableAbort(const Status& st) {
+  return st.IsUnsafe() || st.IsDeadlineExceeded();
+}
 
 /// Split the program into the goal predicate's own rules and the support
 /// rules (which must not depend on the goal predicate). The goal rules can
@@ -84,10 +146,31 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   }
   const dl::Query& query = program.queries[0];
 
-  auto finish_report = [&analysis](PlanReport report) {
+  std::vector<PlanAttempt> attempts;
+  auto finish_report = [&analysis, &attempts](PlanReport report) {
     report.diagnostics = analysis->diagnostics.diagnostics();
     report.safety = analysis->safety;
+    report.attempts = std::move(attempts);
     return report;
+  };
+
+  // Governor for the non-ladder paths (support materialization, magic
+  // rewriting, bottom-up). Ladder tiers build their own per-attempt
+  // deadline inside the solver so a retry gets a fresh budget.
+  runtime::ExecutionContext planner_ctx;
+  const runtime::ExecutionContext* governor = options.run.context;
+  if (governor == nullptr && options.run.timeout_ms > 0) {
+    planner_ctx =
+        runtime::ExecutionContext::WithTimeout(options.run.timeout_ms);
+    governor = &planner_ctx;
+  }
+  auto governed_eopts = [&options, governor]() {
+    eval::EvalOptions eopts;
+    eopts.max_iterations = options.run.max_iterations;
+    eopts.max_tuples = options.run.max_tuples;
+    eopts.max_memory_bytes = options.run.max_memory_bytes;
+    eopts.context = governor;
+    return eopts;
   };
 
   AccessStats before = db->stats();
@@ -111,7 +194,7 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
       if (csl.ok() || slq.ok() || rev.ok()) {
         // Materialize derived support predicates first.
         if (!split->support.rules.empty()) {
-          eval::EvalOptions eopts;
+          eval::EvalOptions eopts = governed_eopts();
           eopts.assume_validated = true;
           eval::Engine engine(db, eopts);
           MCM_RETURN_NOT_OK(engine.Run(split->support));
@@ -133,33 +216,40 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
           Value a = rewrite::ResolveSource(*csl, db);
           CslSolver solver(db, csl->l, csl->e, csl->r, a);
 
-          // Plain counting only over the analyzer's dead body: the static
-          // verdict must prove the magic graph acyclic, otherwise the
-          // planner refuses and stays on the always-safe MC method.
+          // Build the degradation ladder (Figure 3 order). Tier 0 — plain
+          // counting — is gated by the static verdict: the analyzer must
+          // prove the magic graph acyclic, unless the caller opted into a
+          // dynamic attempt under the governor.
+          struct Tier {
+            std::string name;  ///< also the fault-injection site suffix
+            PlanKind kind;
+            std::string description;
+            std::function<Result<MethodRun>()> run;
+          };
+          std::vector<Tier> ladder;
           std::string counting_note;
           if (options.allow_plain_counting) {
             analysis::Verdict verdict =
                 analysis->safety.VerdictFor("counting");
             if (verdict == analysis::Verdict::kSafe) {
-              auto run = solver.RunCounting(options.run);
-              if (run.ok()) {
-                PlanReport report;
-                report.kind = PlanKind::kCounting;
-                report.description =
-                    "pure counting (statically proven safe: acyclic magic "
-                    "graph) over " + csl->ToString() + how;
-                report.detected_class = run->detected_class;
-                for (Value v : run->answers) {
-                  report.results.push_back(Tuple{v});
-                }
-                AccessStats after = db->stats();
-                report.stats.tuples_read =
-                    after.tuples_read - before.tuples_read;
-                return finish_report(std::move(report));
-              }
-              counting_note =
-                  "; counting attempt failed (" + run.status().ToString() +
-                  "), fell back to magic counting";
+              ladder.push_back(
+                  {"counting", PlanKind::kCounting,
+                   "pure counting (statically proven safe: acyclic magic "
+                   "graph)",
+                   [&solver, &options] {
+                     return solver.RunCounting(options.run);
+                   }});
+            } else if (options.attempt_unsafe_counting) {
+              ladder.push_back(
+                  {"counting", PlanKind::kCounting,
+                   std::string("pure counting (statically ") +
+                       (verdict == analysis::Verdict::kUnsafe
+                            ? "unsafe"
+                            : "undecidable") +
+                       ", attempted under the governor)",
+                   [&solver, &options] {
+                     return solver.RunCounting(options.run);
+                   }});
             } else if (verdict == analysis::Verdict::kUnsafe) {
               counting_note =
                   "; plain counting refused: statically unsafe "
@@ -170,27 +260,79 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
                   "decidable";
             }
           }
-
-          MCM_ASSIGN_OR_RETURN(
-              MethodRun run,
-              solver.RunMagicCounting(options.variant, options.mode,
-                                      options.run));
-          PlanReport report;
-          report.kind = PlanKind::kMagicCounting;
-          report.description =
-              "magic counting (" + McVariantToString(options.variant) + "/" +
-              McModeToString(options.mode) + ") over " + csl->ToString() +
-              how +
-              (split->support.rules.empty() ? ""
-                                            : " with materialized support") +
-              counting_note;
-          report.detected_class = run.detected_class;
-          for (Value v : run.answers) {
-            report.results.push_back(Tuple{v});
+          auto mc_tier = [&solver, &options](McVariant variant, McMode mode) {
+            std::string label =
+                McVariantToString(variant) + "/" + McModeToString(mode);
+            return Tier{"mc/" + label, PlanKind::kMagicCounting,
+                        "magic counting (" + label + ")",
+                        [&solver, &options, variant, mode] {
+                          return solver.RunMagicCounting(variant, mode,
+                                                         options.run);
+                        }};
+          };
+          ladder.push_back(mc_tier(options.variant, options.mode));
+          if (options.allow_fallback) {
+            // Safer MC variants than the configured one, then magic sets.
+            for (McVariant v : {McVariant::kSingle, McVariant::kMultiple,
+                                McVariant::kRecurring}) {
+              if (DegradationRank(v) > DegradationRank(options.variant)) {
+                ladder.push_back(mc_tier(v, options.mode));
+              }
+            }
+            if (options.allow_magic_sets) {
+              ladder.push_back({"magic_sets", PlanKind::kMagicSets,
+                                "magic sets (safe bottom of the degradation "
+                                "ladder)",
+                                [&solver, &options] {
+                                  return solver.RunMagicSets(options.run);
+                                }});
+            }
           }
-          AccessStats after = db->stats();
-          report.stats.tuples_read = after.tuples_read - before.tuples_read;
-          return finish_report(std::move(report));
+
+          Status last = Status::OK();
+          for (size_t ti = 0; ti < ladder.size(); ++ti) {
+            const Tier& tier = ladder[ti];
+            Timer attempt_timer;
+            Status injected =
+                util::FaultInjection::Instance().Check("planner/" + tier.name);
+            Result<MethodRun> run = injected.ok()
+                                        ? tier.run()
+                                        : Result<MethodRun>(injected);
+            PlanAttempt attempt;
+            attempt.method = tier.name;
+            attempt.status = run.ok() ? Status::OK() : run.status();
+            attempt.abort = runtime::ClassifyAbort(attempt.status);
+            attempt.seconds = attempt_timer.ElapsedSeconds();
+            attempts.push_back(std::move(attempt));
+            if (run.ok()) {
+              PlanReport report;
+              report.kind = tier.kind;
+              report.description =
+                  tier.description + " over " + csl->ToString() + how +
+                  (split->support.rules.empty() ? ""
+                                                : " with materialized "
+                                                  "support") +
+                  counting_note;
+              if (attempts.size() > 1) {
+                report.description +=
+                    "; degradation ladder: " + AttemptLogSummary(attempts);
+              }
+              report.detected_class = run->detected_class;
+              for (Value v : run->answers) {
+                report.results.push_back(Tuple{v});
+              }
+              AccessStats after = db->stats();
+              report.stats.tuples_read =
+                  after.tuples_read - before.tuples_read;
+              return finish_report(std::move(report));
+            }
+            last = run.status();
+            if (!options.allow_fallback || !IsRecoverableAbort(last) ||
+                ti + 1 == ladder.size()) {
+              return WithAttemptLog(last, attempts);
+            }
+          }
+          return WithAttemptLog(last, attempts);  // unreachable: ladder != []
         }
       }
     }
@@ -204,14 +346,18 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   if (options.allow_magic_sets && has_binding) {
     auto magic = rewrite::MagicRewrite(program, query.goal);
     if (magic.ok()) {
-      eval::EvalOptions eopts;
-      eopts.max_iterations = options.run.max_iterations;
-      eopts.max_tuples = options.run.max_tuples;
+      MCM_RETURN_NOT_OK(
+          util::FaultInjection::Instance().Check("planner/magic_rewrite"));
+      eval::EvalOptions eopts = governed_eopts();
       eval::Engine engine(db, eopts);
       // Note: the rewritten program is *not* the analyzed one (magic
       // predicates violate the head-boundedness checks by design), so it is
       // validated by the engine as usual.
+      Timer attempt_timer;
       Status st = engine.Run(magic->program);
+      attempts.push_back(PlanAttempt{"magic_rewrite", st,
+                                     runtime::ClassifyAbort(st),
+                                     attempt_timer.ElapsedSeconds()});
       if (st.ok()) {
         MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
                              engine.Query(magic->adorned_goal));
@@ -224,18 +370,27 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
         report.stats.tuples_read = after.tuples_read - before.tuples_read;
         return finish_report(std::move(report));
       }
-      // Rewriting produced a non-stratifiable or unsafe program: fall
-      // through to bottom-up.
+      // The governor's deadline/cancellation is global to this plan, so a
+      // retry cannot succeed — propagate. Other failures (non-stratifiable
+      // or unsafe rewritten program, cap trips) fall through to bottom-up.
+      if (st.IsCancelled() || st.IsDeadlineExceeded() ||
+          !options.allow_fallback) {
+        return WithAttemptLog(st, attempts);
+      }
     }
   }
 
   // --- Path 3: plain bottom-up evaluation. ---
-  eval::EvalOptions eopts;
-  eopts.max_iterations = options.run.max_iterations;
-  eopts.max_tuples = options.run.max_tuples;
+  MCM_RETURN_NOT_OK(
+      util::FaultInjection::Instance().Check("planner/bottom_up"));
+  eval::EvalOptions eopts = governed_eopts();
   eopts.assume_validated = true;  // the analyzer above already validated
   eval::Engine engine(db, eopts);
-  MCM_RETURN_NOT_OK(engine.Run(program));
+  Timer attempt_timer;
+  Status st = engine.Run(program);
+  attempts.push_back(PlanAttempt{"bottom_up", st, runtime::ClassifyAbort(st),
+                                 attempt_timer.ElapsedSeconds()});
+  if (!st.ok()) return WithAttemptLog(st, attempts);
   MCM_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, engine.Query(query.goal));
   PlanReport report;
   report.kind = PlanKind::kBottomUp;

@@ -18,6 +18,14 @@
 //     generalized magic set rewriting is applied and the rewritten program
 //     evaluated.
 //  3. Otherwise the program is evaluated bottom-up as-is.
+//
+// Runtime safety net: every execution is governed (deadline, cancellation,
+// iteration/tuple/memory caps from RunOptions), and on the strongly linear
+// path a dynamic abort triggers retry-with-degradation down the paper's
+// Figure 3 hierarchy — counting, then the magic counting variants, then
+// plain magic sets (always safe). Each try is recorded in
+// PlanReport::attempts so callers can see what was tried, why it failed,
+// and what finally answered the query.
 #pragma once
 
 #include <string>
@@ -55,9 +63,32 @@ struct PlannerOptions {
   /// the planner *refuses* counting and uses the configured MC method —
   /// the refusal is recorded in PlanReport::description.
   bool allow_plain_counting = false;
+  /// With allow_plain_counting: attempt counting under the governor even
+  /// when the static verdict is unsafe or undecidable, relying on the caps
+  /// and the degradation ladder to recover. This is the dynamic complement
+  /// to the static gate — safety becomes data-dependent, as the paper
+  /// argues, instead of all-or-nothing.
+  bool attempt_unsafe_counting = false;
+  /// Retry-with-degradation: when a strongly-linear attempt aborts with
+  /// kUnsafe or kDeadlineExceeded, re-run with the next-safer method in the
+  /// Figure 3 hierarchy (counting -> single/multiple/recurring MC -> magic
+  /// sets). Cancellation is never retried. When false, the first abort is
+  /// returned to the caller as-is (plus the attempt log in the message).
+  bool allow_fallback = true;
   /// Precomputed analysis of `program` against the same database. When
   /// null, SolveProgram runs the analyzer itself.
   const analysis::AnalysisResult* analysis = nullptr;
+};
+
+/// One entry of the planner's execution attempt log.
+struct PlanAttempt {
+  std::string method;  ///< "counting", "mc/multiple/integrated", ...
+  Status status;       ///< OK for the attempt that answered the query
+  runtime::AbortReason abort = runtime::AbortReason::kNone;
+  double seconds = 0.0;
+
+  /// e.g. "counting: Unsafe [iteration_cap] (0.42ms)" or "magic_sets: ok".
+  std::string ToString() const;
 };
 
 /// \brief Result of planning + executing one query.
@@ -71,6 +102,9 @@ struct PlanReport {
   /// planning before a report exists) and the static safety verdicts.
   std::vector<dl::Diagnostic> diagnostics;
   analysis::CountingSafetyReport safety;
+  /// Everything the planner tried, in order; the last entry is the attempt
+  /// that produced `results`. Size > 1 means the degradation ladder fired.
+  std::vector<PlanAttempt> attempts;
 };
 
 /// Plan and execute the single query of `program` against `db` (EDB

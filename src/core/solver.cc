@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/engine.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace mcm::core {
@@ -31,14 +32,35 @@ void CslSolver::DropWorkingRelations() {
 
 namespace {
 
-/// Auto iteration cap: generous enough for every safe fixpoint on the
-/// instance (fixpoint depth is bounded by path length <= arc count), tight
-/// enough that divergence is detected fast.
-uint64_t AutoIterationCap(const Database& db, const rewrite::CslQuery& csl) {
+/// L and R arc counts of the instance, feeding RunOptions::EffectiveCaps.
+std::pair<uint64_t, uint64_t> ArcCounts(const Database& db,
+                                        const rewrite::CslQuery& csl) {
   const Relation* l = db.Find(csl.l);
   const Relation* r = db.Find(csl.r);
-  uint64_t m = (l != nullptr ? l->size() : 0) + (r != nullptr ? r->size() : 0);
-  return 4 * m + 64;
+  return {l != nullptr ? l->size() : 0, r != nullptr ? r->size() : 0};
+}
+
+/// Resolve the engine options for one governed run: caps from the unified
+/// default-cap policy, memory budget, and the execution context (an
+/// explicit one wins; otherwise a fresh deadline from timeout_ms is stored
+/// in `local_ctx`, which the caller must keep alive for the run).
+eval::EvalOptions GovernedEvalOptions(const Database& db,
+                                      const rewrite::CslQuery& csl,
+                                      const RunOptions& options,
+                                      runtime::ExecutionContext* local_ctx) {
+  auto [l_arcs, r_arcs] = ArcCounts(db, csl);
+  ResolvedCaps caps = options.EffectiveCaps(l_arcs, r_arcs);
+  eval::EvalOptions eopts;
+  eopts.max_iterations = caps.max_iterations;
+  eopts.max_tuples = caps.max_tuples;
+  eopts.max_memory_bytes = options.max_memory_bytes;
+  if (options.context != nullptr) {
+    eopts.context = options.context;
+  } else if (options.timeout_ms > 0) {
+    *local_ctx = runtime::ExecutionContext::WithTimeout(options.timeout_ms);
+    eopts.context = local_ctx;
+  }
+  return eopts;
 }
 
 std::vector<Value> ExtractAnswers(const std::vector<Tuple>& tuples,
@@ -56,14 +78,13 @@ std::vector<Value> ExtractAnswers(const std::vector<Tuple>& tuples,
 Result<MethodRun> CslSolver::RunProgramMethod(const std::string& name,
                                               const dl::Program& program,
                                               const RunOptions& options) {
+  MCM_FAULT_POINT("solver/run");
   MethodRun run;
   run.method = name;
 
-  eval::EvalOptions eopts;
-  eopts.max_iterations = options.max_iterations != 0
-                             ? options.max_iterations
-                             : AutoIterationCap(*db_, csl_);
-  eopts.max_tuples = options.max_tuples;
+  runtime::ExecutionContext local_ctx;
+  eval::EvalOptions eopts =
+      GovernedEvalOptions(*db_, csl_, options, &local_ctx);
 
   AccessStats before = db_->stats();
   Timer timer;
@@ -108,6 +129,7 @@ Result<MethodRun> CslSolver::RunReference(const RunOptions& options) {
 
 Result<MethodRun> CslSolver::RunMagicCounting(McVariant variant, McMode mode,
                                               const RunOptions& options) {
+  MCM_FAULT_POINT("solver/run");
   DropWorkingRelations();
 
   Value a = csl_.source.value;
@@ -126,11 +148,9 @@ Result<MethodRun> CslSolver::RunMagicCounting(McVariant variant, McMode mode,
                             ? rewrite::IndependentMcProgram(csl_, names_)
                             : rewrite::IntegratedMcProgram(csl_, names_);
 
-  eval::EvalOptions eopts;
-  eopts.max_iterations = options.max_iterations != 0
-                             ? options.max_iterations
-                             : AutoIterationCap(*db_, csl_);
-  eopts.max_tuples = options.max_tuples;
+  runtime::ExecutionContext local_ctx;
+  eval::EvalOptions eopts =
+      GovernedEvalOptions(*db_, csl_, options, &local_ctx);
   eval::Engine engine(db_, eopts);
   Status st = engine.Run(program);
   double seconds = timer.ElapsedSeconds();

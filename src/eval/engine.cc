@@ -7,6 +7,7 @@
 
 #include "datalog/parser.h"
 #include "datalog/validate.h"
+#include "util/fault_injection.h"
 
 namespace mcm::eval {
 
@@ -63,16 +64,63 @@ Status Engine::Run(const dl::Program& program) {
     compiled.push_back(std::move(cr));
   }
 
-  for (const Stratum& stratum : strat.strata) {
-    MCM_RETURN_NOT_OK(EvaluateStratum(stratum, compiled));
+  for (size_t i = 0; i < strat.strata.size(); ++i) {
+    MCM_FAULT_POINT("engine/stratum");
+    MCM_RETURN_NOT_OK(EvaluateStratum(i, strat.strata[i], compiled));
   }
   return Status::OK();
 }
 
-Status Engine::EvaluateStratum(const Stratum& stratum,
+Status Engine::Abort(runtime::AbortReason reason, size_t stratum_index,
+                     const Stratum& stratum, const std::string& detail) {
+  info_.abort_reason = reason;
+  info_.abort_stratum = stratum_index;
+
+  std::string msg = detail + " in recursive stratum #" +
+                    std::to_string(stratum_index) + " containing '" +
+                    stratum.predicates[0] + "'";
+  // With profiling on, name the stratum's hottest rule so the user sees
+  // *where* the budget went, not just that it ran out.
+  if (options_.profile && !profile_.empty()) {
+    const RuleProfile* hottest = nullptr;
+    for (size_t ri : stratum.rule_indices) {
+      const RuleProfile& p = profile_[ri];
+      if (hottest == nullptr || p.tuples_read > hottest->tuples_read) {
+        hottest = &p;
+      }
+    }
+    if (hottest != nullptr && hottest->tuples_read > 0) {
+      info_.abort_rule = hottest->rule;
+      msg += "; hottest rule: " + hottest->rule + " (" +
+             std::to_string(hottest->tuples_read) + " tuple reads)";
+    }
+  }
+
+  switch (reason) {
+    case runtime::AbortReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    case runtime::AbortReason::kCancelled:
+      return Status::Cancelled(msg);
+    default:
+      return Status::Unsafe(msg);
+  }
+}
+
+Status Engine::EvaluateStratum(size_t stratum_index, const Stratum& stratum,
                                const std::vector<CompiledRule>& rules) {
   std::unordered_set<std::string> local(stratum.predicates.begin(),
                                         stratum.predicates.end());
+
+  // Governor poll + abort bookkeeping shared by every check below.
+  auto governor_check = [&]() -> Status {
+    if (options_.context == nullptr) return Status::OK();
+    runtime::AbortReason reason = options_.context->CheckAbort();
+    if (reason == runtime::AbortReason::kNone) return Status::OK();
+    return Abort(reason, stratum_index, stratum,
+                 reason == runtime::AbortReason::kCancelled
+                     ? "evaluation cancelled"
+                     : "wall-clock deadline exceeded");
+  };
 
   auto full_source = [this](const std::string& pred) -> const Relation* {
     return db_->Find(pred);
@@ -83,6 +131,8 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
     return full_source(pred);
   };
   full_view.negation_source = full_source;
+
+  MCM_RETURN_NOT_OK(governor_check());
 
   // --- Non-recursive stratum: a single pass over its rules suffices. ---
   if (!stratum.recursive) {
@@ -139,6 +189,7 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
   for (size_t ri : stratum.rule_indices) {
     const CompiledRule& cr = rules[ri];
     Relation* out = db_->Find(cr.rule().head.predicate);
+    MCM_FAULT_POINT("engine/insert");
     size_t n = EvaluateRule(ri, cr, full_view, out);
     info_.tuples_derived += n;
     stratum_tuples += n;
@@ -147,6 +198,8 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
 
   uint64_t rounds = 1;
   while (true) {
+    MCM_FAULT_POINT("engine/round");
+    MCM_RETURN_NOT_OK(governor_check());
     // Snapshot deltas: for each local predicate, the id range added since
     // the previous round (append-only storage makes this a range).
     std::unordered_map<std::string, std::unique_ptr<Relation>> deltas;
@@ -165,11 +218,11 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
     if (!any_delta) break;
 
     if (options_.max_iterations != 0 && rounds > options_.max_iterations) {
-      return Status::Unsafe(
-          "fixpoint exceeded iteration cap (" +
-          std::to_string(options_.max_iterations) +
-          ") in recursive stratum containing '" + stratum.predicates[0] +
-          "' — the computation is likely divergent (cyclic data)");
+      return Abort(runtime::AbortReason::kIterationCap, stratum_index,
+                   stratum,
+                   "fixpoint exceeded iteration cap (" +
+                       std::to_string(options_.max_iterations) +
+                       "), likely divergent (cyclic data)");
     }
 
     if (!options_.seminaive) {
@@ -177,6 +230,7 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
       for (size_t ri : stratum.rule_indices) {
         const CompiledRule& cr = rules[ri];
         Relation* out = db_->Find(cr.rule().head.predicate);
+        MCM_FAULT_POINT("engine/insert");
         size_t n = EvaluateRule(ri, cr, full_view, out);
         info_.tuples_derived += n;
         stratum_tuples += n;
@@ -197,6 +251,7 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
           return db_->Find(p);
         };
         delta_view.negation_source = full_source;
+        MCM_FAULT_POINT("engine/insert");
         size_t n = EvaluateRule(dv.rule_index, dv.compiled, delta_view, out);
         info_.tuples_derived += n;
         stratum_tuples += n;
@@ -206,11 +261,18 @@ Status Engine::EvaluateStratum(const Stratum& stratum,
     ++rounds;
 
     if (options_.max_tuples != 0 && stratum_tuples > options_.max_tuples) {
-      return Status::Unsafe(
-          "fixpoint exceeded tuple cap (" +
-          std::to_string(options_.max_tuples) +
-          ") in recursive stratum containing '" + stratum.predicates[0] +
-          "'");
+      return Abort(runtime::AbortReason::kTupleCap, stratum_index, stratum,
+                   "fixpoint exceeded tuple cap (" +
+                       std::to_string(options_.max_tuples) + ")");
+    }
+    if (options_.max_memory_bytes != 0 &&
+        db_->ApproxBytes() > options_.max_memory_bytes) {
+      return Abort(runtime::AbortReason::kMemoryBudget, stratum_index,
+                   stratum,
+                   "fixpoint exceeded memory budget (" +
+                       std::to_string(options_.max_memory_bytes) +
+                       " bytes, ~" + std::to_string(db_->ApproxBytes()) +
+                       " in use)");
     }
   }
   return Status::OK();

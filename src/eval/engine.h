@@ -8,6 +8,7 @@
 #include "datalog/ast.h"
 #include "eval/rule_eval.h"
 #include "eval/strata.h"
+#include "runtime/execution_context.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -29,6 +30,16 @@ struct EvalOptions {
   /// (0 = unlimited).
   uint64_t max_tuples = 0;
 
+  /// Abort with Status::Unsafe once the database's approximate footprint
+  /// (Database::ApproxBytes) exceeds this budget (0 = unlimited). Checked at
+  /// the same round granularity as the other caps.
+  uint64_t max_memory_bytes = 0;
+
+  /// Optional execution governor carrying a wall-clock deadline and a
+  /// cooperative cancellation token, polled at stratum-round boundaries.
+  /// Not owned; must outlive Run().
+  const runtime::ExecutionContext* context = nullptr;
+
   /// Collect a per-rule cost breakdown (Engine::profile()). Adds two stat
   /// snapshots per rule evaluation; negligible overhead.
   bool profile = false;
@@ -44,6 +55,13 @@ struct EvalRunInfo {
   uint64_t iterations = 0;      ///< Total fixpoint rounds over all strata.
   uint64_t tuples_derived = 0;  ///< New tuples inserted into IDB relations.
   size_t strata = 0;
+
+  /// Why the run was stopped early (kNone on success). The same reason is
+  /// rendered into the returned Status message.
+  runtime::AbortReason abort_reason = runtime::AbortReason::kNone;
+  size_t abort_stratum = 0;     ///< Stratum index that aborted (when set).
+  std::string abort_rule;       ///< Hottest rule of the aborting stratum
+                                ///< (only when EvalOptions::profile is on).
 };
 
 /// Per-rule cost breakdown (collected when EvalOptions::profile is set).
@@ -85,8 +103,13 @@ class Engine {
   std::string ProfileToString() const;
 
  private:
-  Status EvaluateStratum(const Stratum& stratum,
+  Status EvaluateStratum(size_t stratum_index, const Stratum& stratum,
                          const std::vector<CompiledRule>& rules);
+
+  /// Record the abort in info() and build the Status for a tripped cap or
+  /// governor signal; `detail` describes the cap and its value.
+  Status Abort(runtime::AbortReason reason, size_t stratum_index,
+               const Stratum& stratum, const std::string& detail);
 
   size_t EvaluateRule(size_t rule_index, const CompiledRule& cr,
                       const RelationView& view, Relation* out);

@@ -1,0 +1,77 @@
+#include "runtime/execution_context.h"
+
+#include <limits>
+
+namespace mcm::runtime {
+
+std::string_view AbortReasonToString(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case AbortReason::kCancelled:
+      return "cancelled";
+    case AbortReason::kIterationCap:
+      return "iteration_cap";
+    case AbortReason::kTupleCap:
+      return "tuple_cap";
+    case AbortReason::kMemoryBudget:
+      return "memory_budget";
+  }
+  return "?";
+}
+
+AbortReason ClassifyAbort(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return AbortReason::kDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return AbortReason::kCancelled;
+    case StatusCode::kUnsafe: {
+      const std::string& msg = status.message();
+      if (msg.find("iteration cap") != std::string::npos ||
+          msg.find("level cap") != std::string::npos) {
+        return AbortReason::kIterationCap;
+      }
+      if (msg.find("tuple cap") != std::string::npos) {
+        return AbortReason::kTupleCap;
+      }
+      if (msg.find("memory budget") != std::string::npos) {
+        return AbortReason::kMemoryBudget;
+      }
+      return AbortReason::kNone;
+    }
+    default:
+      return AbortReason::kNone;
+  }
+}
+
+ExecutionContext ExecutionContext::WithTimeout(uint64_t timeout_ms) {
+  ExecutionContext ctx;
+  if (timeout_ms > 0) {
+    ctx.SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+  return ctx;
+}
+
+double ExecutionContext::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+Status ExecutionContext::CheckStatus(std::string_view what) const {
+  switch (CheckAbort()) {
+    case AbortReason::kNone:
+      return Status::OK();
+    case AbortReason::kCancelled:
+      return Status::Cancelled("evaluation cancelled in " + std::string(what));
+    case AbortReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded("wall-clock deadline exceeded in " +
+                                      std::string(what));
+    default:
+      return Status::Internal("unexpected abort reason from context check");
+  }
+}
+
+}  // namespace mcm::runtime

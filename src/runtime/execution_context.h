@@ -1,0 +1,118 @@
+// Runtime execution governor: deadlines, cooperative cancellation, and the
+// structured abort taxonomy shared by the engine, the direct loops, and the
+// planner's retry-with-degradation policy.
+//
+// The static analyzer (src/analysis/) answers "can this diverge?" before a
+// single tuple is read; this layer answers "is this run still allowed to
+// continue?" while the fixpoint is running. An ExecutionContext is checked
+// at stratum-round granularity — cheap enough to sit on the hot path, tight
+// enough that a divergent or pathological run is stopped within one round.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mcm::runtime {
+
+/// Why a governed run was stopped. Recorded in eval::EvalRunInfo and in the
+/// planner's attempt log; the planner retries with the next-safer method on
+/// the recoverable reasons (everything except kCancelled).
+enum class AbortReason : uint8_t {
+  kNone = 0,          ///< run completed (or was never aborted)
+  kDeadlineExceeded,  ///< wall-clock deadline passed
+  kCancelled,         ///< cooperative cancellation token fired
+  kIterationCap,      ///< fixpoint-round cap tripped (likely divergence)
+  kTupleCap,          ///< derived-tuple cap tripped
+  kMemoryBudget,      ///< approximate memory budget exceeded
+};
+
+std::string_view AbortReasonToString(AbortReason r);
+
+/// Map a failure Status back to the abort taxonomy: kDeadlineExceeded /
+/// kCancelled by status code, the cap reasons by the standard cap-trip
+/// message fragments ("iteration cap", "level cap", "tuple cap", "memory
+/// budget"). Returns kNone for OK statuses and unrelated errors.
+AbortReason ClassifyAbort(const Status& status);
+
+/// \brief Cooperative cancellation flag, shared between the requesting
+/// thread and the governed run.
+///
+/// Cancel() may be called from any thread; the evaluation thread polls
+/// cancelled() at round boundaries. There is no forced unwinding — a run
+/// stops at the next check point and surfaces Status::Cancelled.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief Per-run governor state: an optional wall-clock deadline plus an
+/// optional cancellation token.
+///
+/// Copyable and cheap: the token is shared, the deadline is a time point.
+/// Tuple/iteration/memory budgets stay in the per-run option structs
+/// (eval::EvalOptions, core::RunOptions); the context carries only the
+/// signals that can arrive from outside the run.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionContext() = default;
+
+  /// Context whose deadline is `timeout_ms` from now (0 = no deadline).
+  static ExecutionContext WithTimeout(uint64_t timeout_ms);
+
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    SetDeadline(Clock::now() + timeout);
+  }
+  void ClearDeadline() { has_deadline_ = false; }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Seconds until the deadline (negative once passed); +inf without one.
+  double RemainingSeconds() const;
+
+  void set_cancellation(std::shared_ptr<CancellationToken> token) {
+    cancellation_ = std::move(token);
+  }
+  const std::shared_ptr<CancellationToken>& cancellation() const {
+    return cancellation_;
+  }
+
+  /// The cheap poll: cancellation first (an explicit request beats a
+  /// deadline that happens to have passed too), then the deadline.
+  AbortReason CheckAbort() const {
+    if (cancellation_ != nullptr && cancellation_->cancelled()) {
+      return AbortReason::kCancelled;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return AbortReason::kDeadlineExceeded;
+    }
+    return AbortReason::kNone;
+  }
+
+  /// CheckAbort() rendered as a Status: OK, Cancelled, or DeadlineExceeded
+  /// with `what` naming the interrupted work (e.g. "stratum #2 round 17").
+  Status CheckStatus(std::string_view what) const;
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<CancellationToken> cancellation_;
+};
+
+}  // namespace mcm::runtime

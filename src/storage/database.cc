@@ -64,4 +64,16 @@ size_t Database::TotalTuples() const {
   return total;
 }
 
+size_t Database::ApproxBytes() const {
+  // Per tuple: the Value payload plus ~32 bytes of hash-set/index overhead
+  // (bucket entry + id vectors), a deliberately round estimate.
+  constexpr size_t kPerTupleOverhead = 32;
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) {
+    (void)name;
+    total += rel->size() * (rel->arity() * sizeof(Value) + kPerTupleOverhead);
+  }
+  return total;
+}
+
 }  // namespace mcm

@@ -51,6 +51,12 @@ class Database {
   /// Total number of tuples across all relations.
   size_t TotalTuples() const;
 
+  /// Approximate resident footprint of the stored tuples: value payload
+  /// plus a flat per-tuple bookkeeping estimate for the dedup set and
+  /// per-column indexes. Used by the execution governor's memory budget;
+  /// deliberately cheap (O(#relations)), not an exact allocator measure.
+  size_t ApproxBytes() const;
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
   SymbolTable symbols_;

@@ -1,0 +1,81 @@
+#include "util/fault_injection.h"
+
+namespace mcm::util {
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection instance;
+  return instance;
+}
+
+void FaultInjection::Arm(const std::string& site, Status status, uint64_t nth,
+                         bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.status = std::move(status);
+  state.nth = nth == 0 ? 1 : nth;
+  state.sticky = sticky;
+  state.armed = true;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, state] : sites_) {
+    if (state.armed) {
+      state.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t FaultInjection::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjection::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjection::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [site, state] : sites_) {
+    if (state.armed) out.push_back(site);
+  }
+  return out;
+}
+
+Status FaultInjection::Check(std::string_view site) {
+  // Fast path: nothing armed anywhere in the process.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end() || !it->second.armed) return Status::OK();
+  SiteState& state = it->second;
+  ++state.hits;
+  if (state.hits < state.nth) return Status::OK();
+  ++state.fires;
+  Status fired = state.status;
+  if (!state.sticky) {
+    state.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return fired;
+}
+
+}  // namespace mcm::util

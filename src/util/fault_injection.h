@@ -1,0 +1,86 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production code marks interesting failure sites with
+//
+//   MCM_FAULT_POINT("engine/round");
+//
+// which is a no-op (one relaxed atomic load) until a test arms the site:
+//
+//   util::FaultInjection::Instance().Arm(
+//       "engine/round", Status::DeadlineExceeded("injected"), /*nth=*/3);
+//
+// The third hit of the site then returns the armed Status from the enclosing
+// function, and the site disarms itself (unless armed sticky). This is what
+// lets every abort path — deadline, cancellation, caps, unsafe verdicts — be
+// driven exactly, instead of only by crafting pathological data.
+//
+// The registry is process-global and mutex-guarded so armed sites behave
+// under ThreadSanitizer; tests are expected to DisarmAll() in teardown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mcm::util {
+
+/// \brief Process-global registry of armable failure sites.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Arm `site` to return `status` at its `nth` next hit (1-based, counted
+  /// from the moment of arming). A non-sticky site disarms after firing;
+  /// a sticky one fires on every hit from the nth on, until Disarm().
+  void Arm(const std::string& site, Status status, uint64_t nth = 1,
+           bool sticky = false);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Hits observed at `site` since it was last armed (0 when never armed).
+  uint64_t HitCount(const std::string& site) const;
+  /// Times `site` actually fired its fault since it was last armed.
+  uint64_t FireCount(const std::string& site) const;
+
+  /// Sites currently armed (for test diagnostics).
+  std::vector<std::string> ArmedSites() const;
+
+  /// The check behind MCM_FAULT_POINT: OK unless `site` is armed and this
+  /// hit is the one that fires. Near-free when nothing is armed anywhere.
+  Status Check(std::string_view site);
+
+ private:
+  FaultInjection() = default;
+
+  struct SiteState {
+    Status status;
+    uint64_t nth = 1;
+    bool sticky = false;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace mcm::util
+
+/// Mark a failure site: returns the armed Status out of the enclosing
+/// function when the site fires (works in functions returning Status or
+/// Result<T>).
+#define MCM_FAULT_POINT(site)                                       \
+  do {                                                              \
+    ::mcm::Status _mcm_fault_status =                               \
+        ::mcm::util::FaultInjection::Instance().Check(site);        \
+    if (!_mcm_fault_status.ok()) return _mcm_fault_status;          \
+  } while (0)

@@ -23,6 +23,8 @@ enum class StatusCode : int {
                           ///< (e.g. counting on a cyclic magic graph).
   kUnsupported = 6,       ///< Feature outside the implemented fragment.
   kInternal = 7,          ///< Invariant violation inside the engine.
+  kDeadlineExceeded = 8,  ///< Wall-clock deadline passed (execution governor).
+  kCancelled = 9,         ///< Cooperative cancellation was requested.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -60,6 +62,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -68,6 +76,10 @@ class Status {
   bool IsUnsafe() const { return code_ == StatusCode::kUnsafe; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,122 @@
+#include "runtime/execution_context.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mcm::runtime {
+namespace {
+
+TEST(AbortReasonTest, Names) {
+  EXPECT_EQ(AbortReasonToString(AbortReason::kNone), "none");
+  EXPECT_EQ(AbortReasonToString(AbortReason::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(AbortReasonToString(AbortReason::kCancelled), "cancelled");
+  EXPECT_EQ(AbortReasonToString(AbortReason::kIterationCap), "iteration_cap");
+  EXPECT_EQ(AbortReasonToString(AbortReason::kTupleCap), "tuple_cap");
+  EXPECT_EQ(AbortReasonToString(AbortReason::kMemoryBudget), "memory_budget");
+}
+
+TEST(AbortReasonTest, ClassifyByStatusCode) {
+  EXPECT_EQ(ClassifyAbort(Status::OK()), AbortReason::kNone);
+  EXPECT_EQ(ClassifyAbort(Status::DeadlineExceeded("whatever")),
+            AbortReason::kDeadlineExceeded);
+  EXPECT_EQ(ClassifyAbort(Status::Cancelled("whatever")),
+            AbortReason::kCancelled);
+  // Unrelated errors carry no abort reason.
+  EXPECT_EQ(ClassifyAbort(Status::Internal("boom")), AbortReason::kNone);
+  EXPECT_EQ(ClassifyAbort(Status::InvalidArgument("bad")),
+            AbortReason::kNone);
+}
+
+TEST(AbortReasonTest, ClassifyCapTripsByMessage) {
+  EXPECT_EQ(ClassifyAbort(Status::Unsafe("fixpoint exceeded iteration cap")),
+            AbortReason::kIterationCap);
+  EXPECT_EQ(ClassifyAbort(Status::Unsafe("BFS exceeded level cap (88)")),
+            AbortReason::kIterationCap);
+  EXPECT_EQ(ClassifyAbort(Status::Unsafe("fixpoint exceeded tuple cap")),
+            AbortReason::kTupleCap);
+  EXPECT_EQ(ClassifyAbort(Status::Unsafe("exceeded memory budget")),
+            AbortReason::kMemoryBudget);
+  // An Unsafe status without a recognized fragment is not an abort.
+  EXPECT_EQ(ClassifyAbort(Status::Unsafe("some other unsafety")),
+            AbortReason::kNone);
+}
+
+TEST(CancellationTokenTest, StartsClearAndLatches) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ExecutionContextTest, DefaultIsUnbounded) {
+  ExecutionContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kNone);
+  EXPECT_TRUE(ctx.CheckStatus("work").ok());
+  EXPECT_GT(ctx.RemainingSeconds(), 1e12);
+}
+
+TEST(ExecutionContextTest, WithTimeoutZeroMeansNoDeadline) {
+  ExecutionContext ctx = ExecutionContext::WithTimeout(0);
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(ExecutionContextTest, FutureDeadlinePasses) {
+  ExecutionContext ctx = ExecutionContext::WithTimeout(60'000);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kNone);
+  EXPECT_GT(ctx.RemainingSeconds(), 1.0);
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineAborts) {
+  ExecutionContext ctx;
+  ctx.SetDeadline(ExecutionContext::Clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kDeadlineExceeded);
+  Status st = ctx.CheckStatus("stratum #2 round 17");
+  ASSERT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_NE(st.message().find("stratum #2 round 17"), std::string::npos);
+  EXPECT_LT(ctx.RemainingSeconds(), 0.0);
+  ctx.ClearDeadline();
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kNone);
+}
+
+TEST(ExecutionContextTest, CancellationAborts) {
+  ExecutionContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.set_cancellation(token);
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kNone);
+  token->Cancel();
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kCancelled);
+  Status st = ctx.CheckStatus("direct counting");
+  ASSERT_TRUE(st.IsCancelled());
+  EXPECT_NE(st.message().find("direct counting"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, CancellationBeatsExpiredDeadline) {
+  // An explicit cancellation request is reported even when the deadline has
+  // also passed — the caller asked, the clock merely happened.
+  ExecutionContext ctx;
+  ctx.SetDeadline(ExecutionContext::Clock::now() -
+                  std::chrono::milliseconds(1));
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  ctx.set_cancellation(token);
+  EXPECT_EQ(ctx.CheckAbort(), AbortReason::kCancelled);
+}
+
+TEST(ExecutionContextTest, CopiesShareTheToken) {
+  ExecutionContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.set_cancellation(token);
+  ExecutionContext copy = ctx;
+  token->Cancel();
+  EXPECT_EQ(copy.CheckAbort(), AbortReason::kCancelled);
+}
+
+}  // namespace
+}  // namespace mcm::runtime

@@ -1,0 +1,105 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace mcm::util {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().DisarmAll(); }
+};
+
+Status StatusSite() {
+  MCM_FAULT_POINT("test/status_site");
+  return Status::OK();
+}
+
+Result<int> ResultSite() {
+  MCM_FAULT_POINT("test/result_site");
+  return 42;
+}
+
+TEST_F(FaultInjectionTest, UnarmedSiteIsTransparent) {
+  EXPECT_TRUE(StatusSite().ok());
+  ASSERT_TRUE(ResultSite().ok());
+  EXPECT_EQ(*ResultSite(), 42);
+}
+
+TEST_F(FaultInjectionTest, FiresOnceByDefault) {
+  FaultInjection::Instance().Arm("test/status_site",
+                                 Status::Internal("injected"));
+  Status st = StatusSite();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "injected");
+  // Non-sticky: the site disarmed itself after firing.
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_EQ(FaultInjection::Instance().FireCount("test/status_site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, WorksInResultReturningFunctions) {
+  FaultInjection::Instance().Arm("test/result_site",
+                                 Status::DeadlineExceeded("injected"));
+  auto r = ResultSite();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+}
+
+TEST_F(FaultInjectionTest, NthHitFires) {
+  FaultInjection::Instance().Arm("test/status_site",
+                                 Status::Cancelled("injected"), /*nth=*/3);
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_TRUE(StatusSite().IsCancelled());
+  EXPECT_EQ(FaultInjection::Instance().HitCount("test/status_site"), 3u);
+  EXPECT_EQ(FaultInjection::Instance().FireCount("test/status_site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, StickyFiresFromNthOnward) {
+  FaultInjection::Instance().Arm("test/status_site",
+                                 Status::Unsafe("injected: tuple cap"),
+                                 /*nth=*/2, /*sticky=*/true);
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_TRUE(StatusSite().IsUnsafe());
+  EXPECT_TRUE(StatusSite().IsUnsafe());
+  EXPECT_EQ(FaultInjection::Instance().FireCount("test/status_site"), 2u);
+  FaultInjection::Instance().Disarm("test/status_site");
+  EXPECT_TRUE(StatusSite().ok());
+}
+
+TEST_F(FaultInjectionTest, RearmingResetsCounters) {
+  auto& fi = FaultInjection::Instance();
+  fi.Arm("test/status_site", Status::Internal("first"));
+  EXPECT_FALSE(StatusSite().ok());
+  fi.Arm("test/status_site", Status::Internal("second"), /*nth=*/2);
+  EXPECT_EQ(fi.HitCount("test/status_site"), 0u);
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_EQ(StatusSite().message(), "second");
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  auto& fi = FaultInjection::Instance();
+  fi.Arm("test/status_site", Status::Internal("status"));
+  fi.Arm("test/result_site", Status::Internal("result"));
+  EXPECT_EQ(fi.ArmedSites().size(), 2u);
+  EXPECT_EQ(ResultSite().status().code(), StatusCode::kInternal);
+  // Firing one site leaves the other armed.
+  EXPECT_EQ(fi.ArmedSites(), std::vector<std::string>{"test/status_site"});
+  EXPECT_FALSE(StatusSite().ok());
+  EXPECT_TRUE(fi.ArmedSites().empty());
+}
+
+TEST_F(FaultInjectionTest, DisarmAllClearsEverything) {
+  auto& fi = FaultInjection::Instance();
+  fi.Arm("test/status_site", Status::Internal("x"), /*nth=*/1,
+         /*sticky=*/true);
+  fi.Arm("test/result_site", Status::Internal("y"));
+  fi.DisarmAll();
+  EXPECT_TRUE(fi.ArmedSites().empty());
+  EXPECT_TRUE(StatusSite().ok());
+  EXPECT_TRUE(ResultSite().ok());
+}
+
+}  // namespace
+}  // namespace mcm::util
