@@ -16,6 +16,8 @@
 // Interactive mode accumulates rules/facts/queries line by line and
 // understands:
 //   :check   run the static analyzer (diagnostics + safety verdict table)
+//   :explain show the cost model's per-method table and the plan the
+//            planner would pick, without running anything
 //   :run     evaluate the program and print query results (single-query
 //            programs go through the planner, so the execution governor and
 //            the degradation ladder apply)
@@ -146,6 +148,31 @@ void CheckProgram(const std::string& source) {
   }
 }
 
+void ExplainReplProgram(const std::string& source) {
+  auto prog = dl::Parse(source);
+  if (!prog.ok()) {
+    std::printf("parse error: %s\n", prog.status().ToString().c_str());
+    return;
+  }
+  if (prog->queries.size() != 1) {
+    std::printf(":explain needs exactly one query in the program\n");
+    return;
+  }
+  Database db;  // in-program facts only; load nothing
+  auto report = core::ExplainProgram(&db, *prog);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  if (report->cost.computed) {
+    std::printf("%s\n", report->cost.ToString().c_str());
+  } else if (!report->cost.note.empty()) {
+    std::printf("cost model: not computed (%s)\n", report->cost.note.c_str());
+  }
+  std::printf("plan: %s [%s]\n", core::PlanKindToString(report->kind).c_str(),
+              report->description.c_str());
+}
+
 /// Governor knobs adjustable with :set.
 struct ReplSettings {
   core::RunOptions run;
@@ -259,7 +286,7 @@ void HandleSet(const std::string& line, ReplSettings* settings) {
 
 int RunInteractive() {
   std::printf("mcm datalog repl — enter rules/facts/queries; "
-              ":check  :run  :set  :list  :reset  :quit\n");
+              ":check  :explain  :run  :set  :list  :reset  :quit\n");
   std::string program;
   std::string line;
   ReplSettings settings;
@@ -270,6 +297,8 @@ int RunInteractive() {
     if (line == ":quit" || line == ":q") break;
     if (line == ":check") {
       CheckProgram(program);
+    } else if (line == ":explain") {
+      ExplainReplProgram(program);
     } else if (line == ":run") {
       RunInteractiveProgram(program, settings);
     } else if (line.rfind(":set", 0) == 0) {

@@ -7,12 +7,15 @@
 //
 // Usage:
 //   mcm-lint PROGRAM.dl [--fact NAME=FILE.tsv]... [--no-safety] [--errors-only]
+//           [--format=text|json]
 //
 //   --fact name=path load a TSV fact file into relation `name`; gives the
 //                    safety pass real EDB statistics instead of only the
 //                    program's ground facts
 //   --no-safety      skip the counting-safety pass (and its verdict table)
 //   --errors-only    suppress warnings and notes
+//   --format=json    machine-readable output: diagnostics, safety verdicts,
+//                    and the Propositions 4-7 cost table as one JSON object
 //
 // Exit status: 0 clean (warnings/notes allowed), 1 errors found, 2 usage or
 // I/O failure.
@@ -34,8 +37,119 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mcm-lint PROGRAM.dl [--fact NAME=FILE]... "
-               "[--no-safety] [--errors-only]\n");
+               "[--no-safety] [--errors-only] [--format=text|json]\n");
   return 2;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number for a cost: finite doubles print plainly, divergent costs as
+/// null (JSON has no infinity).
+std::string JsonCost(bool finite, double value) {
+  if (!finite) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return buf;
+}
+
+void PrintJson(const std::string& path, const dl::Program& prog,
+               const analysis::AnalysisResult& result, bool errors_only) {
+  std::printf("{\n");
+  std::printf("  \"file\": \"%s\",\n", JsonEscape(path).c_str());
+  std::printf("  \"errors\": %zu,\n", result.diagnostics.error_count());
+  std::printf("  \"warnings\": %zu,\n", result.diagnostics.warning_count());
+  std::printf("  \"predicates\": %zu,\n", result.deps.predicates.size());
+  std::printf("  \"rules\": %zu,\n", prog.rules.size());
+
+  std::printf("  \"diagnostics\": [");
+  bool first = true;
+  for (const dl::Diagnostic& d : result.diagnostics.diagnostics()) {
+    if (errors_only && d.severity != dl::Severity::kError) continue;
+    std::printf("%s\n    {\"code\": \"%s\", \"severity\": \"%s\", "
+                "\"span\": \"%s\", \"message\": \"%s\"}",
+                first ? "" : ",", dl::DiagCodeToString(d.code).c_str(),
+                std::string(dl::SeverityToString(d.severity)).c_str(),
+                d.span.ToString().c_str(), JsonEscape(d.message).c_str());
+    first = false;
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+
+  const analysis::CountingSafetyReport& safety = result.safety;
+  std::printf("  \"query_form\": \"%s\",\n",
+              std::string(QueryFormToString(safety.form)).c_str());
+  std::printf("  \"safety\": [");
+  first = true;
+  for (const analysis::MethodVerdict& v : safety.verdicts) {
+    std::printf("%s\n    {\"method\": \"%s\", \"verdict\": \"%s\", "
+                "\"reason\": \"%s\"}",
+                first ? "" : ",", JsonEscape(v.method).c_str(),
+                std::string(VerdictToString(v.verdict)).c_str(),
+                JsonEscape(v.reason).c_str());
+    first = false;
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+
+  const analysis::CostReport& cost = result.cost;
+  std::printf("  \"cost\": {\n");
+  std::printf("    \"computed\": %s,\n", cost.computed ? "true" : "false");
+  if (!cost.computed) {
+    std::printf("    \"note\": \"%s\",\n", JsonEscape(cost.note).c_str());
+  } else {
+    std::printf("    \"n_l\": %zu,\n    \"m_l\": %zu,\n    \"m_r\": %zu,\n",
+                cost.n_l, cost.m_l, cost.m_r);
+    std::printf("    \"graph_class\": \"%s\",\n",
+                std::string(graph::GraphClassToString(cost.graph_class))
+                    .c_str());
+  }
+  std::printf("    \"estimates\": [");
+  first = true;
+  for (const analysis::CostEstimate& e : cost.estimates) {
+    std::printf("%s\n      {\"method\": \"%s\", \"verdict\": \"%s\", "
+                "\"predicted\": %s, \"worst_case\": %s, \"formula\": \"%s\"}",
+                first ? "" : ",", JsonEscape(e.method).c_str(),
+                std::string(VerdictToString(e.verdict)).c_str(),
+                JsonCost(e.finite, e.predicted).c_str(),
+                JsonCost(e.finite, e.worst_case).c_str(),
+                JsonEscape(e.formula).c_str());
+    first = false;
+  }
+  std::printf("%s],\n", first ? "" : "\n    ");
+  std::printf("    \"ranking\": [");
+  first = true;
+  for (const std::string& m : cost.ranking) {
+    std::printf("%s\"%s\"", first ? "" : ", ", JsonEscape(m).c_str());
+    first = false;
+  }
+  std::printf("]\n  }\n}\n");
 }
 
 }  // namespace
@@ -46,11 +160,16 @@ int main(int argc, char** argv) {
   std::string program_path = argv[1];
   bool no_safety = false;
   bool errors_only = false;
+  bool json = false;
   std::vector<std::pair<std::string, std::string>> facts;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--fact") {
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--fact") {
       if (i + 1 >= argc) return Usage();
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -101,6 +220,11 @@ int main(int argc, char** argv) {
   options.counting_safety = !no_safety;
   analysis::AnalysisResult result = analysis::Analyze(*prog, options);
 
+  if (json) {
+    PrintJson(program_path, *prog, result, errors_only);
+    return result.diagnostics.has_errors() ? 1 : 0;
+  }
+
   size_t printed = 0;
   for (const dl::Diagnostic& d : result.diagnostics.diagnostics()) {
     if (errors_only && d.severity != dl::Severity::kError) continue;
@@ -129,6 +253,12 @@ int main(int argc, char** argv) {
           "counting` attempts it under the execution governor (bound it "
           "with --timeout-ms / --max-iterations) and falls back down the "
           "Figure 3 ladder on divergence\n");
+    }
+    if (result.cost.computed) {
+      std::printf("\n%s", result.cost.ToString().c_str());
+    } else if (!result.cost.note.empty()) {
+      std::printf("\ncost model: not computed (%s)\n",
+                  result.cost.note.c_str());
     }
   }
 

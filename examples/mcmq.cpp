@@ -2,14 +2,16 @@
 //
 // Usage:
 //   mcmq PROGRAM.dl [--fact NAME=FILE.tsv]... [--method auto|bottom_up|
-//        magic|mc:<variant>:<mode>] [--out FILE.tsv] [--profile]
+//        magic|mc:<variant>:<mode>] [--out FILE.tsv] [--profile] [--explain]
 //        [--timeout-ms N] [--max-tuples N] [--max-iterations N]
 //        [--max-memory-bytes N] [--no-fallback]
 //
 //   PROGRAM.dl       Datalog rules + one query
 //   --fact name=path load a TSV fact file into relation `name`
 //   --method         evaluation strategy:
-//                      auto       planner picks (default)
+//                      auto       planner picks, ranking the methods by the
+//                                 cost model's predictions when the instance
+//                                 statistics allow it (default)
 //                      bottom_up  plain seminaive evaluation
 //                      magic      generalized magic sets
 //                      counting   pure counting; when the static verdict is
@@ -21,6 +23,10 @@
 //                                 M in ind|int
 //   --out path       write the result tuples as TSV
 //   --profile        print a per-rule cost breakdown (bottom_up only)
+//   --explain        print the static analysis — the Propositions 4-7 cost
+//                    table, the safety verdicts, and the plan the planner
+//                    would choose with its ladder order — WITHOUT running
+//                    any fixpoint
 //   --timeout-ms N     wall-clock deadline for the whole run
 //   --max-tuples N     abort when a fixpoint materializes more tuples
 //   --max-iterations N fixpoint iteration / counting level cap
@@ -98,6 +104,7 @@ int main(int argc, char** argv) {
   std::string method = "auto";
   std::string out_path;
   bool profile = false;
+  bool explain = false;
   bool no_fallback = false;
   core::RunOptions run;
   std::vector<std::pair<std::string, std::string>> facts;
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--timeout-ms") {
       if (!next_u64(&run.timeout_ms)) return Fail("--timeout-ms expects N");
     } else if (arg == "--max-tuples") {
@@ -164,7 +173,10 @@ int main(int argc, char** argv) {
   options.run = run;
   options.allow_fallback = !no_fallback;
   if (method == "auto") {
-    // defaults
+    // Cost-ranked selection: when the analyzer can derive the instance
+    // parameters the ladder follows the predicted-cost ranking; otherwise
+    // the planner's fixed defaults apply.
+    options.auto_select = true;
   } else if (method == "bottom_up") {
     options.allow_magic_counting = false;
     options.allow_magic_sets = false;
@@ -183,6 +195,24 @@ int main(int argc, char** argv) {
     }
   } else {
     return Fail("unknown --method '" + method + "'");
+  }
+
+  if (explain) {
+    auto report = core::ExplainProgram(&db, *prog, options);
+    if (!report.ok()) return Fail(report.status().ToString());
+    if (report->cost.computed) {
+      std::printf("%s\n", report->cost.ToString().c_str());
+    } else if (!report->cost.note.empty()) {
+      std::printf("cost model: not computed (%s)\n\n",
+                  report->cost.note.c_str());
+    }
+    if (report->safety.form != analysis::QueryForm::kNotStronglyLinear) {
+      std::printf("%s\n", report->safety.ToString().c_str());
+    }
+    std::printf("plan: %s [%s]\n",
+                core::PlanKindToString(report->kind).c_str(),
+                report->description.c_str());
+    return 0;
   }
 
   if (profile) {
@@ -224,10 +254,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::fprintf(stderr, "plan: %s [%s], %llu tuple reads\n",
-               core::PlanKindToString(report->kind).c_str(),
-               report->description.c_str(),
-               static_cast<unsigned long long>(report->stats.tuples_read));
+  if (report->predicted_reads >= 0) {
+    std::fprintf(stderr, "plan: %s [%s], %llu tuple reads (predicted %.0f)\n",
+                 core::PlanKindToString(report->kind).c_str(),
+                 report->description.c_str(),
+                 static_cast<unsigned long long>(report->stats.tuples_read),
+                 report->predicted_reads);
+  } else {
+    std::fprintf(stderr, "plan: %s [%s], %llu tuple reads\n",
+                 core::PlanKindToString(report->kind).c_str(),
+                 report->description.c_str(),
+                 static_cast<unsigned long long>(report->stats.tuples_read));
+  }
 
   auto print_tuple = [&](const Tuple& t, std::FILE* out) {
     for (uint32_t i = 0; i < t.arity(); ++i) {

@@ -73,6 +73,10 @@ AnalysisResult Analyze(const dl::Program& program,
   if (options.counting_safety) {
     result.safety =
         AnalyzeCountingSafety(program, options.db, &result.diagnostics);
+    if (options.cost) {
+      result.cost =
+          AnalyzeCost(program, result.safety, options.db, &result.diagnostics);
+    }
   }
 
   result.diagnostics.SortBySpan();

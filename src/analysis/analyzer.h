@@ -10,14 +10,19 @@
 //   4. counting safety  — query-form classification (CSL and friends),
 //                         magic-graph skeleton from EDB statistics, and the
 //                         per-method safe/unsafe verdict table of
-//                         Theorems 1-2.
+//                         Theorems 1-2,
+//   5. cost model       — the Propositions 4-7 formulas evaluated over the
+//                         magic-graph skeleton: a per-method cost table,
+//                         the Figure 3 dominance arcs, and a predicted-cost
+//                         ranking of the safe methods.
 //
-// Passes 2-4 are advisory (warnings/notes) and run even when validation
+// Passes 2-5 are advisory (warnings/notes) and run even when validation
 // found errors, so one lint run paints the whole picture. The planner
 // (core::SolveProgram) and mcm-lint both consume AnalysisResult instead of
 // re-deriving any of this.
 #pragma once
 
+#include "analysis/cost_model.h"
 #include "analysis/depgraph.h"
 #include "analysis/safety.h"
 #include "datalog/ast.h"
@@ -38,6 +43,9 @@ struct AnalyzeOptions {
   bool dependencies = true;
   bool bindings = true;
   bool counting_safety = true;
+  /// The cost pass consumes the safety pass's query-form classification,
+  /// so disabling counting_safety disables it too.
+  bool cost = true;
 };
 
 /// \brief Everything the analyzer learned about one program.
@@ -45,6 +53,7 @@ struct AnalysisResult {
   dl::DiagnosticBag diagnostics;
   DependencyInfo deps;
   CountingSafetyReport safety;
+  CostReport cost;
 
   bool ok() const { return !diagnostics.has_errors(); }
 

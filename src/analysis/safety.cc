@@ -110,8 +110,8 @@ bool SplitByGoal(const dl::Program& program, const std::string& goal_pred,
   return true;
 }
 
-/// Resolve a ground term against a symbol table without interning.
-/// Returns false when the symbol is unknown to `symbols`.
+}  // namespace
+
 bool ResolveGroundTerm(const dl::Term& t, const SymbolTable& symbols,
                        Value* out) {
   if (t.kind == dl::Term::Kind::kInt) {
@@ -127,9 +127,8 @@ bool ResolveGroundTerm(const dl::Term& t, const SymbolTable& symbols,
   return false;
 }
 
-/// Materialize the in-program ground facts for `pred` into `scratch`.
-void MaterializeFacts(const dl::Program& program, const std::string& pred,
-                      Database* scratch) {
+void MaterializeGroundFacts(const dl::Program& program, const std::string& pred,
+                            Database* scratch) {
   for (const dl::Rule& r : program.rules) {
     if (!r.IsFact() || r.head.predicate != pred) continue;
     if (r.head.arity() > kMaxTupleArity) continue;
@@ -151,6 +150,8 @@ void MaterializeFacts(const dl::Program& program, const std::string& pred,
     if (ground) rel->Insert(t);
   }
 }
+
+namespace {
 
 void AddMcVerdicts(CountingSafetyReport* report) {
   struct VariantRow {
@@ -225,6 +226,8 @@ CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
     report.form = QueryForm::kCanonical;
     report.signature = csl->ToString();
     report.l_predicate = csl->l;
+    report.e_predicate = csl->e;
+    report.r_predicate = csl->r;
     source_constant = csl->source;
     have_source_term = true;
   } else {
@@ -242,6 +245,12 @@ CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
             "the L-part is a conjunction; its graph exists only after "
             "materialization";
       }
+      if (slq->exit_is_atom) {
+        report.e_predicate = slq->exit_body[0].atom.predicate;
+      }
+      if (slq->suffix_is_atom) {
+        report.r_predicate = slq->suffix[0].atom.predicate;
+      }
     } else {
       Result<rewrite::ReverseCsl> rev =
           rewrite::RecognizeReverseCsl(goal_part, "mcm_eswap");
@@ -250,6 +259,9 @@ CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
         report.signature = rev->csl.ToString();
         // The mirrored query's magic graph is the graph of the original R.
         report.l_predicate = rev->csl.l;
+        // The mirrored E ("mcm_eswap") only exists after materialization,
+        // so leave e_predicate empty; the mirrored R is the original L.
+        report.r_predicate = rev->csl.r;
         source_constant = rev->csl.source;
         have_source_term = true;
       } else {
@@ -257,6 +269,9 @@ CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
       }
     }
   }
+
+  report.source_term = source_constant;
+  report.have_source_term = have_source_term;
 
   bag->Add(DiagCode::kQueryClassCsl, query.span(),
            "query is " + std::string(QueryFormToString(report.form)) + ": " +
@@ -275,7 +290,7 @@ CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
       l_rel = db->Find(report.l_predicate);
       symbols = &db->symbols();
     } else {
-      MaterializeFacts(program, report.l_predicate, &scratch);
+      MaterializeGroundFacts(program, report.l_predicate, &scratch);
       if (const Relation* rel = scratch.Find(report.l_predicate);
           rel != nullptr && !rel->empty()) {
         l_rel = rel;

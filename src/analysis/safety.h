@@ -58,6 +58,15 @@ struct CountingSafetyReport {
   QueryForm form = QueryForm::kNotStronglyLinear;
   std::string signature;  ///< CSL signature when recognized ("p over l/e/r")
   std::string l_predicate;  ///< relation whose graph is the magic graph
+  /// E/R relation names when they are plain stored atoms; empty when the
+  /// component is a conjunction (it exists only after materialization) or,
+  /// for reverse-bound queries, when the mirrored E is not materialized yet.
+  std::string e_predicate;
+  std::string r_predicate;
+  /// The query's bound constant (feeds the cost pass); meaningful only when
+  /// `have_source_term` is set.
+  dl::Term source_term;
+  bool have_source_term = false;
 
   /// True when EDB statistics were available and the magic graph was built.
   bool analyzed = false;
@@ -88,5 +97,16 @@ struct CountingSafetyReport {
 CountingSafetyReport AnalyzeCountingSafety(const dl::Program& program,
                                            const Database* db,
                                            dl::DiagnosticBag* bag);
+
+/// Materialize the in-program ground facts for `pred` into `scratch`.
+/// Shared by the safety and cost passes (both fall back to program facts
+/// when the caller supplies no database).
+void MaterializeGroundFacts(const dl::Program& program, const std::string& pred,
+                            Database* scratch);
+
+/// Resolve a ground term against a symbol table without interning; returns
+/// false when the symbol is unknown to `symbols`.
+bool ResolveGroundTerm(const dl::Term& t, const SymbolTable& symbols,
+                       Value* out);
 
 }  // namespace mcm::analysis

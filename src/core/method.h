@@ -77,6 +77,11 @@ struct RunOptions {
   /// When null and timeout_ms > 0, the solver builds a per-run context.
   const runtime::ExecutionContext* context = nullptr;
   DetectionMode detection = DetectionMode::kDifferingIndex;
+  /// Skip dl::Validate inside the engine for the programs a run hands it.
+  /// The planner sets this: it runs the analyzer once per SolveProgram and
+  /// every ladder rung then evaluates a machine-generated rewrite of that
+  /// already-validated program, so per-rung re-validation is pure overhead.
+  bool assume_validated = false;
 
   /// The single home of the default-cap policy (both the Datalog-engine
   /// solver path and the direct procedural loops resolve their caps here):

@@ -40,7 +40,12 @@ std::string PlanAttempt::ToString() const {
       out += " [" + std::string(runtime::AbortReasonToString(abort)) + "]";
     }
   }
-  out += StringPrintf(" (%.2fms)", seconds * 1e3);
+  if (predicted_reads >= 0) {
+    out += StringPrintf(" (%.2fms, predicted %.0f reads)", seconds * 1e3,
+                        predicted_reads);
+  } else {
+    out += StringPrintf(" (%.2fms)", seconds * 1e3);
+  }
   return out;
 }
 
@@ -87,6 +92,124 @@ int DegradationRank(McVariant v) {
 /// genuine errors (parse, arity, internal) always propagate.
 bool IsRecoverableAbort(const Status& st) {
   return st.IsUnsafe() || st.IsDeadlineExceeded();
+}
+
+/// Ladder method id ("mc/multiple/int") for a variant + mode; preserves
+/// recurring_smart so the id round-trips through ParseMcId for execution.
+std::string McLadderId(McVariant variant, McMode mode) {
+  return "mc/" + McVariantToString(variant) + "/" +
+         (mode == McMode::kIndependent ? "ind" : "int");
+}
+
+bool ParseMcId(const std::string& id, McVariant* variant, McMode* mode);
+
+/// The cost model's prediction for a ladder method id; negative when the
+/// table has no row (not computed, or an unknown id). RecurringSmart reads
+/// recurring's row: same partition, faster Step 1.
+double PredictedFor(const analysis::CostReport& cost, const std::string& id) {
+  if (!cost.computed) return -1.0;
+  std::string key = id;
+  McVariant v{};
+  McMode m{};
+  if (ParseMcId(id, &v, &m)) {
+    if (v == McVariant::kRecurringSmart) v = McVariant::kRecurring;
+    key = "mc/" + McVariantToString(v) + "/" +
+          (m == McMode::kIndependent ? "ind" : "int");
+  }
+  const analysis::CostEstimate* e = cost.EstimateFor(key);
+  return e != nullptr && e->finite ? e->predicted : -1.0;
+}
+
+/// Inverse of McCostId / the ladder id format "mc/<variant>/<ind|int>".
+bool ParseMcId(const std::string& id, McVariant* variant, McMode* mode) {
+  if (!StartsWith(id, "mc/")) return false;
+  size_t slash = id.find('/', 3);
+  if (slash == std::string::npos) return false;
+  std::string v = id.substr(3, slash - 3);
+  std::string m = id.substr(slash + 1);
+  if (v == "basic") {
+    *variant = McVariant::kBasic;
+  } else if (v == "single") {
+    *variant = McVariant::kSingle;
+  } else if (v == "multiple") {
+    *variant = McVariant::kMultiple;
+  } else if (v == "recurring") {
+    *variant = McVariant::kRecurring;
+  } else if (v == "recurring_smart") {
+    *variant = McVariant::kRecurringSmart;
+  } else {
+    return false;
+  }
+  if (m == "ind" || m == "independent") {
+    *mode = McMode::kIndependent;
+  } else if (m == "int" || m == "integrated") {
+    *mode = McMode::kIntegrated;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The ordered method ids the CSL-path ladder will try, shared between
+/// SolveProgram (which executes them) and ExplainProgram (which only
+/// reports them). Ids use the cost/verdict table naming: "counting",
+/// "mc/<variant>/<ind|int>", "magic_sets".
+///
+/// With auto_select and a computed cost report the order is the
+/// predicted-cost ranking; otherwise it is the fixed Figure 3 walk
+/// (configured method, then safer variants, then magic sets), with plain
+/// counting in front only when allowed and statically safe (or dynamically
+/// attempted). `counting_note` receives the refusal note, `ranked` whether
+/// the cost ranking drove the order.
+std::vector<std::string> LadderMethodIds(
+    const PlannerOptions& options, const analysis::AnalysisResult& analysis,
+    std::string* counting_note, bool* ranked) {
+  std::vector<std::string> ids;
+  analysis::Verdict counting_verdict = analysis.safety.VerdictFor("counting");
+  *ranked = options.auto_select && analysis.cost.computed &&
+            !analysis.cost.ranking.empty();
+
+  if (*ranked) {
+    // The ranking already contains exactly the safe finite methods,
+    // cheapest first ("counting" only when statically safe).
+    for (const std::string& method : analysis.cost.ranking) {
+      if (method == "magic_sets" && !options.allow_magic_sets) continue;
+      ids.push_back(method);
+    }
+    if (options.allow_plain_counting && options.attempt_unsafe_counting &&
+        counting_verdict != analysis::Verdict::kSafe) {
+      ids.insert(ids.begin(), "counting");
+    }
+    if (!options.allow_fallback && ids.size() > 1) ids.resize(1);
+    return ids;
+  }
+
+  if (options.allow_plain_counting) {
+    if (counting_verdict == analysis::Verdict::kSafe ||
+        options.attempt_unsafe_counting) {
+      ids.push_back("counting");
+    } else if (counting_verdict == analysis::Verdict::kUnsafe) {
+      *counting_note =
+          "; plain counting refused: statically unsafe "
+          "(cyclic magic graph)";
+    } else {
+      *counting_note =
+          "; plain counting refused: safety not statically "
+          "decidable";
+    }
+  }
+  ids.push_back(McLadderId(options.variant, options.mode));
+  if (options.allow_fallback) {
+    // Safer MC variants than the configured one, then magic sets.
+    for (McVariant v : {McVariant::kSingle, McVariant::kMultiple,
+                        McVariant::kRecurring}) {
+      if (DegradationRank(v) > DegradationRank(options.variant)) {
+        ids.push_back(McLadderId(v, options.mode));
+      }
+    }
+    if (options.allow_magic_sets) ids.push_back("magic_sets");
+  }
+  return ids;
 }
 
 /// Split the program into the goal predicate's own rules and the support
@@ -150,6 +273,7 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   auto finish_report = [&analysis, &attempts](PlanReport report) {
     report.diagnostics = analysis->diagnostics.diagnostics();
     report.safety = analysis->safety;
+    report.cost = analysis->cost;
     report.attempts = std::move(attempts);
     return report;
   };
@@ -216,77 +340,72 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
           Value a = rewrite::ResolveSource(*csl, db);
           CslSolver solver(db, csl->l, csl->e, csl->r, a);
 
-          // Build the degradation ladder (Figure 3 order). Tier 0 — plain
-          // counting — is gated by the static verdict: the analyzer must
-          // prove the magic graph acyclic, unless the caller opted into a
-          // dynamic attempt under the governor.
+          // Every rung evaluates a machine-generated rewrite of the program
+          // the analyzer above already validated, so the engine may skip its
+          // per-rung re-validation.
+          RunOptions run_options = options.run;
+          run_options.assume_validated = true;
+
+          // Build the degradation ladder: the predicted-cost ranking when
+          // auto_select has a computed cost table, the fixed Figure 3 walk
+          // otherwise. Tier 0 — plain counting — is gated by the static
+          // verdict: the analyzer must prove the magic graph acyclic,
+          // unless the caller opted into a dynamic attempt under the
+          // governor (or the ranking admitted it as statically safe).
           struct Tier {
             std::string name;  ///< also the fault-injection site suffix
             PlanKind kind;
             std::string description;
             std::function<Result<MethodRun>()> run;
           };
-          std::vector<Tier> ladder;
           std::string counting_note;
-          if (options.allow_plain_counting) {
-            analysis::Verdict verdict =
-                analysis->safety.VerdictFor("counting");
-            if (verdict == analysis::Verdict::kSafe) {
-              ladder.push_back(
-                  {"counting", PlanKind::kCounting,
-                   "pure counting (statically proven safe: acyclic magic "
-                   "graph)",
-                   [&solver, &options] {
-                     return solver.RunCounting(options.run);
-                   }});
-            } else if (options.attempt_unsafe_counting) {
-              ladder.push_back(
-                  {"counting", PlanKind::kCounting,
-                   std::string("pure counting (statically ") +
-                       (verdict == analysis::Verdict::kUnsafe
-                            ? "unsafe"
-                            : "undecidable") +
-                       ", attempted under the governor)",
-                   [&solver, &options] {
-                     return solver.RunCounting(options.run);
-                   }});
-            } else if (verdict == analysis::Verdict::kUnsafe) {
-              counting_note =
-                  "; plain counting refused: statically unsafe "
-                  "(cyclic magic graph)";
-            } else {
-              counting_note =
-                  "; plain counting refused: safety not statically "
-                  "decidable";
-            }
-          }
-          auto mc_tier = [&solver, &options](McVariant variant, McMode mode) {
-            std::string label =
-                McVariantToString(variant) + "/" + McModeToString(mode);
-            return Tier{"mc/" + label, PlanKind::kMagicCounting,
-                        "magic counting (" + label + ")",
-                        [&solver, &options, variant, mode] {
-                          return solver.RunMagicCounting(variant, mode,
-                                                         options.run);
-                        }};
-          };
-          ladder.push_back(mc_tier(options.variant, options.mode));
-          if (options.allow_fallback) {
-            // Safer MC variants than the configured one, then magic sets.
-            for (McVariant v : {McVariant::kSingle, McVariant::kMultiple,
-                                McVariant::kRecurring}) {
-              if (DegradationRank(v) > DegradationRank(options.variant)) {
-                ladder.push_back(mc_tier(v, options.mode));
-              }
-            }
-            if (options.allow_magic_sets) {
+          bool ranked = false;
+          std::vector<std::string> ids =
+              LadderMethodIds(options, *analysis, &counting_note, &ranked);
+          analysis::Verdict counting_verdict =
+              analysis->safety.VerdictFor("counting");
+          std::vector<Tier> ladder;
+          for (const std::string& id : ids) {
+            if (id == "counting") {
+              std::string description =
+                  counting_verdict == analysis::Verdict::kSafe
+                      ? "pure counting (statically proven safe: acyclic "
+                        "magic graph)"
+                      : std::string("pure counting (statically ") +
+                            (counting_verdict == analysis::Verdict::kUnsafe
+                                 ? "unsafe"
+                                 : "undecidable") +
+                            ", attempted under the governor)";
+              ladder.push_back({"counting", PlanKind::kCounting,
+                                std::move(description),
+                                [&solver, &run_options] {
+                                  return solver.RunCounting(run_options);
+                                }});
+            } else if (id == "magic_sets") {
               ladder.push_back({"magic_sets", PlanKind::kMagicSets,
                                 "magic sets (safe bottom of the degradation "
                                 "ladder)",
-                                [&solver, &options] {
-                                  return solver.RunMagicSets(options.run);
+                                [&solver, &run_options] {
+                                  return solver.RunMagicSets(run_options);
+                                }});
+            } else {
+              McVariant variant{};
+              McMode mode{};
+              if (!ParseMcId(id, &variant, &mode)) continue;
+              // Full-word tier name: the fault-injection sites and attempt
+              // logs predate the short cost-table ids and keep their form.
+              std::string label =
+                  McVariantToString(variant) + "/" + McModeToString(mode);
+              ladder.push_back({"mc/" + label, PlanKind::kMagicCounting,
+                                "magic counting (" + label + ")",
+                                [&solver, &run_options, variant, mode] {
+                                  return solver.RunMagicCounting(
+                                      variant, mode, run_options);
                                 }});
             }
+          }
+          if (ranked) {
+            counting_note += "; method order auto-selected by predicted cost";
           }
 
           Status last = Status::OK();
@@ -303,10 +422,12 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
             attempt.status = run.ok() ? Status::OK() : run.status();
             attempt.abort = runtime::ClassifyAbort(attempt.status);
             attempt.seconds = attempt_timer.ElapsedSeconds();
+            attempt.predicted_reads = PredictedFor(analysis->cost, tier.name);
             attempts.push_back(std::move(attempt));
             if (run.ok()) {
               PlanReport report;
               report.kind = tier.kind;
+              report.predicted_reads = attempts.back().predicted_reads;
               report.description =
                   tier.description + " over " + csl->ToString() + how +
                   (split->support.rules.empty() ? ""
@@ -399,6 +520,78 @@ Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
   AccessStats after = db->stats();
   report.stats.tuples_read = after.tuples_read - before.tuples_read;
   return finish_report(std::move(report));
+}
+
+Result<PlanReport> ExplainProgram(const Database* db,
+                                  const dl::Program& program,
+                                  const PlannerOptions& options) {
+  analysis::AnalysisResult local_analysis;
+  const analysis::AnalysisResult* analysis = options.analysis;
+  if (analysis == nullptr) {
+    analysis::AnalyzeOptions aopts;
+    aopts.db = db;
+    local_analysis = analysis::Analyze(program, aopts);
+    analysis = &local_analysis;
+  }
+  MCM_RETURN_NOT_OK(analysis->ToStatus());
+  if (program.queries.size() != 1) {
+    return Status::Unsupported("planner expects exactly one query");
+  }
+  const dl::Query& query = program.queries[0];
+
+  PlanReport report;
+  report.diagnostics = analysis->diagnostics.diagnostics();
+  report.safety = analysis->safety;
+  report.cost = analysis->cost;
+
+  // Mirror SolveProgram's strategy choice without executing anything: the
+  // safety pass already classified the query form, so the CSL path is taken
+  // exactly when it recognized a strongly linear shape.
+  if (options.allow_magic_counting &&
+      analysis->safety.form != analysis::QueryForm::kNotStronglyLinear) {
+    std::string counting_note;
+    bool ranked = false;
+    std::vector<std::string> ids =
+        LadderMethodIds(options, *analysis, &counting_note, &ranked);
+    if (!ids.empty()) {
+      const std::string& chosen = ids.front();
+      if (chosen == "counting") {
+        report.kind = PlanKind::kCounting;
+      } else if (chosen == "magic_sets") {
+        report.kind = PlanKind::kMagicSets;
+      } else {
+        report.kind = PlanKind::kMagicCounting;
+      }
+      report.predicted_reads = PredictedFor(analysis->cost, chosen);
+      report.description =
+          "explain: would run " + chosen + " over " +
+          analysis->safety.signature +
+          (ranked ? " (order auto-selected by predicted cost)" : "") +
+          counting_note + "; ladder: " + Join(ids, " -> ");
+      for (const std::string& id : ids) {
+        PlanAttempt attempt;
+        attempt.method = id;
+        attempt.predicted_reads = PredictedFor(analysis->cost, id);
+        report.attempts.push_back(std::move(attempt));
+      }
+      return report;
+    }
+  }
+
+  bool has_binding = false;
+  for (const dl::Term& t : query.goal.args) {
+    if (t.IsConstant()) has_binding = true;
+  }
+  if (options.allow_magic_sets && has_binding) {
+    report.kind = PlanKind::kMagicSets;
+    report.description =
+        "explain: would run generalized magic sets (goal pattern drives " +
+        query.goal.predicate + ")";
+    return report;
+  }
+  report.kind = PlanKind::kBottomUp;
+  report.description = "explain: would run bottom-up seminaive evaluation";
+  return report;
 }
 
 }  // namespace mcm::core

@@ -54,6 +54,13 @@ struct PlannerOptions {
   McVariant variant = McVariant::kMultiple;
   McMode mode = McMode::kIntegrated;
   RunOptions run;
+  /// Cost-ranked method selection: when the analyzer's cost pass computed a
+  /// report, the degradation ladder follows its predicted-cost ranking
+  /// (cheapest safe method first) instead of the fixed hierarchy walk, and
+  /// plain counting is eligible whenever it is statically safe — the
+  /// ranking subsumes the allow_plain_counting opt-in. Falls back to the
+  /// fixed order when the cost parameters were not derivable.
+  bool auto_select = false;
   /// Disable the CSL fast path (for comparison runs).
   bool allow_magic_counting = true;
   /// Disable the magic-set rewriting fallback.
@@ -86,6 +93,9 @@ struct PlanAttempt {
   Status status;       ///< OK for the attempt that answered the query
   runtime::AbortReason abort = runtime::AbortReason::kNone;
   double seconds = 0.0;
+  /// Cost-model prediction for this method in tuple retrievals; negative
+  /// when the cost pass had nothing (outside the CSL class, no EDB stats).
+  double predicted_reads = -1.0;
 
   /// e.g. "counting: Unsafe [iteration_cap] (0.42ms)" or "magic_sets: ok".
   std::string ToString() const;
@@ -102,6 +112,13 @@ struct PlanReport {
   /// planning before a report exists) and the static safety verdicts.
   std::vector<dl::Diagnostic> diagnostics;
   analysis::CountingSafetyReport safety;
+  /// The cost pass's per-method table (Propositions 4-7); cost.computed is
+  /// false outside the strongly linear class or without EDB statistics.
+  analysis::CostReport cost;
+  /// Predicted tuple retrievals for the method that answered the query
+  /// (negative when no prediction existed); compare with
+  /// stats.tuples_read, the measured count.
+  double predicted_reads = -1.0;
   /// Everything the planner tried, in order; the last entry is the attempt
   /// that produced `results`. Size > 1 means the degradation ladder fired.
   std::vector<PlanAttempt> attempts;
@@ -111,5 +128,13 @@ struct PlanReport {
 /// relations must be loaded; IDB relations are created).
 Result<PlanReport> SolveProgram(Database* db, const dl::Program& program,
                                 const PlannerOptions& options = {});
+
+/// Plan WITHOUT executing: run the analyzer (including the cost pass) and
+/// report which method the planner would choose and in what ladder order,
+/// with the cost table in PlanReport::cost. `results` stays empty and no
+/// fixpoint runs — this is `mcmq --explain` / REPL `:explain`.
+Result<PlanReport> ExplainProgram(const Database* db,
+                                  const dl::Program& program,
+                                  const PlannerOptions& options = {});
 
 }  // namespace mcm::core

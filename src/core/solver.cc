@@ -54,6 +54,7 @@ eval::EvalOptions GovernedEvalOptions(const Database& db,
   eopts.max_iterations = caps.max_iterations;
   eopts.max_tuples = caps.max_tuples;
   eopts.max_memory_bytes = options.max_memory_bytes;
+  eopts.assume_validated = options.assume_validated;
   if (options.context != nullptr) {
     eopts.context = options.context;
   } else if (options.timeout_ms > 0) {

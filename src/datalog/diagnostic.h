@@ -27,7 +27,7 @@ std::string_view SeverityToString(Severity s);
 
 /// Stable diagnostic codes. The numeric bands mirror the pass structure:
 /// 1xx validation errors, 2xx dependency-graph warnings, 3xx binding
-/// warnings, 4xx counting-safety warnings, 5xx notes.
+/// warnings, 4xx counting-safety warnings, 5xx notes, 6xx cost-model notes.
 enum class DiagCode : int {
   // --- validation (errors) -------------------------------------------
   kArityConflict = 101,       ///< predicate used with two different arities
@@ -59,6 +59,11 @@ enum class DiagCode : int {
   kNoEdbStats = 502,          ///< no EDB data: safety verdict is structural
   kAssumedEdb = 503,          ///< body-only predicates assumed to be EDB
   kBindingSummary = 504,      ///< adornment result summary
+
+  // --- cost model (notes, 6xx) ----------------------------------------
+  kCostEstimate = 601,        ///< per-method predicted cost (Props 4-7)
+  kCostRanking = 602,         ///< cost-ranked method selection summary
+  kCostUnknown = 603,         ///< cost parameters not statically derivable
 };
 
 /// "E104", "W201", "N501": severity letter + numeric code.

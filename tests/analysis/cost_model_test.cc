@@ -1,0 +1,211 @@
+// Golden tests for the Propositions 4-7 cost interpreter (pass 5).
+//
+// The worst-case column must reproduce the paper's Theta formulas exactly
+// (the same ones bench_table1..5 check empirically); the predicted column
+// must agree with the hand-computed instance-tightened quantities on
+// shapes where they are easy to derive: chains (where the n*m bounds are
+// tight) and trees (where the level-wise descent is much cheaper).
+#include "analysis/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "datalog/parser.h"
+#include "workload/generators.h"
+
+namespace mcm::analysis {
+namespace {
+
+constexpr const char* kCslProgram = R"(
+  p(X, Y) :- e(X, Y).
+  p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+  p(0, Y)?
+)";
+
+AnalysisResult AnalyzeCsl(const workload::CslData& data, Database* db) {
+  data.Load(db);
+  auto prog = dl::Parse(kCslProgram);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  AnalyzeOptions options;
+  options.db = db;
+  return Analyze(*prog, options);
+}
+
+double Predicted(const CostReport& cost, const std::string& method) {
+  const CostEstimate* e = cost.EstimateFor(method);
+  EXPECT_NE(e, nullptr) << method;
+  return e != nullptr ? e->predicted : -1;
+}
+
+double WorstCase(const CostReport& cost, const std::string& method) {
+  const CostEstimate* e = cost.EstimateFor(method);
+  EXPECT_NE(e, nullptr) << method;
+  return e != nullptr ? e->worst_case : -1;
+}
+
+TEST(CostModel, ChainGoldenValues) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4 with mirrored R and identity E:
+  // n_L = 5, m_L = 4, m_R = 4, regular. The chain is the worst case of the
+  // counting formulas, so predicted == worst-case for plain counting.
+  Database db;
+  AnalysisResult result = AnalyzeCsl(
+      workload::AssembleCsl(workload::MakeChainL(5), {}), &db);
+  const CostReport& cost = result.cost;
+  ASSERT_TRUE(cost.computed) << cost.note;
+  EXPECT_EQ(cost.n_l, 5u);
+  EXPECT_EQ(cost.m_l, 4u);
+  EXPECT_EQ(cost.m_r, 4u);
+  EXPECT_TRUE(cost.m_r_exact);
+  EXPECT_EQ(cost.graph_class, graph::GraphClass::kRegular);
+
+  // Proposition 4 (regular): m_L + n_L*m_R = 4 + 5*4 = 24, and the chain
+  // attains it (ascent 4 arcs, descent 5 levels * 4 arcs).
+  EXPECT_EQ(WorstCase(cost, "counting"), 24);
+  EXPECT_EQ(Predicted(cost, "counting"), 24);
+  // Magic sets: m_L*m_R = 16 (Table 1), predicted == worst by design.
+  EXPECT_EQ(WorstCase(cost, "magic_sets"), 16);
+  EXPECT_EQ(Predicted(cost, "magic_sets"), 16);
+  // Every magic counting method on a regular graph collapses to the
+  // counting Theta (Propositions 5-7); their predictions add the Step 1
+  // scan (m_L = 4), recurring its naive (2K+1)-round Step 1 (9*4 = 36).
+  for (const char* m : {"mc/basic/ind", "mc/basic/int", "mc/single/ind",
+                        "mc/single/int", "mc/multiple/ind",
+                        "mc/multiple/int"}) {
+    EXPECT_EQ(WorstCase(cost, m), 24) << m;
+    EXPECT_EQ(Predicted(cost, m), 28) << m;
+  }
+  for (const char* m : {"mc/recurring/ind", "mc/recurring/int"}) {
+    EXPECT_EQ(WorstCase(cost, m), 24) << m;
+    EXPECT_EQ(Predicted(cost, m), 60) << m;
+  }
+
+  // On the chain magic sets is genuinely cheapest (16 < 24): the ranking
+  // must reflect the instance, not the asymptotic folklore.
+  ASSERT_FALSE(cost.ranking.empty());
+  EXPECT_EQ(cost.ranking.front(), "magic_sets");
+  EXPECT_EQ(cost.ranking.size(), 10u);
+}
+
+TEST(CostModel, TreeTightensDescent) {
+  // Complete binary tree, depth 3: n_L = 15, m_L = 14, m_R = 14, regular.
+  // Only 4 levels exist, so the level-wise descent costs 4*14 = 56 instead
+  // of the n_L*m_R = 210 bound; counting wins by a wide margin.
+  Database db;
+  AnalysisResult result = AnalyzeCsl(
+      workload::AssembleCsl(workload::MakeTreeL(2, 3), {}), &db);
+  const CostReport& cost = result.cost;
+  ASSERT_TRUE(cost.computed) << cost.note;
+  EXPECT_EQ(cost.n_l, 15u);
+  EXPECT_EQ(cost.m_l, 14u);
+  EXPECT_EQ(cost.m_r, 14u);
+  EXPECT_EQ(cost.graph_class, graph::GraphClass::kRegular);
+
+  EXPECT_EQ(WorstCase(cost, "counting"), 14 + 15 * 14);  // Proposition 4
+  EXPECT_EQ(Predicted(cost, "counting"), 14 + 4 * 14);   // ascent + 4 levels
+  EXPECT_EQ(WorstCase(cost, "magic_sets"), 14 * 14);
+  ASSERT_FALSE(cost.ranking.empty());
+  EXPECT_EQ(cost.ranking.front(), "counting");
+
+  // Figure 3 on a regular instance: counting <= magic_sets must hold here.
+  bool saw_arc = false;
+  for (const CostDominance& d : cost.dominance) {
+    if (d.better == "counting" && d.worse == "magic_sets" &&
+        !d.average_only) {
+      saw_arc = true;
+      EXPECT_TRUE(d.holds);
+    }
+  }
+  EXPECT_TRUE(saw_arc);
+}
+
+TEST(CostModel, CyclicGraphDivergesCountingOnly) {
+  // Layered graph with back arcs: cyclic. Counting's row must be marked
+  // divergent, the recurring formulas switch to their n_L*m_L Step 1, and
+  // the ranking keeps the nine safe methods.
+  workload::LayeredSpec spec;
+  spec.layers = 5;
+  spec.width = 3;
+  spec.back_arcs = 2;
+  spec.bad_start_layer = 2;
+  Database db;
+  AnalysisResult result = AnalyzeCsl(
+      workload::AssembleCsl(workload::MakeLayeredL(spec), {}), &db);
+  const CostReport& cost = result.cost;
+  ASSERT_TRUE(cost.computed) << cost.note;
+  ASSERT_EQ(cost.graph_class, graph::GraphClass::kCyclic);
+
+  const CostEstimate* counting = cost.EstimateFor("counting");
+  ASSERT_NE(counting, nullptr);
+  EXPECT_FALSE(counting->finite);
+  for (const std::string& m : cost.ranking) EXPECT_NE(m, "counting");
+  EXPECT_EQ(cost.ranking.size(), 9u);
+
+  EXPECT_NE(cost.EstimateFor("mc/recurring/int")->formula.find("n_L*m_L"),
+            std::string::npos);
+  // Cyclic basic degenerates to pure magic: Theta(m_L*m_R) (Table 2).
+  EXPECT_EQ(WorstCase(cost, "mc/basic/ind"),
+            static_cast<double>(cost.m_l * cost.m_r));
+}
+
+TEST(CostModel, EmitsOneNotePerMethodPlusSummary) {
+  Database db;
+  AnalysisResult result = AnalyzeCsl(
+      workload::AssembleCsl(workload::MakeChainL(4), {}), &db);
+  size_t n601 = 0, n602 = 0;
+  for (const dl::Diagnostic& d : result.diagnostics.diagnostics()) {
+    if (d.code == dl::DiagCode::kCostEstimate) ++n601;
+    if (d.code == dl::DiagCode::kCostRanking) ++n602;
+  }
+  EXPECT_EQ(n601, 10u);
+  EXPECT_EQ(n602, 1u);
+}
+
+TEST(CostModel, UnknownConstantGivesUpWithNote) {
+  // The query constant never occurs in the data: parameters cannot be
+  // derived, so the pass reports N603 and computed stays false.
+  Database db;
+  workload::AssembleCsl(workload::MakeChainL(4), {}).Load(&db);
+  auto prog = dl::Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+    p(nowhere, Y)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  AnalyzeOptions options;
+  options.db = &db;
+  AnalysisResult result = Analyze(*prog, options);
+  EXPECT_FALSE(result.cost.computed);
+  EXPECT_FALSE(result.cost.note.empty());
+  EXPECT_TRUE(result.diagnostics.Has(dl::DiagCode::kCostUnknown));
+}
+
+TEST(CostModel, OutsideStronglyLinearClassIsSilent) {
+  auto prog = dl::Parse(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- tc(X, Z), edge(Z, Y).
+    edge(1, 2).
+    tc(1, Y)?
+  )");
+  ASSERT_TRUE(prog.ok());
+  AnalysisResult result = Analyze(*prog);
+  EXPECT_FALSE(result.cost.computed);
+  EXPECT_FALSE(result.diagnostics.Has(dl::DiagCode::kCostUnknown));
+  EXPECT_FALSE(result.diagnostics.Has(dl::DiagCode::kCostEstimate));
+}
+
+TEST(CostModel, ToStringListsAllTenMethods) {
+  Database db;
+  AnalysisResult result = AnalyzeCsl(
+      workload::AssembleCsl(workload::MakeChainL(5), {}), &db);
+  std::string table = result.cost.ToString();
+  for (const char* m :
+       {"counting", "magic_sets", "mc/basic/ind", "mc/basic/int",
+        "mc/single/ind", "mc/single/int", "mc/multiple/ind",
+        "mc/multiple/int", "mc/recurring/ind", "mc/recurring/int"}) {
+    EXPECT_NE(table.find(m), std::string::npos) << m;
+  }
+  EXPECT_NE(table.find("ranking (by predicted cost):"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::analysis
