@@ -166,6 +166,15 @@ std::vector<std::string> LadderMethodIds(
     std::string* counting_note, bool* ranked) {
   std::vector<std::string> ids;
   analysis::Verdict counting_verdict = analysis.safety.VerdictFor("counting");
+  *ranked = false;
+
+  // Circuit-breaker override: straight to the safe bottom rung.
+  if (options.force_safe_method) {
+    *counting_note = "; counting rungs skipped (safe method forced)";
+    ids.push_back("magic_sets");
+    return ids;
+  }
+
   *ranked = options.auto_select && analysis.cost.computed &&
             !analysis.cost.ranking.empty();
 

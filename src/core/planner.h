@@ -76,6 +76,14 @@ struct PlannerOptions {
   /// to the static gate — safety becomes data-dependent, as the paper
   /// argues, instead of all-or-nothing.
   bool attempt_unsafe_counting = false;
+  /// Skip every counting-based rung and answer with the always-safe
+  /// magic-set rung directly (the ladder becomes a single "magic_sets"
+  /// entry). Set by the query service's per-signature circuit breaker once
+  /// a query shape has diverged repeatedly: there is no point paying for
+  /// the doomed counting attempt again. Overrides allow_plain_counting /
+  /// auto_select on the strongly linear path; the non-CSL paths (magic
+  /// rewriting, bottom-up) are unaffected.
+  bool force_safe_method = false;
   /// Retry-with-degradation: when a strongly-linear attempt aborts with
   /// kUnsafe or kDeadlineExceeded, re-run with the next-safer method in the
   /// Figure 3 hierarchy (counting -> single/multiple/recurring MC -> magic

@@ -47,6 +47,25 @@ AbortReason ClassifyAbort(const Status& status) {
   }
 }
 
+bool IsTransient(const Status& status, const TransientPolicy& policy) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      return true;
+    case StatusCode::kInternal:
+      return policy.internal;
+    case StatusCode::kCancelled:
+      return policy.cancelled;
+    default:
+      // OK is not a failure; deadline budgets are spent; cap trips
+      // (kUnsafe) mean divergence, which a retry only repeats.
+      return false;
+  }
+}
+
+bool IsTransient(AbortReason reason, const TransientPolicy& policy) {
+  return reason == AbortReason::kCancelled && policy.cancelled;
+}
+
 ExecutionContext ExecutionContext::WithTimeout(uint64_t timeout_ms) {
   ExecutionContext ctx;
   if (timeout_ms > 0) {

@@ -40,6 +40,31 @@ std::string_view AbortReasonToString(AbortReason r);
 /// budget"). Returns kNone for OK statuses and unrelated errors.
 AbortReason ClassifyAbort(const Status& status);
 
+/// Which ambiguous failure classes a retry loop treats as transient. The
+/// unambiguous ones are fixed: deadline expiry is never transient (the
+/// budget is spent), and cap trips are never transient (divergence does not
+/// go away on retry — degrade down the ladder instead).
+struct TransientPolicy {
+  /// Internal faults (StatusCode::kInternal) — infrastructure hiccups and
+  /// injected transient faults. Retryable by default.
+  bool internal = true;
+  /// Cooperative cancellation. A cancelled request is usually *finished*
+  /// from the caller's point of view, so the default is non-retryable; a
+  /// service may opt in when cancellation can come from infrastructure
+  /// rather than the client.
+  bool cancelled = false;
+};
+
+/// True when `status` is worth retrying under `policy`: kUnavailable
+/// (overload — the canonical client-retryable condition) always, kInternal /
+/// kCancelled per the policy, everything else (OK, deadline, caps, parse /
+/// semantic errors) never.
+bool IsTransient(const Status& status, const TransientPolicy& policy = {});
+
+/// The same classification over the abort taxonomy: only kCancelled is
+/// policy-dependent; deadline and every cap reason are never transient.
+bool IsTransient(AbortReason reason, const TransientPolicy& policy = {});
+
 /// \brief Cooperative cancellation flag, shared between the requesting
 /// thread and the governed run.
 ///

@@ -1,0 +1,112 @@
+#include "service/circuit_breaker.h"
+
+#include <utility>
+
+namespace mcm::service {
+
+std::string_view BreakerStateToString(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(std::move(options)) {
+  if (options_.strike_threshold < 1) options_.strike_threshold = 1;
+}
+
+void CircuitBreaker::Open(Entry* e) {
+  e->state = State::kOpen;
+  e->open_until = Now() + options_.cooldown;
+  e->probe_in_flight = false;
+  ++open_count_;
+}
+
+bool CircuitBreaker::AllowUnsafe(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  // Entries are created lazily on the first divergence, so signatures that
+  // never misbehave cost nothing here.
+  if (it == entries_.end()) return true;
+  Entry& e = it->second;
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() < e.open_until) return false;
+      e.state = State::kHalfOpen;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      // One probe at a time — but a probe that has been out longer than a
+      // cooldown is presumed dead and its slot is reclaimed.
+      if (e.probe_in_flight && Now() < e.probe_started + options_.cooldown) {
+        return false;
+      }
+      e.probe_in_flight = true;
+      e.probe_started = Now();
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordDivergence(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[signature];
+  if (e.state == State::kHalfOpen) {
+    // The probe failed: re-open without waiting for more strikes.
+    e.strikes = options_.strike_threshold;
+    Open(&e);
+    return;
+  }
+  ++e.strikes;
+  if (e.state == State::kClosed && e.strikes >= options_.strike_threshold) {
+    Open(&e);
+  }
+}
+
+void CircuitBreaker::RecordSuccess(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return;
+  // Fully heal: counting works on the current data, forget the history.
+  entries_.erase(it);
+}
+
+void CircuitBreaker::RecordAbandoned(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return;
+  it->second.probe_in_flight = false;
+}
+
+CircuitBreaker::State CircuitBreaker::StateOf(
+    const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return State::kClosed;
+  // Report the lapse of an open cooldown without mutating: the transition
+  // itself happens on the next AllowUnsafe().
+  if (it->second.state == State::kOpen && Now() >= it->second.open_until) {
+    return State::kHalfOpen;
+  }
+  return it->second.state;
+}
+
+int CircuitBreaker::StrikeCount(const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  return it == entries_.end() ? 0 : it->second.strikes;
+}
+
+uint64_t CircuitBreaker::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
+}
+
+}  // namespace mcm::service

@@ -1,0 +1,423 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace mcm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Divergence as the breaker counts it: the governed caps that signal a
+/// runaway fixpoint, not deadline or cancellation.
+bool IsDivergenceAbort(runtime::AbortReason reason) {
+  return reason == runtime::AbortReason::kIterationCap ||
+         reason == runtime::AbortReason::kTupleCap ||
+         reason == runtime::AbortReason::kMemoryBudget;
+}
+
+}  // namespace
+
+std::string_view OutcomeToString(Outcome o) {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kRejectedOverload:
+      return "rejected_overload";
+    case Outcome::kDeadlineBeforeStart:
+      return "deadline_before_start";
+    case Outcome::kCancelledBeforeStart:
+      return "cancelled_before_start";
+    case Outcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Outcome::kCancelled:
+      return "cancelled";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string ServiceStats::ToString() const {
+  return StringPrintf(
+      "submitted %llu | ok %llu, failed %llu, deadline %llu (queued %llu), "
+      "cancelled %llu (queued %llu), shed %llu | retries %llu, breaker "
+      "short-circuits %llu (opens %llu) | queue %zu (max %zu), in-flight "
+      "%zu, ewma run %.2fms",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(deadline_before_start),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(cancelled_before_start),
+      static_cast<unsigned long long>(rejected_overload),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(breaker_short_circuits),
+      static_cast<unsigned long long>(breaker_opens), queue_depth,
+      max_queue_depth, in_flight, ewma_run_seconds * 1e3);
+}
+
+QueryService::QueryService(Database* base, ServiceOptions options)
+    : base_(base),
+      options_(std::move(options)),
+      breaker_(options_.breaker),
+      edb_bytes_(base->ApproxBytes()),
+      ewma_run_seconds_(options_.expected_run_seconds_hint) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&QueryService::WorkerLoop, this,
+                          static_cast<int>(i));
+  }
+}
+
+QueryService::~QueryService() { Shutdown(/*drain=*/false); }
+
+double QueryService::EstimatedQueueWaitLocked() const {
+  if (busy_ < workers_.size() && queue_.empty()) return 0;
+  // Every request ahead (queued + the slot this one will take) costs one
+  // EWMA run on one of the workers. Coarse by construction — it only has
+  // to be good enough to shed hopeless requests in O(1).
+  return ewma_run_seconds_ *
+         (static_cast<double>(queue_.size()) + 1.0) /
+         static_cast<double>(workers_.size());
+}
+
+std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->submitted = Clock::now();
+  pending->token = std::make_shared<runtime::CancellationToken>();
+  auto ticket = std::shared_ptr<QueryTicket>(
+      new QueryTicket(0, pending->promise.get_future().share(),
+                      pending->token));
+
+  uint64_t timeout_ms = pending->request.timeout_ms != 0
+                            ? pending->request.timeout_ms
+                            : options_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    pending->deadline =
+        pending->submitted + std::chrono::milliseconds(timeout_ms);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  pending->id = next_id_++;
+  ticket->id_ = pending->id;
+  ++stats_.submitted;
+
+  auto shed = [&](Status status) {
+    QueryResponse resp;
+    resp.outcome = Outcome::kRejectedOverload;
+    resp.status = std::move(status);
+    ++stats_.rejected_overload;
+    // Fulfill outside Finish(): the request was never queued, and the
+    // promise must be set after the counters so stats never undercount.
+    pending->promise.set_value(std::move(resp));
+    return ticket;
+  };
+
+  if (stopping_) {
+    return shed(Status::Unavailable("service is shutting down"));
+  }
+  if (queue_.size() >= options_.queue_depth) {
+    return shed(Status::Unavailable(
+        StringPrintf("admission queue full (%zu waiting)", queue_.size())));
+  }
+  if (pending->deadline && options_.shed_unmeetable_deadlines) {
+    double est = EstimatedQueueWaitLocked();
+    double budget = static_cast<double>(timeout_ms) / 1e3;
+    if (est > budget) {
+      return shed(Status::Unavailable(StringPrintf(
+          "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
+          "queue wait",
+          budget * 1e3, est * 1e3)));
+    }
+  }
+
+  queue_.push_back(std::move(pending));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  lock.unlock();
+  cv_.notify_one();
+  return ticket;
+}
+
+void QueryService::Finish(Pending* p, QueryResponse resp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (resp.outcome) {
+      case Outcome::kOk:
+        ++stats_.ok;
+        break;
+      case Outcome::kRejectedOverload:
+        ++stats_.rejected_overload;
+        break;
+      case Outcome::kDeadlineBeforeStart:
+        ++stats_.deadline_before_start;
+        break;
+      case Outcome::kCancelledBeforeStart:
+        ++stats_.cancelled_before_start;
+        break;
+      case Outcome::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      case Outcome::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case Outcome::kFailed:
+        ++stats_.failed;
+        break;
+    }
+    stats_.retries += static_cast<uint64_t>(resp.retries);
+    if (resp.breaker_short_circuit) ++stats_.breaker_short_circuits;
+    if (resp.run_seconds > 0) {
+      ewma_run_seconds_ = ewma_run_seconds_ == 0
+                              ? resp.run_seconds
+                              : 0.8 * ewma_run_seconds_ +
+                                    0.2 * resp.run_seconds;
+    }
+  }
+  p->promise.set_value(std::move(resp));
+}
+
+void QueryService::WorkerLoop(int worker_id) {
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      if (stopping_ && !drain_on_stop_) return;
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+
+    QueryResponse resp;
+    resp.worker = worker_id;
+    resp.queue_seconds = SecondsSince(p->submitted);
+
+    // Admission-to-pickup checks: a request cancelled or expired while
+    // queued must not run at all.
+    if (p->token->cancelled()) {
+      resp.outcome = Outcome::kCancelledBeforeStart;
+      resp.status = Status::Cancelled(StringPrintf(
+          "cancelled while queued (%.1fms wait)", resp.queue_seconds * 1e3));
+    } else if (p->deadline && Clock::now() >= *p->deadline) {
+      resp.outcome = Outcome::kDeadlineBeforeStart;
+      resp.status = Status::DeadlineExceeded(StringPrintf(
+          "deadline expired after %.1fms in queue, before any work",
+          resp.queue_seconds * 1e3));
+    } else {
+      Execute(p.get(), worker_id, &resp);
+    }
+
+    Finish(p.get(), std::move(resp));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
+  }
+}
+
+void QueryService::BackoffSleep(uint64_t ms,
+                                const runtime::ExecutionContext& ctx) const {
+  auto until = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < until) {
+    if (ctx.CheckAbort() != runtime::AbortReason::kNone) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+void QueryService::Execute(Pending* p, int worker_id, QueryResponse* resp) {
+  (void)worker_id;
+  Timer run_timer;
+
+  // Parse on the worker thread so admission stays O(1).
+  dl::Program program;
+  std::string signature;
+  if (p->request.program.has_value()) {
+    program = *p->request.program;
+    signature = program.ToString();
+  } else {
+    auto parsed = dl::Parse(p->request.program_text);
+    if (!parsed.ok()) {
+      resp->outcome = Outcome::kFailed;
+      resp->status = parsed.status();
+      resp->run_seconds = run_timer.ElapsedSeconds();
+      return;
+    }
+    program = std::move(*parsed);
+    signature = p->request.program_text;
+  }
+
+  core::PlannerOptions opts = p->request.planner;
+  opts.analysis = nullptr;  // per-request working db => per-request analysis
+
+  // Circuit breaker: consult it only when this request could take the
+  // unsafe counting rung at all.
+  bool wants_unsafe =
+      opts.allow_magic_counting &&
+      (opts.allow_plain_counting || opts.attempt_unsafe_counting ||
+       opts.auto_select);
+  bool probe_claimed = false;
+  if (wants_unsafe) {
+    if (breaker_.AllowUnsafe(signature)) {
+      probe_claimed = true;
+    } else {
+      opts.allow_plain_counting = false;
+      opts.attempt_unsafe_counting = false;
+      opts.force_safe_method = true;
+      resp->breaker_short_circuit = true;
+    }
+  }
+
+  // The governor: deadline anchored at Submit() (queue wait already ate
+  // into it), cancellation shared with the ticket.
+  runtime::ExecutionContext ctx;
+  if (p->deadline) ctx.SetDeadline(*p->deadline);
+  ctx.set_cancellation(p->token);
+  opts.run.context = &ctx;
+  opts.run.timeout_ms = 0;  // the context carries the deadline
+
+  // Memory budget: the EDB snapshot is a fixed per-request cost, so the
+  // configured budget governs *derived* growth beyond it.
+  if (options_.total_memory_bytes > 0) {
+    uint64_t share = static_cast<uint64_t>(edb_bytes_) +
+                     options_.total_memory_bytes /
+                         static_cast<uint64_t>(options_.workers);
+    opts.run.max_memory_bytes = opts.run.max_memory_bytes == 0
+                                    ? share
+                                    : std::min(opts.run.max_memory_bytes,
+                                               share);
+  }
+
+  bool counting_diverged = false;
+  bool counting_ok = false;
+  for (int attempt = 0;; ++attempt) {
+    // Cancellation or deadline expiry during a backoff sleep lands here:
+    // classify from the governor, not from whatever the last attempt said.
+    if (runtime::AbortReason ar = ctx.CheckAbort();
+        ar != runtime::AbortReason::kNone) {
+      resp->status = ctx.CheckStatus("between service retries");
+      resp->outcome = ar == runtime::AbortReason::kCancelled
+                          ? Outcome::kCancelled
+                          : Outcome::kDeadlineExceeded;
+      break;
+    }
+    // Per-query isolation: a private working database sharing the base's
+    // thread-safe symbol table, seeded with a fresh EDB snapshot. Retries
+    // start from a clean snapshot too — a half-derived IDB must not leak
+    // into the next attempt.
+    Database work(&base_->symbols());
+    Status st = base_->SnapshotInto(&work);
+    if (st.ok()) st = util::FaultInjection::Instance().Check("service/execute");
+    Result<core::PlanReport> run =
+        st.ok() ? core::SolveProgram(&work, program, opts)
+                : Result<core::PlanReport>(st);
+
+    if (run.ok()) {
+      for (const core::PlanAttempt& a : run->attempts) {
+        if (a.method != "counting") continue;
+        if (a.status.ok()) counting_ok = true;
+        if (IsDivergenceAbort(a.abort)) counting_diverged = true;
+      }
+      resp->outcome = Outcome::kOk;
+      resp->status = Status::OK();
+      resp->report = std::move(*run);
+      break;
+    }
+
+    st = run.status();
+    bool deadline_left =
+        ctx.CheckAbort() == runtime::AbortReason::kNone;
+    if (runtime::IsTransient(st, options_.transient) &&
+        attempt < options_.max_retries && deadline_left) {
+      ++resp->retries;
+      uint64_t backoff = options_.retry_backoff_ms << attempt;
+      BackoffSleep(std::min<uint64_t>(backoff, 250), ctx);
+      continue;
+    }
+
+    // Terminal failure. A cap trip with counting enabled counts as a
+    // divergence strike even when the ladder could not recover (e.g.
+    // allow_fallback=false): the breaker exists to stop paying for it.
+    if (probe_claimed && IsDivergenceAbort(runtime::ClassifyAbort(st))) {
+      counting_diverged = true;
+    }
+    resp->status = st;
+    resp->outcome = st.IsDeadlineExceeded() ? Outcome::kDeadlineExceeded
+                    : st.IsCancelled()      ? Outcome::kCancelled
+                                            : Outcome::kFailed;
+    break;
+  }
+
+  if (probe_claimed) {
+    if (counting_diverged) {
+      breaker_.RecordDivergence(signature);
+    } else if (counting_ok) {
+      breaker_.RecordSuccess(signature);
+    } else {
+      breaker_.RecordAbandoned(signature);
+    }
+  }
+  resp->run_seconds = run_timer.ElapsedSeconds();
+}
+
+void QueryService::Shutdown(bool drain) {
+  std::vector<std::thread> to_join;
+  std::vector<std::unique_ptr<Pending>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    drain_on_stop_ = drain;
+    if (!drain) {
+      while (!queue_.empty()) {
+        to_cancel.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    to_join.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& p : to_cancel) {
+    QueryResponse resp;
+    resp.outcome = Outcome::kCancelledBeforeStart;
+    resp.status = Status::Cancelled("service shutdown while queued");
+    resp.queue_seconds = SecondsSince(p->submitted);
+    Finish(p.get(), std::move(resp));
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  out.queue_depth = queue_.size();
+  out.in_flight = busy_;
+  out.ewma_run_seconds = ewma_run_seconds_;
+  out.breaker_opens = breaker_.open_count();
+  return out;
+}
+
+}  // namespace mcm::service

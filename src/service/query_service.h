@@ -1,0 +1,249 @@
+// Concurrent query service: admission control, overload shedding, per-query
+// isolation, and structured outcomes.
+//
+// Everything below the service — analyzer, planner, solver, engine — is
+// single-threaded by design; the service is the layer that makes dozens of
+// governed queries coexist:
+//
+//   Submit ──> admission (shed kRejectedOverload in O(1) when the queue is
+//              full or the deadline cannot be met) ──> bounded queue ──>
+//              worker pool ──> per-request ExecutionContext whose deadline
+//              started at *submit* (queue wait eats budget) ──> circuit
+//              breaker consult ──> EDB snapshot into a private working
+//              Database (shared thread-safe SymbolTable) ──> planner with
+//              the PR 2/3 degradation ladder ──> transient-failure retry
+//              with backoff ──> exactly one classified Outcome.
+//
+// Isolation model: the base Database is frozen at service construction and
+// only ever read through the sanctioned concurrent paths (SnapshotInto and
+// the internally synchronized SymbolTable). Each request evaluates against
+// its own working database, so worker threads never share mutable relation
+// state; results are merely Values that resolve through the shared table.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/planner.h"
+#include "datalog/ast.h"
+#include "runtime/execution_context.h"
+#include "service/circuit_breaker.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace mcm::service {
+
+/// Exactly-one-per-request terminal classification. The first three never
+/// reach the planner at all.
+enum class Outcome : uint8_t {
+  kOk = 0,
+  kRejectedOverload,      ///< shed at admission: queue full, shutdown, or
+                          ///< deadline provably unmeetable
+  kDeadlineBeforeStart,   ///< deadline expired during the queue wait
+  kCancelledBeforeStart,  ///< cancelled while queued; never ran
+  kDeadlineExceeded,      ///< ran, and the governor stopped it at the deadline
+  kCancelled,             ///< ran, and was cancelled mid-flight
+  kFailed,                ///< ran and failed (parse error, caps, internal...)
+};
+
+std::string_view OutcomeToString(Outcome o);
+
+/// One unit of work: a program (text, parsed in the worker, or pre-parsed)
+/// with exactly one query, plus per-request governor knobs.
+struct QueryRequest {
+  /// Program source; parsed on the worker thread when `program` is absent.
+  std::string program_text;
+  /// Pre-parsed alternative (takes precedence over program_text).
+  std::optional<dl::Program> program;
+  /// Wall-clock budget measured from Submit() — time spent queued counts.
+  /// 0 = ServiceOptions::default_timeout_ms (which may itself be 0 = none).
+  uint64_t timeout_ms = 0;
+  /// Method-selection and cap knobs. The service overrides run.context,
+  /// run.timeout_ms and analysis; run.max_memory_bytes is clamped to the
+  /// request's share of the global memory budget; force_safe_method may be
+  /// set by the circuit breaker.
+  core::PlannerOptions planner;
+};
+
+struct QueryResponse {
+  Outcome outcome = Outcome::kFailed;
+  Status status;             ///< OK iff outcome == kOk
+  core::PlanReport report;   ///< populated on kOk (attempt log, results...)
+  double queue_seconds = 0;  ///< admission -> worker pickup (or shed time)
+  double run_seconds = 0;    ///< time spent executing (0 if never ran)
+  int retries = 0;           ///< transient-failure retries consumed
+  bool breaker_short_circuit = false;  ///< breaker forced the safe rung
+  int worker = -1;           ///< worker that finished it; -1 = shed/queued
+
+  /// Did the request reach the planner at all? (Satellite: a request
+  /// cancelled after admission but before pickup must report false here.)
+  bool ran() const {
+    return outcome == Outcome::kOk || outcome == Outcome::kDeadlineExceeded ||
+           outcome == Outcome::kCancelled || outcome == Outcome::kFailed;
+  }
+};
+
+/// Monotonic service counters. Every submitted request ends in exactly one
+/// of the terminal counters, so `submitted == TerminalTotal()` once the
+/// service is drained — the chaos harness's core invariant.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t deadline_before_start = 0;
+  uint64_t cancelled_before_start = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t retries = 0;                 ///< transient retries (not terminal)
+  uint64_t breaker_short_circuits = 0;  ///< requests forced to the safe rung
+  uint64_t breaker_opens = 0;           ///< circuits tripped open
+  size_t max_queue_depth = 0;
+  size_t queue_depth = 0;    ///< snapshot at read time
+  size_t in_flight = 0;      ///< snapshot at read time
+  double ewma_run_seconds = 0;
+
+  uint64_t TerminalTotal() const {
+    return rejected_overload + deadline_before_start + cancelled_before_start +
+           ok + failed + deadline_exceeded + cancelled;
+  }
+  std::string ToString() const;
+};
+
+/// Tuning knobs for a QueryService.
+struct ServiceOptions {
+  size_t workers = 4;
+  /// Bounded admission queue: Submit() sheds with kRejectedOverload in O(1)
+  /// once this many requests are waiting (in-flight work not counted).
+  size_t queue_depth = 64;
+  uint64_t default_timeout_ms = 0;
+  /// Global approximate memory budget for derived data, split evenly across
+  /// the worker pool: each request may grow its working database to
+  /// (EDB snapshot bytes + total/workers) before the governor aborts it
+  /// with kMemoryBudget. 0 = unlimited.
+  uint64_t total_memory_bytes = 0;
+  /// Transient-failure retries per request (IsTransient under `transient`),
+  /// deadline permitting, with exponential backoff from retry_backoff_ms.
+  int max_retries = 0;
+  uint64_t retry_backoff_ms = 5;
+  runtime::TransientPolicy transient;
+  CircuitBreaker::Options breaker;
+  /// Predictive shedding: reject at admission when the request's whole
+  /// budget is smaller than the estimated queue wait (EWMA of recent run
+  /// times scaled by the queue ahead of it). Requests that would expire
+  /// before a worker frees up never occupy a queue slot.
+  bool shed_unmeetable_deadlines = true;
+  /// Seeds the run-time EWMA (seconds) so predictive shedding is live from
+  /// the first request; 0 disables shedding until real samples arrive.
+  double expected_run_seconds_hint = 0;
+};
+
+class QueryService;
+
+/// Handle returned by Submit(). Cancellation is cooperative and safe at any
+/// point: while queued the request is shed before running; mid-run the
+/// governor stops it at the next round boundary.
+class QueryTicket {
+ public:
+  uint64_t id() const { return id_; }
+  void Cancel() { token_->Cancel(); }
+  bool cancelled() const { return token_->cancelled(); }
+
+  /// Block until the response is ready. May be called repeatedly and from
+  /// the canceller's thread; the service fulfills every ticket exactly once
+  /// (shutdown included).
+  QueryResponse Get() { return future_.get(); }
+  bool WaitFor(std::chrono::milliseconds timeout) const {
+    return future_.wait_for(timeout) == std::future_status::ready;
+  }
+
+ private:
+  friend class QueryService;
+  QueryTicket(uint64_t id, std::shared_future<QueryResponse> future,
+              std::shared_ptr<runtime::CancellationToken> token)
+      : id_(id), future_(std::move(future)), token_(std::move(token)) {}
+
+  uint64_t id_;
+  std::shared_future<QueryResponse> future_;
+  std::shared_ptr<runtime::CancellationToken> token_;
+};
+
+/// \brief Fixed worker pool serving governed queries against a shared EDB.
+class QueryService {
+ public:
+  /// `base` holds the EDB and is frozen for the service's lifetime: the
+  /// service snapshots its relations (read-only) and interns through its
+  /// symbol table (internally synchronized). Not owned; must outlive the
+  /// service. No other code may mutate `base`'s relations while the
+  /// service is running.
+  explicit QueryService(Database* base, ServiceOptions options = {});
+  ~QueryService();  // Shutdown(/*drain=*/false)
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admit or shed `request`. Always returns a ticket whose future will be
+  /// fulfilled exactly once; a shed request's future is ready immediately.
+  /// O(1) regardless of load — this is the overload-safety property.
+  std::shared_ptr<QueryTicket> Submit(QueryRequest request);
+
+  /// Stop the service. With `drain` the queue is worked off first; without
+  /// it, queued requests finish immediately as kCancelledBeforeStart.
+  /// In-flight queries run to completion under their own governors either
+  /// way (callers that want them stopped cancel their tickets). Idempotent;
+  /// blocks until the workers have joined.
+  void Shutdown(bool drain);
+
+  ServiceStats stats() const;
+  CircuitBreaker& breaker() { return breaker_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    QueryRequest request;
+    std::chrono::steady_clock::time_point submitted{};
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::shared_ptr<runtime::CancellationToken> token;
+    std::promise<QueryResponse> promise;
+  };
+
+  void WorkerLoop(int worker_id);
+  void Execute(Pending* p, int worker_id, QueryResponse* resp);
+  /// Fulfill the promise and bump the outcome counter — the single funnel
+  /// every admitted request passes through exactly once.
+  void Finish(Pending* p, QueryResponse resp);
+  /// Estimated seconds until a worker frees up for a newly queued request.
+  /// Caller holds mu_.
+  double EstimatedQueueWaitLocked() const;
+  /// Cancellation/shutdown-aware sleep used between retries.
+  void BackoffSleep(uint64_t ms, const runtime::ExecutionContext& ctx) const;
+
+  Database* base_;
+  ServiceOptions options_;
+  CircuitBreaker breaker_;
+  size_t edb_bytes_ = 0;  ///< ApproxBytes of the frozen base EDB
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool drain_on_stop_ = true;
+  size_t busy_ = 0;
+  uint64_t next_id_ = 1;
+  ServiceStats stats_;
+  double ewma_run_seconds_ = 0;
+};
+
+}  // namespace mcm::service

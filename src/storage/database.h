@@ -18,9 +18,26 @@ namespace mcm {
 /// All relations created through a Database share its AccessStats, so a
 /// single counter captures the total tuple-retrieval cost of evaluating a
 /// query — the unit used throughout the paper's complexity tables.
+///
+/// Thread safety: a Database is single-owner — evaluation mutates relations,
+/// counts stats, and builds lazy indexes, none of which is synchronized.
+/// Even the const read paths are not shareable across threads: Contains() /
+/// Get() / Scan() / Probe() count into the shared AccessStats through a
+/// const method, and Probe() builds its hash index lazily on first use
+/// (mutation hiding behind const — see the concurrency audit in DESIGN.md
+/// 5e). The two sanctioned cross-thread paths are the SymbolTable (which is
+/// internally synchronized and may be shared via the external-table
+/// constructor) and SnapshotInto(), which reads only truly-const,
+/// uninstrumented state and is safe from many threads at once as long as
+/// nobody mutates the source.
 class Database {
  public:
   Database() = default;
+  /// A database that interns through `shared_symbols` (not owned; must
+  /// outlive this database) instead of its own table. Used by the query
+  /// service: per-request working databases share the base EDB's table so
+  /// snapshotted Values resolve consistently and concurrently.
+  explicit Database(SymbolTable* shared_symbols) : symbols_(shared_symbols) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -41,8 +58,8 @@ class Database {
 
   std::vector<std::string> RelationNames() const;
 
-  SymbolTable& symbols() { return symbols_; }
-  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
 
   AccessStats& stats() { return stats_; }
   const AccessStats& stats() const { return stats_; }
@@ -57,9 +74,22 @@ class Database {
   /// deliberately cheap (O(#relations)), not an exact allocator measure.
   size_t ApproxBytes() const;
 
+  /// Copy every relation's tuples into `dst` (relations are created there
+  /// as needed; existing same-name relations receive the tuples, erroring
+  /// on an arity mismatch). This is the query service's per-request
+  /// isolation step, and the one relation read path that is safe to run
+  /// from many threads against the same source at once: it touches only
+  /// name/arity and the uninstrumented tuple storage, so neither the
+  /// source's AccessStats nor its lazy indexes are written. The symbol
+  /// table is NOT copied — share it via the external-table constructor so
+  /// the snapshotted Values keep resolving.
+  Status SnapshotInto(Database* dst) const;
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
-  SymbolTable symbols_;
+  SymbolTable own_symbols_;
+  /// Points at own_symbols_ unless the sharing constructor redirected it.
+  SymbolTable* symbols_ = &own_symbols_;
   AccessStats stats_;
 };
 

@@ -1,10 +1,12 @@
 // Interning table mapping string constants to dense Value ids.
 #pragma once
 
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "storage/value.h"
 
@@ -14,11 +16,29 @@ namespace mcm {
 ///
 /// Ids are dense and start at 0, so they can double as graph node ids. The
 /// table grows monotonically; symbols are never removed.
+///
+/// Thread safety: all operations are internally synchronized (a
+/// reader/writer lock), so one table can be shared by the concurrent query
+/// service — workers interning request constants while others resolve
+/// answer values. Ids are stable: concurrent Intern() calls on the same
+/// string agree on a single id, and references returned by Resolve() stay
+/// valid for the table's lifetime (symbols live in a deque, whose elements
+/// never move on growth).
 class SymbolTable {
  public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
   /// Intern `s`, returning its id (existing or freshly assigned).
   Value Intern(std::string_view s) {
-    auto it = ids_.find(std::string(s));
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(s);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);  // re-check: raced with another interner
     if (it != ids_.end()) return it->second;
     Value id = static_cast<Value>(symbols_.size());
     symbols_.emplace_back(s);
@@ -28,22 +48,34 @@ class SymbolTable {
 
   /// Lookup without interning; returns -1 if absent.
   Value Find(std::string_view s) const {
-    auto it = ids_.find(std::string(s));
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);
     return it == ids_.end() ? -1 : it->second;
   }
 
-  /// The string for an id previously returned by Intern().
-  const std::string& Resolve(Value id) const { return symbols_.at(static_cast<size_t>(id)); }
+  /// The string for an id previously returned by Intern(). The reference
+  /// stays valid across concurrent Intern() calls.
+  const std::string& Resolve(Value id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return symbols_.at(static_cast<size_t>(id));
+  }
 
   bool Contains(Value id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return id >= 0 && static_cast<size_t>(id) < symbols_.size();
   }
 
-  size_t size() const { return symbols_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return symbols_.size();
+  }
 
  private:
-  std::vector<std::string> symbols_;
-  std::unordered_map<std::string, Value> ids_;
+  mutable std::shared_mutex mu_;
+  // Deque, not vector: growth must not move existing strings, because
+  // Resolve() hands out references and ids_ keys view into them.
+  std::deque<std::string> symbols_;
+  std::unordered_map<std::string_view, Value> ids_;
 };
 
 }  // namespace mcm

@@ -11,7 +11,11 @@ void FaultInjection::Arm(const std::string& site, Status status, uint64_t nth,
                          bool sticky) {
   std::lock_guard<std::mutex> lock(mu_);
   SiteState& state = sites_[site];
-  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  // Release pairs with the acquire fast-path load in Check(): a thread that
+  // observes the non-zero count also observes the armed state it guards
+  // (threads started after Arm() returns are additionally ordered by thread
+  // creation, which is what chaos tests rely on for determinism).
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_release);
   state.status = std::move(status);
   state.nth = nth == 0 ? 1 : nth;
   state.sticky = sticky;
@@ -62,7 +66,7 @@ std::vector<std::string> FaultInjection::ArmedSites() const {
 
 Status FaultInjection::Check(std::string_view site) {
   // Fast path: nothing armed anywhere in the process.
-  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  if (armed_count_.load(std::memory_order_acquire) == 0) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(std::string(site));
   if (it == sites_.end() || !it->second.armed) return Status::OK();

@@ -14,8 +14,13 @@
 // lets every abort path — deadline, cancellation, caps, unsafe verdicts — be
 // driven exactly, instead of only by crafting pathological data.
 //
-// The registry is process-global and mutex-guarded so armed sites behave
-// under ThreadSanitizer; tests are expected to DisarmAll() in teardown.
+// The registry is process-global and mutex-guarded: every Arm / Disarm /
+// Check / counter read is internally synchronized, so chaos tests may arm
+// and re-arm sites from one thread while worker threads trip them. The
+// only relaxation is the unlocked fast-path count of armed sites, which
+// can make a *concurrent* Arm take effect one hit late on another thread —
+// arm before starting workers when exact hit indices matter. Tests are
+// expected to DisarmAll() in teardown.
 #pragma once
 
 #include <atomic>

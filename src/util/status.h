@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kInternal = 7,          ///< Invariant violation inside the engine.
   kDeadlineExceeded = 8,  ///< Wall-clock deadline passed (execution governor).
   kCancelled = 9,         ///< Cooperative cancellation was requested.
+  kUnavailable = 10,      ///< Service overloaded or shutting down; the
+                          ///< canonical client-retryable condition.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -68,6 +70,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +85,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

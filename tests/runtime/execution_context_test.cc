@@ -118,5 +118,60 @@ TEST(ExecutionContextTest, CopiesShareTheToken) {
   EXPECT_EQ(copy.CheckAbort(), AbortReason::kCancelled);
 }
 
+// IsTransient pins the retryability contract the service's retry loop is
+// built on. These are deliberate policy decisions, not incidental behavior:
+// a change here must be a conscious one.
+TEST(IsTransientTest, DeadlineIsNeverTransient) {
+  // The budget is spent; retrying cannot un-spend it.
+  TransientPolicy everything;
+  everything.internal = true;
+  everything.cancelled = true;
+  EXPECT_FALSE(IsTransient(Status::DeadlineExceeded("x"), everything));
+  EXPECT_FALSE(IsTransient(AbortReason::kDeadlineExceeded, everything));
+}
+
+TEST(IsTransientTest, CapsAreNeverTransient) {
+  // Divergence does not go away on retry — degrade down the ladder instead.
+  TransientPolicy everything;
+  everything.internal = true;
+  everything.cancelled = true;
+  EXPECT_FALSE(IsTransient(Status::Unsafe("iteration cap (88)"), everything));
+  EXPECT_FALSE(IsTransient(AbortReason::kIterationCap, everything));
+  EXPECT_FALSE(IsTransient(AbortReason::kTupleCap, everything));
+  EXPECT_FALSE(IsTransient(AbortReason::kMemoryBudget, everything));
+}
+
+TEST(IsTransientTest, UnavailableIsAlwaysTransient) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("overloaded")));
+  TransientPolicy strict;
+  strict.internal = false;
+  strict.cancelled = false;
+  EXPECT_TRUE(IsTransient(Status::Unavailable("overloaded"), strict));
+}
+
+TEST(IsTransientTest, InternalFollowsPolicyAndDefaultsToRetryable) {
+  EXPECT_TRUE(IsTransient(Status::Internal("injected transient fault")));
+  TransientPolicy no_internal;
+  no_internal.internal = false;
+  EXPECT_FALSE(IsTransient(Status::Internal("x"), no_internal));
+}
+
+TEST(IsTransientTest, CancellationFollowsPolicyAndDefaultsToFinal) {
+  EXPECT_FALSE(IsTransient(Status::Cancelled("client gave up")));
+  EXPECT_FALSE(IsTransient(AbortReason::kCancelled));
+  TransientPolicy infra;
+  infra.cancelled = true;
+  EXPECT_TRUE(IsTransient(Status::Cancelled("infra preemption"), infra));
+  EXPECT_TRUE(IsTransient(AbortReason::kCancelled, infra));
+}
+
+TEST(IsTransientTest, SemanticErrorsAreNeverTransient) {
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::ParseError("x")));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransient(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransient(AbortReason::kNone));
+}
+
 }  // namespace
 }  // namespace mcm::runtime

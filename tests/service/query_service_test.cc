@@ -1,0 +1,374 @@
+// QueryService unit/behavior tests: admission control and O(1) shedding,
+// deadline-during-queue-wait, cross-thread cancellation at the service
+// boundary, transient-failure retries, the global memory budget, and the
+// exactly-one-outcome stats invariant.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "service/query_service.h"
+#include "util/fault_injection.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+
+namespace mcm::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr const char* kCslSrc = R"(
+  p(X, Y) :- e(X, Y).
+  p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+  p(0, Y)?
+)";
+
+QueryRequest SimpleRequest() {
+  QueryRequest req;
+  req.program_text = kCslSrc;
+  return req;
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::MakeFigure1Style().Load(&base_); }
+  void TearDown() override { util::FaultInjection::Instance().DisarmAll(); }
+
+  /// Occupy every worker: a sticky transient fault plus a huge retry budget
+  /// with long backoff turns a request into a controllable blocker that
+  /// releases promptly on Cancel().
+  std::shared_ptr<QueryTicket> PinWorker(QueryService* svc) {
+    return svc->Submit(SimpleRequest());
+  }
+
+  Database base_;
+};
+
+/// Options for a service whose single worker can be pinned indefinitely via
+/// the "service/execute" sticky fault + retry backoff.
+ServiceOptions PinnableOptions() {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 2;
+  opts.max_retries = 1000000;
+  opts.retry_backoff_ms = 50;
+  return opts;
+}
+
+void ArmPinFault() {
+  util::FaultInjection::Instance().Arm(
+      "service/execute", Status::Internal("injected transient fault"),
+      /*nth=*/1, /*sticky=*/true);
+}
+
+TEST_F(QueryServiceTest, SimpleQueryAnswers) {
+  QueryService svc(&base_, {});
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_TRUE(resp.ran());
+  EXPECT_FALSE(resp.report.results.empty());
+  EXPECT_GE(resp.worker, 0);
+  EXPECT_EQ(resp.retries, 0);
+  svc.Shutdown(/*drain=*/true);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.TerminalTotal(), 1u);
+}
+
+TEST_F(QueryServiceTest, ParseErrorIsAFailedOutcomeNotACrash) {
+  QueryService svc(&base_, {});
+  QueryRequest req;
+  req.program_text = "this is not datalog ((";
+  auto resp = svc.Submit(std::move(req))->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kFailed);
+  EXPECT_TRUE(resp.status.IsParseError()) << resp.status.ToString();
+  EXPECT_TRUE(resp.ran());
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, QueueFullShedsInBoundedTime) {
+  ArmPinFault();
+  QueryService svc(&base_, PinnableOptions());
+
+  auto pinned = PinWorker(&svc);
+  // Wait until the worker actually picked the blocker up, so the next two
+  // submissions are *queued*, not running.
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+
+  auto q1 = svc.Submit(SimpleRequest());
+  auto q2 = svc.Submit(SimpleRequest());
+  EXPECT_FALSE(q1->WaitFor(milliseconds(0)));
+
+  // Queue is at depth 2: this submission must shed immediately — O(1),
+  // no parsing, no planner work, future ready on return.
+  Timer t;
+  auto shed = svc.Submit(SimpleRequest());
+  double shed_seconds = t.ElapsedSeconds();
+  ASSERT_TRUE(shed->WaitFor(milliseconds(0)))
+      << "shed ticket must be ready immediately";
+  auto resp = shed->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kRejectedOverload);
+  EXPECT_TRUE(resp.status.IsUnavailable()) << resp.status.ToString();
+  EXPECT_FALSE(resp.ran());
+  EXPECT_LT(shed_seconds, 0.25) << "admission rejection is not O(1)";
+
+  EXPECT_EQ(svc.stats().rejected_overload, 1u);
+  pinned->Cancel();
+  q1->Cancel();
+  q2->Cancel();
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().TerminalTotal(), svc.stats().submitted);
+}
+
+TEST_F(QueryServiceTest, PredictiveShedRejectsUnmeetableDeadlines) {
+  ArmPinFault();
+  ServiceOptions opts = PinnableOptions();
+  opts.expected_run_seconds_hint = 10.0;  // EWMA says runs take ~10s
+  QueryService svc(&base_, opts);
+
+  auto pinned = PinWorker(&svc);
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+
+  // 50ms of budget against an estimated multi-second queue wait: the
+  // request would be dead before a worker frees up, so it never queues.
+  QueryRequest req = SimpleRequest();
+  req.timeout_ms = 50;
+  auto resp = svc.Submit(std::move(req))->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kRejectedOverload);
+  EXPECT_NE(resp.status.message().find("deadline cannot be met"),
+            std::string::npos)
+      << resp.status.ToString();
+
+  // The same deadline with shedding disabled is admitted (and later dies
+  // in the queue — covered by the DeadlineDuringQueueWait test).
+  QueryRequest req2 = SimpleRequest();
+  req2.timeout_ms = 50;
+  ServiceStats before = svc.stats();
+  auto t2 = svc.Submit(std::move(req2));
+  EXPECT_EQ(svc.stats().rejected_overload, before.rejected_overload + 1u)
+      << "hint-driven shed should also catch the second";
+
+  pinned->Cancel();
+  svc.Shutdown(/*drain=*/false);
+}
+
+TEST_F(QueryServiceTest, DeadlineDuringQueueWaitNeverRuns) {
+  ArmPinFault();
+  ServiceOptions opts = PinnableOptions();
+  opts.shed_unmeetable_deadlines = false;  // force the queue-wait path
+  QueryService svc(&base_, opts);
+
+  auto pinned = PinWorker(&svc);
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+
+  QueryRequest req = SimpleRequest();
+  req.timeout_ms = 30;
+  auto ticket = svc.Submit(std::move(req));
+  std::this_thread::sleep_for(milliseconds(60));  // let the deadline lapse
+  pinned->Cancel();                               // release the worker
+
+  auto resp = ticket->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kDeadlineBeforeStart);
+  EXPECT_TRUE(resp.status.IsDeadlineExceeded()) << resp.status.ToString();
+  EXPECT_FALSE(resp.ran()) << "an expired request must not reach the planner";
+  EXPECT_EQ(resp.report.attempts.size(), 0u);
+  EXPECT_GT(resp.queue_seconds, 0.0);
+  EXPECT_EQ(resp.run_seconds, 0.0);
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().deadline_before_start, 1u);
+}
+
+TEST_F(QueryServiceTest, CancelWhileQueuedNeverRuns) {
+  ArmPinFault();
+  QueryService svc(&base_, PinnableOptions());
+
+  auto pinned = PinWorker(&svc);
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+
+  auto ticket = svc.Submit(SimpleRequest());
+  ticket->Cancel();  // cross-thread cancel: admitted, not yet picked up
+  pinned->Cancel();
+
+  auto resp = ticket->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kCancelledBeforeStart);
+  EXPECT_TRUE(resp.status.IsCancelled()) << resp.status.ToString();
+  EXPECT_FALSE(resp.ran());
+  EXPECT_EQ(resp.report.attempts.size(), 0u);
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().cancelled_before_start, 1u);
+}
+
+TEST_F(QueryServiceTest, MidFlightCancellationFromAnotherThread) {
+  ArmPinFault();  // the blocker spins in governed retries until cancelled
+  QueryService svc(&base_, PinnableOptions());
+  auto ticket = svc.Submit(SimpleRequest());
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    ticket->Cancel();
+  });
+  auto resp = ticket->Get();
+  canceller.join();
+  EXPECT_EQ(resp.outcome, Outcome::kCancelled);
+  EXPECT_TRUE(resp.ran()) << "mid-flight cancel did reach the planner";
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, TransientFaultIsRetriedOnce) {
+  util::FaultInjection::Instance().Arm(
+      "service/execute", Status::Internal("injected transient fault"));
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 1;
+  QueryService svc(&base_, opts);
+
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.retries, 1);
+  EXPECT_FALSE(resp.report.results.empty());
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().retries, 1u);
+}
+
+TEST_F(QueryServiceTest, RetriesExhaustToFailed) {
+  util::FaultInjection::Instance().Arm(
+      "service/execute", Status::Internal("injected transient fault"),
+      /*nth=*/1, /*sticky=*/true);
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 1;
+  QueryService svc(&base_, opts);
+
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kFailed);
+  EXPECT_EQ(resp.retries, 2);
+  EXPECT_EQ(resp.status.code(), StatusCode::kInternal);
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, NonTransientFaultIsNotRetried) {
+  util::FaultInjection::Instance().Arm(
+      "service/execute", Status::Unsafe("injected: iteration cap"));
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_retries = 5;
+  QueryService svc(&base_, opts);
+
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kFailed);
+  EXPECT_EQ(resp.retries, 0) << "caps are never transient";
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, MemoryBudgetBoundsDerivedGrowth) {
+  Database big;
+  workload::MakeSameGeneration(/*people=*/120, /*max_parents=*/3,
+                               /*seed=*/7).Load(&big);
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.total_memory_bytes = 1;  // derived data may grow ~1 byte: must trip
+  QueryService svc(&big, opts);
+
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kFailed) << resp.status.ToString();
+  EXPECT_NE(resp.status.message().find("memory budget"), std::string::npos)
+      << resp.status.ToString();
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, PerRequestCapTighterThanShareWins) {
+  Database big;
+  workload::MakeSameGeneration(/*people=*/120, /*max_parents=*/3,
+                               /*seed=*/7).Load(&big);
+  ServiceOptions opts;
+  opts.workers = 1;
+  // Service-level budget is generous; the request brings its own tiny cap.
+  opts.total_memory_bytes = 1ull << 30;
+  QueryService svc(&big, opts);
+
+  QueryRequest req = SimpleRequest();
+  req.planner.run.max_memory_bytes = 1;
+  auto resp = svc.Submit(std::move(req))->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kFailed);
+  EXPECT_NE(resp.status.message().find("memory budget"), std::string::npos)
+      << resp.status.ToString();
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, ShutdownWithoutDrainCancelsQueuedRequests) {
+  ArmPinFault();
+  QueryService svc(&base_, PinnableOptions());
+  auto pinned = PinWorker(&svc);
+  while (svc.stats().in_flight == 0) std::this_thread::yield();
+  auto queued = svc.Submit(SimpleRequest());
+
+  pinned->Cancel();
+  svc.Shutdown(/*drain=*/false);
+  ASSERT_TRUE(queued->WaitFor(milliseconds(0)));
+  auto resp = queued->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kCancelledBeforeStart);
+  EXPECT_FALSE(resp.ran());
+}
+
+TEST_F(QueryServiceTest, SubmitAfterShutdownIsShedNotCrashed) {
+  QueryService svc(&base_, {});
+  svc.Shutdown(/*drain=*/true);
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kRejectedOverload);
+  EXPECT_NE(resp.status.message().find("shutting down"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, PreParsedProgramSkipsTheParser) {
+  auto prog = dl::Parse(kCslSrc);
+  ASSERT_TRUE(prog.ok());
+  QueryService svc(&base_, {});
+  QueryRequest req;
+  req.program = *prog;  // no program_text at all
+  auto resp = svc.Submit(std::move(req))->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_FALSE(resp.report.results.empty());
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, EveryOutcomeHasAName) {
+  for (Outcome o :
+       {Outcome::kOk, Outcome::kRejectedOverload, Outcome::kDeadlineBeforeStart,
+        Outcome::kCancelledBeforeStart, Outcome::kDeadlineExceeded,
+        Outcome::kCancelled, Outcome::kFailed}) {
+    EXPECT_NE(OutcomeToString(o), "?");
+  }
+}
+
+TEST_F(QueryServiceTest, StatsInvariantAcrossAMixedBatch) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_depth = 64;
+  QueryService svc(&base_, opts);
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest req;
+    req.program_text = (i % 5 == 0) ? "broken (" : kCslSrc;
+    tickets.push_back(svc.Submit(std::move(req)));
+  }
+  svc.Shutdown(/*drain=*/true);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 20u);
+  EXPECT_EQ(stats.TerminalTotal(), 20u) << stats.ToString();
+  EXPECT_EQ(stats.ok, 16u);
+  EXPECT_EQ(stats.failed, 4u);
+  for (auto& t : tickets) {
+    EXPECT_TRUE(t->WaitFor(milliseconds(0)));
+  }
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace mcm::service

@@ -95,5 +95,54 @@ TEST(AccessStats, ToStringHasCounters) {
   EXPECT_NE(s.ToString().find("reads=42"), std::string::npos);
 }
 
+TEST(Database, SnapshotIntoCopiesEveryRelation) {
+  Database src;
+  Relation* e = src.GetOrCreateRelation("e", 2);
+  e->Insert2(1, 2);
+  e->Insert2(2, 3);
+  Relation* n = src.GetOrCreateRelation("n", 1);
+  n->Insert(Tuple{7});
+
+  Database dst;
+  ASSERT_TRUE(src.SnapshotInto(&dst).ok());
+  ASSERT_NE(dst.Find("e"), nullptr);
+  EXPECT_EQ(dst.Find("e")->size(), 2u);
+  ASSERT_NE(dst.Find("n"), nullptr);
+  EXPECT_EQ(dst.Find("n")->size(), 1u);
+
+  // The snapshot is a copy: growing it leaves the source untouched.
+  dst.Find("e")->Insert2(3, 4);
+  EXPECT_EQ(src.Find("e")->size(), 2u);
+}
+
+TEST(Database, SnapshotIntoMergesIntoExistingRelations) {
+  Database src;
+  src.GetOrCreateRelation("e", 2)->Insert2(1, 2);
+  Database dst;
+  dst.GetOrCreateRelation("e", 2)->Insert2(9, 9);
+  ASSERT_TRUE(src.SnapshotInto(&dst).ok());
+  EXPECT_EQ(dst.Find("e")->size(), 2u);
+
+  Database bad;
+  bad.GetOrCreateRelation("e", 3);
+  Status st = src.SnapshotInto(&bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("arity mismatch"), std::string::npos);
+}
+
+TEST(Database, SharedSymbolTableSpansDatabases) {
+  // The service's isolation model: per-query working databases that all
+  // intern through the base database's symbol table, so a Value produced
+  // in one database resolves identically in another.
+  Database base;
+  Value alice = base.symbols().Intern("alice");
+
+  Database work(&base.symbols());
+  EXPECT_EQ(work.symbols().Intern("alice"), alice);
+  Value bob = work.symbols().Intern("bob");
+  EXPECT_EQ(base.symbols().Resolve(bob), "bob");
+  EXPECT_EQ(base.symbols().size(), 2u);
+}
+
 }  // namespace
 }  // namespace mcm

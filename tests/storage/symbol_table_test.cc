@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace mcm {
 namespace {
 
@@ -50,6 +54,51 @@ TEST(SymbolTable, EmptyStringIsValidSymbol) {
   Value e = t.Intern("");
   EXPECT_EQ(t.Resolve(e), "");
   EXPECT_EQ(t.Find(""), e);
+}
+
+TEST(SymbolTable, ConcurrentInternersAgreeOnIds) {
+  // The table is shared by every QueryService worker: concurrent Intern of
+  // the same string must return one id, and references handed out by
+  // Resolve must stay valid while the table keeps growing.
+  SymbolTable t;
+  constexpr int kThreads = 8;
+  constexpr int kSymbols = 400;
+  std::vector<std::vector<Value>> ids(kThreads,
+                                      std::vector<Value>(kSymbols, -1));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (int s = 0; s < kSymbols; ++s) {
+        // Half the symbols are shared across all threads, half private.
+        std::string sym = (s % 2 == 0)
+                              ? "shared" + std::to_string(s)
+                              : "t" + std::to_string(ti) + "_" +
+                                    std::to_string(s);
+        Value id = t.Intern(sym);
+        ids[ti][s] = id;
+        // The resolved reference must round-trip even while other threads
+        // grow the table underneath us.
+        EXPECT_EQ(t.Resolve(id), sym);
+        EXPECT_EQ(t.Find(sym), id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // All threads agreed on the shared symbols' ids.
+  for (int s = 0; s < kSymbols; s += 2) {
+    for (int ti = 1; ti < kThreads; ++ti) {
+      EXPECT_EQ(ids[ti][s], ids[0][s]) << "shared" << s;
+    }
+  }
+  // Dense ids despite the races: every id below size() resolves.
+  size_t n = t.size();
+  EXPECT_EQ(n, static_cast<size_t>(kSymbols / 2) +
+                   static_cast<size_t>(kThreads) * (kSymbols / 2));
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.Contains(static_cast<Value>(i)));
+  }
 }
 
 TEST(SymbolTable, ManySymbols) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace mcm::util {
 namespace {
 
@@ -88,6 +92,64 @@ TEST_F(FaultInjectionTest, SitesAreIndependent) {
   EXPECT_EQ(fi.ArmedSites(), std::vector<std::string>{"test/status_site"});
   EXPECT_FALSE(StatusSite().ok());
   EXPECT_TRUE(fi.ArmedSites().empty());
+}
+
+TEST_F(FaultInjectionTest, ConcurrentTripsFireExactlyOncePerArm) {
+  // Regression test for the registry's thread-safety contract: a one-shot
+  // fault hammered from many threads fires exactly once, and the hit
+  // accounting never loses an update.
+  auto& fi = FaultInjection::Instance();
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 200;
+  constexpr uint64_t kNth = kThreads * kHitsPerThread / 2;
+  fi.Arm("test/status_site", Status::Internal("one-shot"), kNth);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (!StatusSite().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 1) << "one-shot fault fired more than once";
+  // Hit accounting stops at the fire (the site disarms itself), so the
+  // counter lands exactly on nth — no lost and no spurious increments
+  // despite 8 threads hammering the site.
+  EXPECT_EQ(fi.HitCount("test/status_site"), kNth);
+  EXPECT_EQ(fi.FireCount("test/status_site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ConcurrentArmAndTripDoNotRace) {
+  // Arm/Disarm from one thread while workers trip the site: no crash, and
+  // every Check returns either OK or the armed status (TSan covers the
+  // memory-safety half in CI).
+  auto& fi = FaultInjection::Instance();
+  std::atomic<bool> stop{false};
+  std::thread armer([&] {
+    for (int i = 0; i < 300; ++i) {
+      fi.Arm("test/status_site", Status::Internal("flap"), /*nth=*/3);
+      fi.Disarm("test/status_site");
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        Status st = StatusSite();
+        if (!st.ok()) {
+          EXPECT_EQ(st.code(), StatusCode::kInternal);
+        }
+      }
+    });
+  }
+  armer.join();
+  for (auto& w : workers) w.join();
 }
 
 TEST_F(FaultInjectionTest, DisarmAllClearsEverything) {

@@ -83,6 +83,16 @@ Result<int> Quarter(int x) {
   return q;
 }
 
+TEST(Status, UnavailableIsItsOwnCategory) {
+  Status st = Status::Unavailable("queue full");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_FALSE(st.IsDeadlineExceeded());
+  EXPECT_EQ(st.ToString(), "Unavailable: queue full");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
 TEST(StatusMacros, AssignOrReturn) {
   Result<int> r = Quarter(8);
   ASSERT_TRUE(r.ok());
