@@ -1,13 +1,16 @@
 // mcm-serve — line-protocol front end for the concurrent query service.
 //
 // Usage:
-//   mcm-serve RULES.dl [--fact NAME=FILE.tsv]...
+//   mcm-serve RULES.dl [--fact NAME=FILE.tsv]... [--store DIR]
 //             [--workers N] [--queue-depth N] [--default-timeout-ms N]
 //             [--max-retries N] [--memory-budget BYTES]
 //             [--method auto|safe|counting]
 //
 //   RULES.dl         Datalog rules WITHOUT a query; every stdin line adds one
 //   --fact name=path load a TSV fact file into relation `name`
+//   --store DIR      durable EDB: recover from DIR's checkpoint + WAL, and
+//                    make UPDATE commits / CHECKPOINT survive a crash.
+//                    Without it the store is in-memory (hot-swap only).
 //   --workers        worker threads (default 4)
 //   --queue-depth    bounded admission queue (default 64)
 //   --default-timeout-ms  per-request deadline when a line has none
@@ -19,15 +22,29 @@
 //                      counting  attempt plain counting under the governor
 //                                (the breaker learns the divergent shapes)
 //
+// The EDB lives in an epoch-versioned store: every query pins the tip
+// version at submission and answers from that snapshot no matter how many
+// updates land while it runs.
+//
 // Line protocol (stdin):
 //   p(0, Y)?                 submit this query against the rules
 //   @timeout=250 p(0, Y)?    ... with a 250ms deadline (queue wait counts)
+//   UPDATE <op>; <op>; ...   atomically commit one update batch:
+//                              +rel(v1, v2)   insert a fact
+//                              -rel(v1, v2)   delete a fact
+//                              create rel/2   new empty relation, arity 2
+//                              drop rel       remove a relation
+//                            all-or-nothing: any bad op rejects the whole
+//                            batch and the tip epoch does not move
+//   CHECKPOINT               write a durable checkpoint and rotate the WAL
+//                            (--store mode only)
 //   :stats                   print a service stats snapshot
 //   # ...                    comment; blank lines are skipped
 //
-// Every submitted line is answered in submission order once stdin closes
-// (the service itself runs them concurrently):
-//   [3] ok: 17 tuples in 0.82ms (queue 0.05ms, retries 0)
+// UPDATE / CHECKPOINT are applied (and answered) immediately in stream
+// order, so later queries see the new epoch. Query lines are answered in
+// submission order once stdin closes (the service runs them concurrently):
+//   [3] ok: 17 tuples @epoch 2 in 0.82ms (queue 0.05ms, retries 0)
 //   [4] deadline_before_start: deadline expired after 51.2ms in queue, ...
 // and a final stats dump goes to stderr.
 #include <cstdio>
@@ -43,6 +60,7 @@
 #include "datalog/parser.h"
 #include "service/query_service.h"
 #include "storage/io.h"
+#include "storage/versioned_store.h"
 #include "util/string_util.h"
 
 using namespace mcm;
@@ -54,12 +72,82 @@ int Fail(const std::string& msg) {
   return 1;
 }
 
+/// Parse the op list of an UPDATE line ("+rel(a, b); create t/1; ...")
+/// into a batch. Returns false with `*err` set on the first malformed op —
+/// nothing is committed in that case.
+bool ParseUpdateOps(std::string_view ops_text, UpdateBatch* batch,
+                    std::string* err) {
+  for (const std::string& raw : Split(ops_text, ';')) {
+    std::string_view op = Trim(raw);
+    if (op.empty()) continue;
+    if (op[0] == '+' || op[0] == '-') {
+      const bool insert = op[0] == '+';
+      size_t open = op.find('(');
+      if (open == std::string_view::npos || op.back() != ')') {
+        *err = "expected " + std::string(1, op[0]) +
+               "rel(v1, ...) in '" + std::string(op) + "'";
+        return false;
+      }
+      std::string rel(Trim(op.substr(1, open - 1)));
+      if (rel.empty()) {
+        *err = "missing relation name in '" + std::string(op) + "'";
+        return false;
+      }
+      std::vector<std::string> fields;
+      std::string_view inner = op.substr(open + 1, op.size() - open - 2);
+      if (!Trim(inner).empty()) {
+        for (const std::string& f : Split(inner, ',')) {
+          fields.emplace_back(Trim(f));
+        }
+      }
+      if (insert) {
+        batch->Insert(std::move(rel), std::move(fields));
+      } else {
+        batch->Delete(std::move(rel), std::move(fields));
+      }
+    } else if (StartsWith(op, "create ")) {
+      std::string_view spec = Trim(op.substr(7));
+      size_t slash = spec.rfind('/');
+      if (slash == std::string_view::npos) {
+        *err = "expected create rel/arity in '" + std::string(op) + "'";
+        return false;
+      }
+      std::string arity_str(spec.substr(slash + 1));
+      char* end = nullptr;
+      unsigned long arity = std::strtoul(arity_str.c_str(), &end, 10);
+      if (arity_str.empty() || end == nullptr || *end != '\0') {
+        *err = "bad arity in '" + std::string(op) + "'";
+        return false;
+      }
+      batch->CreateRelation(std::string(Trim(spec.substr(0, slash))),
+                            static_cast<uint32_t>(arity));
+    } else if (StartsWith(op, "drop ")) {
+      std::string rel(Trim(op.substr(5)));
+      if (rel.empty()) {
+        *err = "missing relation name in '" + std::string(op) + "'";
+        return false;
+      }
+      batch->DropRelation(std::move(rel));
+    } else {
+      *err = "unknown op '" + std::string(op) +
+             "' (want +rel(...), -rel(...), create rel/N, drop rel)";
+      return false;
+    }
+  }
+  if (batch->empty()) {
+    *err = "empty batch";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mcm-serve RULES.dl [--fact NAME=FILE]... "
+                 "[--store DIR] "
                  "[--workers N] [--queue-depth N] [--default-timeout-ms N] "
                  "[--max-retries N] [--memory-budget BYTES] [--method M]\n");
     return 2;
@@ -67,6 +155,7 @@ int main(int argc, char** argv) {
 
   std::string rules_path = argv[1];
   std::string method = "auto";
+  std::string store_dir;
   service::ServiceOptions opts;
   opts.max_retries = 2;
   std::vector<std::pair<std::string, std::string>> facts;
@@ -88,6 +177,9 @@ int main(int argc, char** argv) {
       size_t eq = spec.find('=');
       if (eq == std::string::npos) return Fail("--fact expects NAME=FILE");
       facts.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--store") {
+      store_dir = next();
+      if (store_dir.empty()) return Fail("--store expects DIR");
     } else if (arg == "--workers") {
       if (!next_u64(&n) || n == 0) return Fail("--workers expects N > 0");
       opts.workers = static_cast<size_t>(n);
@@ -132,13 +224,42 @@ int main(int argc, char** argv) {
     }
   }
 
-  Database base;
-  for (const auto& [name, path] : facts) {
-    Status st = LoadRelationTsv(&base, name, path);
-    if (!st.ok()) return Fail(st.ToString());
+  // Epoch-versioned EDB. With --store this recovers whatever checkpoint +
+  // WAL the directory holds (a torn tail is truncated and reported, the
+  // server still comes up on the consistent prefix); without it the store
+  // is purely in-memory and CHECKPOINT is rejected.
+  VersionedStore::Options store_opts;
+  store_opts.dir = store_dir;
+  VersionedStore store(store_opts);
+  {
+    Status rec = store.Recover();
+    if (rec.code() == StatusCode::kDataLoss) {
+      std::fprintf(stderr, "mcm-serve: recovery: %s\n",
+                   rec.ToString().c_str());
+    } else if (!rec.ok()) {
+      return Fail("recovery: " + rec.ToString());
+    }
+  }
+  if (!facts.empty()) {
+    if (store.TipEpoch() > 0) {
+      // The recovered store is the durable truth; silently re-bootstrapping
+      // over it would fork history.
+      std::fprintf(stderr,
+                   "mcm-serve: --store already holds epoch %llu; "
+                   "ignoring --fact files\n",
+                   static_cast<unsigned long long>(store.TipEpoch()));
+    } else {
+      Database staging;
+      for (const auto& [name, path] : facts) {
+        Status st = LoadRelationTsv(&staging, name, path);
+        if (!st.ok()) return Fail(st.ToString());
+      }
+      auto boot = store.BootstrapFromDatabase(staging);
+      if (!boot.ok()) return Fail("bootstrap: " + boot.status().ToString());
+    }
   }
 
-  service::QueryService svc(&base, opts);
+  service::QueryService svc(&store, opts);
   std::vector<std::shared_ptr<service::QueryTicket>> tickets;
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -146,6 +267,35 @@ int main(int argc, char** argv) {
     if (trimmed.empty() || trimmed[0] == '#') continue;
     if (trimmed == ":stats") {
       std::printf("stats: %s\n", svc.stats().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(trimmed, "UPDATE")) {
+      UpdateBatch batch;
+      std::string err;
+      if (!ParseUpdateOps(trimmed.substr(6), &batch, &err)) {
+        std::printf("update error: %s (tip stays at epoch %llu)\n",
+                    err.c_str(),
+                    static_cast<unsigned long long>(store.TipEpoch()));
+      } else if (auto epoch = store.Commit(batch); !epoch.ok()) {
+        std::printf("update error: %s (tip stays at epoch %llu)\n",
+                    epoch.status().ToString().c_str(),
+                    static_cast<unsigned long long>(store.TipEpoch()));
+      } else {
+        std::printf("update: epoch %llu (%zu ops)\n",
+                    static_cast<unsigned long long>(*epoch),
+                    batch.ops.size());
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == "CHECKPOINT") {
+      if (Status st = store.Checkpoint(); !st.ok()) {
+        std::printf("checkpoint error: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("checkpoint: epoch %llu\n",
+                    static_cast<unsigned long long>(store.TipEpoch()));
+      }
       std::fflush(stdout);
       continue;
     }
@@ -185,11 +335,13 @@ int main(int argc, char** argv) {
       const std::string& method_used =
           resp.report.attempts.empty() ? std::string("?")
                                        : resp.report.attempts.back().method;
-      std::printf("[%llu] ok: %zu tuples in %.2fms (queue %.2fms, "
-                  "method %s, retries %d%s)\n",
+      std::printf("[%llu] ok: %zu tuples @epoch %llu in %.2fms (queue "
+                  "%.2fms, method %s, retries %d%s)\n",
                   static_cast<unsigned long long>(ticket->id()),
-                  resp.report.results.size(), resp.run_seconds * 1e3,
-                  resp.queue_seconds * 1e3, method_used.c_str(), resp.retries,
+                  resp.report.results.size(),
+                  static_cast<unsigned long long>(resp.edb_epoch),
+                  resp.run_seconds * 1e3, resp.queue_seconds * 1e3,
+                  method_used.c_str(), resp.retries,
                   resp.breaker_short_circuit ? ", breaker" : "");
     } else {
       ++failures;

@@ -55,6 +55,10 @@ bool IsTransient(const Status& status, const TransientPolicy& policy) {
       return policy.internal;
     case StatusCode::kCancelled:
       return policy.cancelled;
+    case StatusCode::kDataLoss:
+      // Corrupt or torn durable state does not heal on retry; retrying a
+      // kDataLoss recovery verdict would only storm the broken WAL.
+      return false;
     default:
       // OK is not a failure; deadline budgets are spent; cap trips
       // (kUnsafe) mean divergence, which a retry only repeats.

@@ -74,6 +74,19 @@ QueryService::QueryService(Database* base, ServiceOptions options)
       breaker_(options_.breaker),
       edb_bytes_(base->ApproxBytes()),
       ewma_run_seconds_(options_.expected_run_seconds_hint) {
+  StartWorkers();
+}
+
+QueryService::QueryService(VersionedStore* store, ServiceOptions options)
+    : base_(nullptr),
+      store_(store),
+      options_(std::move(options)),
+      breaker_(options_.breaker),
+      ewma_run_seconds_(options_.expected_run_seconds_hint) {
+  StartWorkers();
+}
+
+void QueryService::StartWorkers() {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.queue_depth == 0) options_.queue_depth = 1;
   workers_.reserve(options_.workers);
@@ -100,6 +113,10 @@ std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
   pending->request = std::move(request);
   pending->submitted = Clock::now();
   pending->token = std::make_shared<runtime::CancellationToken>();
+  // Hot-swap mode: resolve the version on the caller's thread, before any
+  // queueing — every attempt of this request answers from this snapshot,
+  // and the epoch a Submit() observes is deterministic for the caller.
+  if (store_ != nullptr) pending->snapshot = store_->Pin();
   auto ticket = std::shared_ptr<QueryTicket>(
       new QueryTicket(0, pending->promise.get_future().share(),
                       pending->token));
@@ -121,6 +138,7 @@ std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
     QueryResponse resp;
     resp.outcome = Outcome::kRejectedOverload;
     resp.status = std::move(status);
+    if (pending->snapshot) resp.edb_epoch = pending->snapshot->epoch();
     ++stats_.rejected_overload;
     // Fulfill outside Finish(): the request was never queued, and the
     // promise must be set after the counters so stats never undercount.
@@ -210,6 +228,7 @@ void QueryService::WorkerLoop(int worker_id) {
     QueryResponse resp;
     resp.worker = worker_id;
     resp.queue_seconds = SecondsSince(p->submitted);
+    if (p->snapshot) resp.edb_epoch = p->snapshot->epoch();
 
     // Admission-to-pickup checks: a request cancelled or expired while
     // queued must not run at all.
@@ -299,9 +318,12 @@ void QueryService::Execute(Pending* p, int worker_id, QueryResponse* resp) {
   opts.run.timeout_ms = 0;  // the context carries the deadline
 
   // Memory budget: the EDB snapshot is a fixed per-request cost, so the
-  // configured budget governs *derived* growth beyond it.
+  // configured budget governs *derived* growth beyond it. In hot-swap mode
+  // the snapshot size is per-version, not per-service.
   if (options_.total_memory_bytes > 0) {
-    uint64_t share = static_cast<uint64_t>(edb_bytes_) +
+    size_t edb_bytes =
+        p->snapshot != nullptr ? p->snapshot->ApproxBytes() : edb_bytes_;
+    uint64_t share = static_cast<uint64_t>(edb_bytes) +
                      options_.total_memory_bytes /
                          static_cast<uint64_t>(options_.workers);
     opts.run.max_memory_bytes = opts.run.max_memory_bytes == 0
@@ -326,9 +348,11 @@ void QueryService::Execute(Pending* p, int worker_id, QueryResponse* resp) {
     // Per-query isolation: a private working database sharing the base's
     // thread-safe symbol table, seeded with a fresh EDB snapshot. Retries
     // start from a clean snapshot too — a half-derived IDB must not leak
-    // into the next attempt.
-    Database work(&base_->symbols());
-    Status st = base_->SnapshotInto(&work);
+    // into the next attempt. In hot-swap mode every attempt re-snapshots
+    // from the SAME pinned version: a retry never mixes epochs.
+    Database work(store_ != nullptr ? &store_->symbols() : &base_->symbols());
+    Status st = p->snapshot != nullptr ? p->snapshot->SnapshotInto(&work)
+                                       : base_->SnapshotInto(&work);
     if (st.ok()) st = util::FaultInjection::Instance().Check("service/execute");
     Result<core::PlanReport> run =
         st.ok() ? core::SolveProgram(&work, program, opts)
@@ -403,6 +427,7 @@ void QueryService::Shutdown(bool drain) {
     resp.outcome = Outcome::kCancelledBeforeStart;
     resp.status = Status::Cancelled("service shutdown while queued");
     resp.queue_seconds = SecondsSince(p->submitted);
+    if (p->snapshot) resp.edb_epoch = p->snapshot->epoch();
     Finish(p.get(), std::move(resp));
   }
   for (std::thread& t : to_join) {

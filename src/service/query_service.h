@@ -19,6 +19,12 @@
 // the internally synchronized SymbolTable). Each request evaluates against
 // its own working database, so worker threads never share mutable relation
 // state; results are merely Values that resolve through the shared table.
+//
+// Hot-swap mode (the VersionedStore constructor) lifts the frozen-EDB
+// restriction: Submit() pins the store's tip version on the caller's
+// thread, and the request — retries included — evaluates against that one
+// immutable snapshot while writers keep committing new epochs underneath.
+// QueryResponse::edb_epoch reports which version answered.
 #pragma once
 
 #include <chrono>
@@ -39,6 +45,7 @@
 #include "runtime/execution_context.h"
 #include "service/circuit_breaker.h"
 #include "storage/database.h"
+#include "storage/versioned_store.h"
 #include "util/status.h"
 
 namespace mcm::service {
@@ -84,6 +91,10 @@ struct QueryResponse {
   int retries = 0;           ///< transient-failure retries consumed
   bool breaker_short_circuit = false;  ///< breaker forced the safe rung
   int worker = -1;           ///< worker that finished it; -1 = shed/queued
+  /// Epoch of the EDB version this request was pinned to at Submit()
+  /// (hot-swap mode only; 0 for the frozen-Database constructor). All
+  /// attempts of one request answer from this single version.
+  uint64_t edb_epoch = 0;
 
   /// Did the request reach the planner at all? (Satellite: a request
   /// cancelled after admission but before pickup must report false here.)
@@ -187,6 +198,13 @@ class QueryService {
   /// service. No other code may mutate `base`'s relations while the
   /// service is running.
   explicit QueryService(Database* base, ServiceOptions options = {});
+
+  /// Hot-swap mode: serve queries against `store`'s tip, pinning the
+  /// current version per request at Submit(). Writers may keep committing
+  /// (and checkpointing) concurrently — pinned readers are unaffected.
+  /// Not owned; must outlive the service.
+  explicit QueryService(VersionedStore* store, ServiceOptions options = {});
+
   ~QueryService();  // Shutdown(/*drain=*/false)
 
   QueryService(const QueryService&) = delete;
@@ -212,12 +230,16 @@ class QueryService {
   struct Pending {
     uint64_t id = 0;
     QueryRequest request;
+    /// Hot-swap mode: the version pinned at Submit(); the pin (refcount)
+    /// lives exactly as long as the request does.
+    std::shared_ptr<const EdbVersion> snapshot;
     std::chrono::steady_clock::time_point submitted{};
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::shared_ptr<runtime::CancellationToken> token;
     std::promise<QueryResponse> promise;
   };
 
+  void StartWorkers();
   void WorkerLoop(int worker_id);
   void Execute(Pending* p, int worker_id, QueryResponse* resp);
   /// Fulfill the promise and bump the outcome counter — the single funnel
@@ -229,10 +251,11 @@ class QueryService {
   /// Cancellation/shutdown-aware sleep used between retries.
   void BackoffSleep(uint64_t ms, const runtime::ExecutionContext& ctx) const;
 
-  Database* base_;
+  Database* base_;                ///< frozen-EDB mode; null in hot-swap mode
+  VersionedStore* store_ = nullptr;  ///< hot-swap mode; null otherwise
   ServiceOptions options_;
   CircuitBreaker breaker_;
-  size_t edb_bytes_ = 0;  ///< ApproxBytes of the frozen base EDB
+  size_t edb_bytes_ = 0;  ///< ApproxBytes of the frozen base EDB (base mode)
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

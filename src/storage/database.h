@@ -83,6 +83,14 @@ class Database {
   /// source's AccessStats nor its lazy indexes are written. The symbol
   /// table is NOT copied — share it via the external-table constructor so
   /// the snapshotted Values keep resolving.
+  ///
+  /// Concurrent-hot-swap audit (PR 5): this safety claim requires a frozen
+  /// source. Snapshotting a Database while another thread mutates its
+  /// relations is a data race (Insert appends to the vector SnapshotInto
+  /// iterates). The versioned store therefore never mutates in place —
+  /// commits build new immutable Relation objects (copy-on-write) and swap
+  /// the tip pointer, so EdbVersion::SnapshotInto on a pinned version is
+  /// race-free by construction no matter how many commits land concurrently.
   Status SnapshotInto(Database* dst) const;
 
  private:

@@ -1,9 +1,16 @@
 #include "storage/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <charconv>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace mcm {
@@ -97,6 +104,75 @@ Status SaveRelationTsv(const Database& db, const std::string& name,
     return Status::InvalidArgument("cannot write '" + path + "'");
   }
   return SaveRelationTsvStream(db, name, out, resolve_symbols);
+}
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, std::string_view contents) {
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir '" + dir + "'");
+  Status st = ::fsync(fd) == 0 ? Status::OK() : ErrnoStatus("fsync dir");
+  ::close(fd);
+  return st;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open '" + tmp + "'");
+
+  // Explicit Check calls instead of MCM_FAULT_POINT: an early macro return
+  // would leak the fd and the temp file.
+  auto& faults = util::FaultInjection::Instance();
+  Status st = faults.Check("io/atomic/write");
+  if (st.ok()) st = WriteAll(fd, contents);
+  if (st.ok()) st = faults.Check("io/atomic/fsync");
+  if (st.ok() && ::fsync(fd) != 0) st = ErrnoStatus("fsync '" + tmp + "'");
+  ::close(fd);
+  if (st.ok()) st = faults.Check("io/atomic/rename");
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = ErrnoStatus("rename '" + tmp + "' -> '" + path + "'");
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return SyncParentDir(path);
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error on '" + path + "'");
+  *out = ss.str();
+  return Status::OK();
 }
 
 }  // namespace mcm

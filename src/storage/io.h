@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "storage/database.h"
 #include "util/status.h"
@@ -35,5 +36,24 @@ Status SaveRelationTsv(const Database& db, const std::string& name,
 /// Stream variant of SaveRelationTsv.
 Status SaveRelationTsvStream(const Database& db, const std::string& name,
                              std::ostream& out, bool resolve_symbols = true);
+
+/// \brief Durably replace `path` with `contents`.
+///
+/// The crash-safe file replacement discipline used by checkpoints: write to
+/// `path + ".tmp"`, fsync the temp file, rename it over `path`, then fsync
+/// the parent directory. A crash at any point leaves either the old file or
+/// the new one — never a torn mixture. Fault-injection sites
+/// "io/atomic/write", "io/atomic/fsync" and "io/atomic/rename" sit before
+/// the corresponding syscalls; a failure (injected or real) cleans up the
+/// temp file and leaves `path` untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// fsync the directory containing `path`, making a rename of `path` itself
+/// durable. Part of the atomic-replacement discipline above; exposed for
+/// the WAL's log rotation.
+Status SyncParentDir(const std::string& path);
+
+/// Read all of `path` into `*out`. NotFound when the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
 
 }  // namespace mcm

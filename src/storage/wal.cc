@@ -1,0 +1,206 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/io.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace mcm {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'M', 'C', 'M', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = sizeof(kWalMagic) + sizeof(uint64_t);
+constexpr size_t kRecordHeaderBytes = 2 * sizeof(uint32_t);
+// A record longer than this is assumed to be a corrupt length prefix, not a
+// real batch — it bounds allocation during replay.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+void PutLe32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutLe64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetLe32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status WriteAllFd(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("wal write");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WalReplayResult ReplayWal(const std::string& path) {
+  WalReplayResult result;
+  std::string bytes;
+  Status read = ReadFileToString(path, &bytes);
+  if (!read.ok()) {
+    result.status = read;
+    return result;
+  }
+
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    result.status = Status::DataLoss("wal '" + path +
+                                     "': missing or mangled header");
+    return result;
+  }
+  result.base_epoch = GetLe64(bytes.data() + sizeof(kWalMagic));
+  size_t pos = kHeaderBytes;
+  result.valid_bytes = pos;
+
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeaderBytes) {
+      result.status = Status::DataLoss(StringPrintf(
+          "wal torn record header at offset %zu (%zu trailing bytes)", pos,
+          bytes.size() - pos));
+      return result;
+    }
+    uint32_t len = GetLe32(bytes.data() + pos);
+    uint32_t crc = GetLe32(bytes.data() + pos + sizeof(uint32_t));
+    if (len > kMaxRecordBytes ||
+        bytes.size() - pos - kRecordHeaderBytes < len) {
+      result.status = Status::DataLoss(StringPrintf(
+          "wal torn record at offset %zu: %u payload bytes promised, "
+          "%zu present",
+          pos, len, bytes.size() - pos - kRecordHeaderBytes));
+      return result;
+    }
+    std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, len);
+    if (util::Crc32(payload) != crc) {
+      result.status = Status::DataLoss(StringPrintf(
+          "wal checksum mismatch at offset %zu (record %zu)", pos,
+          result.records.size()));
+      return result;
+    }
+    result.records.push_back(WalRecord{pos, std::string(payload)});
+    pos += kRecordHeaderBytes + len;
+    result.valid_bytes = pos;
+  }
+  result.status = Status::OK();
+  return result;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t base_epoch) {
+  MCM_FAULT_POINT("wal/create");
+  std::string header;
+  header.append(kWalMagic, sizeof(kWalMagic));
+  PutLe64(&header, base_epoch);
+
+  // Temp-file + atomic-rename: a crash mid-creation must leave any previous
+  // log (still referenced by an un-rotated checkpoint base) untouched.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open '" + tmp + "'");
+  Status st = WriteAllFd(fd, header);
+  if (st.ok() && ::fsync(fd) != 0) st = ErrnoStatus("fsync '" + tmp + "'");
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = ErrnoStatus("rename '" + tmp + "' -> '" + path + "'");
+  }
+  if (st.ok()) st = SyncParentDir(path);
+  if (!st.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // fd still refers to the (now renamed) log; keep it for appending.
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fd, path, kHeaderBytes));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, uint64_t offset) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open '" + path + "'");
+  // Drop any torn tail past the valid prefix so new records append cleanly.
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+    Status st = ErrnoStatus("ftruncate '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    Status st = ErrnoStatus("lseek '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path, offset));
+}
+
+Status WalWriter::AppendRecord(std::string_view payload) {
+  if (!broken_.ok()) return broken_;
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument(
+        StringPrintf("wal record too large (%zu bytes)", payload.size()));
+  }
+  MCM_FAULT_POINT("wal/append");
+
+  std::string frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  PutLe32(&frame, static_cast<uint32_t>(payload.size()));
+  PutLe32(&frame, util::Crc32(payload));
+  frame.append(payload);
+
+  Status st = WriteAllFd(fd_, frame);
+  if (st.ok()) st = util::FaultInjection::Instance().Check("wal/fsync");
+  if (st.ok() && ::fsync(fd_) != 0) st = ErrnoStatus("wal fsync");
+  if (st.ok()) {
+    offset_ += frame.size();
+    return st;
+  }
+
+  // Roll the file back so the failed record cannot shadow later commits.
+  if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET) < 0) {
+    broken_ = Status::DataLoss(
+        "wal unwritable after failed append; log state unknown: " +
+        st.ToString());
+    return broken_;
+  }
+  return st;
+}
+
+}  // namespace mcm

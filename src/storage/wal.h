@@ -1,0 +1,96 @@
+// Write-ahead log: length-prefixed, CRC32-checksummed records with
+// fsync-on-commit durability.
+//
+// File layout (all integers little-endian):
+//
+//   header:  "MCMWAL01" (8 bytes)  | base_epoch (u64)
+//   record:  payload_len (u32) | crc32(payload) (u32) | payload bytes
+//
+// The base epoch names the checkpoint this log continues from: replay
+// applies only records whose batch sequence exceeds it. Appends are atomic
+// at the commit level: AppendRecord either leaves the record fully written
+// and fsynced, or truncates the file back to the pre-append offset — a
+// failed append never poisons the log for later commits. Torn tails (a
+// crash mid-write, or bytes lost below the page cache) are detected on
+// replay by the length prefix and checksum; ReplayWal stops at the first
+// invalid record and reports the valid prefix with Status kDataLoss.
+//
+// Fault-injection sites: "wal/create" (log creation/rotation), "wal/append"
+// (before the record bytes are written), "wal/fsync" (record written, not
+// yet durable — the classic crash-before-commit window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mcm {
+
+/// One framed record recovered from a WAL scan.
+struct WalRecord {
+  uint64_t offset = 0;  ///< file offset of the record's length prefix
+  std::string payload;
+};
+
+/// Outcome of scanning a WAL file: every valid record in order, plus where
+/// (and whether) the valid prefix ends.
+struct WalReplayResult {
+  uint64_t base_epoch = 0;         ///< from the header
+  std::vector<WalRecord> records;  ///< valid records, file order
+  uint64_t valid_bytes = 0;  ///< offset just past the last valid record
+  /// OK when the file ends exactly at a record boundary; kDataLoss when a
+  /// torn or corrupt record cut the scan short (payloads/valid_bytes then
+  /// describe the consistent prefix).
+  Status status;
+};
+
+/// Scan and validate the WAL at `path`. A missing file is NotFound; a
+/// mangled header is kDataLoss with no payloads.
+WalReplayResult ReplayWal(const std::string& path);
+
+/// \brief Single-writer append handle for a WAL file.
+///
+/// Not internally synchronized: the versioned store serializes all writers
+/// under its commit lock.
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Create a fresh log at `path` (atomically replacing any existing file)
+  /// whose header carries `base_epoch`. This is also checkpoint rotation:
+  /// the new log is written to a temp file and renamed into place, so a
+  /// crash mid-rotation leaves the previous log intact.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   uint64_t base_epoch);
+
+  /// Open an existing log for appending after its valid prefix. `offset`
+  /// must come from ReplayWal::valid_bytes; any trailing garbage past it is
+  /// truncated away here so subsequent appends extend a clean log.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, uint64_t offset);
+
+  /// Append one framed record and fsync it. On any failure the file is
+  /// truncated back to the pre-append offset; if even the truncate fails
+  /// the writer turns sticky-broken and every later append reports it.
+  Status AppendRecord(std::string_view payload);
+
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t offset)
+      : fd_(fd), path_(std::move(path)), offset_(offset) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t offset_ = 0;
+  Status broken_;  ///< sticky failure once the file state is unknown
+};
+
+}  // namespace mcm

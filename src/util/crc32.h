@@ -1,0 +1,50 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for WAL record and checkpoint
+// integrity checks.
+//
+// A deliberately simple table-driven implementation: the WAL appends are
+// fsync-bound, so checksum speed is irrelevant next to durability cost, and
+// a self-contained software CRC keeps the storage layer free of platform
+// intrinsics. The table is built at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mcm::util {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// CRC-32 of `n` bytes at `data`. Pass a previous result as `seed` to
+/// checksum data in chunks (the seed of the first chunk is 0).
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace mcm::util

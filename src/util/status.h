@@ -27,6 +27,9 @@ enum class StatusCode : int {
   kCancelled = 9,         ///< Cooperative cancellation was requested.
   kUnavailable = 10,      ///< Service overloaded or shutting down; the
                           ///< canonical client-retryable condition.
+  kDataLoss = 11,         ///< Durable state was lost or corrupted (torn WAL
+                          ///< tail, bad checkpoint CRC). Never transient:
+                          ///< retrying cannot bring the bytes back.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -73,6 +76,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +92,7 @@ class Status {
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -44,7 +44,9 @@ void RunFamily(const workload::CslData& data, FamilyResult* result) {
   core::CslSolver solver(&db, "l", "e", "r", data.source);
   for (const analysis::CostEstimate& e : out.cost.estimates) {
     if (!e.finite) continue;  // counting on a cyclic instance
-    Result<core::MethodRun> run = Status::OK();
+    // Placeholder must be non-OK: Result asserts on an OK status without a
+    // value (visible only in assert-enabled builds).
+    Result<core::MethodRun> run = Status::Internal("method not run");
     if (e.method == "counting") {
       run = solver.RunCounting();
     } else if (e.method == "magic_sets") {

@@ -31,6 +31,7 @@
 #include "core/planner.h"
 #include "datalog/parser.h"
 #include "service/query_service.h"
+#include "storage/versioned_store.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -300,6 +301,158 @@ TEST(ChaosTest, ConcurrentRandomizedRequestsKeepTheContract) {
   const std::size_t had_a_chance = kRequests - stats.rejected_overload;
   EXPECT_GT(ok_checked, had_a_chance / 20)
       << "chaos too aggressive - almost nothing completed: "
+      << stats.ToString();
+}
+
+// Update storm: the hot-swap variant of the harness. A writer thread
+// commits update batches into a VersionedStore as fast as it can while the
+// worker pool answers queries and the chaos thread keeps injecting
+// transient faults (exercising the retry path, which must re-answer from
+// the SAME pinned version). The EDB is built so every epoch has a closed-
+// form answer:
+//
+//   * grow/1 holds exactly {1..e} at epoch e (monotone inserts);
+//   * flip/1 holds exactly {e} at epoch e (delete old + insert new, the
+//     copy-on-write rebuild path).
+//
+// A kOk response reporting edb_epoch == e must therefore match those sets
+// exactly; any torn read, cross-version mix, or retry that slid onto a
+// newer tip produces a wrong cardinality or a stale element. Under
+// ASan/TSan this doubles as a race check on the shared COW relation
+// storage.
+TEST(ChaosTest, UpdateStormAnswersMatchThePinnedVersion) {
+  const size_t kRequests = EnvSize("MCM_CHAOS_REQUESTS", 400);
+  const size_t kWorkers = EnvSize("MCM_CHAOS_WORKERS", 8);
+
+  // In-memory store: versioning and hot-swap without the fsync tax.
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  {
+    UpdateBatch setup;
+    setup.CreateRelation("grow", 1);
+    setup.Insert("grow", {"1"});
+    setup.CreateRelation("flip", 1);
+    setup.Insert("flip", {"1"});
+    ASSERT_TRUE(store.Commit(setup).ok());  // epoch 1
+  }
+
+  ServiceOptions opts;
+  opts.workers = kWorkers;
+  opts.queue_depth = kRequests;
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 1;
+  opts.total_memory_bytes = 64ull << 20;
+  QueryService svc(&store, opts);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> writer_ok{true};
+
+  // Writer thread: one commit per loop, each preserving the per-epoch
+  // closed forms above. Single writer, so TipEpoch()+1 is race-free.
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const uint64_t next = store.TipEpoch() + 1;
+      UpdateBatch b;
+      b.Insert("grow", {std::to_string(next)});
+      b.Delete("flip", {std::to_string(next - 1)});
+      b.Insert("flip", {std::to_string(next)});
+      Result<uint64_t> r = store.Commit(b);
+      if (!r.ok() || *r != next) {
+        writer_ok.store(false, std::memory_order_relaxed);
+        ADD_FAILURE() << "storm commit " << next << " failed: "
+                      << r.status().ToString();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Chaos thread: transient faults only — they drive the retry machinery,
+  // and a retry answering from a different epoch than its response claims
+  // is exactly the bug class this test hunts.
+  std::thread chaos([&] {
+    Rng rng(0x570F4);
+    auto& fi = util::FaultInjection::Instance();
+    while (!done.load(std::memory_order_relaxed)) {
+      const char* site = kChaosSites[rng.NextIndex(std::size(kChaosSites))];
+      if (rng.NextBool(0.2)) {
+        fi.DisarmAll();
+      } else {
+        fi.Arm(site, Status::Internal("injected transient fault"),
+               /*nth=*/rng.NextBounded(8) + 1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    fi.DisarmAll();
+  });
+
+  struct StormSubmitted {
+    bool wants_flip;  ///< flip query (expect {epoch}) vs grow ({1..epoch})
+    std::shared_ptr<QueryTicket> ticket;
+  };
+  std::vector<StormSubmitted> submitted;
+  submitted.reserve(kRequests);
+
+  Rng rng(0x5702E);
+  for (size_t i = 0; i < kRequests; ++i) {
+    StormSubmitted s;
+    s.wants_flip = rng.NextBool(0.5);
+    QueryRequest req;
+    req.program_text = s.wants_flip ? "q(X) :- flip(X).\nq(X)?"
+                                    : "q(X) :- grow(X).\nq(X)?";
+    if (rng.NextBool(0.2)) req.timeout_ms = rng.NextBounded(20) + 1;
+    s.ticket = svc.Submit(std::move(req));
+    ASSERT_NE(s.ticket, nullptr);
+    submitted.push_back(std::move(s));
+    if (rng.NextBool(0.25)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(150));
+    }
+  }
+
+  svc.Shutdown(/*drain=*/true);
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+  chaos.join();
+  util::FaultInjection::Instance().DisarmAll();
+  EXPECT_TRUE(writer_ok.load());
+
+  const uint64_t final_tip = store.TipEpoch();
+  // The storm must actually have stormed for the test to mean anything.
+  EXPECT_GT(final_tip, 1u);
+
+  size_t ok_checked = 0;
+  for (const StormSubmitted& s : submitted) {
+    ASSERT_TRUE(s.ticket->WaitFor(milliseconds(0)))
+        << "ticket " << s.ticket->id() << " never resolved";
+    QueryResponse resp = s.ticket->Get();
+    if (resp.outcome != Outcome::kOk) continue;
+    ASSERT_TRUE(resp.status.ok());
+    const uint64_t e = resp.edb_epoch;
+    ASSERT_GE(e, 1u);
+    ASSERT_LE(e, final_tip);
+
+    std::vector<Tuple> expected;
+    if (s.wants_flip) {
+      expected.push_back(Tuple{static_cast<Value>(e)});
+    } else {
+      expected.reserve(e);
+      for (uint64_t v = 1; v <= e; ++v) {
+        expected.push_back(Tuple{static_cast<Value>(v)});
+      }
+    }
+    EXPECT_EQ(Canonical(resp.report.results), expected)
+        << "epoch " << e << " " << (s.wants_flip ? "flip" : "grow")
+        << " answer inconsistent with its pinned version";
+    ++ok_checked;
+  }
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.TerminalTotal(), kRequests) << stats.ToString();
+
+  const std::size_t had_a_chance = kRequests - stats.rejected_overload;
+  EXPECT_GT(ok_checked, had_a_chance / 20)
+      << "storm too aggressive - almost nothing completed: "
       << stats.ToString();
 }
 

@@ -370,5 +370,122 @@ TEST_F(QueryServiceTest, StatsInvariantAcrossAMixedBatch) {
   EXPECT_FALSE(stats.ToString().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Hot-swap mode: the service backed by a VersionedStore
+
+QueryRequest MembershipRequest() {
+  QueryRequest req;
+  req.program_text = "q(X) :- d(X). q(X)?";
+  return req;
+}
+
+TEST_F(QueryServiceTest, StoreBackedServiceMatchesFrozenDatabaseAnswers) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  QueryService frozen(&base_, {});
+  auto want = frozen.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(want.outcome, Outcome::kOk) << want.status.ToString();
+  EXPECT_EQ(want.edb_epoch, 0u);  // frozen mode never reports an epoch
+
+  QueryService svc(&store, {});
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.edb_epoch, 1u);  // the bootstrap batch
+  EXPECT_EQ(resp.report.results.size(), want.report.results.size());
+}
+
+TEST_F(QueryServiceTest, SubmitPinsTheTipAgainstConcurrentCommits) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  UpdateBatch b1;
+  b1.CreateRelation("d", 1);
+  b1.Insert("d", {"1"});
+  ASSERT_TRUE(store.Commit(b1).ok());  // epoch 1
+
+  QueryService svc(&store, PinnableOptions());
+  ArmPinFault();
+  auto blocker = svc.Submit(MembershipRequest());
+  auto pinned = svc.Submit(MembershipRequest());  // queued behind the blocker
+
+  // Hot-swap the EDB while `pinned` sits in the queue.
+  UpdateBatch b2;
+  b2.Insert("d", {"2"});
+  ASSERT_TRUE(store.Commit(b2).ok());  // epoch 2
+  EXPECT_EQ(store.TipEpoch(), 2u);
+
+  util::FaultInjection::Instance().DisarmAll();
+  blocker->Cancel();
+  (void)blocker->Get();
+
+  // The queued request answers from the version pinned at Submit: one d
+  // fact, not two, even though it ran after the commit.
+  auto resp = pinned->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.edb_epoch, 1u);
+  EXPECT_EQ(resp.report.results.size(), 1u);
+
+  // A fresh Submit sees the new tip.
+  auto fresh = svc.Submit(MembershipRequest())->Get();
+  ASSERT_EQ(fresh.outcome, Outcome::kOk) << fresh.status.ToString();
+  EXPECT_EQ(fresh.edb_epoch, 2u);
+  EXPECT_EQ(fresh.report.results.size(), 2u);
+  svc.Shutdown(/*drain=*/true);
+}
+
+TEST_F(QueryServiceTest, RetriesReSnapshotFromTheSamePinnedVersion) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  UpdateBatch b1;
+  b1.CreateRelation("d", 1);
+  b1.Insert("d", {"1"});
+  ASSERT_TRUE(store.Commit(b1).ok());
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_retries = 3;
+  opts.transient.internal = true;
+  QueryService svc(&store, opts);
+  // One transient failure, then success: the retry re-snapshots but must
+  // stay on the pinned epoch.
+  util::FaultInjection::Instance().Arm(
+      "service/execute", Status::Internal("injected transient"), /*nth=*/1);
+  auto resp = svc.Submit(MembershipRequest())->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.retries, 1);
+  EXPECT_EQ(resp.edb_epoch, 1u);
+  EXPECT_EQ(resp.report.results.size(), 1u);
+}
+
+TEST_F(QueryServiceTest, DroppedRelationOnlyAffectsNewEpochs) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  UpdateBatch b1;
+  b1.CreateRelation("d", 1);
+  b1.Insert("d", {"1"});
+  ASSERT_TRUE(store.Commit(b1).ok());
+
+  QueryService svc(&store, PinnableOptions());
+  ArmPinFault();
+  auto blocker = svc.Submit(MembershipRequest());
+  auto pinned = svc.Submit(MembershipRequest());
+
+  UpdateBatch drop;
+  drop.DropRelation("d");
+  ASSERT_TRUE(store.Commit(drop).ok());
+
+  util::FaultInjection::Instance().DisarmAll();
+  blocker->Cancel();
+  (void)blocker->Get();
+
+  // The pinned request still sees `d`; only requests submitted after the
+  // drop lose it.
+  auto resp = pinned->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.report.results.size(), 1u);
+  svc.Shutdown(/*drain=*/true);
+}
+
 }  // namespace
 }  // namespace mcm::service

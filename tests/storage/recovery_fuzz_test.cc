@@ -1,0 +1,453 @@
+// Crash-point recovery fuzz harness for the versioned EDB store.
+//
+// Three attack surfaces, all cross-checked against an in-memory oracle (a
+// non-durable VersionedStore fed exactly the acknowledged batches):
+//
+//  1. Fault-site matrix: every durability fault point (WAL append/fsync/
+//     create, checkpoint write/fsync/rename) fires mid-workload, the
+//     process "crashes" (the store object is dropped), and recovery must
+//     restore precisely the acknowledged commits — a failed Commit is not
+//     acknowledged and must be absent.
+//  2. Seeded corruption fuzz: random workloads with interleaved
+//     checkpoints, then random WAL tail truncation or byte flips. Recovery
+//     must land on SOME oracle epoch in [checkpoint_epoch, last_acked] and
+//     match it exactly — never a half-applied batch — reporting kDataLoss
+//     whenever acknowledged commits were lost.
+//  3. Checkpoint corruption: a mangled checkpoint yields kDataLoss plus a
+//     consistent (possibly empty) state, never a crash or a half-state.
+//
+// Iteration counts scale with MCM_FUZZ_ITERS (see the ctest "soak"
+// configuration); seeds are fixed per iteration so failures reproduce.
+// MCM_FUZZ_SEED offsets every per-iteration seed, letting CI run a matrix
+// of distinct-but-reproducible seed sets without touching the source.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/io.h"
+#include "storage/versioned_store.h"
+#include "storage/wal.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace mcm {
+namespace {
+
+int FuzzIters(int dflt) {
+  const char* env = std::getenv("MCM_FUZZ_ITERS");
+  if (env == nullptr) return dflt;
+  int v = std::atoi(env);
+  return v > 0 ? v : dflt;
+}
+
+/// Deterministic seed offset for CI's seed matrix (0 when unset).
+uint64_t FuzzSeedOffset() {
+  const char* env = std::getenv("MCM_FUZZ_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
+
+class RecoveryFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("mcm_recovery_fuzz_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override {
+    util::FaultInjection::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  std::string FreshDir(int i) {
+    auto dir = root_ / ("iter" + std::to_string(i));
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  std::filesystem::path root_;
+};
+
+/// Semantic state comparison. Raw Values are NOT comparable across stores:
+/// a failed Commit still interns (append-only, by design), and a checkpoint
+/// persists the whole table, so two stores that agree on every fact can
+/// disagree on symbol ids. What recovery guarantees is that every tuple
+/// *resolves* to the same field strings. The workload generator keeps the
+/// rendering unambiguous by only producing negative integers — a
+/// non-negative Value is always a symbol id.
+std::string RenderField(Value v, const SymbolTable& syms) {
+  return (v >= 0 && syms.Contains(v)) ? syms.Resolve(v) : std::to_string(v);
+}
+
+::testing::AssertionResult SameState(const EdbVersion& got,
+                                     const SymbolTable& got_syms,
+                                     const EdbVersion& want,
+                                     const SymbolTable& want_syms) {
+  std::vector<std::string> got_names = got.RelationNames();
+  std::vector<std::string> want_names = want.RelationNames();
+  if (got_names != want_names) {
+    return ::testing::AssertionFailure()
+           << "relation sets differ: got " << got_names.size() << ", want "
+           << want_names.size();
+  }
+  for (const std::string& name : want_names) {
+    const Relation* g = got.Find(name);
+    const Relation* w = want.Find(name);
+    if (g->arity() != w->arity()) {
+      return ::testing::AssertionFailure()
+             << name << ": arity " << g->arity() << " != " << w->arity();
+    }
+    auto render = [](const Relation& rel, const SymbolTable& syms) {
+      std::vector<std::vector<std::string>> rows;
+      rows.reserve(rel.size());
+      for (const Tuple& t : rel.TuplesUnchecked()) {
+        std::vector<std::string> row;
+        row.reserve(t.arity());
+        for (uint32_t c = 0; c < t.arity(); ++c) {
+          row.push_back(RenderField(t[c], syms));
+        }
+        rows.push_back(std::move(row));
+      }
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    if (render(*g, got_syms) != render(*w, want_syms)) {
+      return ::testing::AssertionFailure()
+             << name << ": resolved tuple sets differ (" << g->size()
+             << " vs " << w->size() << " tuples)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Random-but-valid batch generator working from the oracle's tip, with a
+/// mixed vocabulary of integers, plain symbols, and escape-hostile strings.
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(uint64_t seed) : rng_(seed) {}
+
+  UpdateBatch NextBatch(const EdbVersion& tip) {
+    UpdateBatch batch;
+    // Track batch-local creates/drops so ops stay valid mid-batch.
+    std::map<std::string, std::optional<uint32_t>> live;
+    for (const std::string& name : tip.RelationNames()) {
+      live[name] = tip.Find(name)->arity();
+    }
+    auto live_names = [&] {
+      std::vector<std::string> names;
+      for (const auto& [n, a] : live) {
+        if (a.has_value()) names.push_back(n);
+      }
+      return names;
+    };
+
+    size_t ops = 1 + rng_.NextIndex(6);
+    for (size_t i = 0; i < ops; ++i) {
+      std::vector<std::string> names = live_names();
+      double roll = rng_.NextDouble();
+      if (names.empty() || roll < 0.10) {
+        // Create a not-currently-live relation.
+        std::string name = "r" + std::to_string(rng_.NextIndex(4));
+        if (live.count(name) > 0 && live[name].has_value()) continue;
+        uint32_t arity = 1 + static_cast<uint32_t>(rng_.NextIndex(3));
+        batch.CreateRelation(name, arity);
+        live[name] = arity;
+      } else if (roll < 0.17 && names.size() > 1) {
+        std::string name = names[rng_.NextIndex(names.size())];
+        batch.DropRelation(name);
+        live[name] = std::nullopt;
+      } else {
+        std::string name = names[rng_.NextIndex(names.size())];
+        uint32_t arity = *live[name];
+        std::vector<std::string> fields;
+        fields.reserve(arity);
+        for (uint32_t c = 0; c < arity; ++c) fields.push_back(RandomField());
+        if (roll < 0.40) {
+          batch.Delete(name, std::move(fields));
+        } else {
+          batch.Insert(name, std::move(fields));
+        }
+      }
+    }
+    if (batch.empty()) {
+      // Only reachable when a create collided with a live relation, so at
+      // least one live relation exists to absorb a filler insert.
+      std::vector<std::string> names = live_names();
+      std::vector<std::string> fields(*live[names.front()], "0");
+      batch.Insert(names.front(), std::move(fields));
+    }
+    return batch;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  std::string RandomField() {
+    switch (rng_.NextIndex(4)) {
+      case 0:
+        // Negative on purpose: keeps integers disjoint from symbol ids so
+        // SameState's rendering is unambiguous.
+        return std::to_string(rng_.NextInRange(-20, -1));
+      case 1:
+        return "sym" + std::to_string(rng_.NextIndex(8));
+      case 2:
+        return "odd\tsym\n" + std::to_string(rng_.NextIndex(4));
+      default:
+        return "back\\slash" + std::to_string(rng_.NextIndex(4));
+    }
+  }
+
+  Rng rng_;
+};
+
+/// The oracle: an in-memory store fed every acknowledged batch, pinning
+/// each epoch so recovered states can be compared against exact history.
+class Oracle {
+ public:
+  Oracle() {
+    EXPECT_TRUE(store_.Recover().ok());
+    versions_.push_back(store_.Pin());  // epoch 0
+  }
+
+  void Ack(const UpdateBatch& batch) {
+    auto r = store_.Commit(batch);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    versions_.push_back(store_.Pin());
+    ASSERT_EQ(versions_.size() - 1, static_cast<size_t>(*r));
+  }
+
+  const EdbVersion& At(uint64_t epoch) const { return *versions_.at(epoch); }
+  const SymbolTable& symbols() const { return store_.symbols(); }
+  uint64_t last_epoch() const { return versions_.size() - 1; }
+
+ private:
+  VersionedStore store_;
+  std::vector<std::shared_ptr<const EdbVersion>> versions_;
+};
+
+// ---------------------------------------------------------------------------
+// Part 1: fault-site matrix
+
+TEST_F(RecoveryFuzzTest, EveryFaultSiteCrashRecoversToAckedState) {
+  struct Case {
+    const char* site;
+    bool fails_commit;  ///< the armed fault aborts Commit (vs Checkpoint)
+  };
+  const Case kCases[] = {
+      {"wal/append", true},       {"wal/fsync", true},
+      {"store/checkpoint", false}, {"io/atomic/write", false},
+      {"io/atomic/fsync", false},  {"io/atomic/rename", false},
+      {"wal/create", false},
+  };
+
+  int idx = 0;
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.site);
+    std::string dir = FreshDir(idx++);
+    Oracle oracle;
+    WorkloadGen gen(0xFEED0000 + FuzzSeedOffset() + idx);
+    {
+      VersionedStore store({dir});
+      ASSERT_TRUE(store.Recover().ok());
+
+      // A few healthy commits, one mid-workload checkpoint.
+      for (int i = 0; i < 3; ++i) {
+        UpdateBatch b = gen.NextBatch(*store.Pin());
+        ASSERT_TRUE(store.Commit(b).ok());
+        oracle.Ack(b);
+      }
+      ASSERT_TRUE(store.Checkpoint().ok());
+
+      // Arm the site, then hit it with a commit + checkpoint attempt.
+      util::FaultInjection::Instance().Arm(c.site,
+                                           Status::Internal("injected"));
+      UpdateBatch faulted = gen.NextBatch(*store.Pin());
+      auto r = store.Commit(faulted);
+      if (r.ok()) {
+        oracle.Ack(faulted);  // fault did not hit the commit path
+      } else {
+        EXPECT_TRUE(c.fails_commit) << r.status().ToString();
+        EXPECT_EQ(store.TipEpoch(), oracle.last_epoch());
+      }
+      Status ck = store.Checkpoint();
+      if (!r.ok() || c.fails_commit) {
+        EXPECT_TRUE(ck.ok()) << ck.ToString();  // commit-path sites are spent
+      }
+      util::FaultInjection::Instance().DisarmAll();
+
+      // More commits after the fault cleared: the store must have stayed
+      // usable whatever happened.
+      for (int i = 0; i < 2; ++i) {
+        UpdateBatch b = gen.NextBatch(*store.Pin());
+        ASSERT_TRUE(store.Commit(b).ok());
+        oracle.Ack(b);
+      }
+    }  // crash: the store object dies without any shutdown handshake
+
+    VersionedStore recovered({dir});
+    Status st = recovered.Recover();
+    EXPECT_TRUE(st.ok()) << st.ToString();  // nothing durable was corrupted
+    EXPECT_EQ(recovered.TipEpoch(), oracle.last_epoch());
+    EXPECT_TRUE(SameState(*recovered.Pin(), recovered.symbols(),
+                          oracle.At(oracle.last_epoch()), oracle.symbols()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: seeded corruption fuzz
+
+TEST_F(RecoveryFuzzTest, RandomTailCorruptionRecoversAConsistentPrefix) {
+  const int iters = FuzzIters(12);
+  for (int iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    std::string dir = FreshDir(iter);
+    Oracle oracle;
+    WorkloadGen gen(0xC0FFEE00 + FuzzSeedOffset() +
+                    static_cast<uint64_t>(iter));
+
+    uint64_t checkpoint_epoch = 0;
+    std::string wal_path;
+    {
+      VersionedStore store({dir});
+      ASSERT_TRUE(store.Recover().ok());
+      wal_path = store.WalPath();
+      int commits = 4 + static_cast<int>(gen.rng().NextIndex(10));
+      for (int i = 0; i < commits; ++i) {
+        UpdateBatch b = gen.NextBatch(*store.Pin());
+        ASSERT_TRUE(store.Commit(b).ok());
+        oracle.Ack(b);
+        if (gen.rng().NextBool(0.2)) {
+          ASSERT_TRUE(store.Checkpoint().ok());
+          checkpoint_epoch = store.TipEpoch();
+        }
+      }
+    }  // crash
+
+    // Corrupt the WAL tail: truncate a random number of bytes, flip a
+    // random byte, or (sometimes) leave it intact as a control.
+    std::string bytes;
+    ASSERT_TRUE(ReadFileToString(wal_path, &bytes).ok());
+    double mode = gen.rng().NextDouble();
+    bool corrupted = false;
+    if (mode < 0.45 && !bytes.empty()) {
+      // Avoid cutting exactly at a record boundary: a clean cut is
+      // indistinguishable from "those commits never happened" (no WAL can
+      // detect it without external metadata), which would break the
+      // data-loss-honesty assertion below. Mid-record tears are what a
+      // crash actually produces.
+      WalReplayResult orig = ReplayWal(wal_path);
+      std::set<size_t> boundaries{16};
+      for (const WalRecord& rec : orig.records) boundaries.insert(rec.offset);
+      boundaries.insert(orig.valid_bytes);
+      size_t cut = 1 + gen.rng().NextIndex(std::min<size_t>(bytes.size(), 64));
+      if (boundaries.count(bytes.size() - cut) > 0) ++cut;
+      bytes.resize(bytes.size() - std::min(cut, bytes.size()));
+      corrupted = true;
+    } else if (mode < 0.85 && bytes.size() > 16) {
+      // Flip past the 16-byte header: header flips are part 3's territory
+      // (they reduce to "checkpoint-only recovery").
+      size_t at = 16 + gen.rng().NextIndex(bytes.size() - 16);
+      bytes[at] = static_cast<char>(bytes[at] ^ (1u << gen.rng().NextIndex(8)));
+      corrupted = true;
+    }
+    {
+      std::ofstream out(wal_path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+
+    VersionedStore recovered({dir});
+    Status st = recovered.Recover();
+    uint64_t got_epoch = recovered.TipEpoch();
+
+    // Core contract: the recovered state IS some acknowledged epoch, at or
+    // after the last durable checkpoint — no half-applied batches, no
+    // resurrected deletions.
+    ASSERT_GE(got_epoch, checkpoint_epoch) << st.ToString();
+    ASSERT_LE(got_epoch, oracle.last_epoch()) << st.ToString();
+    EXPECT_TRUE(SameState(*recovered.Pin(), recovered.symbols(),
+                          oracle.At(got_epoch), oracle.symbols()))
+        << "recovered epoch " << got_epoch << ": " << st.ToString();
+
+    // Honesty: lost acknowledged commits must be reported as data loss; a
+    // full recovery must not be.
+    if (got_epoch < oracle.last_epoch()) {
+      EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+    } else if (!corrupted) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+
+    // The recovered store must keep working: one more commit and a clean
+    // re-recovery.
+    UpdateBatch next = gen.NextBatch(*recovered.Pin());
+    auto r = recovered.Commit(next);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, got_epoch + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: checkpoint corruption
+
+TEST_F(RecoveryFuzzTest, CorruptCheckpointNeverYieldsAHalfState) {
+  const int iters = FuzzIters(6);
+  for (int iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    std::string dir = FreshDir(iter);
+    Oracle oracle;
+    WorkloadGen gen(0xBADC0DE0 + FuzzSeedOffset() +
+                    static_cast<uint64_t>(iter));
+
+    std::string ckpt_path;
+    {
+      VersionedStore store({dir});
+      ASSERT_TRUE(store.Recover().ok());
+      ckpt_path = store.CheckpointPath();
+      for (int i = 0; i < 5; ++i) {
+        UpdateBatch b = gen.NextBatch(*store.Pin());
+        ASSERT_TRUE(store.Commit(b).ok());
+        oracle.Ack(b);
+      }
+      ASSERT_TRUE(store.Checkpoint().ok());
+    }
+
+    // Mangle the checkpoint: truncation or byte flip, chosen by seed.
+    std::string bytes;
+    ASSERT_TRUE(ReadFileToString(ckpt_path, &bytes).ok());
+    if (gen.rng().NextBool(0.5)) {
+      bytes.resize(bytes.size() / 2);
+    } else {
+      size_t at = gen.rng().NextIndex(bytes.size());
+      bytes[at] = static_cast<char>(bytes[at] ^ 0x20);
+    }
+    {
+      std::ofstream out(ckpt_path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+
+    VersionedStore recovered({dir});
+    Status st = recovered.Recover();
+    EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+    // The WAL was rotated at the checkpoint, so nothing bridges the gap:
+    // the only consistent state is empty — and it must still be usable.
+    EXPECT_EQ(recovered.TipEpoch(), 0u);
+    UpdateBatch b;
+    b.CreateRelation("fresh", 1);
+    b.Insert("fresh", {"1"});
+    EXPECT_TRUE(recovered.Commit(b).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mcm

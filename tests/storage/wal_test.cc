@@ -1,0 +1,199 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "storage/io.h"
+#include "util/fault_injection.h"
+
+namespace mcm {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mcm_wal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjection::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path() const { return (dir_ / "wal.log").string(); }
+
+  std::string FileBytes() const {
+    std::string bytes;
+    EXPECT_TRUE(ReadFileToString(Path(), &bytes).ok());
+    return bytes;
+  }
+
+  void OverwriteFile(const std::string& bytes) const {
+    std::ofstream out(Path(), std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WalTest, RoundTrip) {
+  auto writer = WalWriter::Create(Path(), 7);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->AppendRecord("first").ok());
+  ASSERT_TRUE((*writer)->AppendRecord("second record").ok());
+
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.ok()) << replay.status.ToString();
+  EXPECT_EQ(replay.base_epoch, 7u);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].payload, "first");
+  EXPECT_EQ(replay.records[1].payload, "second record");
+  EXPECT_EQ(replay.valid_bytes, (*writer)->offset());
+}
+
+TEST_F(WalTest, EmptyLogReplaysClean) {
+  ASSERT_TRUE(WalWriter::Create(Path(), 3).ok());
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.ok());
+  EXPECT_EQ(replay.base_epoch, 3u);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.IsNotFound());
+}
+
+TEST_F(WalTest, MangledHeaderIsDataLoss) {
+  OverwriteFile("not a wal at all, sorry");
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.IsDataLoss());
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+}
+
+TEST_F(WalTest, TornTailKeepsValidPrefix) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("kept").ok());
+  uint64_t good = (*writer)->offset();
+  ASSERT_TRUE((*writer)->AppendRecord("torn away").ok());
+  writer->reset();  // close before mangling
+
+  // Chop the last record mid-payload: a crash during the final write.
+  std::string bytes = FileBytes();
+  OverwriteFile(bytes.substr(0, bytes.size() - 4));
+
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.IsDataLoss());
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "kept");
+  EXPECT_EQ(replay.valid_bytes, good);
+}
+
+TEST_F(WalTest, BitFlipIsDetectedByChecksum) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("good one").ok());
+  uint64_t good = (*writer)->offset();
+  ASSERT_TRUE((*writer)->AppendRecord("gets flipped").ok());
+  writer->reset();
+
+  std::string bytes = FileBytes();
+  bytes[bytes.size() - 3] ^= 0x40;  // flip one payload bit of the last record
+  OverwriteFile(bytes);
+
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.IsDataLoss());
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "good one");
+  EXPECT_EQ(replay.valid_bytes, good);
+}
+
+TEST_F(WalTest, OpenForAppendTruncatesGarbageTail) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("base").ok());
+  writer->reset();
+
+  OverwriteFile(FileBytes() + "\x03garbage tail");
+  WalReplayResult torn = ReplayWal(Path());
+  ASSERT_TRUE(torn.status.IsDataLoss());
+
+  auto reopened = WalWriter::OpenForAppend(Path(), torn.valid_bytes);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_TRUE((*reopened)->AppendRecord("after recovery").ok());
+
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.ok()) << replay.status.ToString();
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].payload, "base");
+  EXPECT_EQ(replay.records[1].payload, "after recovery");
+}
+
+TEST_F(WalTest, RotationReplacesLogAtomically) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("pre-rotation").ok());
+
+  auto rotated = WalWriter::Create(Path(), 9);
+  ASSERT_TRUE(rotated.ok());
+  ASSERT_TRUE((*rotated)->AppendRecord("post-rotation").ok());
+
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.ok());
+  EXPECT_EQ(replay.base_epoch, 9u);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "post-rotation");
+}
+
+TEST_F(WalTest, FailedAppendRollsTheFileBack) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendRecord("survives").ok());
+  uint64_t before = (*writer)->offset();
+
+  // The record bytes hit the file, then "the machine dies" before fsync.
+  util::FaultInjection::Instance().Arm("wal/fsync",
+                                       Status::Internal("injected power cut"));
+  Status st = (*writer)->AppendRecord("never durable");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ((*writer)->offset(), before);
+
+  // The failed record must not shadow later appends.
+  ASSERT_TRUE((*writer)->AppendRecord("next commit").ok());
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.ok()) << replay.status.ToString();
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].payload, "survives");
+  EXPECT_EQ(replay.records[1].payload, "next commit");
+}
+
+TEST_F(WalTest, CreateFaultPointFires) {
+  util::FaultInjection::Instance().Arm("wal/create",
+                                       Status::Internal("injected"));
+  auto writer = WalWriter::Create(Path(), 0);
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(std::filesystem::exists(Path()));
+}
+
+TEST_F(WalTest, OversizedRecordIsRejected) {
+  auto writer = WalWriter::Create(Path(), 0);
+  ASSERT_TRUE(writer.ok());
+  std::string huge((1u << 30) + 1, 'x');
+  Status st = (*writer)->AppendRecord(huge);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The rejection never touched the file.
+  EXPECT_TRUE(ReplayWal(Path()).status.ok());
+}
+
+}  // namespace
+}  // namespace mcm

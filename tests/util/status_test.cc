@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/execution_context.h"
+
 namespace mcm {
 namespace {
 
@@ -91,6 +93,29 @@ TEST(Status, UnavailableIsItsOwnCategory) {
   EXPECT_FALSE(st.IsDeadlineExceeded());
   EXPECT_EQ(st.ToString(), "Unavailable: queue full");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(Status, DataLossIsItsOwnCategory) {
+  Status st = Status::DataLoss("wal tail lost at offset 132");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_FALSE(st.IsUnavailable());
+  EXPECT_EQ(st.ToString(), "DataLoss: wal tail lost at offset 132");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(Status, DataLossIsNeverTransient) {
+  // No retry storms on a corrupt WAL: kDataLoss must stay non-retryable
+  // under every TransientPolicy, unlike kUnavailable/kInternal.
+  Status st = Status::DataLoss("corrupt record");
+  runtime::TransientPolicy lenient;
+  lenient.internal = true;
+  lenient.cancelled = true;
+  EXPECT_FALSE(runtime::IsTransient(st));
+  EXPECT_FALSE(runtime::IsTransient(st, lenient));
+  EXPECT_TRUE(runtime::IsTransient(Status::Unavailable("queue full"),
+                                   lenient));
 }
 
 TEST(StatusMacros, AssignOrReturn) {
