@@ -29,7 +29,7 @@ void CircuitBreaker::Open(Entry* e) {
 }
 
 bool CircuitBreaker::AllowUnsafe(const std::string& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(signature);
   // Entries are created lazily on the first divergence, so signatures that
   // never misbehave cost nothing here.
@@ -56,7 +56,7 @@ bool CircuitBreaker::AllowUnsafe(const std::string& signature) {
 }
 
 void CircuitBreaker::RecordDivergence(const std::string& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entries_[signature];
   if (e.state == State::kHalfOpen) {
     // The probe failed: re-open without waiting for more strikes.
@@ -71,7 +71,7 @@ void CircuitBreaker::RecordDivergence(const std::string& signature) {
 }
 
 void CircuitBreaker::RecordSuccess(const std::string& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) return;
   // Fully heal: counting works on the current data, forget the history.
@@ -79,7 +79,7 @@ void CircuitBreaker::RecordSuccess(const std::string& signature) {
 }
 
 void CircuitBreaker::RecordAbandoned(const std::string& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) return;
   it->second.probe_in_flight = false;
@@ -87,7 +87,7 @@ void CircuitBreaker::RecordAbandoned(const std::string& signature) {
 
 CircuitBreaker::State CircuitBreaker::StateOf(
     const std::string& signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) return State::kClosed;
   // Report the lapse of an open cooldown without mutating: the transition
@@ -99,13 +99,13 @@ CircuitBreaker::State CircuitBreaker::StateOf(
 }
 
 int CircuitBreaker::StrikeCount(const std::string& signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(signature);
   return it == entries_.end() ? 0 : it->second.strikes;
 }
 
 uint64_t CircuitBreaker::open_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return open_count_;
 }
 

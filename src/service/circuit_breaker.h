@@ -10,16 +10,22 @@
 // changes between requests, so a once-cyclic reachable subgraph may have
 // become acyclic; success closes the circuit, another divergence re-opens it.
 //
-// Thread-safe: one breaker is shared by all QueryService workers.
+// Thread-safe: one breaker is shared by all QueryService workers. The
+// internal mutex sits at rank 2 of the lock-order registry (util/mutex.h):
+// it may be acquired while holding QueryService::mu_ (the stats path) but
+// never the other way around — checked at compile time under
+// -DMCM_THREAD_SAFETY=ON.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcm::service {
 
@@ -83,12 +89,13 @@ class CircuitBreaker {
   };
 
   Clock::time_point Now() const { return options_.now ? options_.now() : Clock::now(); }
-  void Open(Entry* e);
+  void Open(Entry* e) MCM_REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  uint64_t open_count_ = 0;
+  mutable util::Mutex mu_ MCM_ACQUIRED_AFTER(util::kLockRankBreaker)
+      MCM_ACQUIRED_BEFORE(util::kLockRankStoreCommit);
+  std::unordered_map<std::string, Entry> entries_ MCM_GUARDED_BY(mu_);
+  uint64_t open_count_ MCM_GUARDED_BY(mu_) = 0;
 };
 
 std::string_view BreakerStateToString(CircuitBreaker::State s);

@@ -89,6 +89,7 @@ QueryService::QueryService(VersionedStore* store, ServiceOptions options)
 void QueryService::StartWorkers() {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.queue_depth == 0) options_.queue_depth = 1;
+  util::MutexLock lock(mu_);
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back(&QueryService::WorkerLoop, this,
@@ -129,51 +130,51 @@ std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
         pending->submitted + std::chrono::milliseconds(timeout_ms);
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   pending->id = next_id_++;
   ticket->id_ = pending->id;
   ++stats_.submitted;
 
-  auto shed = [&](Status status) {
+  // Shedding decision, made inline under mu_ (not in a lambda — the
+  // analysis checks guarded access in the enclosing lock scope).
+  Status shed_status;
+  if (stopping_) {
+    shed_status = Status::Unavailable("service is shutting down");
+  } else if (queue_.size() >= options_.queue_depth) {
+    shed_status = Status::Unavailable(
+        StringPrintf("admission queue full (%zu waiting)", queue_.size()));
+  } else if (pending->deadline && options_.shed_unmeetable_deadlines) {
+    double est = EstimatedQueueWaitLocked();
+    double budget = static_cast<double>(timeout_ms) / 1e3;
+    if (est > budget) {
+      shed_status = Status::Unavailable(StringPrintf(
+          "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
+          "queue wait",
+          budget * 1e3, est * 1e3));
+    }
+  }
+  if (!shed_status.ok()) {
     QueryResponse resp;
     resp.outcome = Outcome::kRejectedOverload;
-    resp.status = std::move(status);
+    resp.status = std::move(shed_status);
     if (pending->snapshot) resp.edb_epoch = pending->snapshot->epoch();
     ++stats_.rejected_overload;
     // Fulfill outside Finish(): the request was never queued, and the
     // promise must be set after the counters so stats never undercount.
     pending->promise.set_value(std::move(resp));
     return ticket;
-  };
-
-  if (stopping_) {
-    return shed(Status::Unavailable("service is shutting down"));
-  }
-  if (queue_.size() >= options_.queue_depth) {
-    return shed(Status::Unavailable(
-        StringPrintf("admission queue full (%zu waiting)", queue_.size())));
-  }
-  if (pending->deadline && options_.shed_unmeetable_deadlines) {
-    double est = EstimatedQueueWaitLocked();
-    double budget = static_cast<double>(timeout_ms) / 1e3;
-    if (est > budget) {
-      return shed(Status::Unavailable(StringPrintf(
-          "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
-          "queue wait",
-          budget * 1e3, est * 1e3)));
-    }
   }
 
   queue_.push_back(std::move(pending));
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-  lock.unlock();
+  lock.Unlock();
   cv_.notify_one();
   return ticket;
 }
 
 void QueryService::Finish(Pending* p, QueryResponse resp) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     switch (resp.outcome) {
       case Outcome::kOk:
         ++stats_.ok;
@@ -213,8 +214,10 @@ void QueryService::WorkerLoop(int worker_id) {
   for (;;) {
     std::unique_ptr<Pending> p;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      // Manual wait loop (not the predicate overload): the guarded reads
+      // stay in this scope, where the analysis can see mu_ is held.
+      while (!stopping_ && queue_.empty()) lock.Wait(cv_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -247,7 +250,7 @@ void QueryService::WorkerLoop(int worker_id) {
 
     Finish(p.get(), std::move(resp));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       --busy_;
     }
   }
@@ -259,7 +262,7 @@ void QueryService::BackoffSleep(uint64_t ms,
   while (Clock::now() < until) {
     if (ctx.CheckAbort() != runtime::AbortReason::kNone) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stopping_) return;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(500));
@@ -410,7 +413,7 @@ void QueryService::Shutdown(bool drain) {
   std::vector<std::thread> to_join;
   std::vector<std::unique_ptr<Pending>> to_cancel;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
     drain_on_stop_ = drain;
     if (!drain) {
@@ -436,7 +439,7 @@ void QueryService::Shutdown(bool drain) {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ServiceStats out = stats_;
   out.queue_depth = queue_.size();
   out.in_flight = busy_;

@@ -33,7 +33,6 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,7 +45,9 @@
 #include "service/circuit_breaker.h"
 #include "storage/database.h"
 #include "storage/versioned_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcm::service {
 
@@ -213,16 +214,17 @@ class QueryService {
   /// Admit or shed `request`. Always returns a ticket whose future will be
   /// fulfilled exactly once; a shed request's future is ready immediately.
   /// O(1) regardless of load — this is the overload-safety property.
-  std::shared_ptr<QueryTicket> Submit(QueryRequest request);
+  [[nodiscard]] std::shared_ptr<QueryTicket> Submit(QueryRequest request)
+      MCM_EXCLUDES(mu_);
 
   /// Stop the service. With `drain` the queue is worked off first; without
   /// it, queued requests finish immediately as kCancelledBeforeStart.
   /// In-flight queries run to completion under their own governors either
   /// way (callers that want them stopped cancel their tickets). Idempotent;
   /// blocks until the workers have joined.
-  void Shutdown(bool drain);
+  void Shutdown(bool drain) MCM_EXCLUDES(mu_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const MCM_EXCLUDES(mu_);
   CircuitBreaker& breaker() { return breaker_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -239,17 +241,18 @@ class QueryService {
     std::promise<QueryResponse> promise;
   };
 
-  void StartWorkers();
-  void WorkerLoop(int worker_id);
-  void Execute(Pending* p, int worker_id, QueryResponse* resp);
+  void StartWorkers() MCM_EXCLUDES(mu_);
+  void WorkerLoop(int worker_id) MCM_EXCLUDES(mu_);
+  void Execute(Pending* p, int worker_id, QueryResponse* resp)
+      MCM_EXCLUDES(mu_);
   /// Fulfill the promise and bump the outcome counter — the single funnel
   /// every admitted request passes through exactly once.
-  void Finish(Pending* p, QueryResponse resp);
+  void Finish(Pending* p, QueryResponse resp) MCM_EXCLUDES(mu_);
   /// Estimated seconds until a worker frees up for a newly queued request.
-  /// Caller holds mu_.
-  double EstimatedQueueWaitLocked() const;
+  double EstimatedQueueWaitLocked() const MCM_REQUIRES(mu_);
   /// Cancellation/shutdown-aware sleep used between retries.
-  void BackoffSleep(uint64_t ms, const runtime::ExecutionContext& ctx) const;
+  void BackoffSleep(uint64_t ms, const runtime::ExecutionContext& ctx) const
+      MCM_EXCLUDES(mu_);
 
   Database* base_;                ///< frozen-EDB mode; null in hot-swap mode
   VersionedStore* store_ = nullptr;  ///< hot-swap mode; null otherwise
@@ -257,16 +260,19 @@ class QueryService {
   CircuitBreaker breaker_;
   size_t edb_bytes_ = 0;  ///< ApproxBytes of the frozen base EDB (base mode)
 
-  mutable std::mutex mu_;
+  /// Rank 1 of the lock-order registry (util/mutex.h): held while the
+  /// breaker's rank-2 mutex is acquired (stats()), never vice versa.
+  mutable util::Mutex mu_ MCM_ACQUIRED_AFTER(util::kLockRankService)
+      MCM_ACQUIRED_BEFORE(util::kLockRankBreaker);
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
-  bool drain_on_stop_ = true;
-  size_t busy_ = 0;
-  uint64_t next_id_ = 1;
-  ServiceStats stats_;
-  double ewma_run_seconds_ = 0;
+  std::deque<std::unique_ptr<Pending>> queue_ MCM_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ MCM_GUARDED_BY(mu_);
+  bool stopping_ MCM_GUARDED_BY(mu_) = false;
+  bool drain_on_stop_ MCM_GUARDED_BY(mu_) = true;
+  size_t busy_ MCM_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ MCM_GUARDED_BY(mu_) = 1;
+  ServiceStats stats_ MCM_GUARDED_BY(mu_);
+  double ewma_run_seconds_ MCM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mcm::service

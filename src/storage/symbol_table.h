@@ -2,13 +2,13 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "storage/value.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcm {
 
@@ -23,7 +23,10 @@ namespace mcm {
 /// answer values. Ids are stable: concurrent Intern() calls on the same
 /// string agree on a single id, and references returned by Resolve() stay
 /// valid for the table's lifetime (symbols live in a deque, whose elements
-/// never move on growth).
+/// never move on growth). The guarded fields are capability-checked under
+/// -DMCM_THREAD_SAFETY=ON; mu_ is a leaf in the lock-order registry
+/// (util/mutex.h rank 5) — no other registered lock may be acquired while
+/// holding it.
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -33,11 +36,11 @@ class SymbolTable {
   /// Intern `s`, returning its id (existing or freshly assigned).
   Value Intern(std::string_view s) {
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      util::ReaderMutexLock lock(mu_);
       auto it = ids_.find(s);
       if (it != ids_.end()) return it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    util::WriterMutexLock lock(mu_);
     auto it = ids_.find(s);  // re-check: raced with another interner
     if (it != ids_.end()) return it->second;
     Value id = static_cast<Value>(symbols_.size());
@@ -48,7 +51,7 @@ class SymbolTable {
 
   /// Lookup without interning; returns -1 if absent.
   Value Find(std::string_view s) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     auto it = ids_.find(s);
     return it == ids_.end() ? -1 : it->second;
   }
@@ -56,26 +59,28 @@ class SymbolTable {
   /// The string for an id previously returned by Intern(). The reference
   /// stays valid across concurrent Intern() calls.
   const std::string& Resolve(Value id) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     return symbols_.at(static_cast<size_t>(id));
   }
 
   bool Contains(Value id) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     return id >= 0 && static_cast<size_t>(id) < symbols_.size();
   }
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     return symbols_.size();
   }
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable util::SharedMutex mu_
+      MCM_ACQUIRED_AFTER(util::kLockRankSymbols)
+          MCM_ACQUIRED_BEFORE(util::kLockRankFaultInjection);
   // Deque, not vector: growth must not move existing strings, because
   // Resolve() hands out references and ids_ keys view into them.
-  std::deque<std::string> symbols_;
-  std::unordered_map<std::string_view, Value> ids_;
+  std::deque<std::string> symbols_ MCM_GUARDED_BY(mu_);
+  std::unordered_map<std::string_view, Value> ids_ MCM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcm

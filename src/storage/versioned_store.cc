@@ -153,16 +153,18 @@ Status EdbVersion::SnapshotInto(Database* dst) const {
 
 VersionedStore::VersionedStore(Options options)
     : options_(std::move(options)) {
+  util::MutexLock commit_lock(commit_mu_);
+  util::MutexLock tip_lock(tip_mu_);
   tip_ = std::shared_ptr<const EdbVersion>(new EdbVersion());
 }
 
 std::shared_ptr<const EdbVersion> VersionedStore::Pin() const {
-  std::lock_guard<std::mutex> lock(tip_mu_);
+  util::MutexLock lock(tip_mu_);
   return tip_;
 }
 
 void VersionedStore::SetTip(std::shared_ptr<const EdbVersion> v) {
-  std::lock_guard<std::mutex> lock(tip_mu_);
+  util::MutexLock lock(tip_mu_);
   tip_ = std::move(v);
 }
 
@@ -386,7 +388,7 @@ Status VersionedStore::ParseBatchPayload(const std::string& payload,
 }
 
 Result<uint64_t> VersionedStore::Commit(const UpdateBatch& batch) {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  util::MutexLock commit_lock(commit_mu_);
   if (durable() && wal_ == nullptr) {
     return Status::Internal(
         "VersionedStore::Recover() must run before Commit on a durable "
@@ -512,7 +514,7 @@ Result<std::shared_ptr<const EdbVersion>> VersionedStore::LoadCheckpoint(
 }
 
 Status VersionedStore::Checkpoint() {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  util::MutexLock commit_lock(commit_mu_);
   if (!durable()) {
     return Status::InvalidArgument(
         "in-memory store (no Options::dir) has nothing to checkpoint");
@@ -539,7 +541,7 @@ Status VersionedStore::Checkpoint() {
 }
 
 Status VersionedStore::Recover() {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  util::MutexLock commit_lock(commit_mu_);
   if (recovered_) {
     return Status::Internal("Recover() may only be called once");
   }

@@ -26,12 +26,17 @@
 // read only through SnapshotInto()/TuplesUnchecked() when shared across
 // threads — the instrumented Relation paths (Contains/Probe/Scan) mutate
 // lazy indexes and are for single-threaded use (tests, tools).
+//
+// The discipline is capability-checked under -DMCM_THREAD_SAFETY=ON:
+// commit_mu_ is the single-writer capability (it guards the WAL handle, so
+// no WAL append can compile outside the commit path), tip_mu_ guards the
+// tip pointer, and the registered order commit_mu_ -> tip_mu_ (ranks 3 -> 4
+// in util/mutex.h) makes an inverted acquisition a compile error.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,7 +44,9 @@
 #include "storage/relation.h"
 #include "storage/symbol_table.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcm {
 
@@ -104,7 +111,7 @@ class EdbVersion {
 
   /// Copy every relation's tuples into `dst` — the same contract (and the
   /// same sanctioned concurrent read path) as Database::SnapshotInto.
-  Status SnapshotInto(Database* dst) const;
+  [[nodiscard]] Status SnapshotInto(Database* dst) const;
 
  private:
   friend class VersionedStore;
@@ -134,7 +141,7 @@ class VersionedStore {
   /// the store is fresh / in-memory) and kDataLoss when a torn or corrupt
   /// WAL tail (or checkpoint) was truncated away — the store is then
   /// positioned on the longest consistent prefix and remains fully usable.
-  Status Recover();
+  [[nodiscard]] Status Recover() MCM_EXCLUDES(commit_mu_);
 
   bool durable() const { return !options_.dir.empty(); }
   std::string WalPath() const { return options_.dir + "/wal.log"; }
@@ -143,26 +150,27 @@ class VersionedStore {
   }
 
   /// Pin the current tip. O(1), wait-free with respect to writers.
-  std::shared_ptr<const EdbVersion> Pin() const;
+  std::shared_ptr<const EdbVersion> Pin() const MCM_EXCLUDES(tip_mu_);
   uint64_t TipEpoch() const { return Pin()->epoch(); }
 
   /// Atomically apply `batch`: validate against the tip (rejecting the
   /// whole batch on the first invalid op), append + fsync the WAL record,
   /// build the copy-on-write successor version, and swap the tip. Returns
   /// the new epoch. Pinned readers are unaffected.
-  Result<uint64_t> Commit(const UpdateBatch& batch);
+  [[nodiscard]] Result<uint64_t> Commit(const UpdateBatch& batch)
+      MCM_EXCLUDES(commit_mu_);
 
   /// Write the tip as a durable checkpoint (temp file + atomic rename) and
   /// rotate the WAL. If rotation fails after the checkpoint landed, the old
   /// WAL keeps absorbing commits and replay filters the overlap by epoch —
   /// consistent either way.
-  Status Checkpoint();
+  [[nodiscard]] Status Checkpoint() MCM_EXCLUDES(commit_mu_);
 
   /// Commit one batch that recreates every relation of `db` — the bootstrap
   /// path from TSV fact files. Values that resolve in `db`'s symbol table
   /// are carried over as symbols, everything else as integers (the
   /// SaveRelationTsv convention).
-  Result<uint64_t> BootstrapFromDatabase(const Database& db);
+  [[nodiscard]] Result<uint64_t> BootstrapFromDatabase(const Database& db);
 
   /// The store-wide interning table shared by all versions (and by working
   /// databases built from them). Internally synchronized.
@@ -179,30 +187,43 @@ class VersionedStore {
   };
 
   Status ValidateAndBind(const UpdateBatch& batch, const EdbVersion& base,
-                         std::vector<BoundOp>* bound);
+                         std::vector<BoundOp>* bound)
+      MCM_REQUIRES(commit_mu_);
   std::shared_ptr<const EdbVersion> BuildVersion(
       const EdbVersion& base, const std::vector<BoundOp>& bound,
-      uint64_t epoch) const;
+      uint64_t epoch) const MCM_REQUIRES(commit_mu_);
 
   static std::string SerializeBatch(uint64_t seq, const UpdateBatch& batch);
   static Status ParseBatchPayload(const std::string& payload, uint64_t* seq,
                                   UpdateBatch* batch);
-  std::string SerializeCheckpoint(const EdbVersion& tip) const;
+  std::string SerializeCheckpoint(const EdbVersion& tip) const
+      MCM_REQUIRES(commit_mu_);
   /// Parses `content` and interns its symbol section; only valid on a
   /// fresh (empty-table) store, i.e. during Recover.
   Result<std::shared_ptr<const EdbVersion>> LoadCheckpoint(
-      const std::string& content);
+      const std::string& content) MCM_REQUIRES(commit_mu_);
 
-  void SetTip(std::shared_ptr<const EdbVersion> v);
+  void SetTip(std::shared_ptr<const EdbVersion> v) MCM_REQUIRES(commit_mu_);
 
   Options options_;
   SymbolTable symbols_;
-  bool recovered_ = false;
-  std::unique_ptr<WalWriter> wal_;
 
-  std::mutex commit_mu_;  ///< serializes Commit / Checkpoint / Recover
-  mutable std::mutex tip_mu_;
-  std::shared_ptr<const EdbVersion> tip_;
+  /// The single-writer capability: serializes Commit / Checkpoint / Recover
+  /// (lock-order rank 3; acquired before tip_mu_, SymbolTable::mu_, and
+  /// FaultInjection::mu_, never under any other registered lock).
+  util::Mutex commit_mu_ MCM_ACQUIRED_AFTER(util::kLockRankStoreCommit)
+      MCM_ACQUIRED_BEFORE(util::kLockRankStoreTip);
+  /// WAL single-writer discipline, statically enforced: the handle itself
+  /// and every append through it require commit_mu_, so a concurrent
+  /// Append/Checkpoint outside the commit path cannot compile.
+  bool recovered_ MCM_GUARDED_BY(commit_mu_) = false;
+  std::unique_ptr<WalWriter> wal_ MCM_GUARDED_BY(commit_mu_)
+      MCM_PT_GUARDED_BY(commit_mu_);
+
+  mutable util::Mutex tip_mu_
+      MCM_ACQUIRED_AFTER(commit_mu_, util::kLockRankStoreTip)
+          MCM_ACQUIRED_BEFORE(util::kLockRankSymbols);
+  std::shared_ptr<const EdbVersion> tip_ MCM_GUARDED_BY(tip_mu_);
 };
 
 }  // namespace mcm

@@ -55,7 +55,13 @@ WalReplayResult ReplayWal(const std::string& path);
 /// \brief Single-writer append handle for a WAL file.
 ///
 /// Not internally synchronized: the versioned store serializes all writers
-/// under its commit lock.
+/// under its commit lock. That single-writer discipline is enforced at the
+/// call sites rather than here — VersionedStore holds its WalWriter in a
+/// member annotated MCM_GUARDED_BY(commit_mu_) / MCM_PT_GUARDED_BY(
+/// commit_mu_), so under -DMCM_THREAD_SAFETY=ON any Append/Checkpoint path
+/// that touches the writer without the commit lock fails to compile (see
+/// tests/threadsafety/ts_fail_wal_unlocked.cc). Embedders adding a second
+/// WalWriter call site must guard it the same way.
 class WalWriter {
  public:
   ~WalWriter();
@@ -66,19 +72,19 @@ class WalWriter {
   /// whose header carries `base_epoch`. This is also checkpoint rotation:
   /// the new log is written to a temp file and renamed into place, so a
   /// crash mid-rotation leaves the previous log intact.
-  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
-                                                   uint64_t base_epoch);
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Create(
+      const std::string& path, uint64_t base_epoch);
 
   /// Open an existing log for appending after its valid prefix. `offset`
   /// must come from ReplayWal::valid_bytes; any trailing garbage past it is
   /// truncated away here so subsequent appends extend a clean log.
-  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> OpenForAppend(
       const std::string& path, uint64_t offset);
 
   /// Append one framed record and fsync it. On any failure the file is
   /// truncated back to the pre-append offset; if even the truncate fails
   /// the writer turns sticky-broken and every later append reports it.
-  Status AppendRecord(std::string_view payload);
+  [[nodiscard]] Status AppendRecord(std::string_view payload);
 
   uint64_t offset() const { return offset_; }
   const std::string& path() const { return path_; }

@@ -9,7 +9,7 @@ FaultInjection& FaultInjection::Instance() {
 
 void FaultInjection::Arm(const std::string& site, Status status, uint64_t nth,
                          bool sticky) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteState& state = sites_[site];
   // Release pairs with the acquire fast-path load in Check(): a thread that
   // observes the non-zero count also observes the armed state it guards
@@ -25,7 +25,7 @@ void FaultInjection::Arm(const std::string& site, Status status, uint64_t nth,
 }
 
 void FaultInjection::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it != sites_.end() && it->second.armed) {
     it->second.armed = false;
@@ -34,7 +34,7 @@ void FaultInjection::Disarm(const std::string& site) {
 }
 
 void FaultInjection::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [site, state] : sites_) {
     if (state.armed) {
       state.armed = false;
@@ -44,19 +44,19 @@ void FaultInjection::DisarmAll() {
 }
 
 uint64_t FaultInjection::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjection::FireCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }
 
 std::vector<std::string> FaultInjection::ArmedSites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [site, state] : sites_) {
     if (state.armed) out.push_back(site);
@@ -67,7 +67,7 @@ std::vector<std::string> FaultInjection::ArmedSites() const {
 Status FaultInjection::Check(std::string_view site) {
   // Fast path: nothing armed anywhere in the process.
   if (armed_count_.load(std::memory_order_acquire) == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(std::string(site));
   if (it == sites_.end() || !it->second.armed) return Status::OK();
   SiteState& state = it->second;

@@ -25,13 +25,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcm::util {
 
@@ -74,8 +75,11 @@ class FaultInjection {
   };
 
   std::atomic<int> armed_count_{0};
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, SiteState> sites_;
+  /// Leaf of the lock-order registry (rank 6, util/mutex.h): MCM_FAULT_POINT
+  /// sites fire under the store's commit lock, so nothing may be acquired
+  /// while this is held.
+  mutable Mutex mu_ MCM_ACQUIRED_AFTER(kLockRankFaultInjection);
+  std::unordered_map<std::string, SiteState> sites_ MCM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcm::util

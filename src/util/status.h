@@ -39,7 +39,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy in the
 /// error case and free in the OK case (no allocation).
-class Status {
+///
+/// [[nodiscard]] at class scope: every function returning Status (or
+/// Result) is nodiscard without per-declaration annotations, so a dropped
+/// error anywhere in the codebase is a compile warning (-Werror in CI).
+/// Intentionally ignored statuses must say so: `(void)store.Checkpoint();`.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -106,9 +111,9 @@ class Status {
 ///
 /// Result is used by APIs that compute a value but can fail, e.g.
 /// `Result<Program> Parse(std::string_view)`. Access the value only after
-/// checking ok().
+/// checking ok(). Class-level [[nodiscard]] — see Status above.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : value_(std::move(value)) {}
   /* implicit */ Result(Status status) : status_(std::move(status)) {

@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis capability macros.
+//
+// These wrap Clang's `-Wthread-safety` attributes so the locking protocol of
+// the concurrent layers (storage/versioned_store, storage/wal, service/,
+// util/fault_injection, storage/symbol_table) is *proven* at compile time:
+// every mutex-guarded field declares its capability with MCM_GUARDED_BY,
+// every method that must run under a lock declares MCM_REQUIRES, and lock
+// acquisition order is part of the type system via MCM_ACQUIRED_AFTER /
+// MCM_ACQUIRED_BEFORE. Under any non-Clang compiler every macro expands to
+// nothing, so GCC builds are unaffected.
+//
+// Build mode: configure with -DMCM_THREAD_SAFETY=ON (Clang only) to compile
+// with `-Wthread-safety -Wthread-safety-beta` promoted to errors; CI gates
+// on it, and tests/threadsafety/ holds negative-compile cases proving the
+// annotations reject unguarded access and lock-order inversions.
+//
+// The global capability hierarchy (the lock-order registry) lives in
+// util/mutex.h next to the annotated mutex types; DESIGN.md §5g documents
+// the rules, including when MCM_NO_THREAD_SAFETY_ANALYSIS is acceptable.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MCM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef MCM_THREAD_ANNOTATION_
+#define MCM_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper). The string
+/// names the capability kind in diagnostics ("mutex", "shared_mutex", ...).
+#define MCM_CAPABILITY(x) MCM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (std::lock_guard-shaped classes).
+#define MCM_SCOPED_CAPABILITY MCM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability
+/// (shared for reads, exclusive for writes).
+#define MCM_GUARDED_BY(x) MCM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding the
+/// given capability. Understands smart pointers: `ptr->Method()` on a
+/// `std::unique_ptr` member requires the capability.
+#define MCM_PT_GUARDED_BY(x) MCM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-order edges: this capability must be acquired after / before the
+/// listed ones. Violations are compile errors under -Wthread-safety-beta —
+/// a static deadlock audit over the declared acquisition order.
+#define MCM_ACQUIRED_AFTER(...) MCM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define MCM_ACQUIRED_BEFORE(...) MCM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Function requires the capability to be held (exclusively / shared) by
+/// the caller on entry; it is neither acquired nor released.
+#define MCM_REQUIRES(...) MCM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MCM_REQUIRES_SHARED(...) \
+  MCM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return; the caller must not already hold it.
+#define MCM_ACQUIRE(...) MCM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MCM_ACQUIRE_SHARED(...) \
+  MCM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability; the caller must hold it on entry.
+#define MCM_RELEASE(...) MCM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MCM_RELEASE_SHARED(...) \
+  MCM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition and returns the first argument on
+/// success: MCM_TRY_ACQUIRE(true) or MCM_TRY_ACQUIRE(true, mu).
+#define MCM_TRY_ACQUIRE(...) \
+  MCM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (anti-reentrancy / deadlock guard).
+#define MCM_EXCLUDES(...) MCM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. acquisition through an opaque callback).
+#define MCM_ASSERT_CAPABILITY(x) MCM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability (accessors).
+#define MCM_RETURN_CAPABILITY(x) MCM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use MUST
+/// carry a comment justifying why the code is safe despite the analysis
+/// being unable to prove it (see DESIGN.md §5g for the rules); bare
+/// occurrences are rejected in review.
+#define MCM_NO_THREAD_SAFETY_ANALYSIS \
+  MCM_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,30 @@
+// Violation class 4: acquiring two mutexes against their declared order —
+// the compile-time deadlock audit. `inner` is declared ACQUIRED_AFTER
+// `outer`, so taking `inner` first is the classic ABBA inversion. Must fail
+// under -DMCM_THREAD_SAFETY=ON (the -beta analysis) with
+//   error: mutex 'outer' must be acquired before 'inner'
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct OrderedPair {
+  mcm::util::Mutex outer;
+  mcm::util::Mutex inner MCM_ACQUIRED_AFTER(outer);
+};
+
+void NestInverted(OrderedPair& p) {
+  p.inner.Lock();
+  p.outer.Lock();  // BUG: outer must come first
+  p.outer.Unlock();
+  p.inner.Unlock();
+}
+
+}  // namespace
+
+int McmThreadSafetyFailLockOrderAnchor() {
+  OrderedPair p;
+  NestInverted(p);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Violation class 3: calling an MCM_REQUIRES(mu) method without holding mu.
+// Must fail under -DMCM_THREAD_SAFETY=ON with
+//   error: calling function 'Bump' requires holding mutex 'mu' exclusively
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mcm::util::Mutex mu;
+  int value MCM_GUARDED_BY(mu) = 0;
+
+  void Bump() MCM_REQUIRES(mu) { ++value; }
+};
+
+void CallWithoutLock(Counter& c) {
+  c.Bump();  // BUG: caller must hold c.mu
+}
+
+}  // namespace
+
+int McmThreadSafetyFailRequiresUnheldAnchor() {
+  Counter c;
+  CallWithoutLock(c);
+  return 0;
+}

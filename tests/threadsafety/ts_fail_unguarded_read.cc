@@ -1,0 +1,24 @@
+// Violation class 1: reading a guarded field without holding its mutex.
+// Must fail under -DMCM_THREAD_SAFETY=ON with
+//   error: reading variable 'value' requires holding mutex 'mu'
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mcm::util::Mutex mu;
+  int value MCM_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(Counter& c) {
+  return c.value;  // BUG: no lock held
+}
+
+}  // namespace
+
+int McmThreadSafetyFailUnguardedReadAnchor() {
+  Counter c;
+  return ReadWithoutLock(c);
+}

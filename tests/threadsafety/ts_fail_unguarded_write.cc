@@ -1,0 +1,25 @@
+// Violation class 2: writing a guarded field without holding its mutex.
+// Must fail under -DMCM_THREAD_SAFETY=ON with
+//   error: writing variable 'value' requires holding mutex 'mu' exclusively
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mcm::util::Mutex mu;
+  int value MCM_GUARDED_BY(mu) = 0;
+};
+
+void WriteWithoutLock(Counter& c) {
+  c.value = 42;  // BUG: no lock held
+}
+
+}  // namespace
+
+int McmThreadSafetyFailUnguardedWriteAnchor() {
+  Counter c;
+  WriteWithoutLock(c);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Violation class 5: appending to a WAL writer outside the commit lock —
+// the single-writer misuse (concurrent Append vs. Checkpoint rotation) that
+// the versioned store's guarded `wal_` member exists to reject. Must fail
+// under -DMCM_THREAD_SAFETY=ON with
+//   error: reading variable 'wal' requires holding mutex 'commit_mu'
+
+#include <memory>
+#include <string_view>
+
+#include "storage/wal.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+// Mirrors VersionedStore's wal_ member annotations (versioned_store.h).
+struct WalBox {
+  mcm::util::Mutex commit_mu;
+  std::unique_ptr<mcm::WalWriter> wal MCM_GUARDED_BY(commit_mu)
+      MCM_PT_GUARDED_BY(commit_mu);
+};
+
+mcm::Status AppendWithoutCommitLock(WalBox& box, std::string_view payload) {
+  return box.wal->AppendRecord(payload);  // BUG: commit_mu not held
+}
+
+}  // namespace
+
+int McmThreadSafetyFailWalUnlockedAnchor() {
+  WalBox box;
+  return AppendWithoutCommitLock(box, "payload").ok() ? 1 : 0;
+}

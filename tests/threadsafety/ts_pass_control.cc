@@ -1,0 +1,75 @@
+// Positive control for the negative-compile suite: the exact shapes the
+// ts_fail_* sources get wrong, written correctly. If this target fails to
+// build, the suite's WILL_FAIL results are meaningless (the harness is
+// rejecting everything, not just the violations).
+
+#include <memory>
+#include <string_view>
+
+#include "storage/wal.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mcm::util::Mutex mu;
+  int value MCM_GUARDED_BY(mu) = 0;
+
+  void Bump() MCM_REQUIRES(mu) { ++value; }
+};
+
+int ReadLocked(Counter& c) {
+  mcm::util::MutexLock lock(c.mu);
+  return c.value;
+}
+
+void WriteLocked(Counter& c) {
+  mcm::util::MutexLock lock(c.mu);
+  c.value = 42;
+}
+
+void CallLocked(Counter& c) {
+  mcm::util::MutexLock lock(c.mu);
+  c.Bump();
+}
+
+struct OrderedPair {
+  mcm::util::Mutex outer;
+  mcm::util::Mutex inner MCM_ACQUIRED_AFTER(outer);
+};
+
+void NestInOrder(OrderedPair& p) {
+  p.outer.Lock();
+  p.inner.Lock();
+  p.inner.Unlock();
+  p.outer.Unlock();
+}
+
+// The versioned store's single-writer WAL discipline, in miniature.
+struct WalBox {
+  mcm::util::Mutex commit_mu;
+  std::unique_ptr<mcm::WalWriter> wal MCM_GUARDED_BY(commit_mu)
+      MCM_PT_GUARDED_BY(commit_mu);
+};
+
+mcm::Status AppendLocked(WalBox& box, std::string_view payload) {
+  mcm::util::MutexLock lock(box.commit_mu);
+  if (!box.wal) return mcm::Status::Internal("no wal");
+  return box.wal->AppendRecord(payload);
+}
+
+}  // namespace
+
+// Anchor so the object file exports at least one symbol and the anonymous
+// namespace above is odr-used.
+int McmThreadSafetyPassControlAnchor() {
+  Counter c;
+  WriteLocked(c);
+  CallLocked(c);
+  OrderedPair p;
+  NestInOrder(p);
+  WalBox box;
+  return ReadLocked(c) + (AppendLocked(box, "x").ok() ? 1 : 0);
+}
