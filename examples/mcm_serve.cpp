@@ -11,6 +11,15 @@
 //   --store DIR      durable EDB: recover from DIR's checkpoint + WAL, and
 //                    make UPDATE commits / CHECKPOINT survive a crash.
 //                    Without it the store is in-memory (hot-swap only).
+//   --follow DIR     warm-standby mode: DIR is a *primary's* store
+//                    directory. The server bootstraps a follower store from
+//                    DIR's checkpoint/WAL (re-syncing before every query),
+//                    serves read-only queries at its applied epoch, and
+//                    rejects UPDATE/CHECKPOINT until PROMOTE. Combine with
+//                    --store OWNDIR to make the standby itself durable; a
+//                    standby that fell behind the primary's retained WAL is
+//                    reseeded automatically (its own state is wiped and
+//                    rebuilt from the primary checkpoint).
 //   --workers        worker threads (default 4)
 //   --queue-depth    bounded admission queue (default 64)
 //   --default-timeout-ms  per-request deadline when a line has none
@@ -38,7 +47,15 @@
 //                            batch and the tip epoch does not move
 //   CHECKPOINT               write a durable checkpoint and rotate the WAL
 //                            (--store mode only)
-//   :stats                   print a service stats snapshot
+//   PROMOTE                  failover (--follow mode): sync once more, then
+//                            promote this standby to primary — UPDATE /
+//                            CHECKPOINT start working. Refused with
+//                            DataLoss when the primary acknowledged epochs
+//                            this standby never received (promoting would
+//                            silently lose them).
+//   :stats                   print a service stats snapshot (in --follow
+//                            mode this includes tip/applied epochs and
+//                            replication_lag_epochs)
 //   # ...                    comment; blank lines are skipped
 //
 // UPDATE / CHECKPOINT are applied (and answered) immediately in stream
@@ -50,8 +67,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -60,6 +79,7 @@
 #include "datalog/parser.h"
 #include "service/query_service.h"
 #include "storage/io.h"
+#include "storage/replication.h"
 #include "storage/versioned_store.h"
 #include "util/string_util.h"
 
@@ -147,7 +167,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mcm-serve RULES.dl [--fact NAME=FILE]... "
-                 "[--store DIR] "
+                 "[--store DIR] [--follow DIR] "
                  "[--workers N] [--queue-depth N] [--default-timeout-ms N] "
                  "[--max-retries N] [--memory-budget BYTES] [--method M]\n");
     return 2;
@@ -156,6 +176,7 @@ int main(int argc, char** argv) {
   std::string rules_path = argv[1];
   std::string method = "auto";
   std::string store_dir;
+  std::string follow_dir;
   service::ServiceOptions opts;
   opts.max_retries = 2;
   std::vector<std::pair<std::string, std::string>> facts;
@@ -180,6 +201,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--store") {
       store_dir = next();
       if (store_dir.empty()) return Fail("--store expects DIR");
+    } else if (arg == "--follow") {
+      follow_dir = next();
+      if (follow_dir.empty()) return Fail("--follow expects DIR");
     } else if (arg == "--workers") {
       if (!next_u64(&n) || n == 0) return Fail("--workers expects N > 0");
       opts.workers = static_cast<size_t>(n);
@@ -224,63 +248,139 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool follow_mode = !follow_dir.empty();
+  if (follow_mode && !facts.empty()) {
+    return Fail("--fact is incompatible with --follow (the replication "
+                "stream is the standby's only source of state)");
+  }
+  if (follow_mode && store_dir == follow_dir) {
+    return Fail("--store and --follow must name different directories");
+  }
+
   // Epoch-versioned EDB. With --store this recovers whatever checkpoint +
   // WAL the directory holds (a torn tail is truncated and reported, the
   // server still comes up on the consistent prefix); without it the store
-  // is purely in-memory and CHECKPOINT is rejected.
-  VersionedStore::Options store_opts;
-  store_opts.dir = store_dir;
-  VersionedStore store(store_opts);
-  {
-    Status rec = store.Recover();
+  // is purely in-memory and CHECKPOINT is rejected. unique_ptrs because a
+  // standby reseed tears the whole stack down and rebuilds it.
+  std::unique_ptr<VersionedStore> store;
+  std::unique_ptr<service::QueryService> svc;
+  auto open_store = [&]() -> Status {
+    VersionedStore::Options store_opts;
+    store_opts.dir = store_dir;
+    store = std::make_unique<VersionedStore>(store_opts);
+    Status rec = store->Recover();
     if (rec.code() == StatusCode::kDataLoss) {
       std::fprintf(stderr, "mcm-serve: recovery: %s\n",
                    rec.ToString().c_str());
-    } else if (!rec.ok()) {
-      return Fail("recovery: " + rec.ToString());
+      rec = Status::OK();
     }
+    return rec;
+  };
+  if (Status st = open_store(); !st.ok()) {
+    return Fail("recovery: " + st.ToString());
   }
   if (!facts.empty()) {
-    if (store.TipEpoch() > 0) {
+    if (store->TipEpoch() > 0) {
       // The recovered store is the durable truth; silently re-bootstrapping
       // over it would fork history.
       std::fprintf(stderr,
                    "mcm-serve: --store already holds epoch %llu; "
                    "ignoring --fact files\n",
-                   static_cast<unsigned long long>(store.TipEpoch()));
+                   static_cast<unsigned long long>(store->TipEpoch()));
     } else {
       Database staging;
       for (const auto& [name, path] : facts) {
         Status st = LoadRelationTsv(&staging, name, path);
         if (!st.ok()) return Fail(st.ToString());
       }
-      auto boot = store.BootstrapFromDatabase(staging);
+      auto boot = store->BootstrapFromDatabase(staging);
       if (!boot.ok()) return Fail("bootstrap: " + boot.status().ToString());
     }
   }
+  svc = std::make_unique<service::QueryService>(store.get(), opts);
 
-  service::QueryService svc(&store, opts);
+  // Warm-standby plumbing: shipper tails the primary's files, the pipe
+  // carries frames, the follower applies them into this process's store.
+  std::unique_ptr<InProcessPipe> pipe;
+  std::unique_ptr<WalShipper> shipper;
+  std::unique_ptr<Follower> follower;
+  bool promoted = false;
+  auto connect_follower = [&]() {
+    pipe = std::make_unique<InProcessPipe>();
+    WalShipper::Options ship_opts;
+    ship_opts.dir = follow_dir;
+    shipper = std::make_unique<WalShipper>(ship_opts, pipe.get());
+    follower = std::make_unique<Follower>(store.get(), pipe.get());
+  };
+  // One synchronous catch-up round: ship everything past the applied
+  // epoch, apply it, publish the gauges.
+  auto sync_follower = [&]() -> Status {
+    Status st = shipper->Pump(follower->health().applied_epoch);
+    if (st.ok()) st = follower->Poll();
+    Follower::Health h = follower->health();
+    svc->ReportReplication(h.primary_tip_epoch, h.applied_epoch);
+    return st;
+  };
+  // Catch-up with the reseed path: a standby that outran the retained WAL
+  // (kFailedPrecondition) is wiped and rebuilt from the primary snapshot.
+  auto sync_or_reseed = [&]() -> Status {
+    Status st = sync_follower();
+    if (!st.IsFailedPrecondition()) return st;
+    std::fprintf(stderr, "mcm-serve: standby reseed: %s\n",
+                 st.ToString().c_str());
+    svc->Shutdown(/*drain=*/true);
+    svc.reset();
+    follower.reset();
+    store.reset();
+    if (!store_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(store_dir, ec);
+      if (ec) {
+        return Status::Internal("cannot wipe standby dir '" + store_dir +
+                                "': " + ec.message());
+      }
+    }
+    MCM_RETURN_NOT_OK(open_store());
+    svc = std::make_unique<service::QueryService>(store.get(), opts);
+    connect_follower();
+    return sync_follower();
+  };
+  if (follow_mode) {
+    connect_follower();
+    if (Status st = sync_or_reseed(); !st.ok()) {
+      return Fail("follow: " + st.ToString());
+    }
+  }
   std::vector<std::shared_ptr<service::QueryTicket>> tickets;
+  int protocol_failures = 0;
   std::string line;
   while (std::getline(std::cin, line)) {
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     if (trimmed == ":stats") {
-      std::printf("stats: %s\n", svc.stats().ToString().c_str());
+      std::printf("stats: %s\n", svc->stats().ToString().c_str());
       std::fflush(stdout);
       continue;
     }
+    const bool read_only = follow_mode && !promoted;
     if (StartsWith(trimmed, "UPDATE")) {
+      if (read_only) {
+        std::printf("update error: read-only replica (PROMOTE to take "
+                    "writes); tip stays at epoch %llu\n",
+                    static_cast<unsigned long long>(store->TipEpoch()));
+        std::fflush(stdout);
+        continue;
+      }
       UpdateBatch batch;
       std::string err;
       if (!ParseUpdateOps(trimmed.substr(6), &batch, &err)) {
         std::printf("update error: %s (tip stays at epoch %llu)\n",
                     err.c_str(),
-                    static_cast<unsigned long long>(store.TipEpoch()));
-      } else if (auto epoch = store.Commit(batch); !epoch.ok()) {
+                    static_cast<unsigned long long>(store->TipEpoch()));
+      } else if (auto epoch = store->Commit(batch); !epoch.ok()) {
         std::printf("update error: %s (tip stays at epoch %llu)\n",
                     epoch.status().ToString().c_str(),
-                    static_cast<unsigned long long>(store.TipEpoch()));
+                    static_cast<unsigned long long>(store->TipEpoch()));
       } else {
         std::printf("update: epoch %llu (%zu ops)\n",
                     static_cast<unsigned long long>(*epoch),
@@ -290,14 +390,48 @@ int main(int argc, char** argv) {
       continue;
     }
     if (trimmed == "CHECKPOINT") {
-      if (Status st = store.Checkpoint(); !st.ok()) {
+      if (read_only) {
+        std::printf("checkpoint error: read-only replica (PROMOTE first)\n");
+      } else if (Status st = store->Checkpoint(); !st.ok()) {
         std::printf("checkpoint error: %s\n", st.ToString().c_str());
       } else {
         std::printf("checkpoint: epoch %llu\n",
-                    static_cast<unsigned long long>(store.TipEpoch()));
+                    static_cast<unsigned long long>(store->TipEpoch()));
       }
       std::fflush(stdout);
       continue;
+    }
+    if (trimmed == "PROMOTE") {
+      if (!follow_mode) {
+        std::printf("promote error: not a standby (no --follow)\n");
+      } else if (promoted) {
+        std::printf("promote: already primary at epoch %llu\n",
+                    static_cast<unsigned long long>(store->TipEpoch()));
+      } else {
+        // Final catch-up, then the lost-acked-tail check inside Promote().
+        Status st = sync_or_reseed();
+        if (st.ok()) st = follower->Promote();
+        if (st.ok()) {
+          promoted = true;
+          std::printf("promote: serving writes at epoch %llu\n",
+                      static_cast<unsigned long long>(store->TipEpoch()));
+        } else {
+          ++protocol_failures;
+          std::printf("promote error: %s\n", st.ToString().c_str());
+        }
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    // A standby re-syncs before admitting each query so reads are as fresh
+    // as the primary's durable state at submission; the query then pins
+    // exactly the applied epoch.
+    if (follow_mode && !promoted) {
+      if (Status st = sync_or_reseed(); !st.ok()) {
+        std::fprintf(stderr, "mcm-serve: follow: %s\n",
+                     st.ToString().c_str());
+        if (!runtime::IsTransient(st)) ++protocol_failures;
+      }
     }
 
     service::QueryRequest req;
@@ -324,7 +458,7 @@ int main(int argc, char** argv) {
     }  // "safe": planner defaults
 
     req.program_text = rules + "\n" + std::string(trimmed);
-    tickets.push_back(svc.Submit(std::move(req)));
+    tickets.push_back(svc->Submit(std::move(req)));
   }
 
   // Drain and answer in submission order (execution was concurrent).
@@ -353,7 +487,7 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  svc.Shutdown(/*drain=*/true);
-  std::fprintf(stderr, "mcm-serve: %s\n", svc.stats().ToString().c_str());
-  return failures == 0 ? 0 : 1;
+  svc->Shutdown(/*drain=*/true);
+  std::fprintf(stderr, "mcm-serve: %s\n", svc->stats().ToString().c_str());
+  return failures == 0 && protocol_failures == 0 ? 0 : 1;
 }

@@ -57,7 +57,14 @@ bool IsTransient(const Status& status, const TransientPolicy& policy) {
       return policy.cancelled;
     case StatusCode::kDataLoss:
       // Corrupt or torn durable state does not heal on retry; retrying a
-      // kDataLoss recovery verdict would only storm the broken WAL.
+      // kDataLoss recovery verdict would only storm the broken WAL. The
+      // same holds for a replication stream verdict: a torn stream,
+      // checksum-corrupt frame, or sequence gap means bytes are gone.
+      return false;
+    case StatusCode::kFailedPrecondition:
+      // The system must change state before the call can succeed (e.g. a
+      // replication follower that outran the retained WAL needs a reseed);
+      // retrying the same call in the same state is guaranteed to fail.
       return false;
     default:
       // OK is not a failure; deadline budgets are spent; cap trips

@@ -59,6 +59,10 @@ struct TransientPolicy {
 /// (overload — the canonical client-retryable condition) always, kInternal /
 /// kCancelled per the policy, everything else (OK, deadline, caps, parse /
 /// semantic errors) never.
+/// Replication stream errors follow the same split: a stalled transport is
+/// kUnavailable (transient — poll again), while torn/corrupt/gapped streams
+/// are kDataLoss and a follower needing a reseed is kFailedPrecondition —
+/// both final.
 bool IsTransient(const Status& status, const TransientPolicy& policy = {});
 
 /// The same classification over the abort taxonomy: only kCancelled is

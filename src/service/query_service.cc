@@ -49,7 +49,7 @@ std::string_view OutcomeToString(Outcome o) {
 }
 
 std::string ServiceStats::ToString() const {
-  return StringPrintf(
+  std::string out = StringPrintf(
       "submitted %llu | ok %llu, failed %llu, deadline %llu (queued %llu), "
       "cancelled %llu (queued %llu), shed %llu | retries %llu, breaker "
       "short-circuits %llu (opens %llu) | queue %zu (max %zu), in-flight "
@@ -66,6 +66,15 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(breaker_short_circuits),
       static_cast<unsigned long long>(breaker_opens), queue_depth,
       max_queue_depth, in_flight, ewma_run_seconds * 1e3);
+  if (replica) {
+    out += StringPrintf(
+        " | replica: tip epoch %llu, applied epoch %llu, "
+        "replication_lag_epochs %llu",
+        static_cast<unsigned long long>(replication_tip_epoch),
+        static_cast<unsigned long long>(replication_applied_epoch),
+        static_cast<unsigned long long>(replication_lag_epochs));
+  }
+  return out;
 }
 
 QueryService::QueryService(Database* base, ServiceOptions options)
@@ -436,6 +445,18 @@ void QueryService::Shutdown(bool drain) {
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
+}
+
+void QueryService::ReportReplication(uint64_t tip_epoch,
+                                     uint64_t applied_epoch) {
+  util::MutexLock lock(mu_);
+  stats_.replica = true;
+  stats_.replication_tip_epoch =
+      std::max(stats_.replication_tip_epoch, tip_epoch);
+  stats_.replication_applied_epoch =
+      std::max(stats_.replication_applied_epoch, applied_epoch);
+  stats_.replication_lag_epochs =
+      stats_.replication_tip_epoch - stats_.replication_applied_epoch;
 }
 
 ServiceStats QueryService::stats() const {

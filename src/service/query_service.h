@@ -125,6 +125,16 @@ struct ServiceStats {
   size_t in_flight = 0;      ///< snapshot at read time
   double ewma_run_seconds = 0;
 
+  /// Replication health, fed by ReportReplication() when this service
+  /// fronts a warm-standby follower store (all zero otherwise). Bounded
+  /// staleness in one gauge: readers are at `replication_applied_epoch`,
+  /// the primary has acknowledged `replication_tip_epoch`, and the lag is
+  /// their difference.
+  bool replica = false;
+  uint64_t replication_tip_epoch = 0;
+  uint64_t replication_applied_epoch = 0;
+  uint64_t replication_lag_epochs = 0;
+
   uint64_t TerminalTotal() const {
     return rejected_overload + deadline_before_start + cancelled_before_start +
            ok + failed + deadline_exceeded + cancelled;
@@ -227,6 +237,13 @@ class QueryService {
   ServiceStats stats() const MCM_EXCLUDES(mu_);
   CircuitBreaker& breaker() { return breaker_; }
   const ServiceOptions& options() const { return options_; }
+
+  /// Publish replication health into stats(): the embedder's replication
+  /// poll loop calls this after each Follower::Poll with the follower's
+  /// advertised-tip and applied epochs. Marks the service as a replica;
+  /// epochs only advance (stale reports cannot roll the gauges back).
+  void ReportReplication(uint64_t tip_epoch, uint64_t applied_epoch)
+      MCM_EXCLUDES(mu_);
 
  private:
   struct Pending {

@@ -1,0 +1,445 @@
+#include "storage/replication.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+#include <vector>
+
+#include "storage/io.h"
+#include "storage/wal.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace mcm {
+
+namespace {
+
+// A frame payload longer than this is a corrupt length prefix, not a real
+// snapshot or record — it bounds allocation on the follower.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+void PutLe32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutLe64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetLe32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool ValidFrameKind(char kind) {
+  return kind == kFrameTip || kind == kFrameSnapshot || kind == kFrameRecord;
+}
+
+/// Batch sequence from a WAL record payload's leading "seq\t<n>\n" line,
+/// without parsing the whole batch.
+bool ParseSeqPrefix(std::string_view payload, uint64_t* seq) {
+  size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) return false;
+  std::string_view head = payload.substr(0, nl);
+  if (head.size() < 5 || head.substr(0, 4) != "seq\t") return false;
+  std::string_view digits = head.substr(4);
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), *seq);
+  return ec == std::errc() && ptr == digits.data() + digits.size();
+}
+
+/// Epoch from a checkpoint image's second line ("epoch\t<n>"). The image is
+/// not otherwise validated here — the follower's LoadCheckpoint owns that.
+bool ParseCheckpointEpoch(std::string_view image, uint64_t* epoch) {
+  size_t first_nl = image.find('\n');
+  if (first_nl == std::string_view::npos) return false;
+  size_t second_nl = image.find('\n', first_nl + 1);
+  if (second_nl == std::string_view::npos) return false;
+  std::string_view line =
+      image.substr(first_nl + 1, second_nl - first_nl - 1);
+  if (line.size() < 7 || line.substr(0, 6) != "epoch\t") return false;
+  std::string_view digits = line.substr(6);
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), *epoch);
+  return ec == std::errc() && ptr == digits.data() + digits.size();
+}
+
+/// A replayed WAL record paired with its parsed batch sequence.
+struct SeqRecord {
+  uint64_t seq = 0;
+  const std::string* payload = nullptr;
+};
+
+/// Extract (seq, payload) pairs from a replay, stopping at the first record
+/// whose sequence cannot be parsed or exceeds `cap` (the primary's acked
+/// tip — anything past it may still be rolled back by a failed fsync).
+std::vector<SeqRecord> ShippableRecords(const WalReplayResult& replay,
+                                        uint64_t cap) {
+  std::vector<SeqRecord> out;
+  out.reserve(replay.records.size());
+  for (const WalRecord& r : replay.records) {
+    uint64_t seq = 0;
+    if (!ParseSeqPrefix(r.payload, &seq) || seq > cap) break;
+    out.push_back({seq, &r.payload});
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+std::string EncodeFrame(char kind, uint64_t epoch, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(kind);
+  PutLe64(&out, epoch);
+  PutLe32(&out, static_cast<uint32_t>(payload.size()));
+  // CRC over kind + epoch + len, continued over the payload.
+  uint32_t crc = util::Crc32(out.data(), out.size());
+  crc = util::Crc32(payload, crc);
+  PutLe32(&out, crc);
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact the consumed prefix before growing the buffer.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+Result<std::optional<ReplFrame>> FrameDecoder::Next() {
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    return std::optional<ReplFrame>();
+  }
+  const char* p = buf_.data() + pos_;
+  char kind = p[0];
+  uint64_t epoch = GetLe64(p + 1);
+  uint32_t len = GetLe32(p + 9);
+  uint32_t crc = GetLe32(p + 13);
+  if (!ValidFrameKind(kind)) {
+    return Status::DataLoss(StringPrintf(
+        "replication stream corrupt: unknown frame kind 0x%02x",
+        static_cast<unsigned char>(kind)));
+  }
+  if (len > kMaxFramePayload) {
+    return Status::DataLoss(StringPrintf(
+        "replication stream corrupt: frame payload length %u exceeds limit",
+        len));
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) {
+    return std::optional<ReplFrame>();  // payload not fully arrived
+  }
+  std::string_view payload(buf_.data() + pos_ + kFrameHeaderBytes, len);
+  uint32_t actual = util::Crc32(p, 13);  // kind + epoch + len
+  actual = util::Crc32(payload, actual);
+  if (actual != crc) {
+    return Status::DataLoss(StringPrintf(
+        "replication stream corrupt: frame checksum mismatch (kind '%c', "
+        "epoch %llu)",
+        kind, static_cast<unsigned long long>(epoch)));
+  }
+  ReplFrame frame;
+  frame.kind = kind;
+  frame.epoch = epoch;
+  frame.payload = std::string(payload);
+  pos_ += kFrameHeaderBytes + len;
+  return std::optional<ReplFrame>(std::move(frame));
+}
+
+Status FrameDecoder::Finish() const {
+  if (buf_.size() - pos_ == 0) return Status::OK();
+  return Status::DataLoss(StringPrintf(
+      "replication stream torn mid-frame: %zu trailing bytes at end of "
+      "stream",
+      buf_.size() - pos_));
+}
+
+// ---------------------------------------------------------------------------
+// InProcessPipe
+
+Status InProcessPipe::Write(std::string_view bytes) {
+  util::MutexLock lock(mu_);
+  if (closed_) {
+    return Status::Unavailable("pipe closed: follower end went away");
+  }
+  buf_.append(bytes);
+  return Status::OK();
+}
+
+Result<std::string> InProcessPipe::Read(size_t max_bytes) {
+  util::MutexLock lock(mu_);
+  if (buf_.empty()) {
+    if (closed_) return std::string();  // end of stream
+    return Status::Unavailable("pipe empty: no bytes buffered");
+  }
+  size_t n = std::min(max_bytes, buf_.size());
+  std::string out = buf_.substr(0, n);
+  buf_.erase(0, n);
+  return out;
+}
+
+void InProcessPipe::CloseWrite() {
+  util::MutexLock lock(mu_);
+  closed_ = true;
+}
+
+void InProcessPipe::CloseTorn(size_t drop_trailing_bytes) {
+  util::MutexLock lock(mu_);
+  buf_.resize(buf_.size() - std::min(drop_trailing_bytes, buf_.size()));
+  closed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// WalShipper
+
+Status WalShipper::Send(char kind, uint64_t epoch, std::string_view payload) {
+  return sink_->Write(EncodeFrame(kind, epoch, payload));
+}
+
+Status WalShipper::Pump(uint64_t from_epoch) {
+  MCM_FAULT_POINT("repl/ship");
+
+  const std::string wal_path = options_.dir + "/wal.log";
+  const std::string prev_path = options_.dir + "/wal.prev.log";
+  const std::string ckpt_path = options_.dir + "/checkpoint.mcm";
+
+  WalReplayResult cur = ReplayWal(wal_path);
+  if (cur.status.IsNotFound()) {
+    // Fresh primary, nothing durable yet: advertise tip 0 so the follower's
+    // lag gauge reads zero rather than stale.
+    MCM_RETURN_NOT_OK(Send(kFrameTip, 0, {}));
+    return Status::OK();
+  }
+  if (!cur.status.ok() && !cur.status.IsDataLoss()) return cur.status;
+  // A kDataLoss tail on the live log is the primary's in-flight (unacked)
+  // suffix as seen by a tailing reader — ship only the complete records.
+
+  uint64_t cap = options_.primary != nullptr ? options_.primary->TipEpoch()
+                                             : UINT64_MAX;
+  std::vector<SeqRecord> records = ShippableRecords(cur, cap);
+  uint64_t tip = records.empty() ? cur.base_epoch : records.back().seq;
+
+  // Tip first, always: if the stream tears before the records land, the
+  // follower still learns how far the primary's acked history extends —
+  // the fact Promote() needs to refuse a lossy failover.
+  MCM_RETURN_NOT_OK(Send(kFrameTip, tip, {}));
+
+  if (from_epoch >= tip) {
+    shipped_epoch_ = std::max(shipped_epoch_, tip);
+    return Status::OK();
+  }
+
+  if (from_epoch < cur.base_epoch) {
+    // The live log starts past the follower. Try the retained previous
+    // segment: usable iff it reaches back to from_epoch AND chains up to
+    // the live log's base (no epoch hole between segments).
+    WalReplayResult prev = ReplayWal(prev_path);
+    std::vector<SeqRecord> prev_records;
+    bool prev_usable = false;
+    if (prev.status.ok() && prev.base_epoch <= from_epoch) {
+      prev_records = ShippableRecords(prev, cap);
+      uint64_t prev_last =
+          prev_records.empty() ? prev.base_epoch : prev_records.back().seq;
+      prev_usable = prev_last >= cur.base_epoch &&
+                    prev_records.size() == prev.records.size();
+    }
+    if (prev_usable) {
+      for (const SeqRecord& r : prev_records) {
+        if (r.seq <= from_epoch || r.seq > cur.base_epoch) continue;
+        MCM_RETURN_NOT_OK(Send(kFrameRecord, r.seq, *r.payload));
+      }
+    } else {
+      // Further behind than the retained WAL reaches: snapshot reseed.
+      std::string image;
+      Status read = ReadFileToString(ckpt_path, &image);
+      if (!read.ok()) {
+        return Status::DataLoss(StringPrintf(
+            "cannot serve catch-up from epoch %llu: wal starts at epoch "
+            "%llu and no checkpoint is available (%s)",
+            static_cast<unsigned long long>(from_epoch),
+            static_cast<unsigned long long>(cur.base_epoch),
+            read.ToString().c_str()));
+      }
+      uint64_t snap_epoch = 0;
+      if (!ParseCheckpointEpoch(image, &snap_epoch)) {
+        return Status::DataLoss(
+            "primary checkpoint image has no parseable epoch header");
+      }
+      MCM_RETURN_NOT_OK(Send(kFrameSnapshot, snap_epoch, image));
+      from_epoch = snap_epoch;
+    }
+  }
+
+  for (const SeqRecord& r : records) {
+    if (r.seq <= from_epoch) continue;
+    MCM_RETURN_NOT_OK(Send(kFrameRecord, r.seq, *r.payload));
+  }
+  shipped_epoch_ = std::max(shipped_epoch_, tip);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Follower
+
+namespace {
+
+/// Fatal-to-the-stream statuses stick; everything else is retried.
+bool IsStickyVerdict(const Status& s) {
+  return s.IsDataLoss() || s.IsFailedPrecondition();
+}
+
+}  // namespace
+
+Status Follower::Halt(Status verdict) {
+  util::MutexLock lock(mu_);
+  if (health_.halt.ok()) health_.halt = verdict;
+  return health_.halt;
+}
+
+Status Follower::HandleFrame(const ReplFrame& frame) {
+  switch (frame.kind) {
+    case kFrameTip: {
+      util::MutexLock lock(mu_);
+      health_.primary_tip_epoch =
+          std::max(health_.primary_tip_epoch, frame.epoch);
+      return Status::OK();
+    }
+    case kFrameRecord: {
+      Result<uint64_t> applied = store_->ApplyReplicated(frame.payload);
+      if (!applied.ok()) return applied.status();
+      util::MutexLock lock(mu_);
+      health_.applied_epoch = std::max(health_.applied_epoch, *applied);
+      // A record at epoch e proves the primary committed e even if the 'T'
+      // frame advertising it was lost.
+      health_.primary_tip_epoch =
+          std::max(health_.primary_tip_epoch, health_.applied_epoch);
+      return Status::OK();
+    }
+    case kFrameSnapshot: {
+      if (store_->TipEpoch() >= frame.epoch) {
+        return Status::OK();  // redelivery after a shipper restart
+      }
+      Result<uint64_t> installed = store_->InstallSnapshot(frame.payload);
+      if (!installed.ok()) return installed.status();
+      if (*installed != frame.epoch) {
+        return Status::DataLoss(StringPrintf(
+            "snapshot frame advertised epoch %llu but image is epoch %llu",
+            static_cast<unsigned long long>(frame.epoch),
+            static_cast<unsigned long long>(*installed)));
+      }
+      util::MutexLock lock(mu_);
+      health_.applied_epoch = std::max(health_.applied_epoch, *installed);
+      health_.primary_tip_epoch =
+          std::max(health_.primary_tip_epoch, health_.applied_epoch);
+      return Status::OK();
+    }
+    default:
+      // FrameDecoder validated the kind; reaching here is a logic error.
+      return Status::DataLoss("unhandled frame kind");
+  }
+}
+
+Status Follower::Poll() {
+  {
+    util::MutexLock lock(mu_);
+    if (!health_.halt.ok()) return health_.halt;
+    if (health_.promoted) {
+      return Status::FailedPrecondition(
+          "follower was promoted; it no longer consumes the stream");
+    }
+  }
+
+  // A frame that failed transiently is retried before any new bytes are
+  // consumed — frames apply strictly in stream order.
+  if (pending_.has_value()) {
+    Status st = HandleFrame(*pending_);
+    if (!st.ok()) return IsStickyVerdict(st) ? Halt(st) : st;
+    pending_.reset();
+  }
+
+  while (true) {
+    // Drain frames already buffered BEFORE reading more: a retried frame
+    // may have left complete frames behind it in the decoder, and they
+    // must apply even when the transport has nothing new to say.
+    while (true) {
+      Result<std::optional<ReplFrame>> next = decoder_.Next();
+      if (!next.ok()) return Halt(next.status());
+      if (!next->has_value()) break;
+      Status st = HandleFrame(**next);
+      if (!st.ok()) {
+        if (IsStickyVerdict(st)) return Halt(st);
+        pending_ = std::move(**next);
+        return st;
+      }
+    }
+
+    if (eof_) {
+      // End of stream: clean iff it landed exactly on a frame boundary.
+      Status fin = decoder_.Finish();
+      if (!fin.ok()) return Halt(fin);
+      break;
+    }
+
+    Result<std::string> chunk = source_->Read(64 * 1024);
+    if (!chunk.ok()) {
+      if (chunk.status().IsUnavailable()) break;  // nothing new; healthy
+      return IsStickyVerdict(chunk.status()) ? Halt(chunk.status())
+                                             : chunk.status();
+    }
+    if (chunk->empty()) {
+      eof_ = true;
+    } else {
+      decoder_.Feed(*chunk);
+    }
+  }
+  return Status::OK();
+}
+
+Status Follower::Promote() {
+  util::MutexLock lock(mu_);
+  if (!health_.halt.ok()) return health_.halt;
+  if (health_.promoted) return Status::OK();
+  if (pending_.has_value()) {
+    // An un-applied record is in flight; its epoch is part of the primary's
+    // acked history (the tip frame preceding it said so), so this reduces
+    // to the lag check below — but state it distinctly for operators.
+    health_.halt = Status::DataLoss(
+        "promotion refused: a received record is not yet applied");
+    return health_.halt;
+  }
+  if (health_.primary_tip_epoch > health_.applied_epoch) {
+    health_.halt = Status::DataLoss(StringPrintf(
+        "promotion would lose acknowledged commits: primary advertised "
+        "epoch %llu but follower applied only epoch %llu",
+        static_cast<unsigned long long>(health_.primary_tip_epoch),
+        static_cast<unsigned long long>(health_.applied_epoch)));
+    return health_.halt;
+  }
+  health_.promoted = true;
+  return Status::OK();
+}
+
+Follower::Health Follower::health() const {
+  util::MutexLock lock(mu_);
+  return health_;
+}
+
+}  // namespace mcm

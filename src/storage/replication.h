@@ -1,0 +1,264 @@
+// Primary -> follower WAL shipping: warm-standby replication over a
+// pluggable byte-stream transport.
+//
+// Wire protocol. The stream is a sequence of frames, each:
+//
+//   kind (1 byte) | epoch (u64 LE) | payload_len (u32 LE) | crc32 (u32 LE)
+//   | payload bytes
+//
+// where the CRC covers kind + epoch + payload_len + payload — a bit flip
+// anywhere in a frame is detected, not just in its payload. Kinds:
+//
+//   'T' (tip)      epoch = the primary's durable tip; empty payload. Sent
+//                  FIRST on every pump, before the records that reach that
+//                  tip: if the stream tears mid-batch the follower still
+//                  knows the primary acknowledged epochs it never received,
+//                  which is what makes promotion-after-lost-tail detectable
+//                  (Follower::Promote).
+//   'S' (snapshot) payload = the primary's checkpoint image verbatim;
+//                  epoch = the image's epoch. Bootstrap / reseed path.
+//   'R' (record)   payload = one WAL record payload verbatim (the exact
+//                  bytes the primary fsynced); epoch = its batch sequence.
+//
+// Epoch/ack rules: a frame's epoch is authoritative only because the CRC
+// covers it. The follower applies records strictly in sequence through
+// VersionedStore::ApplyReplicated — redelivery (seq <= applied) is a no-op,
+// a gap (seq > applied + 1) is kDataLoss, and nothing is ever applied past
+// the first error. The primary acks nothing to the follower; the follower's
+// applied epoch IS its ack, surfaced via Follower::health() and
+// ServiceStats (bounded staleness).
+//
+// Shipping sources. WalShipper tails the primary's store directory files —
+// checkpoint.mcm, wal.log, and the wal.prev.log segment retained by
+// Checkpoint() — so it can serve three catch-up shapes: live records from
+// wal.log, records across one rotation via wal.prev.log, and a full
+// snapshot + records when the follower is further behind than the retained
+// segments reach. A snapshot landing on a non-fresh follower store is
+// kFailedPrecondition ("reseed required"): the embedder tears the follower
+// store down and bootstraps a fresh one (see mcm-serve --follow).
+//
+// Transport seam. ByteSink/ByteSource is deliberately minimal and
+// socket-shaped (write some bytes / read some bytes / end-of-stream), so a
+// network front end can slot in without touching shipper or follower
+// logic. InProcessPipe is the bundled transport: a mutex-guarded byte
+// queue with a clean close and a CloseTorn() that models a connection
+// dying mid-frame.
+//
+// Failure semantics, the headline contract: the follower either matches
+// the primary's committed prefix exactly at some epoch, or reports
+// kDataLoss — never a half-applied batch, never silent divergence. Torn
+// stream mid-frame, CRC-corrupt frame, sequence gap, and promotion with a
+// lost acked tail all land on kDataLoss; a lagging follower that outran
+// the retained WAL lands on kFailedPrecondition (reseed). Both are sticky:
+// once halted, every later Poll/Promote returns the same status. Transient
+// transport stalls (kUnavailable) and injected I/O errors are returned
+// non-sticky and the offending frame is retried on the next Poll.
+//
+// Fault-injection sites: "repl/ship" (WalShipper::Pump entry),
+// "repl/apply" (VersionedStore::ApplyReplicated entry), "repl/install"
+// (VersionedStore::InstallSnapshot, after the freshness check).
+//
+// Thread safety: WalShipper and the Poll/Promote surface of Follower are
+// single-threaded (one shipper thread, one apply thread);
+// Follower::health() may be called from any thread. Follower::mu_ sits at
+// rank 3 and InProcessPipe::mu_ at rank 8 of the lock-order registry
+// (util/mutex.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/versioned_store.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace mcm {
+
+inline constexpr char kFrameTip = 'T';
+inline constexpr char kFrameSnapshot = 'S';
+inline constexpr char kFrameRecord = 'R';
+/// kind + epoch + payload_len + crc32.
+inline constexpr size_t kFrameHeaderBytes = 1 + 8 + 4 + 4;
+
+/// One decoded replication frame.
+struct ReplFrame {
+  char kind = 0;
+  uint64_t epoch = 0;
+  std::string payload;
+};
+
+/// Encode one frame (header CRC computed here).
+std::string EncodeFrame(char kind, uint64_t epoch, std::string_view payload);
+
+/// \brief Write side of a replication transport (socket-shaped seam).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  /// Append `bytes` to the stream. kUnavailable when the peer is gone.
+  [[nodiscard]] virtual Status Write(std::string_view bytes) = 0;
+};
+
+/// \brief Read side of a replication transport (socket-shaped seam).
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Pull up to `max_bytes` from the stream. Outcomes:
+  ///   * a non-empty string: bytes, in order, no framing implied;
+  ///   * an empty string: the writer closed the stream (end of stream —
+  ///     whether it closed *cleanly* is the FrameDecoder's verdict);
+  ///   * kUnavailable: nothing buffered right now; retry later.
+  [[nodiscard]] virtual Result<std::string> Read(size_t max_bytes) = 0;
+};
+
+/// \brief In-process transport: a mutex-guarded byte queue.
+///
+/// CloseWrite() ends the stream cleanly; CloseTorn(n) first drops the last
+/// `n` undelivered bytes, modelling a connection that died mid-frame — the
+/// reader sees the surviving prefix and then end-of-stream, exactly like a
+/// TCP peer vanishing.
+class InProcessPipe : public ByteSink, public ByteSource {
+ public:
+  [[nodiscard]] Status Write(std::string_view bytes) override
+      MCM_EXCLUDES(mu_);
+  [[nodiscard]] Result<std::string> Read(size_t max_bytes) override
+      MCM_EXCLUDES(mu_);
+
+  void CloseWrite() MCM_EXCLUDES(mu_);
+  void CloseTorn(size_t drop_trailing_bytes) MCM_EXCLUDES(mu_);
+
+ private:
+  /// Leaf of the lock-order registry (rank 8, util/mutex.h): held only for
+  /// queue manipulation, never while any other capability is held by this
+  /// class.
+  mutable util::Mutex mu_
+      MCM_ACQUIRED_AFTER(util::kLockRankFaultInjection,
+                         util::kLockRankTransport);
+  std::string buf_ MCM_GUARDED_BY(mu_);
+  bool closed_ MCM_GUARDED_BY(mu_) = false;
+};
+
+/// \brief Incremental frame parser for the follower side.
+///
+/// Feed() raw bytes in any chunking; Next() pops complete frames. A frame
+/// that fails validation (unknown kind, absurd length, CRC mismatch) is
+/// kDataLoss. Finish() renders the end-of-stream verdict: OK when the
+/// stream ended exactly on a frame boundary, kDataLoss when it tore
+/// mid-frame.
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes);
+  /// nullopt = need more bytes; error = corrupt frame (fatal to the
+  /// stream; the decoder does not resynchronize).
+  [[nodiscard]] Result<std::optional<ReplFrame>> Next();
+  [[nodiscard]] Status Finish() const;
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// \brief Primary side: tails the store directory and ships frames.
+///
+/// Single-threaded; the embedder runs one shipper per follower stream.
+class WalShipper {
+ public:
+  struct Options {
+    /// The primary's store directory (wal.log / wal.prev.log /
+    /// checkpoint.mcm).
+    std::string dir;
+    /// Optional acked-tip authority. When set, records beyond
+    /// primary->TipEpoch() are never shipped: a live tail can read a
+    /// record that is complete on disk but whose fsync then fails and
+    /// rolls it back — without the cap such a record could reach the
+    /// follower and diverge it from the primary's acknowledged history.
+    /// Cross-process embedders that cannot share the store object should
+    /// pump only while the primary is quiescent (see DESIGN.md §5h).
+    const VersionedStore* primary = nullptr;
+  };
+
+  WalShipper(Options options, ByteSink* sink)
+      : options_(std::move(options)), sink_(sink) {}
+
+  /// Ship everything needed to bring a follower whose applied epoch is
+  /// `from_epoch` up to the primary's durable tip: the 'T' tip frame
+  /// first, then records (wal.prev.log chain and/or wal.log), or a
+  /// snapshot + records when the retained segments don't reach back to
+  /// `from_epoch`. Idempotent: re-shipping overlap is absorbed by the
+  /// follower's redelivery no-op.
+  [[nodiscard]] Status Pump(uint64_t from_epoch);
+  /// Resume from the last epoch this shipper sent (0 before any pump).
+  [[nodiscard]] Status Pump() { return Pump(shipped_epoch_); }
+
+  uint64_t shipped_epoch() const { return shipped_epoch_; }
+
+ private:
+  Status Send(char kind, uint64_t epoch, std::string_view payload);
+
+  Options options_;
+  ByteSink* sink_;
+  uint64_t shipped_epoch_ = 0;
+};
+
+/// \brief Follower side: decodes frames and applies them to a store.
+///
+/// Poll() and Promote() belong to one apply thread; health() is
+/// thread-safe. Fatal statuses (kDataLoss, kFailedPrecondition) are
+/// sticky — the follower halts and every later Poll/Promote repeats the
+/// verdict. Transient errors (stalls, injected I/O faults) are returned
+/// non-sticky; the in-flight frame is retried on the next Poll.
+class Follower {
+ public:
+  struct Health {
+    uint64_t applied_epoch = 0;      ///< epoch served to readers
+    uint64_t primary_tip_epoch = 0;  ///< newest tip the primary advertised
+    bool promoted = false;
+    Status halt;  ///< OK while streaming; the sticky verdict once halted
+    uint64_t lag_epochs() const {
+      return primary_tip_epoch > applied_epoch
+                 ? primary_tip_epoch - applied_epoch
+                 : 0;
+    }
+  };
+
+  Follower(VersionedStore* store, ByteSource* source)
+      : store_(store), source_(source) {}
+
+  /// Drain available bytes, apply complete frames in order. OK when the
+  /// stream is healthy (including "no new bytes"); a transient error when
+  /// a frame could not be applied yet (retry); the sticky halt status
+  /// after any fatal condition.
+  [[nodiscard]] Status Poll() MCM_EXCLUDES(mu_);
+
+  /// Failover: make this follower the new authority. Refuses with sticky
+  /// kDataLoss when the primary advertised a tip beyond the applied epoch
+  /// — promoting would silently lose commits the old primary acknowledged
+  /// to its clients. Idempotent once succeeded.
+  [[nodiscard]] Status Promote() MCM_EXCLUDES(mu_);
+
+  Health health() const MCM_EXCLUDES(mu_);
+
+ private:
+  /// OK, or the reason the frame could not be applied (caller classifies
+  /// sticky vs transient).
+  Status HandleFrame(const ReplFrame& frame) MCM_EXCLUDES(mu_);
+  Status Halt(Status verdict) MCM_EXCLUDES(mu_);
+
+  VersionedStore* store_;
+  ByteSource* source_;
+  FrameDecoder decoder_;
+  /// A frame that failed transiently, awaiting retry before new reads.
+  std::optional<ReplFrame> pending_;
+  bool eof_ = false;
+
+  /// Rank 3 of the lock-order registry (util/mutex.h): guards health only;
+  /// never held across store or transport calls.
+  mutable util::Mutex mu_ MCM_ACQUIRED_AFTER(util::kLockRankFollower)
+      MCM_ACQUIRED_BEFORE(util::kLockRankStoreCommit);
+  Health health_ MCM_GUARDED_BY(mu_);
+};
+
+}  // namespace mcm

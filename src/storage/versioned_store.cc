@@ -527,6 +527,19 @@ Status VersionedStore::Checkpoint() {
   MCM_RETURN_NOT_OK(
       WriteFileAtomic(CheckpointPath(), SerializeCheckpoint(*tip)));
 
+  // Retain the outgoing segment as wal.prev.log so a replication shipper
+  // can serve record-based catch-up to a follower at most one rotation
+  // behind. A *copy*, not a rename: recovery never reads the retained
+  // segment, so a failure here cannot change recovery semantics — it only
+  // downgrades a lagging follower from record catch-up to a snapshot
+  // reseed, which is why the status is advisory.
+  {
+    std::string old_wal;
+    Status retain = ReadFileToString(WalPath(), &old_wal);
+    if (retain.ok()) retain = WriteFileAtomic(WalPrevPath(), old_wal);
+    (void)retain;
+  }
+
   // Rotate the log. On failure the previous log stays open and keeps
   // absorbing commits; replay filters records at or below the checkpoint
   // epoch, so both outcomes recover consistently.
@@ -639,6 +652,87 @@ Status VersionedStore::Recover() {
 
   SetTip(std::move(cur));
   return overall;
+}
+
+Result<uint64_t> VersionedStore::ApplyReplicated(const std::string& payload) {
+  util::MutexLock commit_lock(commit_mu_);
+  if (!recovered_) {
+    return Status::Internal(
+        "VersionedStore::Recover() must run before ApplyReplicated");
+  }
+  MCM_FAULT_POINT("repl/apply");
+
+  uint64_t seq = 0;
+  UpdateBatch batch;
+  MCM_RETURN_NOT_OK(ParseBatchPayload(payload, &seq, &batch));
+
+  std::shared_ptr<const EdbVersion> base = Pin();
+  if (seq <= base->epoch()) {
+    // Redelivery after a shipper restart: the batch is already part of this
+    // store's history, so acknowledging it again is harmless.
+    return base->epoch();
+  }
+  if (seq != base->epoch() + 1) {
+    return Status::DataLoss(StringPrintf(
+        "replication sequence gap: follower at epoch %llu, stream delivered "
+        "%llu",
+        static_cast<unsigned long long>(base->epoch()),
+        static_cast<unsigned long long>(seq)));
+  }
+  std::vector<BoundOp> bound;
+  Status valid = ValidateAndBind(batch, *base, &bound);
+  if (!valid.ok()) {
+    // A CRC-clean record that does not apply means the stream diverged from
+    // the primary's history — corruption, not a caller error.
+    return Status::DataLoss(StringPrintf(
+        "replicated record %llu does not apply: %s",
+        static_cast<unsigned long long>(seq), valid.ToString().c_str()));
+  }
+  if (durable()) {
+    // Re-log the exact shipped bytes before the tip moves: an acknowledged
+    // apply must survive a follower crash, same discipline as Commit.
+    MCM_RETURN_NOT_OK(wal_->AppendRecord(payload));
+  }
+  SetTip(BuildVersion(*base, bound, seq));
+  return seq;
+}
+
+Result<uint64_t> VersionedStore::InstallSnapshot(
+    const std::string& checkpoint_bytes) {
+  util::MutexLock commit_lock(commit_mu_);
+  if (!recovered_) {
+    return Status::Internal(
+        "VersionedStore::Recover() must run before InstallSnapshot");
+  }
+  std::shared_ptr<const EdbVersion> base = Pin();
+  if (base->epoch() != 0 || symbols_.size() != 0) {
+    // Checkpoint symbol ids only line up on a fresh interning table; there
+    // is no remap (a non-negative Value could be either a symbol id or an
+    // integer literal), so the only safe path is a full reseed.
+    return Status::FailedPrecondition(StringPrintf(
+        "InstallSnapshot requires a fresh store (epoch 0, empty symbol "
+        "table); this store is at epoch %llu with %zu symbols — reseed "
+        "required",
+        static_cast<unsigned long long>(base->epoch()), symbols_.size()));
+  }
+  MCM_FAULT_POINT("repl/install");
+  // A failed load can leave symbols partially interned — the store is then
+  // no longer fresh and the caller must reseed, which LoadCheckpoint's
+  // kDataLoss (and the precondition above on any retry) makes explicit.
+  auto loaded = LoadCheckpoint(checkpoint_bytes);
+  if (!loaded.ok()) return loaded.status();
+  uint64_t epoch = (*loaded)->epoch();
+
+  if (durable()) {
+    // Persist the image and restart the log at the snapshot epoch so a
+    // follower crash after an acked install recovers to this same state.
+    MCM_RETURN_NOT_OK(WriteFileAtomic(CheckpointPath(), checkpoint_bytes));
+    auto w = WalWriter::Create(WalPath(), epoch);
+    if (!w.ok()) return w.status();
+    wal_ = std::move(*w);
+  }
+  SetTip(std::move(*loaded));
+  return epoch;
 }
 
 Result<uint64_t> VersionedStore::BootstrapFromDatabase(const Database& db) {

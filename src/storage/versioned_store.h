@@ -30,7 +30,7 @@
 // The discipline is capability-checked under -DMCM_THREAD_SAFETY=ON:
 // commit_mu_ is the single-writer capability (it guards the WAL handle, so
 // no WAL append can compile outside the commit path), tip_mu_ guards the
-// tip pointer, and the registered order commit_mu_ -> tip_mu_ (ranks 3 -> 4
+// tip pointer, and the registered order commit_mu_ -> tip_mu_ (ranks 4 -> 5
 // in util/mutex.h) makes an inverted acquisition a compile error.
 #pragma once
 
@@ -145,6 +145,11 @@ class VersionedStore {
 
   bool durable() const { return !options_.dir.empty(); }
   std::string WalPath() const { return options_.dir + "/wal.log"; }
+  /// Retained copy of the previous WAL segment, refreshed by Checkpoint().
+  /// Recovery never reads it — it exists so a replication shipper can serve
+  /// record-based catch-up to a follower that is at most one rotation
+  /// behind (storage/replication.h).
+  std::string WalPrevPath() const { return options_.dir + "/wal.prev.log"; }
   std::string CheckpointPath() const {
     return options_.dir + "/checkpoint.mcm";
   }
@@ -171,6 +176,34 @@ class VersionedStore {
   /// are carried over as symbols, everything else as integers (the
   /// SaveRelationTsv convention).
   [[nodiscard]] Result<uint64_t> BootstrapFromDatabase(const Database& db);
+
+  // -- Replication follower surface (storage/replication.h) ------------------
+
+  /// Apply one shipped WAL record payload (the exact bytes the primary
+  /// appended) through the same parse/validate/commit path as Recover().
+  /// Returns the resulting tip epoch. Semantics, in order:
+  ///   * a payload whose sequence number is <= the tip epoch is a no-op
+  ///     (idempotent redelivery after a shipper restart) returning the tip;
+  ///   * a sequence gap (> tip + 1) is kDataLoss — records were lost in
+  ///     transit and nothing past the gap may ever be applied;
+  ///   * a payload that parses but does not validate against the tip is
+  ///     kDataLoss (the stream diverged from the primary's history).
+  /// The batch is re-logged to the follower's own WAL before the tip moves,
+  /// so an acknowledged apply survives a follower crash. All-or-nothing: on
+  /// any error the tip is untouched — never a half batch.
+  [[nodiscard]] Result<uint64_t> ApplyReplicated(const std::string& payload)
+      MCM_EXCLUDES(commit_mu_);
+
+  /// Bootstrap this store from a primary checkpoint image (the exact bytes
+  /// of its checkpoint.mcm). Only legal on a *fresh* store — recovered, at
+  /// epoch 0, with an empty symbol table — because checkpoint symbol ids
+  /// must re-intern to identical Values; anything else is
+  /// kFailedPrecondition ("reseed required": tear the store down and start
+  /// over). On success the image is also written to this store's own
+  /// checkpoint path and the WAL is rotated to the snapshot epoch, so a
+  /// restart recovers to the same state. Returns the snapshot epoch.
+  [[nodiscard]] Result<uint64_t> InstallSnapshot(
+      const std::string& checkpoint_bytes) MCM_EXCLUDES(commit_mu_);
 
   /// The store-wide interning table shared by all versions (and by working
   /// databases built from them). Internally synchronized.
@@ -209,8 +242,8 @@ class VersionedStore {
   SymbolTable symbols_;
 
   /// The single-writer capability: serializes Commit / Checkpoint / Recover
-  /// (lock-order rank 3; acquired before tip_mu_, SymbolTable::mu_, and
-  /// FaultInjection::mu_, never under any other registered lock).
+  /// (lock-order rank 4; acquired before tip_mu_, SymbolTable::mu_, and
+  /// FaultInjection::mu_; may be acquired under Follower::mu_, rank 3).
   util::Mutex commit_mu_ MCM_ACQUIRED_AFTER(util::kLockRankStoreCommit)
       MCM_ACQUIRED_BEFORE(util::kLockRankStoreTip);
   /// WAL single-writer discipline, statically enforced: the handle itself

@@ -79,6 +79,18 @@ WalReplayResult ReplayWal(const std::string& path) {
 
   if (bytes.size() < kHeaderBytes ||
       std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    // Distinguish "not a WAL at all" from "a WAL from a different format
+    // version": the latter names both versions so an operator pointing an
+    // old binary at a newer log (or vice versa) sees exactly what to fix
+    // instead of a generic corruption verdict.
+    if (bytes.size() >= sizeof(kWalMagic) &&
+        std::memcmp(bytes.data(), kWalMagic, 6) == 0) {
+      result.status = Status::DataLoss(
+          "wal '" + path + "': unsupported wal version '" +
+          std::string(bytes.data(), sizeof(kWalMagic)) + "' (supported: " +
+          std::string(kWalMagic, sizeof(kWalMagic)) + ")");
+      return result;
+    }
     result.status = Status::DataLoss("wal '" + path +
                                      "': missing or mangled header");
     return result;

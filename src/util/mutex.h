@@ -27,17 +27,25 @@
 //     2  | service::CircuitBreaker::mu_    | per-signature breaker entries
 //        |                                 | (acquired under rank 1 by
 //        |                                 | QueryService::stats())
-//     3  | VersionedStore::commit_mu_      | the single-writer commit path:
+//     3  | Follower::mu_                   | replication follower health
+//        |                                 | (applied/primary-tip epochs,
+//        |                                 | sticky halt status); may be held
+//        |                                 | while the follower's store
+//        |                                 | commits (rank 4)
+//     4  | VersionedStore::commit_mu_      | the single-writer commit path:
 //        |                                 | WAL handle, recovered_ flag
-//     4  | VersionedStore::tip_mu_         | the tip version pointer
-//        |                                 | (acquired under rank 3 by
+//     5  | VersionedStore::tip_mu_         | the tip version pointer
+//        |                                 | (acquired under rank 4 by
 //        |                                 | Commit/Checkpoint/Recover)
-//     5  | SymbolTable::mu_                | interning table (leaf; acquired
-//        |                                 | under rank 3 while binding)
-//     6  | util::FaultInjection::mu_       | fault-site registry (leaf;
-//        |                                 | acquired under rank 3 via
+//     6  | SymbolTable::mu_                | interning table (leaf; acquired
+//        |                                 | under rank 4 while binding)
+//     7  | util::FaultInjection::mu_       | fault-site registry (leaf;
+//        |                                 | acquired under rank 4 via
 //        |                                 | MCM_FAULT_POINT in WAL and
 //        |                                 | checkpoint code)
+//     8  | InProcessPipe::mu_              | replication transport byte
+//        |                                 | queue (leaf; never held while
+//        |                                 | any other capability is)
 //
 // The ranks are encoded as never-locked marker capabilities (`LockRank`
 // objects below) chained with MCM_ACQUIRED_AFTER; each real mutex then
@@ -166,13 +174,17 @@ struct MCM_CAPABILITY("lock_rank") LockRank {};
 inline LockRank kLockRankService;
 /// Rank 2: service::CircuitBreaker::mu_.
 inline LockRank kLockRankBreaker MCM_ACQUIRED_AFTER(kLockRankService);
-/// Rank 3: VersionedStore::commit_mu_ (the single-writer capability).
-inline LockRank kLockRankStoreCommit MCM_ACQUIRED_AFTER(kLockRankBreaker);
-/// Rank 4: VersionedStore::tip_mu_.
+/// Rank 3: Follower::mu_ (replication health / halt state).
+inline LockRank kLockRankFollower MCM_ACQUIRED_AFTER(kLockRankBreaker);
+/// Rank 4: VersionedStore::commit_mu_ (the single-writer capability).
+inline LockRank kLockRankStoreCommit MCM_ACQUIRED_AFTER(kLockRankFollower);
+/// Rank 5: VersionedStore::tip_mu_.
 inline LockRank kLockRankStoreTip MCM_ACQUIRED_AFTER(kLockRankStoreCommit);
-/// Rank 5: SymbolTable::mu_ (leaf).
+/// Rank 6: SymbolTable::mu_ (leaf).
 inline LockRank kLockRankSymbols MCM_ACQUIRED_AFTER(kLockRankStoreTip);
-/// Rank 6: util::FaultInjection::mu_ (leaf).
+/// Rank 7: util::FaultInjection::mu_ (leaf).
 inline LockRank kLockRankFaultInjection MCM_ACQUIRED_AFTER(kLockRankSymbols);
+/// Rank 8: replication transport buffers (InProcessPipe::mu_, leaf).
+inline LockRank kLockRankTransport MCM_ACQUIRED_AFTER(kLockRankFaultInjection);
 
 }  // namespace mcm::util

@@ -30,6 +30,11 @@ enum class StatusCode : int {
   kDataLoss = 11,         ///< Durable state was lost or corrupted (torn WAL
                           ///< tail, bad checkpoint CRC). Never transient:
                           ///< retrying cannot bring the bytes back.
+  kFailedPrecondition = 12,  ///< The system is in a state the operation
+                             ///< cannot proceed from and a retry will not
+                             ///< fix (e.g. a replication follower that fell
+                             ///< behind the primary's retained WAL and must
+                             ///< be reseeded before it can tail again).
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -84,6 +89,9 @@ class [[nodiscard]] Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -98,6 +106,9 @@ class [[nodiscard]] Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

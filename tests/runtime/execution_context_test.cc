@@ -141,6 +141,20 @@ TEST(IsTransientTest, CapsAreNeverTransient) {
   EXPECT_FALSE(IsTransient(AbortReason::kMemoryBudget, everything));
 }
 
+TEST(IsTransientTest, ReplicationVerdictsAreNeverTransient) {
+  // A torn/corrupt/gapped stream (kDataLoss) and a follower that outran
+  // the retained WAL (kFailedPrecondition, "reseed required") are final:
+  // retrying re-reads the same broken stream. Only a stalled transport
+  // (kUnavailable) is worth polling again.
+  TransientPolicy everything;
+  everything.internal = true;
+  everything.cancelled = true;
+  EXPECT_FALSE(IsTransient(Status::DataLoss("stream torn mid-frame"),
+                           everything));
+  EXPECT_FALSE(IsTransient(Status::FailedPrecondition("reseed required"),
+                           everything));
+}
+
 TEST(IsTransientTest, UnavailableIsAlwaysTransient) {
   EXPECT_TRUE(IsTransient(Status::Unavailable("overloaded")));
   TransientPolicy strict;

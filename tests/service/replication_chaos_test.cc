@@ -1,0 +1,200 @@
+// Primary/follower chaos harness: a writer hammering the primary (commits
+// + checkpoint rotations) while a replication loop ships and applies, and
+// reader threads query the follower through a QueryService — every answer
+// checked against a closed-form oracle at its pinned edb_epoch.
+//
+// The workload is shaped so the oracle is exact with zero coordination:
+// epoch e commits exactly one new "d" row, so a query pinned at epoch e
+// must see exactly e rows — whatever interleaving produced it. Checkpoint
+// rotation is gated on follower progress (the realistic ops policy: don't
+// retire WAL segments a live replica still needs), which keeps the
+// follower on the record-shipping path throughout.
+//
+// Scale knobs (see the ctest "soak" configuration):
+//   MCM_REPL_CHAOS_BATCHES  total primary commits       (default 150)
+//   MCM_REPL_CHAOS_READERS  concurrent reader threads   (default 2)
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
+#include "storage/fuzz_util.h"
+#include "storage/replication.h"
+#include "storage/versioned_store.h"
+
+namespace mcm {
+namespace {
+
+using service::Outcome;
+using service::QueryRequest;
+using service::QueryService;
+using service::ServiceStats;
+
+int EnvInt(const char* name, int dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return dflt;
+  int v = std::atoi(env);
+  return v > 0 ? v : dflt;
+}
+
+TEST(ReplicationChaosTest, ReadersSeeExactEpochsUnderConcurrentShipping) {
+  const int kBatches = EnvInt("MCM_REPL_CHAOS_BATCHES", 150);
+  const int kReaders = EnvInt("MCM_REPL_CHAOS_READERS", 2);
+  const int kCheckpointEvery = 25;
+
+  auto root = std::filesystem::temp_directory_path() /
+              ("mcm_repl_chaos_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  const std::string primary_dir = (root / "primary").string();
+  const std::string replica_dir = (root / "replica").string();
+  std::filesystem::create_directories(primary_dir);
+  std::filesystem::create_directories(replica_dir);
+
+  VersionedStore primary({primary_dir});
+  ASSERT_TRUE(primary.Recover().ok());
+  VersionedStore replica({replica_dir});
+  ASSERT_TRUE(replica.Recover().ok());
+
+  InProcessPipe pipe;
+  WalShipper shipper({primary_dir, &primary}, &pipe);
+  Follower follower(&replica, &pipe);
+
+  service::ServiceOptions svc_options;
+  svc_options.workers = 2;
+  QueryService svc(&replica, svc_options);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> repl_done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> last_checkpoint_epoch{0};
+
+  // Writer: epoch e inserts row "v<e>" (creating "d" at epoch 1), and
+  // rotates the WAL only once the follower has applied past the previous
+  // rotation point — the segment-retention contract a real deployment
+  // keeps so its replicas never fall off the shipped log.
+  std::thread writer([&] {
+    for (int i = 1; i <= kBatches; ++i) {
+      UpdateBatch b;
+      if (i == 1) b.CreateRelation("d", 1);
+      b.Insert("d", {"v" + std::to_string(i)});
+      auto r = primary.Commit(b);
+      if (!r.ok() || *r != static_cast<uint64_t>(i)) {
+        ++failures;
+        break;
+      }
+      if (i % kCheckpointEvery == 0 &&
+          follower.health().applied_epoch >= last_checkpoint_epoch.load()) {
+        if (primary.Checkpoint().ok()) {
+          last_checkpoint_epoch.store(primary.TipEpoch());
+        } else {
+          ++failures;
+        }
+      }
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+    writer_done.store(true);
+  });
+
+  // Replication loop: one thread owns both shipper and follower (pump,
+  // then drain), publishing the staleness gauges after every poll. The
+  // stream rides out live-tail races (the shipper may read the WAL
+  // mid-append; the acked-tip cap keeps unacked bytes off the wire) but
+  // must never see a fatal verdict.
+  std::thread repl([&] {
+    while (true) {
+      Status ps = shipper.Pump(follower.health().applied_epoch);
+      if (ps.IsDataLoss() || ps.IsFailedPrecondition()) {
+        ADD_FAILURE() << "pump verdict: " << ps.ToString();
+        ++failures;
+        break;
+      }
+      Status fs = follower.Poll();
+      if (fs.IsDataLoss() || fs.IsFailedPrecondition()) {
+        ADD_FAILURE() << "poll verdict: " << fs.ToString();
+        ++failures;
+        break;
+      }
+      Follower::Health h = follower.health();
+      svc.ReportReplication(h.primary_tip_epoch, h.applied_epoch);
+      if (writer_done.load() &&
+          h.applied_epoch == primary.TipEpoch()) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    repl_done.store(true);
+  });
+
+  // Readers: bounded-staleness queries against the follower. The response
+  // pins some applied epoch e, and the closed-form oracle says the answer
+  // at e is exactly e rows — any torn apply or divergence breaks this.
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  const int queries_per_reader = std::max(10, kBatches / 10);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      // The "d" relation only exists from epoch 1 on.
+      while (follower.health().applied_epoch < 1 && !repl_done.load()) {
+        std::this_thread::yield();
+      }
+      for (int q = 0; q < queries_per_reader; ++q) {
+        QueryRequest req;
+        req.program_text = "q(X) :- d(X). q(X)?";
+        auto resp = svc.Submit(req)->Get();
+        if (resp.outcome != Outcome::kOk) {
+          ADD_FAILURE() << "query failed: " << resp.status.ToString();
+          ++failures;
+          return;
+        }
+        if (resp.report.results.size() != resp.edb_epoch) {
+          ADD_FAILURE() << "pinned epoch " << resp.edb_epoch << " answered "
+                        << resp.report.results.size() << " rows";
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  repl.join();
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(primary.TipEpoch(), static_cast<uint64_t>(kBatches));
+
+  // Drained: the follower matches the primary exactly, and the service's
+  // replica gauges agree (zero staleness once quiescent).
+  Follower::Health h = follower.health();
+  EXPECT_TRUE(h.halt.ok()) << h.halt.ToString();
+  EXPECT_EQ(h.applied_epoch, primary.TipEpoch());
+  EXPECT_EQ(h.lag_epochs(), 0u);
+  EXPECT_TRUE(fuzz::SameState(*replica.Pin(), replica.symbols(),
+                              *primary.Pin(), primary.symbols()));
+
+  ServiceStats stats = svc.stats();
+  EXPECT_TRUE(stats.replica);
+  EXPECT_EQ(stats.replication_applied_epoch, primary.TipEpoch());
+  EXPECT_EQ(stats.replication_lag_epochs, 0u);
+
+  // Failover epilogue: the caught-up follower promotes cleanly and serves
+  // a write of its own.
+  ASSERT_TRUE(follower.Promote().ok());
+  UpdateBatch b;
+  b.Insert("d", {"post-promotion"});
+  auto r = replica.Commit(b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, primary.TipEpoch() + 1);
+
+  svc.Shutdown(/*drain=*/true);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace mcm

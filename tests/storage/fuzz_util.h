@@ -1,0 +1,197 @@
+// Shared helpers for the storage fuzz harnesses (recovery_fuzz_test.cc,
+// replication_fuzz_test.cc): seeded workload generation, the in-memory
+// oracle, and the semantic state comparison they are cross-checked with.
+//
+// Iteration counts scale with MCM_FUZZ_ITERS (see the ctest "soak"
+// configuration); seeds are fixed per iteration so failures reproduce.
+// MCM_FUZZ_SEED offsets every per-iteration seed, letting CI run a matrix
+// of distinct-but-reproducible seed sets without touching the source.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/versioned_store.h"
+#include "util/rng.h"
+
+namespace mcm::fuzz {
+
+inline int FuzzIters(int dflt) {
+  const char* env = std::getenv("MCM_FUZZ_ITERS");
+  if (env == nullptr) return dflt;
+  int v = std::atoi(env);
+  return v > 0 ? v : dflt;
+}
+
+/// Deterministic seed offset for CI's seed matrix (0 when unset).
+inline uint64_t FuzzSeedOffset() {
+  const char* env = std::getenv("MCM_FUZZ_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
+
+/// Semantic state comparison. Raw Values are NOT comparable across stores:
+/// a failed Commit still interns (append-only, by design), and a checkpoint
+/// persists the whole table, so two stores that agree on every fact can
+/// disagree on symbol ids. What recovery (and replication) guarantees is
+/// that every tuple *resolves* to the same field strings. WorkloadGen keeps
+/// the rendering unambiguous by only producing negative integers — a
+/// non-negative Value is always a symbol id.
+inline std::string RenderField(Value v, const SymbolTable& syms) {
+  return (v >= 0 && syms.Contains(v)) ? syms.Resolve(v) : std::to_string(v);
+}
+
+inline ::testing::AssertionResult SameState(const EdbVersion& got,
+                                            const SymbolTable& got_syms,
+                                            const EdbVersion& want,
+                                            const SymbolTable& want_syms) {
+  std::vector<std::string> got_names = got.RelationNames();
+  std::vector<std::string> want_names = want.RelationNames();
+  if (got_names != want_names) {
+    return ::testing::AssertionFailure()
+           << "relation sets differ: got " << got_names.size() << ", want "
+           << want_names.size();
+  }
+  for (const std::string& name : want_names) {
+    const Relation* g = got.Find(name);
+    const Relation* w = want.Find(name);
+    if (g->arity() != w->arity()) {
+      return ::testing::AssertionFailure()
+             << name << ": arity " << g->arity() << " != " << w->arity();
+    }
+    auto render = [](const Relation& rel, const SymbolTable& syms) {
+      std::vector<std::vector<std::string>> rows;
+      rows.reserve(rel.size());
+      for (const Tuple& t : rel.TuplesUnchecked()) {
+        std::vector<std::string> row;
+        row.reserve(t.arity());
+        for (uint32_t c = 0; c < t.arity(); ++c) {
+          row.push_back(RenderField(t[c], syms));
+        }
+        rows.push_back(std::move(row));
+      }
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    if (render(*g, got_syms) != render(*w, want_syms)) {
+      return ::testing::AssertionFailure()
+             << name << ": resolved tuple sets differ (" << g->size()
+             << " vs " << w->size() << " tuples)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Random-but-valid batch generator working from the oracle's tip, with a
+/// mixed vocabulary of integers, plain symbols, and escape-hostile strings.
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(uint64_t seed) : rng_(seed) {}
+
+  UpdateBatch NextBatch(const EdbVersion& tip) {
+    UpdateBatch batch;
+    // Track batch-local creates/drops so ops stay valid mid-batch.
+    std::map<std::string, std::optional<uint32_t>> live;
+    for (const std::string& name : tip.RelationNames()) {
+      live[name] = tip.Find(name)->arity();
+    }
+    auto live_names = [&] {
+      std::vector<std::string> names;
+      for (const auto& [n, a] : live) {
+        if (a.has_value()) names.push_back(n);
+      }
+      return names;
+    };
+
+    size_t ops = 1 + rng_.NextIndex(6);
+    for (size_t i = 0; i < ops; ++i) {
+      std::vector<std::string> names = live_names();
+      double roll = rng_.NextDouble();
+      if (names.empty() || roll < 0.10) {
+        // Create a not-currently-live relation.
+        std::string name = "r" + std::to_string(rng_.NextIndex(4));
+        if (live.count(name) > 0 && live[name].has_value()) continue;
+        uint32_t arity = 1 + static_cast<uint32_t>(rng_.NextIndex(3));
+        batch.CreateRelation(name, arity);
+        live[name] = arity;
+      } else if (roll < 0.17 && names.size() > 1) {
+        std::string name = names[rng_.NextIndex(names.size())];
+        batch.DropRelation(name);
+        live[name] = std::nullopt;
+      } else {
+        std::string name = names[rng_.NextIndex(names.size())];
+        uint32_t arity = *live[name];
+        std::vector<std::string> fields;
+        fields.reserve(arity);
+        for (uint32_t c = 0; c < arity; ++c) fields.push_back(RandomField());
+        if (roll < 0.40) {
+          batch.Delete(name, std::move(fields));
+        } else {
+          batch.Insert(name, std::move(fields));
+        }
+      }
+    }
+    if (batch.empty()) {
+      // Only reachable when a create collided with a live relation, so at
+      // least one live relation exists to absorb a filler insert.
+      std::vector<std::string> names = live_names();
+      std::vector<std::string> fields(*live[names.front()], "0");
+      batch.Insert(names.front(), std::move(fields));
+    }
+    return batch;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  std::string RandomField() {
+    switch (rng_.NextIndex(4)) {
+      case 0:
+        // Negative on purpose: keeps integers disjoint from symbol ids so
+        // SameState's rendering is unambiguous.
+        return std::to_string(rng_.NextInRange(-20, -1));
+      case 1:
+        return "sym" + std::to_string(rng_.NextIndex(8));
+      case 2:
+        return "odd\tsym\n" + std::to_string(rng_.NextIndex(4));
+      default:
+        return "back\\slash" + std::to_string(rng_.NextIndex(4));
+    }
+  }
+
+  Rng rng_;
+};
+
+/// The oracle: an in-memory store fed every acknowledged batch, pinning
+/// each epoch so recovered (or replicated) states can be compared against
+/// exact history.
+class Oracle {
+ public:
+  Oracle() {
+    EXPECT_TRUE(store_.Recover().ok());
+    versions_.push_back(store_.Pin());  // epoch 0
+  }
+
+  void Ack(const UpdateBatch& batch) {
+    auto r = store_.Commit(batch);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    versions_.push_back(store_.Pin());
+    ASSERT_EQ(versions_.size() - 1, static_cast<size_t>(*r));
+  }
+
+  const EdbVersion& At(uint64_t epoch) const { return *versions_.at(epoch); }
+  const SymbolTable& symbols() const { return store_.symbols(); }
+  uint64_t last_epoch() const { return versions_.size() - 1; }
+
+ private:
+  VersionedStore store_;
+  std::vector<std::shared_ptr<const EdbVersion>> versions_;
+};
+
+}  // namespace mcm::fuzz

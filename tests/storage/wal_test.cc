@@ -72,6 +72,26 @@ TEST_F(WalTest, MissingFileIsNotFound) {
   EXPECT_TRUE(replay.status.IsNotFound());
 }
 
+TEST_F(WalTest, UnsupportedWalVersionNamesFoundAndSupported) {
+  // A well-formed header from a different format version is not generic
+  // corruption: the verdict must name the version found AND the version
+  // supported, so an operator pointing an old binary at a newer log (or
+  // vice versa) sees exactly what to fix.
+  std::string bytes = "MCMWAL02";
+  bytes.append(sizeof(uint64_t), '\0');  // base_epoch field
+  OverwriteFile(bytes);
+  WalReplayResult replay = ReplayWal(Path());
+  EXPECT_TRUE(replay.status.IsDataLoss());
+  EXPECT_TRUE(replay.records.empty());
+  std::string msg = replay.status.ToString();
+  EXPECT_NE(msg.find("unsupported wal version 'MCMWAL02'"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("MCMWAL01"), std::string::npos) << msg;
+  // Not even a version-mismatch header yields a "mangled" verdict.
+  EXPECT_EQ(msg.find("mangled"), std::string::npos) << msg;
+}
+
 TEST_F(WalTest, MangledHeaderIsDataLoss) {
   OverwriteFile("not a wal at all, sorry");
   WalReplayResult replay = ReplayWal(Path());
