@@ -10,6 +10,7 @@
 #include "eval/strata.h"
 #include "runtime/execution_context.h"
 #include "storage/database.h"
+#include "util/lifetime_annotations.h"
 #include "util/status.h"
 
 namespace mcm::eval {
@@ -83,20 +84,23 @@ class Engine {
       : db_(db), options_(options) {}
 
   /// Evaluate `program` to fixpoint. On success, info() describes the run.
-  Status Run(const dl::Program& program);
+  [[nodiscard]] Status Run(const dl::Program& program);
 
   /// Tuples of `goal`'s predicate matching the goal's constant arguments
   /// (variables match anything). Run() must have succeeded.
-  Result<std::vector<Tuple>> Query(const dl::Atom& goal) const;
+  [[nodiscard]] Result<std::vector<Tuple>> Query(const dl::Atom& goal) const;
 
   /// Convenience: parse `goal_text` (e.g. "answer(Y)") and Query().
-  Result<std::vector<Tuple>> Query(const std::string& goal_text) const;
+  [[nodiscard]] Result<std::vector<Tuple>> Query(
+      const std::string& goal_text) const;
 
-  const EvalRunInfo& info() const { return info_; }
+  const EvalRunInfo& info() const MCM_LIFETIME_BOUND { return info_; }
 
   /// Per-rule breakdown, parallel to the program's rule list. Empty unless
   /// EvalOptions::profile was set.
-  const std::vector<RuleProfile>& profile() const { return profile_; }
+  const std::vector<RuleProfile>& profile() const MCM_LIFETIME_BOUND {
+    return profile_;
+  }
 
   /// Render profile() as an "EXPLAIN ANALYZE"-style table, most expensive
   /// rule first.
@@ -122,7 +126,8 @@ class Engine {
 
 /// One-shot helper: evaluate `program` against `db` and return the tuples
 /// matching the program's (single) query goal.
-Result<std::vector<Tuple>> RunProgram(Database* db, const dl::Program& program,
-                                      EvalOptions options = {});
+[[nodiscard]] Result<std::vector<Tuple>> RunProgram(Database* db,
+                                                    const dl::Program& program,
+                                                    EvalOptions options = {});
 
 }  // namespace mcm::eval

@@ -22,6 +22,7 @@
 #include "datalog/ast.h"
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "util/lifetime_annotations.h"
 #include "util/status.h"
 
 namespace mcm::eval {
@@ -49,8 +50,8 @@ class CompiledRule {
   /// permutation of exactly those positions). Guards still attach at the
   /// earliest point their variables are bound. The seminaive engine uses
   /// this to put the delta atom first.
-  static Result<CompiledRule> Compile(const dl::Rule& rule, Database* db,
-                                      std::vector<size_t> join_order = {});
+  [[nodiscard]] static Result<CompiledRule> Compile(
+      const dl::Rule& rule, Database* db, std::vector<size_t> join_order = {});
 
   /// A delta-first greedy join order for `rule`: `first_pos` (a positive
   /// body position) leads; remaining positive atoms are appended most-bound
@@ -59,13 +60,15 @@ class CompiledRule {
                                              size_t first_pos);
 
   /// Evaluate the rule under `view`, inserting derived head tuples into
-  /// `out`. Returns the number of *new* tuples inserted.
-  size_t Evaluate(const RelationView& view, Relation* out) const;
+  /// `out`. Returns the number of *new* tuples inserted — nodiscard
+  /// because the seminaive fixpoint's termination test is built from it.
+  [[nodiscard]] size_t Evaluate(const RelationView& view,
+                                Relation* out) const;
 
-  const dl::Rule& rule() const { return rule_; }
+  const dl::Rule& rule() const MCM_LIFETIME_BOUND { return rule_; }
 
   /// Positions (into rule().body) of the positive atoms, in join order.
-  const std::vector<size_t>& positive_positions() const {
+  const std::vector<size_t>& positive_positions() const MCM_LIFETIME_BOUND {
     return positive_positions_;
   }
 

@@ -35,6 +35,6 @@ struct Stratification {
 
 /// Compute a stratification of `program`, or fail with InvalidArgument if a
 /// negation occurs inside a recursive component.
-Result<Stratification> Stratify(const dl::Program& program);
+[[nodiscard]] Result<Stratification> Stratify(const dl::Program& program);
 
 }  // namespace mcm::eval

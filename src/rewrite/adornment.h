@@ -38,6 +38,7 @@ struct AdornedProgram {
 /// every rule is range-restricted (checked by the engine later). Supports
 /// arbitrary stratified programs; negated IDB literals are adorned with
 /// the all-bound pattern (their variables are bound at evaluation time).
-Result<AdornedProgram> Adorn(const dl::Program& program, const dl::Atom& goal);
+[[nodiscard]] Result<AdornedProgram> Adorn(const dl::Program& program,
+                                           const dl::Atom& goal);
 
 }  // namespace mcm::rewrite

@@ -31,7 +31,7 @@ struct CslQuery {
 /// Recognize the CSL form in `program` (which must contain exactly the exit
 /// rule, the recursive rule and one query with a bound first argument and a
 /// free second argument). Returns Unsupported for anything else.
-Result<CslQuery> RecognizeCsl(const dl::Program& program);
+[[nodiscard]] Result<CslQuery> RecognizeCsl(const dl::Program& program);
 
 /// A recognized reverse-bound CSL query (see RecognizeReverseCsl).
 struct ReverseCsl {
@@ -46,13 +46,14 @@ struct ReverseCsl {
 ///   P~(Y, X) :- E~(Y, X).   P~(Y, X) :- R(Y, Y1), P~(Y1, X1), L(X, X1).
 /// i.e. L' = R, R' = L, E' = E with swapped columns; the caller
 /// materializes the swap with MaterializeSwappedE before running.
-Result<ReverseCsl> RecognizeReverseCsl(const dl::Program& program,
-                                       const std::string& swapped_e_name);
+[[nodiscard]] Result<ReverseCsl> RecognizeReverseCsl(
+    const dl::Program& program, const std::string& swapped_e_name);
 
 /// Create (or refresh) `swapped_name` in `db` as the column-swap of binary
 /// relation `e_name`.
-Status MaterializeSwappedE(Database* db, const std::string& e_name,
-                           const std::string& swapped_name);
+[[nodiscard]] Status MaterializeSwappedE(Database* db,
+                                         const std::string& e_name,
+                                         const std::string& swapped_name);
 
 /// Resolve the query constant to a Value against `db`'s symbol table
 /// (interning it if new).

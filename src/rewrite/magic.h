@@ -39,8 +39,8 @@ struct MagicProgram {
 /// arguments. Programs whose rewriting would need supplementary predicates
 /// to stay stratified are still emitted; the engine's stratification check
 /// is the final arbiter.
-Result<MagicProgram> MagicRewrite(const dl::Program& program,
-                                  const dl::Atom& goal,
-                                  const MagicOptions& options = {});
+[[nodiscard]] Result<MagicProgram> MagicRewrite(
+    const dl::Program& program, const dl::Atom& goal,
+    const MagicOptions& options = {});
 
 }  // namespace mcm::rewrite

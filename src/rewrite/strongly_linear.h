@@ -58,7 +58,7 @@ struct StronglyLinearQuery {
 /// Recognize the strongly linear form of `program` (rules for one
 /// predicate plus one query with bound first argument). Canonical CSL
 /// queries are a special case and always recognized.
-Result<StronglyLinearQuery> RecognizeStronglyLinear(
+[[nodiscard]] Result<StronglyLinearQuery> RecognizeStronglyLinear(
     const dl::Program& program);
 
 /// Names used for materialized composition relations.
@@ -71,8 +71,7 @@ struct SlNames {
 /// Evaluate the composition rules into `db` (skipping compositions that are
 /// single atoms) and return the equivalent CslQuery referencing the
 /// resulting relation names.
-Result<CslQuery> MaterializeStronglyLinear(Database* db,
-                                           const StronglyLinearQuery& slq,
-                                           const SlNames& names = {});
+[[nodiscard]] Result<CslQuery> MaterializeStronglyLinear(
+    Database* db, const StronglyLinearQuery& slq, const SlNames& names = {});
 
 }  // namespace mcm::rewrite

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "datalog/parser.h"
+#include "storage/edb_view.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -358,13 +359,25 @@ void QueryService::Execute(Pending* p, int worker_id, QueryResponse* resp) {
       break;
     }
     // Per-query isolation: a private working database sharing the base's
-    // thread-safe symbol table, seeded with a fresh EDB snapshot. Retries
-    // start from a clean snapshot too — a half-derived IDB must not leak
-    // into the next attempt. In hot-swap mode every attempt re-snapshots
-    // from the SAME pinned version: a retry never mixes epochs.
+    // thread-safe symbol table, seeded from the EDB. Retries start from a
+    // clean seed too — a half-derived IDB must not leak into the next
+    // attempt. In hot-swap mode every attempt re-seeds from the SAME
+    // pinned version: a retry never mixes epochs. With zero_copy_base the
+    // seed is borrowed (EdbView::AttachTo — no tuple copy; the pin held in
+    // `p` plus the shared_ptr inside each borrow keep the version alive);
+    // otherwise it is a full SnapshotInto copy.
     Database work(store_ != nullptr ? &store_->symbols() : &base_->symbols());
-    Status st = p->snapshot != nullptr ? p->snapshot->SnapshotInto(&work)
-                                       : base_->SnapshotInto(&work);
+    Status st;
+    if (p->snapshot != nullptr) {
+      if (options_.zero_copy_base) {
+        EdbView view(*p->snapshot);
+        st = view.AttachTo(&work);
+      } else {
+        st = p->snapshot->SnapshotInto(&work);
+      }
+    } else {
+      st = base_->SnapshotInto(&work);
+    }
     if (st.ok()) st = util::FaultInjection::Instance().Check("service/execute");
     Result<core::PlanReport> run =
         st.ok() ? core::SolveProgram(&work, program, opts)

@@ -24,7 +24,12 @@
 // restriction: Submit() pins the store's tip version on the caller's
 // thread, and the request — retries included — evaluates against that one
 // immutable snapshot while writers keep committing new epochs underneath.
-// QueryResponse::edb_epoch reports which version answered.
+// QueryResponse::edb_epoch reports which version answered. With
+// ServiceOptions::zero_copy_base (default on) the working database borrows
+// the pinned version's relations through EdbView instead of deep-copying
+// them per attempt: seeding drops from O(EDB tuples) to O(relations), and
+// copy-on-write materialization keeps the semantics of the copy path (see
+// storage/edb_view.h).
 #pragma once
 
 #include <chrono>
@@ -168,6 +173,13 @@ struct ServiceOptions {
   /// Seeds the run-time EWMA (seconds) so predictive shedding is live from
   /// the first request; 0 disables shedding until real samples arrive.
   double expected_run_seconds_hint = 0;
+  /// Hot-swap mode only: seed each attempt's working database by borrowing
+  /// the pinned version's relations (EdbView::AttachTo — O(relations), no
+  /// tuple copy) instead of a full SnapshotInto copy. Semantics are
+  /// identical: borrows are copy-on-write, so a program that adds facts to
+  /// an EDB predicate materializes a private copy on first novel insert.
+  /// Off = always deep-copy (the pre-EdbView behavior).
+  bool zero_copy_base = true;
 };
 
 class QueryService;

@@ -13,6 +13,18 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   return ptr;
 }
 
+Result<Relation*> Database::AttachBorrowed(const std::string& name,
+                                           std::shared_ptr<const Relation> base) {
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  auto rel = std::make_unique<Relation>(
+      Relation::Borrow(std::move(base), &stats_));
+  Relation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
 Relation* Database::GetOrCreateRelation(const std::string& name,
                                         uint32_t arity) {
   auto it = relations_.find(name);

@@ -9,6 +9,7 @@
 #include "storage/access_stats.h"
 #include "storage/relation.h"
 #include "storage/symbol_table.h"
+#include "util/lifetime_annotations.h"
 #include "util/status.h"
 
 namespace mcm {
@@ -30,7 +31,7 @@ namespace mcm {
 /// constructor) and SnapshotInto(), which reads only truly-const,
 /// uninstrumented state and is safe from many threads at once as long as
 /// nobody mutates the source.
-class Database {
+class MCM_OWNER(Relation) Database {
  public:
   Database() = default;
   /// A database that interns through `shared_symbols` (not owned; must
@@ -44,12 +45,20 @@ class Database {
   /// Create a relation; error if the name is taken.
   Result<Relation*> CreateRelation(const std::string& name, uint32_t arity);
 
+  /// Install a zero-copy read-only borrow of `base` (Relation::Borrow)
+  /// under `name`, instrumented by this database's stats; error if the
+  /// name is taken. This is EdbView's per-relation attach step — the
+  /// zero-copy replacement for SnapshotInto's per-tuple copy.
+  [[nodiscard]] Result<Relation*> AttachBorrowed(const std::string& name,
+                                   std::shared_ptr<const Relation> base);
+
   /// Fetch an existing relation or create it.
-  Relation* GetOrCreateRelation(const std::string& name, uint32_t arity);
+  Relation* GetOrCreateRelation(const std::string& name, uint32_t arity)
+      MCM_LIFETIME_BOUND;
 
   /// nullptr if absent.
-  Relation* Find(const std::string& name);
-  const Relation* Find(const std::string& name) const;
+  Relation* Find(const std::string& name) MCM_LIFETIME_BOUND;
+  const Relation* Find(const std::string& name) const MCM_LIFETIME_BOUND;
 
   /// Error Status if absent.
   Result<Relation*> Get(const std::string& name);
@@ -58,11 +67,16 @@ class Database {
 
   std::vector<std::string> RelationNames() const;
 
-  SymbolTable& symbols() { return *symbols_; }
-  const SymbolTable& symbols() const { return *symbols_; }
+  /// The interning table. Annotated lifetimebound even though a *shared*
+  /// table outlives the database: the discipline is that references
+  /// obtained through a Database do not outlive it — code that needs the
+  /// table past the working database's life takes it from its true owner
+  /// (the VersionedStore / base Database) instead.
+  SymbolTable& symbols() MCM_LIFETIME_BOUND { return *symbols_; }
+  const SymbolTable& symbols() const MCM_LIFETIME_BOUND { return *symbols_; }
 
-  AccessStats& stats() { return stats_; }
-  const AccessStats& stats() const { return stats_; }
+  AccessStats& stats() MCM_LIFETIME_BOUND { return stats_; }
+  const AccessStats& stats() const MCM_LIFETIME_BOUND { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
   /// Total number of tuples across all relations.
@@ -91,7 +105,7 @@ class Database {
   /// commits build new immutable Relation objects (copy-on-write) and swap
   /// the tip pointer, so EdbVersion::SnapshotInto on a pinned version is
   /// race-free by construction no matter how many commits land concurrently.
-  Status SnapshotInto(Database* dst) const;
+  [[nodiscard]] Status SnapshotInto(Database* dst) const;
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;

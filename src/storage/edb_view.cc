@@ -1,0 +1,16 @@
+#include "storage/edb_view.h"
+
+namespace mcm {
+
+Status EdbView::AttachTo(Database* dst) const {
+  for (const std::string& name : version_->RelationNames()) {
+    std::shared_ptr<const Relation> base = version_->Share(name);
+    if (base == nullptr) continue;  // unreachable: names come from the map
+    MCM_ASSIGN_OR_RETURN(Relation* attached,
+                         dst->AttachBorrowed(name, std::move(base)));
+    (void)attached;
+  }
+  return Status::OK();
+}
+
+}  // namespace mcm

@@ -1,0 +1,74 @@
+// Zero-copy read surface over one pinned EDB version.
+//
+// An EdbView is the first consumer the compile-time lifetime proofs
+// (util/lifetime_annotations.h, tests/lifetime/) make safe to ship: a
+// string_view-shaped handle over an EdbVersion that lets the query service
+// serve the base-EDB read path *without* the per-attempt SnapshotInto copy
+// that used to dominate Submit-to-answer cost.
+//
+//   before:  per attempt, every base tuple is re-inserted into the working
+//            database (O(|EDB|) hashing + copying, per request, per retry);
+//   after:   AttachTo() installs an O(1) borrow per relation
+//            (Relation::Borrow): the working database reads the version's
+//            frozen tuple storage in place and materializes a private copy
+//            only if something actually mutates a base relation (program
+//            facts on an EDB predicate — rare and still correct).
+//
+// Lifetime contract, statically enforced:
+//   * the view is MCM_VIEW_OF(EdbVersion) and its constructor parameter is
+//     MCM_LIFETIME_BOUND — building a view over a temporary pin
+//     (`EdbView v(*store.Pin());`) or letting one escape the pin's scope
+//     is a compile error under -DMCM_LIFETIME_SAFETY=ON;
+//   * everything AttachTo() installs is nevertheless *co-owning* at the
+//     storage level (each borrow holds a shared_ptr to its base relation),
+//     so even a working database that outlives the pin by mistake reads
+//     valid memory — the static layer enforces the discipline, the
+//     shared_ptr layer removes the cliff behind it.
+//
+// Thread safety: a view is a read-only handle; any number of views on any
+// number of threads may share one pinned version (borrowed reads touch
+// only the version's frozen tuple vectors). The view object itself is
+// cheap and per-use — create one where needed, do not share it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/versioned_store.h"
+#include "util/lifetime_annotations.h"
+#include "util/status.h"
+
+namespace mcm {
+
+/// \brief Non-owning, read-only view over a pinned EdbVersion.
+class MCM_VIEW_OF(EdbVersion) EdbView {
+ public:
+  /// The version must stay pinned for the view's lifetime (keep the
+  /// shared_ptr from VersionedStore::Pin() alive; passing `*store.Pin()`
+  /// directly is a compile error under the lifetime gate).
+  explicit EdbView(const EdbVersion& version MCM_LIFETIME_BOUND)
+      : version_(&version) {}
+
+  uint64_t epoch() const { return version_->epoch(); }
+  size_t TotalTuples() const { return version_->TotalTuples(); }
+  size_t ApproxBytes() const { return version_->ApproxBytes(); }
+
+  /// nullptr if absent. The pointer is valid only while the pin is held —
+  /// prefer consuming it in place.
+  const Relation* Find(const std::string& name) const MCM_LIFETIME_BOUND {
+    return version_->Find(name);
+  }
+
+  /// Install a zero-copy borrow of every relation of the pinned version
+  /// into `dst` — the drop-in replacement for EdbVersion::SnapshotInto
+  /// (same error contract: a same-name relation already present in `dst`
+  /// is AlreadyExists; SnapshotInto instead merges, but the per-request
+  /// working database is always fresh). O(#relations), no tuple copies.
+  [[nodiscard]] Status AttachTo(Database* dst) const;
+
+ private:
+  const EdbVersion* version_;
+};
+
+}  // namespace mcm

@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <cassert>
+#include <utility>
 
 namespace mcm {
 
@@ -20,9 +21,37 @@ std::string EncodeKeyCols(const IndexKey& cols) {
 
 }  // namespace
 
+Relation Relation::Borrow(std::shared_ptr<const Relation> base,
+                          AccessStats* stats) {
+  assert(base != nullptr);
+  // Collapse borrow-of-borrow to the root owner so the chain never grows
+  // and store() stays one hop.
+  while (base->base_ != nullptr) base = base->base_;
+  Relation r(base->name_, base->arity_, stats);
+  r.base_ = std::move(base);
+  return r;
+}
+
+void Relation::Materialize() {
+  assert(base_ != nullptr);
+  // Same tuples, same ids: indexes built over the shared storage remain
+  // valid, and the base's dedup set is exactly the one a copy would have
+  // rebuilt tuple by tuple.
+  tuples_ = base_->tuples_;
+  dedup_ = base_->dedup_;
+  base_.reset();
+}
+
 bool Relation::Insert(const Tuple& t) {
   assert(t.arity() == arity_ && "tuple arity mismatch");
   if (stats_ != nullptr) stats_->insert_attempts++;
+  if (base_ != nullptr) {
+    // Cheap pre-check against the frozen base before paying for the
+    // copy-on-write: re-inserting an existing tuple (the common no-op
+    // during fixpoint rounds) must not materialize.
+    if (base_->dedup_.count(t) > 0) return false;
+    Materialize();
+  }
   auto [it, inserted] = dedup_.insert(t);
   (void)it;
   if (!inserted) return false;
@@ -40,20 +69,23 @@ bool Relation::Insert(const Tuple& t) {
 
 bool Relation::Contains(const Tuple& t) const {
   if (stats_ != nullptr) stats_->probes++;
-  bool found = dedup_.count(t) > 0;
+  // A borrower must not touch the shared base's dedup set (frozen, and the
+  // set was built by the base's own inserts) — but its dedup contents are
+  // plain immutable data, safe to read from any number of borrowers.
+  bool found = (base_ != nullptr ? base_->dedup_ : dedup_).count(t) > 0;
   if (found) CountRead(1);
   return found;
 }
 
 const Tuple& Relation::Get(size_t id) const {
   CountRead(1);
-  return tuples_.at(id);
+  return store().at(id);
 }
 
 std::vector<Tuple> Relation::Scan() const {
   if (stats_ != nullptr) stats_->scans++;
-  CountRead(tuples_.size());
-  return tuples_;
+  CountRead(store().size());
+  return store();
 }
 
 Tuple Relation::MakeKey(const IndexKey& cols, const Tuple& t) const {
@@ -70,8 +102,9 @@ Relation::Index& Relation::GetOrBuildIndex(const IndexKey& cols) const {
   if (it != indexes_.end()) return it->second;
   Index& index = indexes_[enc];
   index.key_cols = cols;
-  for (uint32_t id = 0; id < tuples_.size(); ++id) {
-    index.buckets[MakeKey(cols, tuples_[id])].push_back(id);
+  const std::vector<Tuple>& tuples = store();
+  for (uint32_t id = 0; id < tuples.size(); ++id) {
+    index.buckets[MakeKey(cols, tuples[id])].push_back(id);
   }
   return index;
 }
@@ -90,6 +123,7 @@ const std::vector<uint32_t>& Relation::Probe(
 }
 
 void Relation::Clear() {
+  base_.reset();
   tuples_.clear();
   dedup_.clear();
   indexes_.clear();
@@ -98,7 +132,7 @@ void Relation::Clear() {
 std::vector<Value> Relation::DistinctColumn(uint32_t col) const {
   std::unordered_set<Value> seen;
   std::vector<Value> out;
-  for (const Tuple& t : tuples_) {
+  for (const Tuple& t : store()) {
     if (seen.insert(t[col]).second) out.push_back(t[col]);
   }
   return out;
@@ -107,7 +141,7 @@ std::vector<Value> Relation::DistinctColumn(uint32_t col) const {
 std::string Relation::ToString(size_t limit) const {
   std::string out = name_ + "[" + std::to_string(arity_) + "] {";
   size_t shown = 0;
-  for (const Tuple& t : tuples_) {
+  for (const Tuple& t : store()) {
     if (shown >= limit) {
       out += " ...";
       break;
@@ -115,7 +149,7 @@ std::string Relation::ToString(size_t limit) const {
     out += " " + t.ToString();
     ++shown;
   }
-  out += " } (" + std::to_string(tuples_.size()) + " tuples)";
+  out += " } (" + std::to_string(store().size()) + " tuples)";
   return out;
 }
 

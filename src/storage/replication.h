@@ -71,6 +71,7 @@
 #include <string_view>
 
 #include "storage/versioned_store.h"
+#include "util/lifetime_annotations.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -210,7 +211,7 @@ class WalShipper {
 /// sticky — the follower halts and every later Poll/Promote repeats the
 /// verdict. Transient errors (stalls, injected I/O faults) are returned
 /// non-sticky; the in-flight frame is retried on the next Poll.
-class Follower {
+class MCM_VIEW_OF(VersionedStore) Follower {
  public:
   struct Health {
     uint64_t applied_epoch = 0;      ///< epoch served to readers

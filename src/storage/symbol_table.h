@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "storage/value.h"
+#include "util/lifetime_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -27,7 +28,7 @@ namespace mcm {
 /// -DMCM_THREAD_SAFETY=ON; mu_ is a leaf in the lock-order registry
 /// (util/mutex.h rank 6) — no other registered lock may be acquired while
 /// holding it.
-class SymbolTable {
+class MCM_OWNER(std::string) SymbolTable {
  public:
   SymbolTable() = default;
   SymbolTable(const SymbolTable&) = delete;
@@ -57,8 +58,9 @@ class SymbolTable {
   }
 
   /// The string for an id previously returned by Intern(). The reference
-  /// stays valid across concurrent Intern() calls.
-  const std::string& Resolve(Value id) const {
+  /// stays valid across concurrent Intern() calls (deque storage), but not
+  /// past the table itself — lifetimebound makes escaping it a diagnostic.
+  const std::string& Resolve(Value id) const MCM_LIFETIME_BOUND {
     util::ReaderMutexLock lock(mu_);
     return symbols_.at(static_cast<size_t>(id));
   }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "storage/value.h"
+#include "util/lifetime_annotations.h"
 
 namespace mcm {
 
@@ -45,12 +46,12 @@ class Tuple {
     assert(i < arity_);
     return values_[i];
   }
-  Value& operator[](uint32_t i) {
+  Value& operator[](uint32_t i) MCM_LIFETIME_BOUND {
     assert(i < arity_);
     return values_[i];
   }
 
-  const Value* data() const { return values_.data(); }
+  const Value* data() const MCM_LIFETIME_BOUND { return values_.data(); }
 
   bool operator==(const Tuple& other) const {
     if (arity_ != other.arity_) return false;

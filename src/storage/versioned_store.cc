@@ -115,6 +115,12 @@ const Relation* EdbVersion::Find(const std::string& name) const {
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
+std::shared_ptr<const Relation> EdbVersion::Share(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second;
+}
+
 std::vector<std::string> EdbVersion::RelationNames() const {
   std::vector<std::string> names;
   names.reserve(relations_.size());

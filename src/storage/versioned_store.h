@@ -44,6 +44,7 @@
 #include "storage/relation.h"
 #include "storage/symbol_table.h"
 #include "storage/wal.h"
+#include "util/lifetime_annotations.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -97,13 +98,25 @@ struct UpdateBatch {
 /// lifetime of the shared_ptr regardless of concurrent commits. Relations
 /// are shared copy-on-write with neighbouring versions and carry no
 /// AccessStats instrumentation.
-class EdbVersion {
+///
+/// Lifetime: the shared_ptr IS the pin. References and relation pointers
+/// obtained from a version are annotated lifetimebound — they must not
+/// outlive the pin that produced them (tests/lifetime/ proves escapes are
+/// compile errors under -DMCM_LIFETIME_SAFETY=ON). Share() hands out
+/// co-owning relation handles for code that legitimately needs a relation
+/// to survive pin release (Relation::Borrow, replication).
+class MCM_OWNER(Relation) EdbVersion {
  public:
   uint64_t epoch() const { return epoch_; }
 
   /// nullptr if absent. See the header comment for the concurrency caveat
   /// on instrumented Relation reads.
-  const Relation* Find(const std::string& name) const;
+  const Relation* Find(const std::string& name) const MCM_LIFETIME_BOUND;
+  /// Co-owning handle to one relation (nullptr if absent): keeps the
+  /// relation alive independently of this version's pin. The zero-copy
+  /// EdbView path borrows through this, so a working database stays safe
+  /// even if its pin is released first.
+  std::shared_ptr<const Relation> Share(const std::string& name) const;
   std::vector<std::string> RelationNames() const;
   size_t TotalTuples() const;
   /// Precomputed at commit time; same estimate as Database::ApproxBytes.
@@ -207,8 +220,8 @@ class VersionedStore {
 
   /// The store-wide interning table shared by all versions (and by working
   /// databases built from them). Internally synchronized.
-  SymbolTable& symbols() { return symbols_; }
-  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() MCM_LIFETIME_BOUND { return symbols_; }
+  const SymbolTable& symbols() const MCM_LIFETIME_BOUND { return symbols_; }
 
  private:
   /// A validated op with its tuple bound to interned Values.

@@ -1,0 +1,70 @@
+// Clang lifetime / escape-analysis annotation macros.
+//
+// These wrap Clang's statement-local lifetime attributes so the object
+// lifetime protocol of the storage→eval→service stack is *proven* at
+// compile time, the same way util/thread_annotations.h proves the locking
+// protocol: every accessor that hands out a reference, pointer, or view
+// into an owning object declares MCM_LIFETIME_BOUND, and every owner/view
+// pair declares MCM_OWNER / MCM_VIEW_OF, so a reference that escapes its
+// owner's lifetime — a view outliving its pin, a relation pointer cached
+// past the database that owns it — is a compile diagnostic, not a
+// use-after-free ASan may or may not catch on a given input.
+//
+// The hazard this exists for: zero-copy execution reads *directly* from a
+// pinned EdbVersion (storage/edb_view.h) instead of copying it, so any
+// `const Relation*` or `const Tuple&` that outlives the pin is a dangling
+// read of memory a later epoch swap may free. The annotations make the
+// sanctioned discipline — derive views only from a live pin, never return
+// or store them past it — statically checkable.
+//
+// Build mode: configure with -DMCM_LIFETIME_SAFETY=ON (Clang only) to
+// promote `-Wdangling -Wdangling-gsl -Wreturn-stack-address` to errors; CI
+// gates on it, and tests/lifetime/ holds negative-compile cases proving
+// the annotations reject escaping references. Under any non-Clang compiler
+// every macro expands to nothing, so GCC builds are unaffected.
+//
+// DESIGN.md §5i documents the annotation table and the escape-hatch rules
+// (when an unannotated accessor is acceptable).
+#pragma once
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define MCM_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#if __has_cpp_attribute(gsl::Owner)
+#define MCM_OWNER(T) [[gsl::Owner(T)]]
+#define MCM_VIEW_OF(T) [[gsl::Pointer(T)]]
+#endif
+#endif
+
+/// The returned reference/pointer (or the constructed view, on a
+/// constructor parameter) is valid only as long as the annotated argument
+/// — for member functions, only as long as *this*. Clang diagnoses
+/// statement-local escapes: binding the result to a longer-lived variable
+/// when the argument is a temporary (-Wdangling) and returning a result
+/// derived from a local (-Wreturn-stack-address).
+///
+/// Placement rules (Clang):
+///   * parameter:        `explicit View(const Owner& o MCM_LIFETIME_BOUND);`
+///   * implicit `this`:  `const T& get() const MCM_LIFETIME_BOUND;`
+///     (after the member function's cv-qualifiers).
+#ifndef MCM_LIFETIME_BOUND
+#define MCM_LIFETIME_BOUND  // no-op off Clang
+#endif
+
+/// Marks a class that owns the storage views point into (vector-shaped:
+/// Database owns Relations, EdbVersion owns its relation map, Relation
+/// owns its tuple vector). `T` names the pointee type diagnostics mention.
+/// A MCM_VIEW_OF type initialized from a temporary MCM_OWNER — e.g. a view
+/// built over `*store.Pin()` without keeping the pin — is a -Wdangling-gsl
+/// diagnostic.
+#ifndef MCM_OWNER
+#define MCM_OWNER(T)  // no-op off Clang
+#endif
+
+/// Marks a non-owning view/handle class (string_view-shaped: EdbView over
+/// an EdbVersion). Also the hook bugprone-dangling-handle keys on in the
+/// clang-tidy gate (.clang-tidy registers mcm::EdbView as a handle class).
+#ifndef MCM_VIEW_OF
+#define MCM_VIEW_OF(T)  // no-op off Clang
+#endif

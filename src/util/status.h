@@ -10,6 +10,8 @@
 #include <string_view>
 #include <utility>
 
+#include "util/lifetime_annotations.h"
+
 namespace mcm {
 
 /// Machine-readable error category carried by a Status.
@@ -95,7 +97,7 @@ class [[nodiscard]] Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const MCM_LIFETIME_BOUND { return message_; }
 
   bool IsUnsafe() const { return code_ == StatusCode::kUnsafe; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -132,25 +134,29 @@ class [[nodiscard]] Result {
   }
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  const Status& status() const MCM_LIFETIME_BOUND { return status_; }
 
-  T& value() & {
+  // Value accessors are lifetimebound: binding a reference into a
+  // *temporary* Result (`const T& x = Compute().value();`) is the classic
+  // dangling shape and a compile diagnostic under the lifetime gate. Copy
+  // or move out of temporaries instead.
+  T& value() & MCM_LIFETIME_BOUND {
     assert(ok());
     return *value_;
   }
-  const T& value() const& {
+  const T& value() const& MCM_LIFETIME_BOUND {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  T&& value() && MCM_LIFETIME_BOUND {
     assert(ok());
     return std::move(*value_);
   }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  T& operator*() & MCM_LIFETIME_BOUND { return value(); }
+  const T& operator*() const& MCM_LIFETIME_BOUND { return value(); }
+  T* operator->() MCM_LIFETIME_BOUND { return &value(); }
+  const T* operator->() const MCM_LIFETIME_BOUND { return &value(); }
 
   /// Value if ok, otherwise `fallback`.
   T ValueOr(T fallback) const {

@@ -62,7 +62,7 @@ TEST_F(RuleEvalTest, JoinBindsThroughSharedVariable) {
   auto cr = Compile("p(X, Z) :- e(X, Y), e(Y, Z).");
   ASSERT_TRUE(cr.ok());
   Relation out("p", 2);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   EXPECT_EQ(Sorted(out), (std::vector<Tuple>{{1, 3}, {1, 4}}));
 }
 
@@ -73,7 +73,7 @@ TEST_F(RuleEvalTest, ConstantsActAsFilters) {
   auto cr = Compile("p(Y) :- e(1, Y).");
   ASSERT_TRUE(cr.ok());
   Relation out("p", 1);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   EXPECT_EQ(Sorted(out), (std::vector<Tuple>{{2}}));
 }
 
@@ -85,7 +85,7 @@ TEST_F(RuleEvalTest, SymbolConstantsInterned) {
   auto cr = Compile("p(Y) :- par(ann, Y).");
   ASSERT_TRUE(cr.ok());
   Relation out("p", 1);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out.PeekUnchecked(0)[0], bob);
 }
@@ -99,7 +99,7 @@ TEST_F(RuleEvalTest, NegationGuard) {
   auto cr = Compile("ok(X) :- v(X), not bad(X).");
   ASSERT_TRUE(cr.ok());
   Relation out("ok", 1);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   EXPECT_EQ(Sorted(out), (std::vector<Tuple>{{1}}));
 }
 
@@ -110,7 +110,7 @@ TEST_F(RuleEvalTest, NegationAgainstMissingRelationHolds) {
   ASSERT_TRUE(cr.ok());
   Relation out("ok", 1);
   RelationView view = FullView(&db_);
-  cr->Evaluate(view, &out);
+  (void)cr->Evaluate(view, &out);
   EXPECT_EQ(out.size(), 1u);
 }
 
@@ -121,7 +121,7 @@ TEST_F(RuleEvalTest, ComparisonGuard) {
   auto cr = Compile("inc(X, Y) :- v(X, Y), X < Y.");
   ASSERT_TRUE(cr.ok());
   Relation out("inc", 2);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   EXPECT_EQ(Sorted(out), (std::vector<Tuple>{{1, 5}}));
 }
 
@@ -133,7 +133,7 @@ TEST_F(RuleEvalTest, AffineHeadComputesOffset) {
   auto cr = Compile("cs2(J+1, X1) :- cs(J, X), l(X, X1).");
   ASSERT_TRUE(cr.ok());
   Relation out("cs2", 2);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out.PeekUnchecked(0), (Tuple{1, 11}));
 }
@@ -146,7 +146,7 @@ TEST_F(RuleEvalTest, AffineNegativeOffset) {
   auto cr = Compile("pc2(J-1, Y) :- pc(J, Y1), r(Y, Y1), J > 0.");
   ASSERT_TRUE(cr.ok());
   Relation out("pc2", 2);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out.PeekUnchecked(0), (Tuple{2, 19}));
 }
@@ -185,8 +185,8 @@ TEST_F(RuleEvalTest, CustomJoinOrderSameResult) {
   ASSERT_TRUE(forward.ok());
   ASSERT_TRUE(backward.ok());
   Relation out_f("j", 2), out_b("j", 2);
-  forward->Evaluate(FullView(&db_), &out_f);
-  backward->Evaluate(FullView(&db_), &out_b);
+  (void)forward->Evaluate(FullView(&db_), &out_f);
+  (void)backward->Evaluate(FullView(&db_), &out_b);
   EXPECT_EQ(Sorted(out_f), Sorted(out_b));
 }
 
@@ -231,7 +231,7 @@ TEST_F(RuleEvalTest, FullyBoundAtomBecomesMembershipTest) {
   auto cr = Compile("both(X, Y) :- e(X, Y), f(X, Y).");
   ASSERT_TRUE(cr.ok());
   Relation out("both", 2);
-  cr->Evaluate(FullView(&db_), &out);
+  (void)cr->Evaluate(FullView(&db_), &out);
   EXPECT_EQ(Sorted(out), (std::vector<Tuple>{{1, 2}}));
 }
 

@@ -1,0 +1,28 @@
+// Violation class 3: chaining a lookup off a temporary view. EdbView::Find
+// is lifetimebound on `this`, so storing its result past the view
+// temporary's death is rejected — the discipline that keeps every borrowed
+// pointer anchored to a named view whose scope is visible in the code.
+// Must fail under -DMCM_LIFETIME_SAFETY=ON with a diagnostic of the shape
+//   error: ... will be destroyed at the end of the full-expression
+
+#include <memory>
+
+#include "storage/edb_view.h"
+#include "storage/relation.h"
+#include "storage/versioned_store.h"
+
+namespace {
+
+size_t FindThroughTemporaryView(mcm::VersionedStore& store) {
+  std::shared_ptr<const mcm::EdbVersion> pin = store.Pin();
+  const mcm::Relation* rel =
+      mcm::EdbView(*pin).Find("edge");  // BUG: the view dies here
+  return rel != nullptr ? rel->size() : 0;
+}
+
+}  // namespace
+
+size_t McmLifetimeFailFindThroughTemporaryViewAnchor() {
+  mcm::VersionedStore store;
+  return FindThroughTemporaryView(store);
+}

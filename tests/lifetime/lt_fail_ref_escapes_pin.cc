@@ -1,0 +1,24 @@
+// Violation class 2: a reference escaping the Pin() expression. The
+// relation pointer is derived from a temporary pin via the lifetimebound
+// EdbVersion::Find, so it dangles as soon as the statement ends — exactly
+// the bug the epoch hot-swap makes fatal (the version can be retired the
+// moment its last pin drops). Must fail under -DMCM_LIFETIME_SAFETY=ON
+// with a diagnostic of the shape
+//   error: ... will be destroyed at the end of the full-expression
+
+#include "storage/relation.h"
+#include "storage/versioned_store.h"
+
+namespace {
+
+size_t RefEscapesPin(mcm::VersionedStore& store) {
+  const mcm::Relation* rel = store.Pin()->Find("edge");  // BUG: pin dies here
+  return rel != nullptr ? rel->size() : 0;
+}
+
+}  // namespace
+
+size_t McmLifetimeFailRefEscapesPinAnchor() {
+  mcm::VersionedStore store;
+  return RefEscapesPin(store);
+}

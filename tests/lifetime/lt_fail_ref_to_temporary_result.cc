@@ -1,0 +1,25 @@
+// Violation class 4: binding a reference into a temporary Result. The
+// Result dies at the end of the full-expression and takes the referenced
+// value with it — the classic `const T& x = Compute().value()` dangle the
+// lifetimebound accessors in util/status.h exist to catch. Must fail
+// under -DMCM_LIFETIME_SAFETY=ON with a diagnostic of the shape
+//   error: ... will be destroyed at the end of the full-expression
+
+#include <string>
+
+#include "util/status.h"
+
+namespace {
+
+mcm::Result<std::string> MakeName() { return std::string("edge"); }
+
+size_t RefToTemporaryResult() {
+  const std::string& name = MakeName().value();  // BUG: Result dies here
+  return name.size();
+}
+
+}  // namespace
+
+size_t McmLifetimeFailRefToTemporaryResultAnchor() {
+  return RefToTemporaryResult();
+}

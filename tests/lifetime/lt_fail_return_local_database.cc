@@ -1,0 +1,23 @@
+// Violation class 5: returning a lookup into a function-local database.
+// Database::Find is lifetimebound, so the returned pointer is tied to the
+// stack-allocated Database and dangles in the caller. Must fail under
+// -DMCM_LIFETIME_SAFETY=ON with a diagnostic of the shape
+//   error: address of stack memory associated with local variable 'db'
+// (-Wreturn-stack-address promoted to an error).
+
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace {
+
+const mcm::Relation* ReturnLocalLookup() {
+  mcm::Database db;
+  db.GetOrCreateRelation("edge", 2);
+  return db.Find("edge");  // BUG: db dies when the function returns
+}
+
+}  // namespace
+
+bool McmLifetimeFailReturnLocalDatabaseAnchor() {
+  return ReturnLocalLookup() != nullptr;
+}

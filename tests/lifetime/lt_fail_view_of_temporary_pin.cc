@@ -1,0 +1,24 @@
+// Violation class 1: a view outliving its pin. The pin (the shared_ptr
+// returned by VersionedStore::Pin) is a temporary that dies at the end of
+// the full-expression, so the EdbView is dangling the moment it exists.
+// Must fail under -DMCM_LIFETIME_SAFETY=ON with a diagnostic of the shape
+//   error: ... will be destroyed at the end of the full-expression
+// (EdbView's constructor parameter is MCM_LIFETIME_BOUND and EdbView is a
+// MCM_VIEW_OF type, so both -Wdangling and -Wdangling-gsl see through it).
+
+#include "storage/edb_view.h"
+#include "storage/versioned_store.h"
+
+namespace {
+
+size_t ViewOfTemporaryPin(mcm::VersionedStore& store) {
+  mcm::EdbView view(*store.Pin());  // BUG: the pin dies here
+  return view.TotalTuples();
+}
+
+}  // namespace
+
+size_t McmLifetimeFailViewOfTemporaryPinAnchor() {
+  mcm::VersionedStore store;
+  return ViewOfTemporaryPin(store);
+}

@@ -1,0 +1,53 @@
+// Positive control for the lifetime negative-compile suite: the exact
+// shapes the lt_fail_* sources get wrong, written correctly. If this
+// target fails to build, the suite's WILL_FAIL results are meaningless
+// (the harness is rejecting everything, not just the violations).
+
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/edb_view.h"
+#include "storage/relation.h"
+#include "storage/versioned_store.h"
+#include "util/status.h"
+
+namespace {
+
+// The sanctioned zero-copy read pattern: a NAMED pin anchors the version,
+// a NAMED view derives from the pin, lookups chain off the named view.
+// Every lifetime is scoped to the enclosing block — nothing escapes.
+size_t ReadThroughPinnedView(mcm::VersionedStore& store) {
+  std::shared_ptr<const mcm::EdbVersion> pin = store.Pin();
+  mcm::EdbView view(*pin);
+  const mcm::Relation* rel = view.Find("edge");
+  const mcm::Relation* direct = pin->Find("edge");
+  size_t n = rel != nullptr ? rel->size() : 0;
+  return n + (direct != nullptr ? direct->size() : 0);
+}
+
+mcm::Result<std::string> MakeName() { return std::string("edge"); }
+
+// Binding a reference into a NAMED Result is fine; so is moving the value
+// out of a temporary one.
+std::string UseResult() {
+  mcm::Result<std::string> res = MakeName();
+  const std::string& ref = res.value();
+  std::string moved = MakeName().value();
+  return ref + moved;
+}
+
+// Returning a lookup tied to a caller-owned database: the lifetimebound
+// annotation binds the result to the parameter, which outlives the call.
+const mcm::Relation* Lookup(mcm::Database& db) { return db.Find("edge"); }
+
+}  // namespace
+
+// Anchor so the object file exports at least one symbol and the anonymous
+// namespace above is odr-used.
+size_t McmLifetimePassControlAnchor() {
+  mcm::VersionedStore store;
+  mcm::Database db;
+  return ReadThroughPinnedView(store) + UseResult().size() +
+         (Lookup(db) != nullptr ? 1 : 0);
+}

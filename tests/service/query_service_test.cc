@@ -396,6 +396,52 @@ TEST_F(QueryServiceTest, StoreBackedServiceMatchesFrozenDatabaseAnswers) {
   EXPECT_EQ(resp.report.results.size(), want.report.results.size());
 }
 
+TEST_F(QueryServiceTest, ZeroCopyBaseMatchesDeepCopyAnswers) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  ServiceOptions copy_opts;
+  copy_opts.zero_copy_base = false;
+  QueryService copying(&store, copy_opts);
+  auto want = copying.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(want.outcome, Outcome::kOk) << want.status.ToString();
+
+  QueryService borrowing(&store, {});  // zero_copy_base defaults on
+  auto got = borrowing.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(got.outcome, Outcome::kOk) << got.status.ToString();
+
+  EXPECT_EQ(got.edb_epoch, want.edb_epoch);
+  ASSERT_EQ(got.report.results.size(), want.report.results.size());
+  for (size_t i = 0; i < want.report.results.size(); ++i) {
+    EXPECT_EQ(got.report.results[i], want.report.results[i]);
+  }
+}
+
+TEST_F(QueryServiceTest, ZeroCopyProgramFactsOnEdbPredicatesStayPrivate) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  UpdateBatch b;
+  b.CreateRelation("d", 1);
+  b.Insert("d", {"1"});
+  ASSERT_TRUE(store.Commit(b).ok());
+
+  QueryService svc(&store, {});
+  // The program adds a fact to the EDB predicate itself: the borrow must
+  // copy-on-write into the private working database, never the version.
+  QueryRequest req;
+  req.program_text = "d(2). q(X) :- d(X). q(X)?";
+  auto resp = svc.Submit(req)->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_EQ(resp.report.results.size(), 2u);
+
+  // The pinned version (and every later request) still sees one fact.
+  EXPECT_EQ(store.Pin()->Find("d")->size(), 1u);
+  auto after = svc.Submit(MembershipRequest())->Get();
+  ASSERT_EQ(after.outcome, Outcome::kOk) << after.status.ToString();
+  EXPECT_EQ(after.report.results.size(), 1u);
+}
+
 TEST_F(QueryServiceTest, SubmitPinsTheTipAgainstConcurrentCommits) {
   VersionedStore store;
   ASSERT_TRUE(store.Recover().ok());

@@ -137,6 +137,41 @@ TEST(Database, SnapshotIntoMergesIntoExistingRelations) {
   EXPECT_NE(st.message().find("arity mismatch"), std::string::npos);
 }
 
+TEST(Database, AttachBorrowedSharesAndCountsIntoDatabaseStats) {
+  auto base = std::make_shared<Relation>("edge", 2);
+  base->Insert2(1, 2);
+  base->Insert2(2, 3);
+
+  Database db;
+  auto attached = db.AttachBorrowed("edge", base);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  Relation* rel = *attached;
+  EXPECT_TRUE(rel->borrowed());
+  EXPECT_EQ(db.Find("edge"), rel);
+  EXPECT_EQ(rel->TuplesUnchecked().data(), base->TuplesUnchecked().data());
+
+  // Reads through the borrowed relation charge this database's stats,
+  // exactly like a copied snapshot would.
+  db.stats().Reset();
+  (void)rel->Scan();
+  EXPECT_EQ(db.stats().tuples_read, 2u);
+
+  // Writes copy-on-write: the shared base is never mutated.
+  EXPECT_TRUE(rel->Insert2(3, 4));
+  EXPECT_FALSE(rel->borrowed());
+  EXPECT_EQ(base->size(), 2u);
+  EXPECT_EQ(rel->size(), 3u);
+}
+
+TEST(Database, AttachBorrowedRejectsExistingName) {
+  auto base = std::make_shared<Relation>("edge", 2);
+  Database db;
+  db.GetOrCreateRelation("edge", 2);
+  auto attached = db.AttachBorrowed("edge", base);
+  ASSERT_FALSE(attached.ok());
+  EXPECT_EQ(attached.status().code(), StatusCode::kAlreadyExists);
+}
+
 TEST(Database, SnapshotIntoPinnedVersionsUnderConcurrentHotSwap) {
   // Regression for the concurrent-hot-swap audit (database.h): a frozen
   // Database may be snapshotted from many threads, and the versioned store

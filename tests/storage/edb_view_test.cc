@@ -1,0 +1,131 @@
+// EdbView: the zero-copy read seam over a pinned EdbVersion. These tests
+// pin versions of an in-memory VersionedStore and check that AttachTo
+// seeds a working database by borrowing (no tuple copy), that semantics
+// match SnapshotInto exactly (copy-on-write included), and that borrows
+// outlive an early pin release.
+#include "storage/edb_view.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/versioned_store.h"
+
+namespace mcm {
+namespace {
+
+/// A store with one committed batch: edge = {(1,2),(2,3)}, node = {(7)}.
+std::unique_ptr<VersionedStore> MakeStore() {
+  auto store = std::make_unique<VersionedStore>();
+  EXPECT_TRUE(store->Recover().ok());
+  UpdateBatch b;
+  b.CreateRelation("edge", 2);
+  b.Insert("edge", {"1", "2"});
+  b.Insert("edge", {"2", "3"});
+  b.CreateRelation("node", 1);
+  b.Insert("node", {"7"});
+  EXPECT_TRUE(store->Commit(b).ok());
+  return store;
+}
+
+TEST(EdbView, MirrorsThePinnedVersion) {
+  auto store = MakeStore();
+  auto pin = store->Pin();
+  EdbView view(*pin);
+  EXPECT_EQ(view.epoch(), pin->epoch());
+  EXPECT_EQ(view.TotalTuples(), 3u);
+  EXPECT_EQ(view.ApproxBytes(), pin->ApproxBytes());
+  ASSERT_NE(view.Find("edge"), nullptr);
+  EXPECT_EQ(view.Find("edge")->size(), 2u);
+  EXPECT_EQ(view.Find("missing"), nullptr);
+}
+
+TEST(EdbView, AttachToBorrowsEveryRelationWithoutCopying) {
+  auto store = MakeStore();
+  auto pin = store->Pin();
+  EdbView view(*pin);
+
+  Database work(&store->symbols());
+  ASSERT_TRUE(view.AttachTo(&work).ok());
+
+  ASSERT_NE(work.Find("edge"), nullptr);
+  ASSERT_NE(work.Find("node"), nullptr);
+  EXPECT_TRUE(work.Find("edge")->borrowed());
+  EXPECT_TRUE(work.Find("node")->borrowed());
+  // Shares the version's storage — the borrow IS the version's vector.
+  EXPECT_EQ(work.Find("edge")->TuplesUnchecked().data(),
+            pin->Find("edge")->TuplesUnchecked().data());
+  EXPECT_EQ(work.Find("edge")->size(), 2u);
+  EXPECT_TRUE(work.Find("edge")->Contains(Tuple{1, 2}));
+}
+
+TEST(EdbView, AttachToMatchesSnapshotIntoSemantics) {
+  auto store = MakeStore();
+  auto pin = store->Pin();
+
+  Database copied(&store->symbols());
+  ASSERT_TRUE(pin->SnapshotInto(&copied).ok());
+  Database borrowed(&store->symbols());
+  ASSERT_TRUE(EdbView(*pin).AttachTo(&borrowed).ok());
+
+  for (const std::string& name : {std::string("edge"), std::string("node")}) {
+    ASSERT_NE(copied.Find(name), nullptr);
+    ASSERT_NE(borrowed.Find(name), nullptr);
+    EXPECT_EQ(copied.Find(name)->TuplesUnchecked(),
+              borrowed.Find(name)->TuplesUnchecked());
+  }
+  // ApproxBytes (the service's memory-budget input) agrees too: borrowed
+  // tuples are charged as if owned.
+  EXPECT_EQ(copied.ApproxBytes(), borrowed.ApproxBytes());
+}
+
+TEST(EdbView, WorkingDatabaseWritesNeverReachTheVersion) {
+  auto store = MakeStore();
+  auto pin = store->Pin();
+  Database work(&store->symbols());
+  ASSERT_TRUE(EdbView(*pin).AttachTo(&work).ok());
+
+  // Derived (IDB) relations land next to the borrows, untouched semantics.
+  work.GetOrCreateRelation("path", 2)->Insert2(1, 3);
+  // A program fact on an EDB predicate: copy-on-write detach.
+  EXPECT_TRUE(work.Find("edge")->Insert2(9, 9));
+  EXPECT_FALSE(work.Find("edge")->borrowed());
+  EXPECT_EQ(work.Find("edge")->size(), 3u);
+
+  EXPECT_EQ(pin->Find("edge")->size(), 2u);
+  EXPECT_FALSE(pin->Find("edge")->Contains(Tuple{9, 9}));
+  EXPECT_EQ(pin->Find("path"), nullptr);
+}
+
+TEST(EdbView, AttachToRefusesANonEmptyTarget) {
+  auto store = MakeStore();
+  auto pin = store->Pin();
+  Database work(&store->symbols());
+  work.GetOrCreateRelation("edge", 2);
+  Status st = EdbView(*pin).AttachTo(&work);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(EdbView, BorrowsSurviveEarlyPinRelease) {
+  auto store = MakeStore();
+  Database work(&store->symbols());
+  {
+    auto pin = store->Pin();
+    ASSERT_TRUE(EdbView(*pin).AttachTo(&work).ok());
+  }  // pin released; each borrow's shared_ptr keeps the relations alive
+
+  // Commit more epochs and checkpoint-style churn on top.
+  UpdateBatch b;
+  b.Insert("edge", {"5", "6"});
+  ASSERT_TRUE(store->Commit(b).ok());
+
+  EXPECT_EQ(work.Find("edge")->size(), 2u);  // still the old epoch's view
+  EXPECT_TRUE(work.Find("edge")->Contains(Tuple{2, 3}));
+}
+
+}  // namespace
+}  // namespace mcm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 namespace mcm {
 namespace {
@@ -153,6 +154,109 @@ TEST(RelationStats, PeekUncheckedIsFree) {
   r.PeekUnchecked(0);
   r.TuplesUnchecked();
   EXPECT_EQ(stats.tuples_read, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Borrow mode (zero-copy snapshots, storage/relation.h "Borrow mode")
+
+std::shared_ptr<Relation> FrozenEdge() {
+  auto base = std::make_shared<Relation>("edge", 2);
+  base->Insert(Tuple{1, 2});
+  base->Insert(Tuple{2, 3});
+  base->Insert(Tuple{3, 4});
+  return base;
+}
+
+TEST(RelationBorrow, SharesBaseStorageWithoutCopying) {
+  auto base = FrozenEdge();
+  Relation b = Relation::Borrow(base, nullptr);
+  EXPECT_TRUE(b.borrowed());
+  EXPECT_EQ(b.name(), "edge");
+  EXPECT_EQ(b.arity(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  // Literally the same backing vector, not an equal copy.
+  EXPECT_EQ(b.TuplesUnchecked().data(), base->TuplesUnchecked().data());
+  EXPECT_TRUE(b.Contains(Tuple{2, 3}));
+  EXPECT_FALSE(b.Contains(Tuple{9, 9}));
+}
+
+TEST(RelationBorrow, ProbeBuildsPrivateIndexAndChargesBorrowerStats) {
+  AccessStats borrower_stats;
+  AccessStats base_stats;
+  auto base = std::make_shared<Relation>("t", 2, &base_stats);
+  base->Insert(Tuple{1, 10});
+  base->Insert(Tuple{1, 11});
+  base->Insert(Tuple{2, 20});
+  base_stats.Reset();
+
+  Relation b = Relation::Borrow(base, &borrower_stats);
+  const auto& ids = b.Probe({0}, {1});
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(borrower_stats.tuples_read, 2u);
+  EXPECT_EQ(borrower_stats.probes, 1u);
+  // The frozen base was only read through its raw storage: its own
+  // instrumentation (and lazy index cache) is untouched.
+  EXPECT_EQ(base_stats.tuples_read, 0u);
+  EXPECT_EQ(base_stats.probes, 0u);
+}
+
+TEST(RelationBorrow, ReinsertingExistingTupleIsANoOpWithoutMaterializing) {
+  auto base = FrozenEdge();
+  Relation b = Relation::Borrow(base, nullptr);
+  EXPECT_FALSE(b.Insert(Tuple{1, 2}));  // already in the base
+  EXPECT_TRUE(b.borrowed());            // still zero-copy
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(RelationBorrow, FirstNovelInsertMaterializesCopyOnWrite) {
+  auto base = FrozenEdge();
+  Relation b = Relation::Borrow(base, nullptr);
+  // Build an index over the shared storage first: ids must survive the
+  // materialization (they are preserved by construction).
+  EXPECT_EQ(b.Probe({0}, {1}).size(), 1u);
+
+  EXPECT_TRUE(b.Insert(Tuple{4, 5}));
+  EXPECT_FALSE(b.borrowed());
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(b.Contains(Tuple{4, 5}));
+  EXPECT_TRUE(b.Contains(Tuple{1, 2}));
+  EXPECT_EQ(b.Probe({0}, {4}).size(), 1u);
+  // The frozen base never sees the borrower's writes.
+  EXPECT_EQ(base->size(), 3u);
+  EXPECT_FALSE(base->Contains(Tuple{4, 5}));
+}
+
+TEST(RelationBorrow, BorrowKeepsBaseAliveAfterOwnerReleases) {
+  auto base = FrozenEdge();
+  Relation b = Relation::Borrow(base, nullptr);
+  base.reset();  // the borrower's shared_ptr is now the only owner
+  EXPECT_TRUE(b.borrowed());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.Contains(Tuple{3, 4}));
+  EXPECT_EQ(b.Scan().size(), 3u);
+}
+
+TEST(RelationBorrow, BorrowOfBorrowCollapsesToTheRootOwner) {
+  auto base = FrozenEdge();
+  auto first = std::make_shared<Relation>(Relation::Borrow(base, nullptr));
+  Relation second = Relation::Borrow(first, nullptr);
+  first.reset();  // must not matter: `second` chains to `base` directly
+  EXPECT_TRUE(second.borrowed());
+  EXPECT_EQ(second.size(), 3u);
+  EXPECT_EQ(second.TuplesUnchecked().data(),
+            base->TuplesUnchecked().data());
+}
+
+TEST(RelationBorrow, ClearReleasesTheBorrow) {
+  auto base = FrozenEdge();
+  Relation b = Relation::Borrow(base, nullptr);
+  b.Clear();
+  EXPECT_FALSE(b.borrowed());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(base->size(), 3u);  // base untouched
+  // Reusable as an ordinary owned relation afterwards.
+  EXPECT_TRUE(b.Insert(Tuple{7, 8}));
+  EXPECT_EQ(b.size(), 1u);
 }
 
 TEST(Relation, ToStringMentionsNameAndSize) {
