@@ -1,0 +1,168 @@
+// Replication-path costs, end to end: frame codec throughput, the
+// commit->ship->apply round trip over an in-process pipe, and raw socket
+// loopback throughput through the SocketSink/SocketSource transport.
+//
+// The interesting ratios in BENCH_bench_replication.json:
+//   frame codec bytes/s    the CRC32 + header overhead floor — everything
+//                          else in the stream pays at least this much
+//   ship/apply items/s     whole-epoch replication rate (WAL read, frame
+//                          encode/decode, batch re-apply on the replica)
+//   loopback bytes/s       what the TCP hop adds over the in-process pipe;
+//                          the gap to the codec rate is syscall + copy cost
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "storage/net_transport.h"
+#include "storage/replication.h"
+#include "storage/versioned_store.h"
+#include "util/socket.h"
+
+namespace mcm::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+using mcm::EncodeFrame;
+using mcm::Follower;
+using mcm::FrameDecoder;
+using mcm::InProcessPipe;
+using mcm::kFrameRecord;
+using mcm::SocketSink;
+using mcm::SocketSource;
+using mcm::UpdateBatch;
+using mcm::VersionedStore;
+using mcm::WalShipper;
+
+/// A scratch store directory under the bench working directory, recreated
+/// empty on every call so repeated runs do not replay old WALs.
+std::string FreshDir(const std::string& name) {
+  fs::path p = fs::path("bench_replication_tmp") / name;
+  std::error_code ec;
+  fs::remove_all(p, ec);
+  fs::create_directories(p, ec);
+  return p.string();
+}
+
+// Encode one record frame and decode it back: header packing, CRC32 over
+// the payload, and the decoder's buffered reassembly.
+void ReplicationFrameCodec(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  FrameDecoder decoder;
+  uint64_t epoch = 0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string frame = EncodeFrame(kFrameRecord, ++epoch, payload);
+    bytes += static_cast<int64_t>(frame.size());
+    decoder.Feed(frame);
+    Result<std::optional<mcm::ReplFrame>> next = decoder.Next();
+    if (!next.ok() || !next->has_value()) {
+      state.SkipWithError("frame did not round-trip");
+      return;
+    }
+    benchmark::DoNotOptimize((*next)->payload);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(ReplicationFrameCodec)->Arg(64)->Arg(4096)->Arg(65536);
+
+// One replicated epoch, end to end: primary Commit (WAL append + fsync),
+// WalShipper::Pump (WAL tail read + frame encode), Follower::Poll (decode
+// + re-apply on the replica). items/s = replicated epochs per second.
+void ReplicationShipApply(benchmark::State& state) {
+  const std::string dir = FreshDir("primary");
+  VersionedStore primary({dir});
+  VersionedStore replica({FreshDir("replica")});
+  if (!primary.Recover().ok() || !replica.Recover().ok()) {
+    state.SkipWithError("store recovery failed");
+    return;
+  }
+  UpdateBatch create;
+  create.CreateRelation("e", 2);
+  if (!primary.Commit(create).ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+
+  InProcessPipe pipe;
+  WalShipper::Options ship_opts;
+  ship_opts.dir = dir;
+  ship_opts.primary = &primary;
+  WalShipper shipper(ship_opts, &pipe);
+  Follower follower(&replica, &pipe);
+  if (!shipper.Pump(0).ok() || !follower.Poll().ok()) {
+    state.SkipWithError("initial sync failed");
+    return;
+  }
+
+  uint64_t i = 0;
+  for (auto _ : state) {
+    UpdateBatch b;
+    b.Insert("e", {std::to_string(i), std::to_string(i + 1)});
+    ++i;
+    if (!primary.Commit(b).ok() || !shipper.Pump().ok() ||
+        !follower.Poll().ok()) {
+      state.SkipWithError("replication round failed");
+      return;
+    }
+  }
+  if (follower.health().applied_epoch != primary.TipEpoch()) {
+    state.SkipWithError("replica diverged");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(ReplicationShipApply)->Unit(benchmark::kMicrosecond);
+
+// Raw transport throughput over a real loopback TCP connection: one
+// SocketSink::Write per iteration, drained by the paired SocketSource in
+// the same thread (chunks stay under the kernel's loopback buffer, so the
+// single-threaded ping-pong never deadlocks).
+void ReplicationSocketLoopback(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  auto listener = util::Listener::Bind(0);
+  if (!listener.ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  auto client = util::Socket::Connect("127.0.0.1", listener->port(),
+                                      /*timeout_ms=*/1000);
+  auto served = listener->Accept(/*timeout_ms=*/1000);
+  if (!client.ok() || !served.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  SocketSink sink(std::move(*client));
+  SocketSource::Options src_opts;
+  src_opts.read_timeout_ms = 1000;
+  SocketSource source(std::move(*served), src_opts);
+
+  const std::string payload(chunk, 'x');
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    if (!sink.Write(payload).ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    size_t got = 0;
+    while (got < chunk) {
+      Result<std::string> r = source.Read(chunk - got);
+      if (!r.ok() || r->empty()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+      got += r->size();
+    }
+    bytes += static_cast<int64_t>(got);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(ReplicationSocketLoopback)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

@@ -13,13 +13,24 @@
 //                    Without it the store is in-memory (hot-swap only).
 //   --follow DIR     warm-standby mode: DIR is a *primary's* store
 //                    directory. The server bootstraps a follower store from
-//                    DIR's checkpoint/WAL (re-syncing before every query),
-//                    serves read-only queries at its applied epoch, and
-//                    rejects UPDATE/CHECKPOINT until PROMOTE. Combine with
+//                    DIR's checkpoint/WAL via a paced FileTailSource
+//                    (bounded poll interval, capped backoff — never a busy
+//                    loop) and re-syncs before every query, serves
+//                    read-only queries at its applied epoch, and rejects
+//                    UPDATE/CHECKPOINT until PROMOTE. Combine with
 //                    --store OWNDIR to make the standby itself durable; a
 //                    standby that fell behind the primary's retained WAL is
 //                    reseeded automatically (its own state is wiped and
 //                    rebuilt from the primary checkpoint).
+//   --listen-repl PORT   (primary, needs --store) serve the replication
+//                    stream over TCP on 127.0.0.1:PORT: a background
+//                    thread accepts one follower at a time and pumps the
+//                    WAL to it continuously.
+//   --connect-repl HOST:PORT  warm-standby over TCP: like --follow, but
+//                    the frames arrive from a primary running with
+//                    --listen-repl instead of from a shared directory.
+//                    Dead links are reconnected with capped jittered
+//                    backoff; a torn stream reseeds the standby.
 //   --workers        worker threads (default 4)
 //   --queue-depth    bounded admission queue (default 64)
 //   --default-timeout-ms  per-request deadline when a line has none
@@ -38,6 +49,11 @@
 // Line protocol (stdin):
 //   p(0, Y)?                 submit this query against the rules
 //   @timeout=250 p(0, Y)?    ... with a 250ms deadline (queue wait counts)
+//   @max_lag=2 p(0, Y)?      (replica) answer only if the pinned epoch is
+//                            within 2 epochs of the primary's acked tip;
+//                            sheds with kUnavailable otherwise
+//   @stale_ok @max_lag=2 ... ... but over the bound serve anyway, marking
+//                            the answer "stale@epoch N"
 //   UPDATE <op>; <op>; ...   atomically commit one update batch:
 //                              +rel(v1, v2)   insert a fact
 //                              -rel(v1, v2)   delete a fact
@@ -53,9 +69,10 @@
 //                            DataLoss when the primary acknowledged epochs
 //                            this standby never received (promoting would
 //                            silently lose them).
-//   :stats                   print a service stats snapshot (in --follow
-//                            mode this includes tip/applied epochs and
-//                            replication_lag_epochs)
+//   :stats                   print a service stats snapshot (replica modes
+//                            add tip/applied epochs, replication_lag_epochs,
+//                            stale_served, staleness_shed, and the flap /
+//                            failover / reseed counters)
 //   # ...                    comment; blank lines are skipped
 //
 // UPDATE / CHECKPOINT are applied (and answered) immediately in stream
@@ -64,6 +81,8 @@
 //   [3] ok: 17 tuples @epoch 2 in 0.82ms (queue 0.05ms, retries 0)
 //   [4] deadline_before_start: deadline expired after 51.2ms in queue, ...
 // and a final stats dump goes to stderr.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,14 +92,18 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "datalog/parser.h"
+#include "runtime/execution_context.h"
 #include "service/query_service.h"
 #include "storage/io.h"
+#include "storage/net_transport.h"
 #include "storage/replication.h"
 #include "storage/versioned_store.h"
+#include "util/socket.h"
 #include "util/string_util.h"
 
 using namespace mcm;
@@ -177,6 +200,9 @@ int main(int argc, char** argv) {
   std::string method = "auto";
   std::string store_dir;
   std::string follow_dir;
+  std::string connect_repl;  // "host:port", empty = off
+  uint16_t listen_repl_port = 0;
+  bool listen_repl = false;
   service::ServiceOptions opts;
   opts.max_retries = 2;
   std::vector<std::pair<std::string, std::string>> facts;
@@ -204,6 +230,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--follow") {
       follow_dir = next();
       if (follow_dir.empty()) return Fail("--follow expects DIR");
+    } else if (arg == "--listen-repl") {
+      if (!next_u64(&n) || n > 65535) {
+        return Fail("--listen-repl expects PORT");
+      }
+      listen_repl = true;
+      listen_repl_port = static_cast<uint16_t>(n);
+    } else if (arg == "--connect-repl") {
+      connect_repl = next();
+      if (connect_repl.find(':') == std::string::npos) {
+        return Fail("--connect-repl expects HOST:PORT");
+      }
     } else if (arg == "--workers") {
       if (!next_u64(&n) || n == 0) return Fail("--workers expects N > 0");
       opts.workers = static_cast<size_t>(n);
@@ -248,13 +285,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool follow_mode = !follow_dir.empty();
-  if (follow_mode && !facts.empty()) {
-    return Fail("--fact is incompatible with --follow (the replication "
-                "stream is the standby's only source of state)");
+  const bool net_follow = !connect_repl.empty();
+  const bool follow_mode = !follow_dir.empty() || net_follow;
+  if (!follow_dir.empty() && net_follow) {
+    return Fail("--follow and --connect-repl are mutually exclusive");
   }
-  if (follow_mode && store_dir == follow_dir) {
+  if (follow_mode && !facts.empty()) {
+    return Fail("--fact is incompatible with a standby mode (the "
+                "replication stream is the standby's only source of state)");
+  }
+  if (!follow_dir.empty() && store_dir == follow_dir) {
     return Fail("--store and --follow must name different directories");
+  }
+  if (listen_repl && store_dir.empty()) {
+    return Fail("--listen-repl needs --store DIR (the shipped directory)");
+  }
+  if (listen_repl && follow_mode) {
+    return Fail("--listen-repl is a primary-side flag; a standby cannot "
+                "also ship");
   }
 
   // Epoch-versioned EDB. With --store this recovers whatever checkpoint +
@@ -299,38 +347,93 @@ int main(int argc, char** argv) {
   }
   svc = std::make_unique<service::QueryService>(store.get(), opts);
 
-  // Warm-standby plumbing: shipper tails the primary's files, the pipe
-  // carries frames, the follower applies them into this process's store.
-  std::unique_ptr<InProcessPipe> pipe;
-  std::unique_ptr<WalShipper> shipper;
+  // Warm-standby plumbing. --follow: a paced FileTailSource reads the
+  // primary's directory (bounded poll interval, capped backoff) and the
+  // follower applies its frames. --connect-repl: a SocketSource reads the
+  // frames a remote --listen-repl primary pumps at us; dead links are
+  // reconnected under runtime::TransientPolicy::NextDelay pacing — the
+  // same schedule the query service uses for its retries.
+  std::unique_ptr<FileTailSource> tail;
+  std::unique_ptr<SocketSource> net_source;
   std::unique_ptr<Follower> follower;
   bool promoted = false;
-  auto connect_follower = [&]() {
-    pipe = std::make_unique<InProcessPipe>();
-    WalShipper::Options ship_opts;
-    ship_opts.dir = follow_dir;
-    shipper = std::make_unique<WalShipper>(ship_opts, pipe.get());
-    follower = std::make_unique<Follower>(store.get(), pipe.get());
-  };
-  // One synchronous catch-up round: ship everything past the applied
-  // epoch, apply it, publish the gauges.
-  auto sync_follower = [&]() -> Status {
-    Status st = shipper->Pump(follower->health().applied_epoch);
-    if (st.ok()) st = follower->Poll();
+  uint64_t repl_flaps = 0, repl_failovers = 0, repl_reseeds = 0;
+  const runtime::TransientPolicy repl_pacing;
+  auto publish_gauges = [&]() {
     Follower::Health h = follower->health();
     svc->ReportReplication(h.primary_tip_epoch, h.applied_epoch);
+    svc->ReportReplicationEvents(repl_flaps, repl_failovers, repl_reseeds);
+  };
+  auto connect_follower = [&]() -> Status {
+    if (net_follow) {
+      size_t colon = connect_repl.rfind(':');
+      std::string host = connect_repl.substr(0, colon);
+      uint16_t port = static_cast<uint16_t>(
+          std::strtoul(connect_repl.c_str() + colon + 1, nullptr, 10));
+      auto sock = util::Socket::Connect(host, port, /*timeout_ms=*/1000);
+      if (!sock.ok()) return sock.status();
+      SocketSource::Options src_opts;
+      src_opts.read_timeout_ms = 25;
+      net_source =
+          std::make_unique<SocketSource>(std::move(*sock), src_opts);
+      follower = std::make_unique<Follower>(store.get(), net_source.get());
+      return Status::OK();
+    }
+    FileTailSource::Options tail_opts;
+    tail_opts.dir = follow_dir;
+    tail_opts.start_epoch = store->TipEpoch();
+    tail = std::make_unique<FileTailSource>(tail_opts);
+    follower = std::make_unique<Follower>(store.get(), tail.get());
+    return Status::OK();
+  };
+  // One catch-up round: drain what the transport has, publish the gauges.
+  // Over the network the remote primary pumps on its own schedule, so poll
+  // until the lag stops shrinking (bounded); a cleanly-ended stream or a
+  // string of connect failures counts one flap and is reconnected with
+  // backed-off delays, resuming from the store tip.
+  auto sync_follower = [&]() -> Status {
+    Status st = Status::OK();
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      if (follower == nullptr || (net_follow && follower->stream_ended())) {
+        if (attempt == 0) ++repl_flaps;
+        follower.reset();
+        net_source.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            repl_pacing.NextDelay(attempt, /*seed=*/0x73657276ULL)));
+        st = connect_follower();
+        if (!st.ok()) continue;
+      }
+      uint64_t before = follower->health().applied_epoch;
+      st = follower->Poll();
+      if (!st.ok()) break;  // caller classifies sticky vs transient
+      Follower::Health h = follower->health();
+      if (!net_follow) break;  // one paced directory read per sync
+      if (h.lag_epochs() == 0 && h.primary_tip_epoch > 0 &&
+          !follower->stream_ended()) {
+        break;
+      }
+      if (h.applied_epoch == before) {
+        // No progress: give the remote pump a beat, then try again.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    if (follower != nullptr) publish_gauges();
     return st;
   };
   // Catch-up with the reseed path: a standby that outran the retained WAL
-  // (kFailedPrecondition) is wiped and rebuilt from the primary snapshot.
+  // (kFailedPrecondition) or received a torn stream (kDataLoss) is wiped
+  // and rebuilt from the primary snapshot.
   auto sync_or_reseed = [&]() -> Status {
     Status st = sync_follower();
-    if (!st.IsFailedPrecondition()) return st;
+    if (!st.IsFailedPrecondition() && !st.IsDataLoss()) return st;
     std::fprintf(stderr, "mcm-serve: standby reseed: %s\n",
                  st.ToString().c_str());
+    ++repl_reseeds;
     svc->Shutdown(/*drain=*/true);
     svc.reset();
     follower.reset();
+    tail.reset();
+    net_source.reset();
     store.reset();
     if (!store_dir.empty()) {
       std::error_code ec;
@@ -342,14 +445,52 @@ int main(int argc, char** argv) {
     }
     MCM_RETURN_NOT_OK(open_store());
     svc = std::make_unique<service::QueryService>(store.get(), opts);
-    connect_follower();
+    MCM_RETURN_NOT_OK(connect_follower());
     return sync_follower();
   };
   if (follow_mode) {
-    connect_follower();
+    if (Status st = connect_follower(); !st.ok()) {
+      return Fail("standby connect: " + st.ToString());
+    }
     if (Status st = sync_or_reseed(); !st.ok()) {
       return Fail("follow: " + st.ToString());
     }
+  }
+
+  // Primary-side replication server: accept one follower at a time on the
+  // loopback and pump the WAL at it until the link dies or we shut down.
+  // Shipping reads the same files Commit appends to — safe while sharing
+  // the store object (the acked-tip cap keeps un-fsynced tails private).
+  std::unique_ptr<util::Listener> repl_listener;
+  std::atomic<bool> repl_stop{false};
+  std::thread repl_server;
+  if (listen_repl) {
+    auto bound = util::Listener::Bind(listen_repl_port);
+    if (!bound.ok()) {
+      return Fail("--listen-repl: " + bound.status().ToString());
+    }
+    repl_listener = std::make_unique<util::Listener>(std::move(*bound));
+    std::fprintf(stderr, "mcm-serve: shipping replication on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(repl_listener->port()));
+    repl_server = std::thread([&] {
+      while (!repl_stop.load(std::memory_order_relaxed)) {
+        auto conn = repl_listener->Accept(/*timeout_ms=*/200);
+        if (!conn.ok()) continue;  // timeout or transient: keep listening
+        SocketSink sink(std::move(*conn));
+        WalShipper::Options ship_opts;
+        ship_opts.dir = store_dir;
+        ship_opts.primary = store.get();
+        WalShipper shipper(ship_opts, &sink);
+        // Fresh connection: ship from scratch (the follower's redelivery
+        // no-op absorbs the overlap), then incrementally.
+        Status shipped = shipper.Pump(0);
+        while (shipped.ok() && !repl_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          shipped = shipper.Pump();
+        }
+        // Peer gone (or shutdown): drop the connection, accept the next.
+      }
+    });
   }
   std::vector<std::shared_ptr<service::QueryTicket>> tickets;
   int protocol_failures = 0;
@@ -403,7 +544,8 @@ int main(int argc, char** argv) {
     }
     if (trimmed == "PROMOTE") {
       if (!follow_mode) {
-        std::printf("promote error: not a standby (no --follow)\n");
+        std::printf(
+            "promote error: not a standby (no --follow / --connect-repl)\n");
       } else if (promoted) {
         std::printf("promote: already primary at epoch %llu\n",
                     static_cast<unsigned long long>(store->TipEpoch()));
@@ -413,6 +555,8 @@ int main(int argc, char** argv) {
         if (st.ok()) st = follower->Promote();
         if (st.ok()) {
           promoted = true;
+          ++repl_failovers;
+          publish_gauges();
           std::printf("promote: serving writes at epoch %llu\n",
                       static_cast<unsigned long long>(store->TipEpoch()));
         } else {
@@ -435,21 +579,44 @@ int main(int argc, char** argv) {
     }
 
     service::QueryRequest req;
-    if (StartsWith(trimmed, "@timeout=")) {
+    bool prefix_error = false;
+    while (!trimmed.empty() && trimmed[0] == '@') {
       size_t sp = trimmed.find(' ');
       if (sp == std::string_view::npos) {
-        std::printf("[-] error: @timeout=N must be followed by a query\n");
-        continue;
+        std::printf("[-] error: @-prefixes must be followed by a query\n");
+        prefix_error = true;
+        break;
       }
-      char* end = nullptr;
-      std::string num(trimmed.substr(9, sp - 9));
-      req.timeout_ms = std::strtoull(num.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') {
-        std::printf("[-] error: bad @timeout value '%s'\n", num.c_str());
-        continue;
+      std::string_view tok = trimmed.substr(0, sp);
+      if (StartsWith(tok, "@timeout=")) {
+        char* end = nullptr;
+        std::string num(tok.substr(9));
+        req.timeout_ms = std::strtoull(num.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::printf("[-] error: bad @timeout value '%s'\n", num.c_str());
+          prefix_error = true;
+          break;
+        }
+      } else if (StartsWith(tok, "@max_lag=")) {
+        char* end = nullptr;
+        std::string num(tok.substr(9));
+        req.max_lag_epochs = std::strtoull(num.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::printf("[-] error: bad @max_lag value '%s'\n", num.c_str());
+          prefix_error = true;
+          break;
+        }
+      } else if (tok == "@stale_ok") {
+        req.serve_stale = true;
+      } else {
+        std::printf("[-] error: unknown prefix '%.*s'\n",
+                    static_cast<int>(tok.size()), tok.data());
+        prefix_error = true;
+        break;
       }
       trimmed = Trim(trimmed.substr(sp + 1));
     }
+    if (prefix_error) continue;
     if (method == "auto") {
       req.planner.auto_select = true;
     } else if (method == "counting") {
@@ -469,10 +636,10 @@ int main(int argc, char** argv) {
       const std::string& method_used =
           resp.report.attempts.empty() ? std::string("?")
                                        : resp.report.attempts.back().method;
-      std::printf("[%llu] ok: %zu tuples @epoch %llu in %.2fms (queue "
+      std::printf("[%llu] ok: %zu tuples %s@epoch %llu in %.2fms (queue "
                   "%.2fms, method %s, retries %d%s)\n",
                   static_cast<unsigned long long>(ticket->id()),
-                  resp.report.results.size(),
+                  resp.report.results.size(), resp.stale ? "stale" : "",
                   static_cast<unsigned long long>(resp.edb_epoch),
                   resp.run_seconds * 1e3, resp.queue_seconds * 1e3,
                   method_used.c_str(), resp.retries,
@@ -487,6 +654,10 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
+  if (repl_server.joinable()) {
+    repl_stop.store(true, std::memory_order_relaxed);
+    repl_server.join();
+  }
   svc->Shutdown(/*drain=*/true);
   std::fprintf(stderr, "mcm-serve: %s\n", svc->stats().ToString().c_str());
   return failures == 0 && protocol_failures == 0 ? 0 : 1;

@@ -1,5 +1,6 @@
 #include "runtime/execution_context.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace mcm::runtime {
@@ -45,6 +46,30 @@ AbortReason ClassifyAbort(const Status& status) {
     default:
       return AbortReason::kNone;
   }
+}
+
+uint64_t TransientPolicy::NextDelay(int attempt, uint64_t seed) const {
+  if (backoff_cap_ms == 0) return 1;
+  uint64_t base = backoff_base_ms == 0 ? 1 : backoff_base_ms;
+  // Saturating base << attempt: 64 doublings overflow long before any real
+  // retry loop gets there, and the cap makes the exact value moot anyway.
+  uint64_t exp = attempt >= 64 ? backoff_cap_ms
+                               : std::min(base << attempt, backoff_cap_ms);
+  exp = std::min(exp, backoff_cap_ms);
+  double jitter = backoff_jitter;
+  if (jitter < 0.0) jitter = 0.0;
+  if (jitter > 1.0) jitter = 1.0;
+  if (jitter > 0.0) {
+    // SplitMix64 over (seed, attempt): deterministic per retrier, spread
+    // across retriers. Subtract-only keeps the cap a hard bound.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(attempt) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    double frac = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+    exp -= static_cast<uint64_t>(static_cast<double>(exp) * jitter * frac);
+  }
+  return exp == 0 ? 1 : exp;
 }
 
 bool IsTransient(const Status& status, const TransientPolicy& policy) {

@@ -53,6 +53,29 @@ struct TransientPolicy {
   /// service may opt in when cancellation can come from infrastructure
   /// rather than the client.
   bool cancelled = false;
+
+  // -------------------------------------------------------------------------
+  // Retry pacing. Deciding *whether* to retry (IsTransient) and deciding
+  // *when* share one policy object so every retry loop in the system —
+  // QueryService transient retries, supervisor reconnects — paces the same
+  // way: exponential growth from `backoff_base_ms`, capped at
+  // `backoff_cap_ms`, with a deterministic seeded jitter that de-synchronizes
+  // peers without making tests flaky.
+
+  /// First-retry delay; attempt k waits ~base << k.
+  uint64_t backoff_base_ms = 5;
+  /// Upper bound on any single delay.
+  uint64_t backoff_cap_ms = 250;
+  /// Fraction of the exponential delay that jitter may subtract (0 = none,
+  /// 0.25 = up to a quarter). Jitter only ever shortens the wait, so the
+  /// cap above stays a true bound.
+  double backoff_jitter = 0.25;
+
+  /// Delay in ms before retry number `attempt` (0-based). `seed` selects
+  /// the jitter stream — pass something request- or replica-unique so
+  /// concurrent retriers spread out instead of thundering in lockstep.
+  /// Deterministic in (attempt, seed); always >= 1 and <= backoff_cap_ms.
+  uint64_t NextDelay(int attempt, uint64_t seed) const;
 };
 
 /// True when `status` is worth retrying under `policy`: kUnavailable

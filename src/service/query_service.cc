@@ -70,10 +70,17 @@ std::string ServiceStats::ToString() const {
   if (replica) {
     out += StringPrintf(
         " | replica: tip epoch %llu, applied epoch %llu, "
-        "replication_lag_epochs %llu",
+        "replication_lag_epochs %llu, stale_served %llu, staleness_shed "
+        "%llu, replication_flaps %llu, replication_failovers %llu, "
+        "replication_reseeds %llu",
         static_cast<unsigned long long>(replication_tip_epoch),
         static_cast<unsigned long long>(replication_applied_epoch),
-        static_cast<unsigned long long>(replication_lag_epochs));
+        static_cast<unsigned long long>(replication_lag_epochs),
+        static_cast<unsigned long long>(stale_served),
+        static_cast<unsigned long long>(staleness_shed),
+        static_cast<unsigned long long>(replication_flaps),
+        static_cast<unsigned long long>(replication_failovers),
+        static_cast<unsigned long long>(replication_reseeds));
   }
   return out;
 }
@@ -153,14 +160,41 @@ std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
   } else if (queue_.size() >= options_.queue_depth) {
     shed_status = Status::Unavailable(
         StringPrintf("admission queue full (%zu waiting)", queue_.size()));
-  } else if (pending->deadline && options_.shed_unmeetable_deadlines) {
-    double est = EstimatedQueueWaitLocked();
-    double budget = static_cast<double>(timeout_ms) / 1e3;
-    if (est > budget) {
-      shed_status = Status::Unavailable(StringPrintf(
-          "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
-          "queue wait",
-          budget * 1e3, est * 1e3));
+  } else {
+    // Staleness routing (replica mode): lag is the primary's freshest
+    // acked tip (as reported by the replication loop) minus the epoch
+    // this request just pinned. Within bound: proceed. Beyond bound:
+    // serve stale when the request opted in, else shed so the caller can
+    // route to a fresher replica.
+    if (pending->snapshot != nullptr && stats_.replica) {
+      uint64_t pinned = pending->snapshot->epoch();
+      pending->observed_tip = std::max(stats_.replication_tip_epoch, pinned);
+      pending->observed_lag = pending->observed_tip - pinned;
+      if (pending->observed_lag > pending->request.max_lag_epochs) {
+        if (pending->request.serve_stale) {
+          pending->stale = true;
+          ++stats_.stale_served;
+        } else {
+          ++stats_.staleness_shed;
+          shed_status = Status::Unavailable(StringPrintf(
+              "replica too stale: lag %llu epochs exceeds the requested "
+              "bound of %llu",
+              static_cast<unsigned long long>(pending->observed_lag),
+              static_cast<unsigned long long>(
+                  pending->request.max_lag_epochs)));
+        }
+      }
+    }
+    if (shed_status.ok() && pending->deadline &&
+        options_.shed_unmeetable_deadlines) {
+      double est = EstimatedQueueWaitLocked();
+      double budget = static_cast<double>(timeout_ms) / 1e3;
+      if (est > budget) {
+        shed_status = Status::Unavailable(StringPrintf(
+            "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
+            "queue wait",
+            budget * 1e3, est * 1e3));
+      }
     }
   }
   if (!shed_status.ok()) {
@@ -168,6 +202,8 @@ std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
     resp.outcome = Outcome::kRejectedOverload;
     resp.status = std::move(shed_status);
     if (pending->snapshot) resp.edb_epoch = pending->snapshot->epoch();
+    resp.replication_tip_epoch = pending->observed_tip;
+    resp.replication_lag_epochs = pending->observed_lag;
     ++stats_.rejected_overload;
     // Fulfill outside Finish(): the request was never queued, and the
     // promise must be set after the counters so stats never undercount.
@@ -242,6 +278,9 @@ void QueryService::WorkerLoop(int worker_id) {
     resp.worker = worker_id;
     resp.queue_seconds = SecondsSince(p->submitted);
     if (p->snapshot) resp.edb_epoch = p->snapshot->epoch();
+    resp.stale = p->stale;
+    resp.replication_tip_epoch = p->observed_tip;
+    resp.replication_lag_epochs = p->observed_lag;
 
     // Admission-to-pickup checks: a request cancelled or expired while
     // queued must not run at all.
@@ -401,8 +440,12 @@ void QueryService::Execute(Pending* p, int worker_id, QueryResponse* resp) {
     if (runtime::IsTransient(st, options_.transient) &&
         attempt < options_.max_retries && deadline_left) {
       ++resp->retries;
-      uint64_t backoff = options_.retry_backoff_ms << attempt;
-      BackoffSleep(std::min<uint64_t>(backoff, 250), ctx);
+      // Shared pacing with the replication supervisor's reconnects:
+      // exponential from retry_backoff_ms, capped, jittered per request id
+      // so a herd of retriers spreads out (TransientPolicy::NextDelay).
+      runtime::TransientPolicy pacing = options_.transient;
+      pacing.backoff_base_ms = options_.retry_backoff_ms;
+      BackoffSleep(pacing.NextDelay(attempt, p->id), ctx);
       continue;
     }
 
@@ -470,6 +513,16 @@ void QueryService::ReportReplication(uint64_t tip_epoch,
       std::max(stats_.replication_applied_epoch, applied_epoch);
   stats_.replication_lag_epochs =
       stats_.replication_tip_epoch - stats_.replication_applied_epoch;
+}
+
+void QueryService::ReportReplicationEvents(uint64_t flaps, uint64_t failovers,
+                                           uint64_t reseeds) {
+  util::MutexLock lock(mu_);
+  stats_.replica = true;
+  stats_.replication_flaps = std::max(stats_.replication_flaps, flaps);
+  stats_.replication_failovers =
+      std::max(stats_.replication_failovers, failovers);
+  stats_.replication_reseeds = std::max(stats_.replication_reseeds, reseeds);
 }
 
 ServiceStats QueryService::stats() const {

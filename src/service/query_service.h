@@ -86,6 +86,17 @@ struct QueryRequest {
   /// request's share of the global memory budget; force_safe_method may be
   /// set by the circuit breaker.
   core::PlannerOptions planner;
+  /// Staleness bound for replica reads (hot-swap mode on a service that
+  /// ReportReplication marks as a replica; ignored otherwise). The lag is
+  /// measured at admission: primary acked tip minus the epoch this request
+  /// pins. Within the bound the request proceeds normally; beyond it the
+  /// request degrades per `serve_stale`. UINT64_MAX = no bound.
+  uint64_t max_lag_epochs = UINT64_MAX;
+  /// What to do when the bound is exceeded: false (default) sheds with
+  /// kUnavailable ("route me to a fresher replica"); true serves anyway
+  /// with QueryResponse::stale set — graceful degradation for readers that
+  /// prefer an old answer over none.
+  bool serve_stale = false;
 };
 
 struct QueryResponse {
@@ -101,6 +112,12 @@ struct QueryResponse {
   /// (hot-swap mode only; 0 for the frozen-Database constructor). All
   /// attempts of one request answer from this single version.
   uint64_t edb_epoch = 0;
+  /// Replica staleness, observed at admission. `stale` is set only when the
+  /// request's max_lag_epochs was exceeded and it opted into serve_stale —
+  /// the answer is valid as of edb_epoch, just older than asked for.
+  bool stale = false;
+  uint64_t replication_tip_epoch = 0;  ///< primary acked tip at admission
+  uint64_t replication_lag_epochs = 0;  ///< tip minus this request's epoch
 
   /// Did the request reach the planner at all? (Satellite: a request
   /// cancelled after admission but before pickup must report false here.)
@@ -139,6 +156,16 @@ struct ServiceStats {
   uint64_t replication_tip_epoch = 0;
   uint64_t replication_applied_epoch = 0;
   uint64_t replication_lag_epochs = 0;
+  /// Staleness routing outcomes (replica mode): requests served beyond
+  /// their bound with the stale marker, and requests shed because the
+  /// bound was exceeded without serve_stale.
+  uint64_t stale_served = 0;
+  uint64_t staleness_shed = 0;
+  /// Fleet supervision gauges, fed by ReportReplicationEvents() from the
+  /// embedder's ReplicaSupervisor (zero when unsupervised).
+  uint64_t replication_flaps = 0;
+  uint64_t replication_failovers = 0;
+  uint64_t replication_reseeds = 0;
 
   uint64_t TerminalTotal() const {
     return rejected_overload + deadline_before_start + cancelled_before_start +
@@ -257,6 +284,12 @@ class QueryService {
   void ReportReplication(uint64_t tip_epoch, uint64_t applied_epoch)
       MCM_EXCLUDES(mu_);
 
+  /// Publish fleet supervision counters into stats(): flap/failover/reseed
+  /// totals from the embedder's ReplicaSupervisor. Monotonic like the
+  /// epoch gauges — a stale report cannot roll counters back.
+  void ReportReplicationEvents(uint64_t flaps, uint64_t failovers,
+                               uint64_t reseeds) MCM_EXCLUDES(mu_);
+
  private:
   struct Pending {
     uint64_t id = 0;
@@ -264,6 +297,10 @@ class QueryService {
     /// Hot-swap mode: the version pinned at Submit(); the pin (refcount)
     /// lives exactly as long as the request does.
     std::shared_ptr<const EdbVersion> snapshot;
+    /// Staleness observed at admission (replica mode; zero otherwise).
+    bool stale = false;
+    uint64_t observed_tip = 0;
+    uint64_t observed_lag = 0;
     std::chrono::steady_clock::time_point submitted{};
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::shared_ptr<runtime::CancellationToken> token;

@@ -1,0 +1,63 @@
+#include "storage/net_transport.h"
+
+#include <algorithm>
+
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace mcm {
+
+Status SocketSink::Write(std::string_view bytes) {
+  MCM_FAULT_POINT("net/write");
+  if (poisoned_) {
+    return Status::Unavailable(
+        "socket sink poisoned by an earlier partial write; reconnect");
+  }
+  Status st = socket_.WriteAll(bytes, options_.write_timeout_ms);
+  if (!st.ok()) poisoned_ = true;
+  return st;
+}
+
+Result<std::string> SocketSource::Read(size_t max_bytes) {
+  MCM_FAULT_POINT("net/read");
+  return socket_.ReadSome(max_bytes, options_.read_timeout_ms);
+}
+
+Status FaultyTransport::Write(std::string_view bytes) {
+  MCM_FAULT_POINT("net/write");
+  if (partitioned_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("injected partition: write dropped");
+  }
+  int64_t budget = write_budget_.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    // Deliver the surviving prefix, then die: the peer's decoder sees a
+    // torn frame, exactly like a TCP connection reset mid-send.
+    size_t deliver =
+        std::min<size_t>(static_cast<uint64_t>(budget), bytes.size());
+    write_budget_.store(budget - static_cast<int64_t>(deliver),
+                        std::memory_order_relaxed);
+    if (deliver > 0) {
+      Status st = sink_->Write(bytes.substr(0, deliver));
+      if (!st.ok()) return st;
+    }
+    if (deliver < bytes.size()) {
+      return Status::Unavailable(StringPrintf(
+          "injected short write: %zu of %zu bytes delivered before reset",
+          deliver, bytes.size()));
+    }
+    return Status::OK();
+  }
+  return sink_->Write(bytes);
+}
+
+Result<std::string> FaultyTransport::Read(size_t max_bytes) {
+  MCM_FAULT_POINT("net/read");
+  if (partitioned_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("injected partition: nothing readable");
+  }
+  size_t cap = read_chunk_cap_.load(std::memory_order_relaxed);
+  if (cap > 0) max_bytes = std::min(max_bytes, cap);
+  return source_->Read(max_bytes);
+}
+
+}  // namespace mcm

@@ -1,0 +1,143 @@
+// TCP leg of the replication transport: ByteSink/ByteSource over
+// util::Socket, plus a fault-injecting decorator for chaos tests.
+//
+// The wire carries exactly the CRC32 frame protocol from
+// storage/replication.h — the socket classes add no framing of their own.
+// Frames are length-delimited already (payload_len in the header), so the
+// sink can hand the encoded frame bytes straight to the kernel and the
+// source can hand raw chunks straight to the FrameDecoder; torn and
+// corrupt deliveries are detected end-to-end by the frame CRC, not by the
+// transport.
+//
+// Error taxonomy, matching the seam contract:
+//
+//   * SocketSink::Write — kUnavailable when the peer is gone OR the write
+//     deadline expired mid-frame. Either way an unknown prefix may be on
+//     the wire, so the sink poisons itself: every later Write fails fast
+//     with kUnavailable and the owner must reconnect (redelivery after
+//     reconnect is absorbed by the follower's seq<=applied no-op).
+//   * SocketSource::Read — bytes, or "" on orderly peer shutdown, or
+//     kUnavailable when nothing arrived within the poll window (retry).
+//
+// FaultyTransport wraps any sink/source pair and injects, deterministically
+// under test control: full partitions (both directions dead), slow links
+// (bytes trickle through a per-read cap), short writes (a frame's prefix
+// reaches the wire, then the link dies), and the MCM_FAULT_POINT sites
+// "net/write" / "net/read" for scripted one-shot failures.
+//
+// Thread safety: SocketSink and SocketSource are single-threaded like the
+// shipper/apply loops that own them. FaultyTransport's knobs are atomics so
+// a chaos-injector thread may flip them while the transport is in use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/replication.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace mcm {
+
+/// \brief ByteSink writing frames to a connected TCP socket.
+class SocketSink : public ByteSink {
+ public:
+  struct Options {
+    /// Deadline for each Write to fully drain into the kernel. A stalled
+    /// peer (zero-window, dead network) trips this rather than wedging the
+    /// shipper thread.
+    uint64_t write_timeout_ms = 5000;
+  };
+
+  explicit SocketSink(util::Socket socket)
+      : SocketSink(std::move(socket), Options()) {}
+  SocketSink(util::Socket socket, Options options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  [[nodiscard]] Status Write(std::string_view bytes) override;
+
+ private:
+  util::Socket socket_;
+  Options options_;
+  /// Set after any failed/partial write: the stream position is unknown,
+  /// so continuing would interleave garbage into the frame protocol.
+  bool poisoned_ = false;
+};
+
+/// \brief ByteSource reading frame bytes from a connected TCP socket.
+class SocketSource : public ByteSource {
+ public:
+  struct Options {
+    /// How long one Read waits for bytes before returning kUnavailable.
+    /// Keep small: the apply loop treats kUnavailable as "nothing new" and
+    /// re-polls on its own schedule.
+    uint64_t read_timeout_ms = 10;
+  };
+
+  explicit SocketSource(util::Socket socket)
+      : SocketSource(std::move(socket), Options()) {}
+  SocketSource(util::Socket socket, Options options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  [[nodiscard]] Result<std::string> Read(size_t max_bytes) override;
+
+ private:
+  util::Socket socket_;
+  Options options_;
+};
+
+/// \brief Fault-injecting decorator over a ByteSink/ByteSource pair.
+///
+/// Wraps the real transport (socket or in-process) and lets a test flip
+/// failure modes while shipper and follower run:
+///
+///   * SetPartitioned(true): both directions return kUnavailable — a
+///     network partition; heal with SetPartitioned(false).
+///   * SetReadChunkCap(n): a slow link — each Read delivers at most n
+///     bytes, so frames arrive in dribbles and every partial-frame decoder
+///     path gets exercised; 0 restores full-speed reads.
+///   * FailWritesAfter(n): the next n bytes of writes reach the inner sink,
+///     then the link dies — the canonical short-write/mid-frame-reset:
+///     the peer sees a torn frame prefix followed by its stream ending.
+///     ClearWriteFault() re-arms writes (after the owner reconnects).
+///
+/// All knobs are atomics; flipping them from a chaos thread while the
+/// owning loops run is the intended use.
+class FaultyTransport : public ByteSink, public ByteSource {
+ public:
+  FaultyTransport(ByteSink* sink, ByteSource* source)
+      : sink_(sink), source_(source) {}
+
+  [[nodiscard]] Status Write(std::string_view bytes) override;
+  [[nodiscard]] Result<std::string> Read(size_t max_bytes) override;
+
+  void SetPartitioned(bool on) {
+    partitioned_.store(on, std::memory_order_relaxed);
+  }
+  bool partitioned() const {
+    return partitioned_.load(std::memory_order_relaxed);
+  }
+  void SetReadChunkCap(size_t cap) {
+    read_chunk_cap_.store(cap, std::memory_order_relaxed);
+  }
+  void FailWritesAfter(uint64_t bytes) {
+    write_budget_.store(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+  }
+  void ClearWriteFault() {
+    write_budget_.store(-1, std::memory_order_relaxed);
+  }
+
+ private:
+  ByteSink* sink_;
+  ByteSource* source_;
+  std::atomic<bool> partitioned_{false};
+  std::atomic<size_t> read_chunk_cap_{0};  ///< 0 = unlimited
+  /// Remaining write bytes before the injected death; -1 = no fault armed.
+  std::atomic<int64_t> write_budget_{-1};
+};
+
+}  // namespace mcm

@@ -1,5 +1,7 @@
 #include "storage/replication.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <charconv>
 #include <utility>
@@ -297,6 +299,91 @@ Status WalShipper::Pump(uint64_t from_epoch) {
 }
 
 // ---------------------------------------------------------------------------
+// FileTailSource
+
+FileTailSource::FileTailSource(Options options)
+    : options_(std::move(options)),
+      shipper_(WalShipper::Options{options_.dir, options_.primary},
+               &buffer_) {}
+
+FileTailSource::Clock::time_point FileTailSource::Now() const {
+  return options_.now ? options_.now() : Clock::now();
+}
+
+Result<std::string> FileTailSource::Read(size_t max_bytes) {
+  if (!halt_.ok()) return halt_;
+
+  // Frames from the previous pump drain first; the directory is not
+  // touched again while buffered bytes remain.
+  Result<std::string> buffered = buffer_.Read(max_bytes);
+  if (buffered.ok()) return buffered;
+
+  const Clock::time_point now = Now();
+  if (have_next_pump_ && now < next_pump_) {
+    return Status::Unavailable(
+        "file tail gated: next directory read not yet due");
+  }
+
+  // Schedule the follow-up *before* knowing the outcome so every exit path
+  // below is paced; failure paths overwrite with the backed-off gap.
+  auto schedule = [&](bool failed) {
+    uint64_t gap = options_.poll_interval_ms;
+    if (failed) {
+      uint64_t base = std::max<uint64_t>(options_.poll_interval_ms, 1);
+      int shift = std::min(consecutive_failures_, 20);
+      gap = std::min(base << shift, options_.max_backoff_ms);
+    }
+    next_pump_ = now + std::chrono::milliseconds(gap);
+    have_next_pump_ = true;
+  };
+
+  struct stat st;
+  const bool dir_exists =
+      ::stat(options_.dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  if (!dir_exists && saw_dir_) {
+    if (!dir_missing_) {
+      dir_missing_ = true;
+      dir_missing_since_ = now;
+    }
+    if (now - dir_missing_since_ >=
+        std::chrono::milliseconds(options_.missing_dir_deadline_ms)) {
+      halt_ = Status::DeadlineExceeded(StringPrintf(
+          "shipped directory '%s' missing for over %llu ms; giving up the "
+          "tail",
+          options_.dir.c_str(),
+          static_cast<unsigned long long>(options_.missing_dir_deadline_ms)));
+      return halt_;
+    }
+    ++consecutive_failures_;
+    schedule(/*failed=*/true);
+    return Status::Unavailable(StringPrintf(
+        "shipped directory '%s' missing; backing off", options_.dir.c_str()));
+  }
+  if (dir_exists) {
+    saw_dir_ = true;
+    dir_missing_ = false;
+  }
+
+  ++pump_count_;
+  Status pumped = pump_count_ == 1 ? shipper_.Pump(options_.start_epoch)
+                                   : shipper_.Pump();
+  if (!pumped.ok()) {
+    ++consecutive_failures_;
+    schedule(/*failed=*/true);
+    // Sticky verdicts (kDataLoss: catch-up impossible) pass through so the
+    // Follower halts; transient pump errors surface as themselves and the
+    // next Read after the backoff gap retries.
+    return pumped;
+  }
+  consecutive_failures_ = 0;
+  schedule(/*failed=*/false);
+
+  Result<std::string> fresh = buffer_.Read(max_bytes);
+  if (fresh.ok()) return fresh;
+  return Status::Unavailable("file tail idle: no new frames");
+}
+
+// ---------------------------------------------------------------------------
 // Follower
 
 namespace {
@@ -369,10 +456,12 @@ Status Follower::Poll() {
 
   // A frame that failed transiently is retried before any new bytes are
   // consumed — frames apply strictly in stream order.
+  bool handled_any = false;
   if (pending_.has_value()) {
     Status st = HandleFrame(*pending_);
     if (!st.ok()) return IsStickyVerdict(st) ? Halt(st) : st;
     pending_.reset();
+    handled_any = true;
   }
 
   while (true) {
@@ -389,6 +478,17 @@ Status Follower::Poll() {
         pending_ = std::move(**next);
         return st;
       }
+      handled_any = true;
+    }
+
+    // Caught up to everything the primary has acknowledged: yield. Without
+    // this, a primary whose pump interval undercuts the transport's read
+    // timeout re-advertises its tip faster than an idle read can expire,
+    // and Poll never sees the kUnavailable that would otherwise end it —
+    // it blocks until the link dies (livelock on tip frames).
+    if (handled_any) {
+      util::MutexLock lock(mu_);
+      if (health_.applied_epoch >= health_.primary_tip_epoch) break;
     }
 
     if (eof_) {

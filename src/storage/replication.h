@@ -58,14 +58,16 @@
 // "repl/apply" (VersionedStore::ApplyReplicated entry), "repl/install"
 // (VersionedStore::InstallSnapshot, after the freshness check).
 //
-// Thread safety: WalShipper and the Poll/Promote surface of Follower are
-// single-threaded (one shipper thread, one apply thread);
+// Thread safety: WalShipper, FileTailSource, and the Poll/Promote surface
+// of Follower are single-threaded (one shipper thread, one apply thread);
 // Follower::health() may be called from any thread. Follower::mu_ sits at
-// rank 3 and InProcessPipe::mu_ at rank 8 of the lock-order registry
+// rank 4 and InProcessPipe::mu_ at rank 9 of the lock-order registry
 // (util/mutex.h).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -131,7 +133,7 @@ class InProcessPipe : public ByteSink, public ByteSource {
   void CloseTorn(size_t drop_trailing_bytes) MCM_EXCLUDES(mu_);
 
  private:
-  /// Leaf of the lock-order registry (rank 8, util/mutex.h): held only for
+  /// Leaf of the lock-order registry (rank 9, util/mutex.h): held only for
   /// queue manipulation, never while any other capability is held by this
   /// class.
   mutable util::Mutex mu_
@@ -204,6 +206,74 @@ class WalShipper {
   uint64_t shipped_epoch_ = 0;
 };
 
+/// \brief File-tailing ByteSource: frames pumped straight out of a primary's
+/// store directory, paced so the apply loop never busy-spins on the files.
+///
+/// The apply side of same-host replication (mcm-serve --follow) wants the
+/// ByteSource shape so the Follower is transport-agnostic, but a naive
+/// "pump on every Read" re-reads the WAL in a tight loop whenever the
+/// follower polls faster than the primary commits. This source gates
+/// directory re-reads to `poll_interval_ms`; a Read between pumps returns
+/// kUnavailable immediately (the follower's "nothing new" verdict) instead
+/// of touching disk. Pump failures back off exponentially up to
+/// `max_backoff_ms`. If the shipped directory disappears after the tail has
+/// seen data — primary torn down, volume unmounted — the source keeps
+/// backing off until `missing_dir_deadline_ms` has elapsed and then surfaces
+/// kDeadlineExceeded, a final verdict the embedder can distinguish from an
+/// ordinary stall (kDeadlineExceeded is not transient; see
+/// runtime::IsTransient).
+///
+/// Single-threaded, like the Follower it feeds. The clock is injectable so
+/// pacing and the missing-dir deadline are unit-testable without sleeping.
+class FileTailSource : public ByteSource {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// The primary's store directory to tail.
+    std::string dir;
+    /// Optional acked-tip authority, forwarded to the internal WalShipper.
+    const VersionedStore* primary = nullptr;
+    /// Resume point: the follower's applied epoch at attach time.
+    uint64_t start_epoch = 0;
+    /// Minimum gap between directory re-reads while healthy.
+    uint64_t poll_interval_ms = 20;
+    /// Cap on the error-backoff gap between re-reads.
+    uint64_t max_backoff_ms = 250;
+    /// How long the directory may be missing mid-tail before the source
+    /// gives up with kDeadlineExceeded.
+    uint64_t missing_dir_deadline_ms = 2000;
+    /// Injectable clock for tests; defaults to the steady clock.
+    std::function<Clock::time_point()> now;
+  };
+
+  explicit FileTailSource(Options options);
+
+  /// Buffered frame bytes, or kUnavailable while gated between pumps /
+  /// backing off, or kDeadlineExceeded (sticky) once the shipped directory
+  /// has been missing past the deadline.
+  [[nodiscard]] Result<std::string> Read(size_t max_bytes) override;
+
+  /// Directory re-reads actually performed (pacing observability).
+  uint64_t pump_count() const { return pump_count_; }
+
+ private:
+  Clock::time_point Now() const;
+
+  Options options_;
+  /// Frames land here (same-thread use only; the pipe's lock is idle).
+  InProcessPipe buffer_;
+  WalShipper shipper_;
+  Clock::time_point next_pump_{};
+  bool have_next_pump_ = false;
+  int consecutive_failures_ = 0;
+  uint64_t pump_count_ = 0;
+  bool saw_dir_ = false;
+  bool dir_missing_ = false;
+  Clock::time_point dir_missing_since_{};
+  Status halt_;  ///< OK, or the sticky kDeadlineExceeded verdict
+};
+
 /// \brief Follower side: decodes frames and applies them to a store.
 ///
 /// Poll() and Promote() belong to one apply thread; health() is
@@ -225,8 +295,17 @@ class MCM_VIEW_OF(VersionedStore) Follower {
     }
   };
 
+  /// A follower over a non-fresh store (channel rebuild after a network
+  /// flap, restart of a durable standby) resumes from what the store
+  /// already holds: applied and advertised epochs seed from TipEpoch(), so
+  /// the first Pump ships the delta instead of the whole history and an
+  /// immediately-promoted idle standby is not refused for "lag" it does
+  /// not have.
   Follower(VersionedStore* store, ByteSource* source)
-      : store_(store), source_(source) {}
+      : store_(store), source_(source) {
+    health_.applied_epoch = store->TipEpoch();
+    health_.primary_tip_epoch = health_.applied_epoch;
+  }
 
   /// Drain available bytes, apply complete frames in order. OK when the
   /// stream is healthy (including "no new bytes"); a transient error when
@@ -242,6 +321,12 @@ class MCM_VIEW_OF(VersionedStore) Follower {
 
   Health health() const MCM_EXCLUDES(mu_);
 
+  /// True once the source reported end-of-stream: no more frames will ever
+  /// arrive on this connection. A network embedder uses this to decide the
+  /// link died cleanly and a fresh connection (and Follower, re-seeded
+  /// from the store tip) is needed. Call from the Poll thread only.
+  bool stream_ended() const { return eof_; }
+
  private:
   /// OK, or the reason the frame could not be applied (caller classifies
   /// sticky vs transient).
@@ -255,7 +340,7 @@ class MCM_VIEW_OF(VersionedStore) Follower {
   std::optional<ReplFrame> pending_;
   bool eof_ = false;
 
-  /// Rank 3 of the lock-order registry (util/mutex.h): guards health only;
+  /// Rank 4 of the lock-order registry (util/mutex.h): guards health only;
   /// never held across store or transport calls.
   mutable util::Mutex mu_ MCM_ACQUIRED_AFTER(util::kLockRankFollower)
       MCM_ACQUIRED_BEFORE(util::kLockRankStoreCommit);

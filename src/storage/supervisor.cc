@@ -1,0 +1,310 @@
+#include "storage/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mcm {
+
+namespace {
+
+/// Per-slot deterministic seed for the shared backoff jitter stream.
+uint64_t SlotSeed(uint64_t base, const std::string& name) {
+  // FNV-1a over the name, folded into the configured seed: stable across
+  // runs and platforms (std::hash is neither).
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return base ^ h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShipperReplicaChannel
+
+ShipperReplicaChannel::ShipperReplicaChannel(Options options)
+    : options_(std::move(options)),
+      follower_(options_.replica, options_.source.get()) {
+  if (!options_.ship.dir.empty() && options_.sink != nullptr) {
+    shipper_ =
+        std::make_unique<WalShipper>(options_.ship, options_.sink.get());
+  }
+}
+
+Status ShipperReplicaChannel::Sync() {
+  if (shipper_ != nullptr) {
+    // Ship from the follower's applied epoch, not the shipper's own cursor:
+    // after a channel rebuild the shipper starts at zero, but the follower
+    // (seeded from its store tip) knows where the stream really is.
+    uint64_t from = std::max(shipper_->shipped_epoch(),
+                             follower_.health().applied_epoch);
+    MCM_RETURN_NOT_OK(shipper_->Pump(from));
+  }
+  return follower_.Poll();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaSupervisor
+
+ReplicaSupervisor::ReplicaSupervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+SupervisorOptions::Clock::time_point ReplicaSupervisor::Now() const {
+  return options_.now ? options_.now() : SupervisorOptions::Clock::now();
+}
+
+Status ReplicaSupervisor::AddReplica(std::string name,
+                                     ChannelFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("replica name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("replica channel factory must be set");
+  }
+  util::MutexLock lock(mu_);
+  for (const Slot& s : slots_) {
+    if (s.name == name) {
+      return Status::InvalidArgument(
+          StringPrintf("replica '%s' already registered", name.c_str()));
+    }
+  }
+  Slot slot;
+  slot.name = std::move(name);
+  slot.factory = std::move(factory);
+  slot.jitter.Seed(SlotSeed(options_.jitter_seed, slot.name));
+  slots_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+void ReplicaSupervisor::ScheduleProbe(Slot& slot, uint64_t delay_ms) {
+  slot.next_probe = Now() + std::chrono::milliseconds(delay_ms);
+  slot.probe_scheduled = true;
+}
+
+void ReplicaSupervisor::ObserveHealth(Slot& slot) {
+  if (slot.channel == nullptr) return;
+  Follower::Health h = slot.channel->health();
+  // Watermarks only ever rise: a commit the primary once advertised as
+  // acked stays in fleet_tip across any number of channel rebuilds — this
+  // is what FailOverLocked measures candidates against.
+  slot.fleet_tip = std::max(slot.fleet_tip, h.primary_tip_epoch);
+  slot.last_applied = std::max(slot.last_applied, h.applied_epoch);
+}
+
+void ReplicaSupervisor::RunSlot(Slot& slot) {
+  if (slot.phase == SlotPhase::kPromoted || slot.phase == SlotPhase::kHalted) {
+    return;
+  }
+  if (slot.probe_scheduled && Now() < slot.next_probe) return;
+
+  const uint64_t seed = SlotSeed(options_.jitter_seed, slot.name);
+
+  if (slot.channel == nullptr) {
+    Result<std::unique_ptr<ReplicaChannel>> built =
+        slot.factory(slot.reseed_pending);
+    if (!built.ok()) {
+      slot.last_error = built.status();
+      slot.phase = SlotPhase::kBackoff;
+      ScheduleProbe(slot,
+                    options_.transient.NextDelay(slot.backoff_attempt++, seed));
+      return;
+    }
+    slot.channel = std::move(*built);
+    slot.reseed_pending = false;
+    ++slot.reconnects;
+  }
+
+  Status synced = slot.channel->Sync();
+  ObserveHealth(slot);
+
+  if (synced.ok()) {
+    slot.phase = SlotPhase::kStreaming;
+    slot.consecutive_failures = 0;
+    slot.backoff_attempt = 0;
+    slot.in_outage = false;
+    slot.last_error = Status::OK();
+    // Jittered healthy cadence: gap in [interval*(1-jitter), interval].
+    uint64_t interval = std::max<uint64_t>(options_.probe_interval_ms, 1);
+    double j = std::clamp(options_.probe_jitter, 0.0, 1.0);
+    uint64_t gap = interval - static_cast<uint64_t>(
+                                  static_cast<double>(interval) * j *
+                                  slot.jitter.NextDouble());
+    ScheduleProbe(slot, std::max<uint64_t>(gap, 1));
+    return;
+  }
+
+  slot.last_error = synced;
+  if (synced.IsDataLoss() || synced.IsFailedPrecondition()) {
+    // A verdict about the data, not the network: this incarnation of the
+    // replica can never catch up. Tear the channel down and rebuild from a
+    // fresh seed (the factory wipes the store when reseed is set).
+    ++slot.reseeds;
+    ++stats_.reseeds;
+    slot.channel.reset();
+    slot.reseed_pending = true;
+    slot.phase = SlotPhase::kConnecting;
+    slot.consecutive_failures = 0;
+    ScheduleProbe(slot,
+                  options_.transient.NextDelay(slot.backoff_attempt++, seed));
+    return;
+  }
+
+  // Transient: tolerate a few in place (the frame retry stash handles
+  // them), then declare an outage, drop the transport, and back off.
+  ++slot.consecutive_failures;
+  if (slot.consecutive_failures >= options_.reconnect_after_failures) {
+    if (!slot.in_outage) {
+      slot.in_outage = true;
+      ++slot.flaps;
+      ++stats_.flaps;
+    }
+    slot.channel.reset();
+    slot.phase = SlotPhase::kBackoff;
+    ScheduleProbe(slot,
+                  options_.transient.NextDelay(slot.backoff_attempt++, seed));
+  } else {
+    ScheduleProbe(slot, std::max<uint64_t>(options_.probe_interval_ms, 1));
+  }
+}
+
+Status ReplicaSupervisor::Tick() {
+  util::MutexLock lock(mu_);
+  ++stats_.probes;
+  for (Slot& slot : slots_) RunSlot(slot);
+
+  if (options_.primary_alive != nullptr && !stats_.failed_over) {
+    if (options_.primary_alive()) {
+      dead_primary_probes_ = 0;
+    } else {
+      ++dead_primary_probes_;
+      if (options_.auto_failover &&
+          dead_primary_probes_ >= options_.primary_death_probes) {
+        // A refused or failed failover is not fatal to supervision: a
+        // candidate may still be draining its stream, so keep the probe
+        // count saturated and retry on the next Tick.
+        Status attempted = FailOverLocked();
+        if (!attempted.ok()) {
+          dead_primary_probes_ = options_.primary_death_probes;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicaSupervisor::FailOver() {
+  util::MutexLock lock(mu_);
+  return FailOverLocked();
+}
+
+Status ReplicaSupervisor::FailOverLocked() {
+  if (stats_.failed_over) return Status::OK();
+
+  // Final drain: bytes already in flight must count toward a candidate's
+  // applied epoch before election, or a replica that merely lagged by one
+  // Poll would be rejected (or worse, outvoted by a staler peer).
+  uint64_t fleet_tip = 0;
+  for (Slot& slot : slots_) {
+    if (slot.channel != nullptr && slot.phase != SlotPhase::kHalted) {
+      Status drained = slot.channel->Sync();
+      if (!drained.ok()) slot.last_error = drained;
+      ObserveHealth(slot);
+    }
+    fleet_tip = std::max(fleet_tip, slot.fleet_tip);
+  }
+
+  Slot* best = nullptr;
+  uint64_t best_applied = 0;
+  for (Slot& slot : slots_) {
+    if (slot.channel == nullptr) continue;
+    if (slot.phase == SlotPhase::kHalted ||
+        slot.phase == SlotPhase::kPromoted) {
+      continue;
+    }
+    Follower::Health h = slot.channel->health();
+    if (!h.halt.ok()) continue;  // sticky-halted: not a viable authority
+    if (best == nullptr || h.applied_epoch > best_applied) {
+      best = &slot;
+      best_applied = h.applied_epoch;
+    }
+  }
+  if (best == nullptr) {
+    return Status::Unavailable(
+        "failover impossible: no live, unhalted replica to promote");
+  }
+  if (best_applied < fleet_tip) {
+    return Status::DataLoss(StringPrintf(
+        "failover refused: best candidate '%s' applied epoch %llu but the "
+        "fleet observed the primary acknowledge epoch %llu — promotion "
+        "would lose acked commits",
+        best->name.c_str(), static_cast<unsigned long long>(best_applied),
+        static_cast<unsigned long long>(fleet_tip)));
+  }
+
+  Status promoted = best->channel->Promote();
+  if (!promoted.ok()) {
+    best->last_error = promoted;
+    return promoted;
+  }
+  best->phase = SlotPhase::kPromoted;
+  promoted_ = best->name;
+  stats_.failed_over = true;
+  ++stats_.failovers;
+  for (Slot& slot : slots_) {
+    if (&slot == best) continue;
+    // Exactly one authority: every other slot stops consuming for good.
+    slot.phase = SlotPhase::kHalted;
+    slot.channel.reset();
+  }
+  return Status::OK();
+}
+
+std::vector<ReplicaSupervisor::SlotStatus> ReplicaSupervisor::slots() const {
+  util::MutexLock lock(mu_);
+  std::vector<SlotStatus> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    SlotStatus st;
+    st.name = slot.name;
+    st.phase = slot.phase;
+    if (slot.channel != nullptr) st.health = slot.channel->health();
+    st.fleet_tip_epoch = slot.fleet_tip;
+    st.consecutive_failures = slot.consecutive_failures;
+    st.reconnects = slot.reconnects;
+    st.reseeds = slot.reseeds;
+    st.flaps = slot.flaps;
+    st.last_error = slot.last_error;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+ReplicaSupervisor::Stats ReplicaSupervisor::stats() const {
+  util::MutexLock lock(mu_);
+  Stats s = stats_;
+  for (const Slot& slot : slots_) {
+    if (slot.phase == SlotPhase::kHalted) continue;
+    uint64_t applied = slot.last_applied;
+    uint64_t tip = slot.fleet_tip;
+    if (slot.channel != nullptr) {
+      Follower::Health h = slot.channel->health();
+      applied = std::max(applied, h.applied_epoch);
+      tip = std::max(tip, h.primary_tip_epoch);
+    }
+    if (tip > applied) {
+      s.max_lag_epochs = std::max(s.max_lag_epochs, tip - applied);
+    }
+  }
+  return s;
+}
+
+std::string ReplicaSupervisor::promoted() const {
+  util::MutexLock lock(mu_);
+  return promoted_;
+}
+
+}  // namespace mcm

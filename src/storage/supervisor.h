@@ -1,0 +1,254 @@
+// Supervised follower fleet: health probing, reconnect backoff, reseed
+// classification, and safe automatic failover over the replication stream.
+//
+// The replication layer (storage/replication.h) gives one follower strong
+// local guarantees — apply-in-order or halt sticky — but says nothing about
+// *keeping* N followers alive behind flaky transports, or about who becomes
+// primary when the primary dies. ReplicaSupervisor owns that policy layer.
+//
+// Model. The embedder registers each replica as a ChannelFactory: a
+// callable that (re)builds the full channel — transport, follower, and on
+// reseed the replica store itself — and hands it back as a ReplicaChannel.
+// The supervisor never touches sockets or stores directly; it drives
+// channels and decides when to rebuild them. Tick() runs one supervision
+// round over every due slot:
+//
+//            +-------------+   factory ok    +-------------+
+//   (start)->| kConnecting |---------------->| kStreaming  |<---+ Sync ok
+//            +-------------+                 +-------------+----+
+//               ^    ^  | factory failed        |       |
+//    backoff    |    |  v                       |       | sticky verdict
+//    elapsed    |  +-----------+   N transient  |       | (kDataLoss /
+//               +--| kBackoff  |<-- failures ---+       |  kFailedPrecond.)
+//                  +-----------+   ("flap")             v
+//                                               reseed: drop channel,
+//                                               rebuild with reseed=true
+//                                               (back to kConnecting)
+//
+//   kPromoted: terminal winner of a failover. kHalted: terminal loser —
+//   after a promotion elsewhere the slot stops syncing so exactly one
+//   authority exists.
+//
+// Failure classification mirrors runtime::IsTransient: kDataLoss and
+// kFailedPrecondition are final verdicts about the *data* (torn stream,
+// outran the retained WAL) and mean "reseed" — rebuild the replica from a
+// fresh snapshot; everything else is a transport flap — keep the store,
+// reconnect with capped jittered backoff (runtime::TransientPolicy::
+// NextDelay, the same pacing QueryService uses for query retries).
+//
+// Promotion safety invariant. The supervisor tracks, per slot and across
+// channel rebuilds, the highest primary tip epoch the slot ever saw
+// acknowledged (the fleet watermark). FailOver() elects the live candidate
+// with the highest applied epoch, gives every live candidate a final
+// drain Sync first, and REFUSES to promote (kDataLoss) when even the best
+// candidate has applied less than the fleet watermark — promoting would
+// silently lose commits the old primary acknowledged to clients. On
+// success exactly one slot is kPromoted and all others are kHalted.
+//
+// Primary death detection: `primary_alive` is probed every Tick; after
+// `primary_death_probes` consecutive dead probes the supervisor triggers
+// FailOver() automatically (when `auto_failover` is set).
+//
+// Thread safety: all public methods are thread-safe. mu_ sits at rank 3 of
+// the lock-order registry (util/mutex.h) — it is held across a channel's
+// Sync/Promote, which acquire the follower (rank 4) and store (ranks 5-6)
+// locks beneath it. The injected `now` / `primary_alive` callables must not
+// call back into the supervisor.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/execution_context.h"
+#include "storage/replication.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace mcm {
+
+/// \brief One supervised replication channel: transport + follower bundled
+/// by the embedder, driven by the supervisor.
+class ReplicaChannel {
+ public:
+  virtual ~ReplicaChannel() = default;
+  /// Advance replication one round (ship what's new, apply what arrived).
+  /// OK = healthy (including "nothing new"); transient errors are flap
+  /// material; kDataLoss/kFailedPrecondition demand a reseed.
+  [[nodiscard]] virtual Status Sync() = 0;
+  /// Current follower health (thread-safe on the follower's side).
+  virtual Follower::Health health() const = 0;
+  /// Make this replica the authority (Follower::Promote semantics).
+  [[nodiscard]] virtual Status Promote() = 0;
+};
+
+/// \brief The bundled channel shape: an owned transport pair, an optional
+/// in-process shipper (same-host / test topologies), and the follower.
+///
+/// Sync() pumps the shipper (when present — over a network the primary
+/// process pumps on its own side) and then polls the follower. Ownership:
+/// the channel owns transport and follower; the replica store stays with
+/// the embedder, whose factory decides whether a reseed rebuilds it.
+class ShipperReplicaChannel : public ReplicaChannel {
+ public:
+  struct Options {
+    /// Shipper config; `ship.dir` empty = no local shipper (pull-only).
+    WalShipper::Options ship;
+    /// The replica's store (not owned).
+    VersionedStore* replica = nullptr;
+    /// Transport the shipper writes into (may be null when `ship.dir` is
+    /// empty); owned.
+    std::unique_ptr<ByteSink> sink;
+    /// Transport the follower reads from; owned.
+    std::unique_ptr<ByteSource> source;
+  };
+
+  explicit ShipperReplicaChannel(Options options);
+
+  [[nodiscard]] Status Sync() override;
+  Follower::Health health() const override { return follower_.health(); }
+  [[nodiscard]] Status Promote() override { return follower_.Promote(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<WalShipper> shipper_;  ///< null when pull-only
+  Follower follower_;
+};
+
+/// Builds (or rebuilds) a replica's channel. `reseed` is true when the
+/// previous incarnation halted with a data verdict: the factory must then
+/// discard the replica's store state and start fresh (the stream will
+/// bootstrap it via a snapshot frame). Returning an error is fine — the
+/// supervisor backs off and retries.
+using ChannelFactory =
+    std::function<Result<std::unique_ptr<ReplicaChannel>>(bool reseed)>;
+
+struct SupervisorOptions {
+  using Clock = std::chrono::steady_clock;
+
+  /// Target gap between health probes of a healthy slot. Each slot's
+  /// actual gap is jittered within [interval*(1-probe_jitter), interval]
+  /// so a fleet of slots does not probe in lockstep.
+  uint64_t probe_interval_ms = 50;
+  double probe_jitter = 0.25;
+  /// Reconnect pacing (backoff_base/cap/jitter) shared with query retries.
+  runtime::TransientPolicy transient;
+  /// Consecutive transient Sync failures before the slot is declared
+  /// flapping: the channel is dropped and rebuilt under backoff.
+  int reconnect_after_failures = 3;
+  /// Consecutive dead `primary_alive` probes before automatic failover.
+  int primary_death_probes = 5;
+  bool auto_failover = true;
+  /// Seeds per-slot probe jitter and backoff jitter streams.
+  uint64_t jitter_seed = 0x6d636d5375ULL;
+  /// Injectable clock for tests; defaults to the steady clock.
+  std::function<Clock::time_point()> now;
+  /// Primary liveness probe; unset = the primary is assumed alive and
+  /// failover only happens via an explicit FailOver() call.
+  std::function<bool()> primary_alive;
+};
+
+/// \brief Owns and supervises a fleet of replica slots (see file comment
+/// for the state machine and the promotion safety invariant).
+class ReplicaSupervisor {
+ public:
+  enum class SlotPhase : uint8_t {
+    kConnecting,  ///< no live channel; build due now
+    kStreaming,   ///< channel live and healthy
+    kBackoff,     ///< flapping; rebuild scheduled after a capped delay
+    kHalted,      ///< terminal: a different slot won the failover
+    kPromoted,    ///< terminal: this slot is the new authority
+  };
+
+  struct SlotStatus {
+    std::string name;
+    SlotPhase phase = SlotPhase::kConnecting;
+    Follower::Health health;
+    /// Highest primary tip this slot ever saw acked (survives rebuilds).
+    uint64_t fleet_tip_epoch = 0;
+    int consecutive_failures = 0;
+    uint64_t reconnects = 0;
+    uint64_t reseeds = 0;
+    uint64_t flaps = 0;
+    Status last_error;
+  };
+
+  struct Stats {
+    uint64_t probes = 0;     ///< Tick() rounds executed
+    uint64_t flaps = 0;      ///< transient outages (per outage, not per try)
+    uint64_t reseeds = 0;    ///< sticky verdicts that forced a rebuild
+    uint64_t failovers = 0;  ///< successful promotions
+    uint64_t max_lag_epochs = 0;  ///< worst current lag across live slots
+    bool failed_over = false;
+  };
+
+  explicit ReplicaSupervisor(SupervisorOptions options);
+
+  /// Register a replica slot. Names must be unique; the first build is
+  /// attempted on the next Tick().
+  [[nodiscard]] Status AddReplica(std::string name, ChannelFactory factory)
+      MCM_EXCLUDES(mu_);
+
+  /// One supervision round: probe the primary, then for every due slot
+  /// build/sync/classify per the state machine. Returns OK even when slots
+  /// are unhealthy (their state is the report); errors only for misuse.
+  [[nodiscard]] Status Tick() MCM_EXCLUDES(mu_);
+
+  /// Elect and promote the best candidate (see the safety invariant).
+  /// Idempotent after success. kDataLoss when every candidate would lose
+  /// acked commits; kUnavailable when no live candidate exists.
+  [[nodiscard]] Status FailOver() MCM_EXCLUDES(mu_);
+
+  std::vector<SlotStatus> slots() const MCM_EXCLUDES(mu_);
+  Stats stats() const MCM_EXCLUDES(mu_);
+  /// Name of the promoted slot; "" before a successful failover.
+  std::string promoted() const MCM_EXCLUDES(mu_);
+
+ private:
+  struct Slot {
+    std::string name;
+    ChannelFactory factory;
+    std::unique_ptr<ReplicaChannel> channel;
+    SlotPhase phase = SlotPhase::kConnecting;
+    bool reseed_pending = false;
+    /// Monotone watermark of acked primary tips this slot observed; the
+    /// channel (and its Follower) may be rebuilt many times, but a commit
+    /// once advertised as acked never leaves this number.
+    uint64_t fleet_tip = 0;
+    uint64_t last_applied = 0;  ///< survives rebuilds for observability
+    int consecutive_failures = 0;
+    int backoff_attempt = 0;
+    uint64_t reconnects = 0;
+    uint64_t reseeds = 0;
+    uint64_t flaps = 0;
+    bool in_outage = false;  ///< so one outage counts one flap
+    SupervisorOptions::Clock::time_point next_probe{};
+    bool probe_scheduled = false;
+    Status last_error;
+    Rng jitter;
+  };
+
+  SupervisorOptions::Clock::time_point Now() const;
+  void ObserveHealth(Slot& slot) MCM_REQUIRES(mu_);
+  void ScheduleProbe(Slot& slot, uint64_t delay_ms) MCM_REQUIRES(mu_);
+  void RunSlot(Slot& slot) MCM_REQUIRES(mu_);
+  Status FailOverLocked() MCM_REQUIRES(mu_);
+
+  const SupervisorOptions options_;
+
+  /// Rank 3 of the lock-order registry (util/mutex.h): held across slot
+  /// Sync/Promote, which take follower and store locks beneath it.
+  mutable util::Mutex mu_ MCM_ACQUIRED_AFTER(util::kLockRankSupervisor)
+      MCM_ACQUIRED_BEFORE(util::kLockRankFollower);
+  std::vector<Slot> slots_ MCM_GUARDED_BY(mu_);
+  Stats stats_ MCM_GUARDED_BY(mu_);
+  std::string promoted_ MCM_GUARDED_BY(mu_);
+  int dead_primary_probes_ MCM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mcm

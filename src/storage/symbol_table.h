@@ -26,7 +26,7 @@ namespace mcm {
 /// valid for the table's lifetime (symbols live in a deque, whose elements
 /// never move on growth). The guarded fields are capability-checked under
 /// -DMCM_THREAD_SAFETY=ON; mu_ is a leaf in the lock-order registry
-/// (util/mutex.h rank 6) — no other registered lock may be acquired while
+/// (util/mutex.h rank 7) — no other registered lock may be acquired while
 /// holding it.
 class MCM_OWNER(std::string) SymbolTable {
  public:

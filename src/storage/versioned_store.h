@@ -255,8 +255,8 @@ class VersionedStore {
   SymbolTable symbols_;
 
   /// The single-writer capability: serializes Commit / Checkpoint / Recover
-  /// (lock-order rank 4; acquired before tip_mu_, SymbolTable::mu_, and
-  /// FaultInjection::mu_; may be acquired under Follower::mu_, rank 3).
+  /// (lock-order rank 5; acquired before tip_mu_, SymbolTable::mu_, and
+  /// FaultInjection::mu_; may be acquired under Follower::mu_, rank 4).
   util::Mutex commit_mu_ MCM_ACQUIRED_AFTER(util::kLockRankStoreCommit)
       MCM_ACQUIRED_BEFORE(util::kLockRankStoreTip);
   /// WAL single-writer discipline, statically enforced: the handle itself

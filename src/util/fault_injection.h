@@ -75,7 +75,7 @@ class FaultInjection {
   };
 
   std::atomic<int> armed_count_{0};
-  /// Leaf of the lock-order registry (rank 7, util/mutex.h): MCM_FAULT_POINT
+  /// Leaf of the lock-order registry (rank 8, util/mutex.h): MCM_FAULT_POINT
   /// sites fire under the store's commit lock, so nothing may be acquired
   /// while this is held.
   mutable Mutex mu_ MCM_ACQUIRED_AFTER(kLockRankFaultInjection);

@@ -27,23 +27,29 @@
 //     2  | service::CircuitBreaker::mu_    | per-signature breaker entries
 //        |                                 | (acquired under rank 1 by
 //        |                                 | QueryService::stats())
-//     3  | Follower::mu_                   | replication follower health
+//     3  | ReplicaSupervisor::mu_          | follower-fleet slot state
+//        |                                 | (phase, backoff schedule, fleet
+//        |                                 | tip watermark); held across a
+//        |                                 | slot's Sync/Promote, which take
+//        |                                 | the follower (rank 4) and store
+//        |                                 | (ranks 5-6) locks beneath it
+//     4  | Follower::mu_                   | replication follower health
 //        |                                 | (applied/primary-tip epochs,
 //        |                                 | sticky halt status); may be held
 //        |                                 | while the follower's store
-//        |                                 | commits (rank 4)
-//     4  | VersionedStore::commit_mu_      | the single-writer commit path:
+//        |                                 | commits (rank 5)
+//     5  | VersionedStore::commit_mu_      | the single-writer commit path:
 //        |                                 | WAL handle, recovered_ flag
-//     5  | VersionedStore::tip_mu_         | the tip version pointer
-//        |                                 | (acquired under rank 4 by
+//     6  | VersionedStore::tip_mu_         | the tip version pointer
+//        |                                 | (acquired under rank 5 by
 //        |                                 | Commit/Checkpoint/Recover)
-//     6  | SymbolTable::mu_                | interning table (leaf; acquired
-//        |                                 | under rank 4 while binding)
-//     7  | util::FaultInjection::mu_       | fault-site registry (leaf;
-//        |                                 | acquired under rank 4 via
+//     7  | SymbolTable::mu_                | interning table (leaf; acquired
+//        |                                 | under rank 5 while binding)
+//     8  | util::FaultInjection::mu_       | fault-site registry (leaf;
+//        |                                 | acquired under rank 5 via
 //        |                                 | MCM_FAULT_POINT in WAL and
 //        |                                 | checkpoint code)
-//     8  | InProcessPipe::mu_              | replication transport byte
+//     9  | InProcessPipe::mu_              | replication transport byte
 //        |                                 | queue (leaf; never held while
 //        |                                 | any other capability is)
 //
@@ -174,17 +180,19 @@ struct MCM_CAPABILITY("lock_rank") LockRank {};
 inline LockRank kLockRankService;
 /// Rank 2: service::CircuitBreaker::mu_.
 inline LockRank kLockRankBreaker MCM_ACQUIRED_AFTER(kLockRankService);
-/// Rank 3: Follower::mu_ (replication health / halt state).
-inline LockRank kLockRankFollower MCM_ACQUIRED_AFTER(kLockRankBreaker);
-/// Rank 4: VersionedStore::commit_mu_ (the single-writer capability).
+/// Rank 3: ReplicaSupervisor::mu_ (fleet slot state).
+inline LockRank kLockRankSupervisor MCM_ACQUIRED_AFTER(kLockRankBreaker);
+/// Rank 4: Follower::mu_ (replication health / halt state).
+inline LockRank kLockRankFollower MCM_ACQUIRED_AFTER(kLockRankSupervisor);
+/// Rank 5: VersionedStore::commit_mu_ (the single-writer capability).
 inline LockRank kLockRankStoreCommit MCM_ACQUIRED_AFTER(kLockRankFollower);
-/// Rank 5: VersionedStore::tip_mu_.
+/// Rank 6: VersionedStore::tip_mu_.
 inline LockRank kLockRankStoreTip MCM_ACQUIRED_AFTER(kLockRankStoreCommit);
-/// Rank 6: SymbolTable::mu_ (leaf).
+/// Rank 7: SymbolTable::mu_ (leaf).
 inline LockRank kLockRankSymbols MCM_ACQUIRED_AFTER(kLockRankStoreTip);
-/// Rank 7: util::FaultInjection::mu_ (leaf).
+/// Rank 8: util::FaultInjection::mu_ (leaf).
 inline LockRank kLockRankFaultInjection MCM_ACQUIRED_AFTER(kLockRankSymbols);
-/// Rank 8: replication transport buffers (InProcessPipe::mu_, leaf).
+/// Rank 9: replication transport buffers (InProcessPipe::mu_, leaf).
 inline LockRank kLockRankTransport MCM_ACQUIRED_AFTER(kLockRankFaultInjection);
 
 }  // namespace mcm::util

@@ -1,0 +1,282 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mcm::util {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Milliseconds left before `deadline`, clamped to [0, INT_MAX] for poll().
+int MsUntil(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) return 0;
+  if (left > 1'000'000'000) return 1'000'000'000;
+  return static_cast<int>(left);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(
+        StringPrintf("fcntl(O_NONBLOCK): %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// Wait until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// passes. Returns kUnavailable on timeout so callers can map it to their own
+// taxonomy; EINTR is retried against the same absolute deadline.
+Status PollReady(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, MsUntil(deadline));
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Unavailable("poll timeout");
+    if (errno == EINTR) continue;
+    return Status::Internal(StringPrintf("poll: %s", std::strerror(errno)));
+  }
+}
+
+// A peer that vanished (reset/refused/broken pipe) is the reconnectable
+// kUnavailable verdict; anything else is a local programming/OS error.
+bool ErrnoMeansPeerGone(int err) {
+  return err == ECONNRESET || err == ECONNREFUSED || err == EPIPE ||
+         err == ENOTCONN || err == ETIMEDOUT || err == EHOSTUNREACH ||
+         err == ENETUNREACH || err == ENETDOWN || err == ECONNABORTED;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               uint64_t timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StringPrintf("not a numeric IPv4 address: '%s'", host.c_str()));
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  Socket sock(fd);  // RAII from here on.
+  MCM_RETURN_NOT_OK(SetNonBlocking(fd));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    if (ErrnoMeansPeerGone(errno)) {
+      return Status::Unavailable(
+          StringPrintf("connect %s:%u: %s", host.c_str(), unsigned{port},
+                       std::strerror(errno)));
+    }
+    return Status::Internal(
+        StringPrintf("connect: %s", std::strerror(errno)));
+  }
+  if (rc < 0) {
+    Status ready = PollReady(fd, POLLOUT, deadline);
+    if (ready.IsUnavailable()) {
+      return Status::DeadlineExceeded(
+          StringPrintf("connect %s:%u timed out after %llu ms", host.c_str(),
+                       unsigned{port},
+                       static_cast<unsigned long long>(timeout_ms)));
+    }
+    MCM_RETURN_NOT_OK(ready);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      if (ErrnoMeansPeerGone(err)) {
+        return Status::Unavailable(
+            StringPrintf("connect %s:%u: %s", host.c_str(), unsigned{port},
+                         std::strerror(err)));
+      }
+      return Status::Internal(
+          StringPrintf("connect: %s", std::strerror(err)));
+    }
+  }
+  return sock;
+}
+
+Status Socket::WriteAll(std::string_view bytes, uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket closed");
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = PollReady(fd_, POLLOUT, deadline);
+      if (ready.IsUnavailable()) {
+        return Status::Unavailable(StringPrintf(
+            "write stalled: %zu/%zu bytes after %llu ms", sent, bytes.size(),
+            static_cast<unsigned long long>(timeout_ms)));
+      }
+      MCM_RETURN_NOT_OK(ready);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    int err = errno;
+    if (n == 0 || ErrnoMeansPeerGone(err)) {
+      return Status::Unavailable(
+          StringPrintf("peer gone mid-write (%zu/%zu bytes): %s", sent,
+                       bytes.size(), std::strerror(err)));
+    }
+    return Status::Internal(StringPrintf("send: %s", std::strerror(err)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Socket::ReadSome(size_t max_bytes, uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket closed");
+  if (max_bytes == 0) return std::string();
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string buf;
+  buf.resize(std::min<size_t>(max_bytes, 1 << 16));
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      buf.resize(static_cast<size_t>(n));
+      return buf;
+    }
+    if (n == 0) return std::string();  // orderly shutdown
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = PollReady(fd_, POLLIN, deadline);
+      if (!ready.ok()) return ready;  // kUnavailable: nothing buffered in time
+      continue;
+    }
+    if (errno == EINTR) continue;
+    int err = errno;
+    if (ErrnoMeansPeerGone(err)) {
+      return Status::Unavailable(
+          StringPrintf("peer gone mid-read: %s", std::strerror(err)));
+    }
+    return Status::Internal(StringPrintf("recv: %s", std::strerror(err)));
+  }
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Result<Listener> Listener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  Listener lst;
+  lst.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  MCM_RETURN_NOT_OK(SetNonBlocking(fd));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Unavailable(
+        StringPrintf("bind 127.0.0.1:%u: %s", unsigned{port},
+                     std::strerror(errno)));
+  }
+  if (::listen(fd, 16) < 0) {
+    return Status::Internal(
+        StringPrintf("listen: %s", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(
+        StringPrintf("getsockname: %s", std::strerror(errno)));
+  }
+  lst.port_ = ntohs(addr.sin_port);
+  return lst;
+}
+
+Result<Socket> Listener::Accept(uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      MCM_RETURN_NOT_OK(SetNonBlocking(fd));
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      MCM_RETURN_NOT_OK(PollReady(fd_, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Status::Internal(
+        StringPrintf("accept: %s", std::strerror(errno)));
+  }
+}
+
+}  // namespace mcm::util

@@ -1,0 +1,109 @@
+// Minimal POSIX TCP wrapper for the replication transport: an RAII socket
+// with poll()-based readiness deadlines, and a listener for accepting
+// follower connections. Deliberately tiny — no readiness loop framework, no
+// buffering, no new dependencies; the replication layer's ByteSink /
+// ByteSource contract (storage/replication.h) is the consumer and defines
+// the error taxonomy:
+//
+//   * a peer that is gone (reset, refused, broken pipe) is kUnavailable —
+//     the transport-level "retry by reconnecting" verdict;
+//   * a deadline that expires waiting for readiness is kUnavailable on the
+//     read path ("nothing buffered right now") and kDeadlineExceeded on
+//     connect/accept (the operation itself timed out);
+//   * an orderly shutdown by the peer is an empty read, never an error —
+//     whether the stream ended *cleanly* is the frame decoder's verdict.
+//
+// All operations run the socket non-blocking and wait for readiness with
+// poll(), so a hung peer can never wedge a supervision thread beyond its
+// deadline. Writes use MSG_NOSIGNAL: a dead peer yields a Status, not
+// SIGPIPE.
+//
+// Thread safety: a Socket (and a Listener) belongs to one thread at a time;
+// there is no internal locking. Distinct sockets are independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mcm::util {
+
+/// \brief RAII wrapper over one connected (or accepted) TCP socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts `fd` (takes ownership; -1 = invalid).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to `host:port` (numeric IPv4 host, e.g. "127.0.0.1") within
+  /// `timeout_ms`. kDeadlineExceeded when the connect does not complete in
+  /// time; kUnavailable when the peer refuses or resets.
+  [[nodiscard]] static Result<Socket> Connect(const std::string& host,
+                                              uint16_t port,
+                                              uint64_t timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Write all of `bytes`, waiting up to `timeout_ms` for writability
+  /// across short writes. On kUnavailable the stream must be considered
+  /// poisoned: an unknown prefix may already have reached the peer, so the
+  /// only safe recovery is to reconnect and re-ship (the replication
+  /// protocol's idempotent redelivery absorbs the overlap).
+  [[nodiscard]] Status WriteAll(std::string_view bytes, uint64_t timeout_ms);
+
+  /// Read up to `max_bytes`, waiting up to `timeout_ms` for readability.
+  /// Returns bytes (possibly fewer than asked), an empty string on orderly
+  /// peer shutdown, or kUnavailable when nothing arrived within the
+  /// deadline / the peer reset.
+  [[nodiscard]] Result<std::string> ReadSome(size_t max_bytes,
+                                             uint64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Listening TCP socket bound to 127.0.0.1 (replication is an
+/// internal, same-trust-domain protocol; binding wider is the embedder's
+/// call and would go through a richer config than this wrapper offers).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  [[nodiscard]] static Result<Listener> Bind(uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved after an ephemeral bind).
+  uint16_t port() const { return port_; }
+  void Close();
+
+  /// Accept one connection within `timeout_ms`. kUnavailable when no
+  /// connection arrived in time (poll again) or the listener is closed.
+  [[nodiscard]] Result<Socket> Accept(uint64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace mcm::util

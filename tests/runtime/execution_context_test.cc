@@ -187,5 +187,75 @@ TEST(IsTransientTest, SemanticErrorsAreNeverTransient) {
   EXPECT_FALSE(IsTransient(AbortReason::kNone));
 }
 
+// ---------------------------------------------------------------------------
+// TransientPolicy::NextDelay — the one retry-pacing schedule shared by
+// QueryService retries and the replication supervisor's reconnects.
+
+TEST(NextDelayTest, StaysWithinTheExponentialEnvelopeAndNeverZero) {
+  TransientPolicy policy;  // base 5, cap 250, jitter 0.25
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    for (int attempt = 0; attempt < 80; ++attempt) {
+      uint64_t envelope = attempt >= 6
+                              ? policy.backoff_cap_ms
+                              : std::min<uint64_t>(
+                                    policy.backoff_base_ms << attempt,
+                                    policy.backoff_cap_ms);
+      uint64_t d = policy.NextDelay(attempt, seed);
+      ASSERT_GE(d, 1u) << "attempt " << attempt << " seed " << seed;
+      ASSERT_LE(d, envelope) << "attempt " << attempt << " seed " << seed;
+      // Jitter only shaves a bounded fraction off; it never collapses the
+      // schedule back toward the base.
+      ASSERT_GE(d, envelope - envelope * 1 / 4 - 1)
+          << "attempt " << attempt << " seed " << seed;
+    }
+  }
+}
+
+TEST(NextDelayTest, EnvelopeIsMonotonicUpToTheCap) {
+  TransientPolicy policy;
+  policy.backoff_jitter = 0.0;  // isolate the deterministic envelope
+  uint64_t prev = 0;
+  for (int attempt = 0; attempt < 70; ++attempt) {
+    uint64_t d = policy.NextDelay(attempt, 7);
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    EXPECT_LE(d, policy.backoff_cap_ms);
+    prev = d;
+  }
+  EXPECT_EQ(prev, policy.backoff_cap_ms);  // saturates, including attempt>63
+}
+
+TEST(NextDelayTest, DeterministicInAttemptAndSeed) {
+  TransientPolicy policy;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(policy.NextDelay(attempt, 42), policy.NextDelay(attempt, 42));
+  }
+  // Different seeds actually spread retriers apart somewhere on the ladder.
+  bool spread = false;
+  for (int attempt = 2; attempt < 10 && !spread; ++attempt) {
+    spread = policy.NextDelay(attempt, 1) != policy.NextDelay(attempt, 2);
+  }
+  EXPECT_TRUE(spread);
+}
+
+TEST(NextDelayTest, DegenerateConfigsStillPaceByAtLeastOneMs) {
+  TransientPolicy zero_cap;
+  zero_cap.backoff_cap_ms = 0;
+  EXPECT_EQ(zero_cap.NextDelay(0, 9), 1u);
+  EXPECT_EQ(zero_cap.NextDelay(50, 9), 1u);
+
+  TransientPolicy zero_base;
+  zero_base.backoff_base_ms = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_GE(zero_base.NextDelay(attempt, 9), 1u);
+    EXPECT_LE(zero_base.NextDelay(attempt, 9), zero_base.backoff_cap_ms);
+  }
+
+  TransientPolicy full_jitter;
+  full_jitter.backoff_jitter = 1.0;  // may shave the whole delay: still >=1
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_GE(full_jitter.NextDelay(attempt, 11), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace mcm::runtime

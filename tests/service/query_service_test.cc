@@ -442,6 +442,147 @@ TEST_F(QueryServiceTest, ZeroCopyProgramFactsOnEdbPredicatesStayPrivate) {
   EXPECT_EQ(after.report.results.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Staleness routing: per-request lag bounds on a replica
+
+TEST_F(QueryServiceTest, StaleRequestBeyondBoundIsShedWithLagDetail) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());  // applied epoch 1
+
+  QueryService svc(&store, {});
+  // The replication loop reports the primary at epoch 4 while this replica
+  // has applied only epoch 1: lag 3.
+  svc.ReportReplication(/*tip_epoch=*/4, /*applied_epoch=*/1);
+
+  QueryRequest req = SimpleRequest();
+  req.max_lag_epochs = 1;
+  auto resp = svc.Submit(std::move(req))->Get();
+  EXPECT_EQ(resp.outcome, Outcome::kRejectedOverload);
+  EXPECT_TRUE(resp.status.IsUnavailable()) << resp.status.ToString();
+  EXPECT_NE(resp.status.ToString().find("replica too stale"),
+            std::string::npos)
+      << resp.status.ToString();
+  // The rejection carries enough to route elsewhere: the primary's tip and
+  // the lag this replica observed at admission.
+  EXPECT_EQ(resp.replication_tip_epoch, 4u);
+  EXPECT_EQ(resp.replication_lag_epochs, 3u);
+  EXPECT_FALSE(resp.stale);
+
+  svc.Shutdown(/*drain=*/true);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.staleness_shed, 1u);
+  EXPECT_EQ(stats.stale_served, 0u);
+  EXPECT_EQ(stats.TerminalTotal(), 1u);
+}
+
+TEST_F(QueryServiceTest, StaleOptInServesAndMarksTheResponse) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  QueryService svc(&store, {});
+  svc.ReportReplication(/*tip_epoch=*/4, /*applied_epoch=*/1);
+
+  QueryRequest req = SimpleRequest();
+  req.max_lag_epochs = 1;
+  req.serve_stale = true;
+  auto resp = svc.Submit(std::move(req))->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_TRUE(resp.stale);
+  EXPECT_EQ(resp.edb_epoch, 1u);
+  EXPECT_EQ(resp.replication_tip_epoch, 4u);
+  EXPECT_EQ(resp.replication_lag_epochs, 3u);
+  EXPECT_FALSE(resp.report.results.empty());
+
+  svc.Shutdown(/*drain=*/true);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.stale_served, 1u);
+  EXPECT_EQ(stats.staleness_shed, 0u);
+}
+
+TEST_F(QueryServiceTest, DefaultRequestsIgnoreReplicaLag) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  QueryService svc(&store, {});
+  svc.ReportReplication(/*tip_epoch=*/100, /*applied_epoch=*/1);
+
+  // No bound requested (UINT64_MAX): a deeply lagged replica still serves,
+  // and the response is NOT marked stale — the caller asked for no bound.
+  auto resp = svc.Submit(SimpleRequest())->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_FALSE(resp.stale);
+  EXPECT_EQ(resp.replication_lag_epochs, 99u);
+
+  svc.Shutdown(/*drain=*/true);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.stale_served, 0u);
+  EXPECT_EQ(stats.staleness_shed, 0u);
+}
+
+TEST_F(QueryServiceTest, WithinBoundServesFreshWithoutTheMarker) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  QueryService svc(&store, {});
+  svc.ReportReplication(/*tip_epoch=*/3, /*applied_epoch=*/1);
+
+  QueryRequest req = SimpleRequest();
+  req.max_lag_epochs = 5;  // lag 2 <= 5: fresh enough
+  req.serve_stale = true;  // opt-in must not mark within-bound responses
+  auto resp = svc.Submit(std::move(req))->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_FALSE(resp.stale);
+  EXPECT_EQ(resp.replication_lag_epochs, 2u);
+
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().stale_served, 0u);
+}
+
+TEST_F(QueryServiceTest, LagBoundsAreInertOffReplicas) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  // No ReportReplication: this service is a primary. Even the tightest
+  // bound admits — there is no replication lag to measure.
+  QueryService svc(&store, {});
+  QueryRequest req = SimpleRequest();
+  req.max_lag_epochs = 0;
+  auto resp = svc.Submit(std::move(req))->Get();
+  ASSERT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+  EXPECT_FALSE(resp.stale);
+  svc.Shutdown(/*drain=*/true);
+  EXPECT_EQ(svc.stats().staleness_shed, 0u);
+}
+
+TEST_F(QueryServiceTest, ReplicationGaugesNeverRollBackwards) {
+  VersionedStore store;
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_TRUE(store.BootstrapFromDatabase(base_).ok());
+
+  QueryService svc(&store, {});
+  svc.ReportReplication(/*tip_epoch=*/5, /*applied_epoch=*/3);
+  // A stale report (reconnect racing the gauge publisher) must not shrink
+  // either epoch gauge.
+  svc.ReportReplication(/*tip_epoch=*/2, /*applied_epoch=*/1);
+  svc.ReportReplicationEvents(/*flaps=*/2, /*failovers=*/1, /*reseeds=*/1);
+  svc.ReportReplicationEvents(/*flaps=*/1, /*failovers=*/0, /*reseeds=*/0);
+
+  ServiceStats stats = svc.stats();
+  EXPECT_TRUE(stats.replica);
+  EXPECT_EQ(stats.replication_tip_epoch, 5u);
+  EXPECT_EQ(stats.replication_applied_epoch, 3u);
+  EXPECT_EQ(stats.replication_lag_epochs, 2u);
+  EXPECT_EQ(stats.replication_flaps, 2u);
+  EXPECT_EQ(stats.replication_failovers, 1u);
+  EXPECT_EQ(stats.replication_reseeds, 1u);
+  svc.Shutdown(/*drain=*/true);
+}
+
 TEST_F(QueryServiceTest, SubmitPinsTheTipAgainstConcurrentCommits) {
   VersionedStore store;
   ASSERT_TRUE(store.Recover().ok());

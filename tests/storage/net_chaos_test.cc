@@ -1,0 +1,368 @@
+// Socket-transport chaos harness: a writer thread commits against the
+// primary while the supervised follower streams the WAL over a real TCP
+// loopback connection wrapped in FaultyTransport. A seeded schedule flips
+// partitions, slow links, torn writes, and one injected apply verdict
+// (reseed) while the supervisor reconnects with backoff; at the end the
+// primary "dies" and the supervisor promotes the follower.
+//
+// Invariants checked every round against the closed-form oracle (epoch e
+// commits exactly one "d" row, so |d| at epoch e is exactly e):
+//   * every kOk service answer satisfies the request's max_lag_epochs
+//     bound relative to the freshest acked tip the service was told about;
+//   * after each failover exactly one slot is promoted;
+//   * the surviving tip contains every commit the primary acknowledged.
+//
+// Knobs: MCM_NET_CHAOS_ROUNDS (default 12), MCM_NET_CHAOS_COMMITS (total
+// writer commits, default 120), MCM_FUZZ_SEED (schedule offset). The soak
+// profile in tests/CMakeLists.txt raises the first two.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
+#include "storage/fuzz_util.h"
+#include "storage/net_transport.h"
+#include "storage/replication.h"
+#include "storage/supervisor.h"
+#include "storage/versioned_store.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/socket.h"
+
+namespace mcm {
+namespace {
+
+int GetEnvInt(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v == nullptr || *v == '\0' ? dflt : std::atoi(v);
+}
+
+/// Non-owning adapters: the channel owns these, the test owns the link.
+struct LinkSink : ByteSink {
+  explicit LinkSink(FaultyTransport* n) : net(n) {}
+  Status Write(std::string_view bytes) override { return net->Write(bytes); }
+  FaultyTransport* net;
+};
+struct LinkSource : ByteSource {
+  explicit LinkSource(FaultyTransport* n) : net(n) {}
+  Result<std::string> Read(size_t max_bytes) override {
+    return net->Read(max_bytes);
+  }
+  FaultyTransport* net;
+};
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("mcm_net_chaos_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override {
+    util::FaultInjection::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  std::string Dir(const std::string& name) {
+    auto dir = root_ / name;
+    std::filesystem::create_directories(dir);
+    return dir.string();
+  }
+  std::filesystem::path root_;
+};
+
+/// Closed-form workload: epoch e inserts "v<e>" into unary relation "d".
+UpdateBatch NthBatch(uint64_t next_epoch) {
+  UpdateBatch b;
+  if (next_epoch == 1) b.CreateRelation("d", 1);
+  b.Insert("d", {"v" + std::to_string(next_epoch)});
+  return b;
+}
+
+size_t RowsAtTip(const VersionedStore& store) {
+  auto pin = store.Pin();
+  const Relation* d = pin->Find("d");
+  return d == nullptr ? 0 : d->size();
+}
+
+TEST_F(NetChaosTest, SupervisedFleetSurvivesFlappingNetworkAndFailsOver) {
+  const int rounds = GetEnvInt("MCM_NET_CHAOS_ROUNDS", 12);
+  const int total_commits = GetEnvInt("MCM_NET_CHAOS_COMMITS", 120);
+  Rng rng(0x6e6574636861'6fULL + fuzz::FuzzSeedOffset());
+
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  auto replica = std::make_unique<VersionedStore>(
+      VersionedStore::Options{Dir("replica")});
+  ASSERT_TRUE(replica->Recover().ok());
+
+  auto listener = util::Listener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  // The live transport. The factory rebuilds it on every (re)connect —
+  // fresh sockets, fresh decoder state — while the chaos schedule's fault
+  // intents (partition, slow link) are re-applied so an outage persists
+  // across rebuild attempts until the schedule heals it.
+  struct Link {
+    std::unique_ptr<SocketSink> raw_sink;
+    std::unique_ptr<SocketSource> raw_source;
+    std::unique_ptr<FaultyTransport> net;
+  };
+  Link link;
+  bool want_partition = false;
+  size_t want_chunk_cap = 0;
+  int reseed_builds = 0;
+
+  auto rebuild_link = [&]() -> Status {
+    auto client = util::Socket::Connect("127.0.0.1", listener->port(), 1000);
+    if (!client.ok()) return client.status();
+    auto server = listener->Accept(1000);
+    if (!server.ok()) return server.status();
+    link.raw_sink = std::make_unique<SocketSink>(std::move(*client));
+    SocketSource::Options src_opts;
+    src_opts.read_timeout_ms = 2;  // fast poll: this test ticks a lot
+    link.raw_source =
+        std::make_unique<SocketSource>(std::move(*server), src_opts);
+    link.net = std::make_unique<FaultyTransport>(link.raw_sink.get(),
+                                                 link.raw_source.get());
+    link.net->SetPartitioned(want_partition);
+    link.net->SetReadChunkCap(want_chunk_cap);
+    return Status::OK();
+  };
+
+  ChannelFactory factory =
+      [&](bool reseed) -> Result<std::unique_ptr<ReplicaChannel>> {
+    if (reseed) {
+      // A sticky verdict condemned this incarnation of the replica: wipe
+      // the store and let the stream bootstrap a fresh one via snapshot.
+      ++reseed_builds;
+      replica.reset();
+      std::filesystem::remove_all(root_ / "replica");
+      replica = std::make_unique<VersionedStore>(
+          VersionedStore::Options{Dir("replica")});
+      MCM_RETURN_NOT_OK(replica->Recover());
+    }
+    MCM_RETURN_NOT_OK(rebuild_link());
+    ShipperReplicaChannel::Options ch;
+    ch.ship.dir = Dir("primary");
+    ch.ship.primary = &primary;
+    ch.replica = replica.get();
+    ch.sink = std::make_unique<LinkSink>(link.net.get());
+    ch.source = std::make_unique<LinkSource>(link.net.get());
+    return std::unique_ptr<ReplicaChannel>(
+        std::make_unique<ShipperReplicaChannel>(std::move(ch)));
+  };
+
+  // Injectable clock so backoff schedules resolve instantly: every Tick
+  // advances "time" by more than the largest possible delay.
+  SupervisorOptions::Clock::time_point fake_now{};
+  std::atomic<bool> primary_up{true};
+  SupervisorOptions opts;
+  opts.probe_interval_ms = 1;
+  opts.transient.backoff_base_ms = 5;
+  opts.transient.backoff_cap_ms = 50;
+  opts.reconnect_after_failures = 2;
+  opts.primary_death_probes = 3;
+  opts.now = [&fake_now] { return fake_now; };
+  opts.primary_alive = [&primary_up] { return primary_up.load(); };
+  ReplicaSupervisor sup(opts);
+  ASSERT_TRUE(sup.AddReplica("standby", factory).ok());
+
+  auto tick = [&](int times) {
+    for (int i = 0; i < times; ++i) {
+      fake_now += std::chrono::milliseconds(100);
+      ASSERT_TRUE(sup.Tick().ok());
+    }
+  };
+
+  // Writer: commits the whole closed-form workload with small pauses so
+  // shipping genuinely overlaps the WAL being appended to.
+  std::thread writer([&] {
+    for (int i = 0; i < total_commits; ++i) {
+      auto r = primary.Commit(NthBatch(primary.TipEpoch() + 1));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      if (i % 8 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (i == total_commits / 2) {
+        ASSERT_TRUE(primary.Checkpoint().ok());
+      }
+    }
+  });
+
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t mode = rng.Next() % 4;
+    switch (mode) {
+      case 0:  // clear weather
+        break;
+      case 1:  // full partition for the round
+        want_partition = true;
+        if (link.net != nullptr) link.net->SetPartitioned(true);
+        break;
+      case 2:  // slow link: frames dribble through a few bytes per read
+        want_chunk_cap = 3 + rng.Next() % 15;
+        if (link.net != nullptr) {
+          link.net->SetReadChunkCap(want_chunk_cap);
+        }
+        break;
+      case 3:  // torn write: the link dies mid-frame; reconnect recovers
+        if (link.net != nullptr) {
+          link.net->FailWritesAfter(rng.Next() % 64);
+        }
+        break;
+    }
+    tick(12 + static_cast<int>(rng.Next() % 8));
+
+    // Heal everything the schedule injected this round.
+    want_partition = false;
+    want_chunk_cap = 0;
+    if (link.net != nullptr) {
+      link.net->SetPartitioned(false);
+      link.net->SetReadChunkCap(0);
+      link.net->ClearWriteFault();
+    }
+    tick(8);
+  }
+  writer.join();
+
+  // Convergence: with the weather clear the fleet must drain to the tip.
+  uint64_t acked = primary.TipEpoch();
+  ASSERT_EQ(acked, static_cast<uint64_t>(total_commits));
+  for (int i = 0; i < 4000 && sup.slots()[0].health.applied_epoch < acked;
+       ++i) {
+    tick(1);
+  }
+  ASSERT_EQ(sup.slots()[0].health.applied_epoch, acked);
+
+  // Reseed leg, deterministic: the very next shipped record fails its
+  // apply with a data verdict, the follower halts sticky, and the
+  // supervisor wipes and re-bootstraps the replica — which then converges
+  // again, this time over the snapshot-install path.
+  util::FaultInjection::Instance().Arm(
+      "repl/apply", Status::DataLoss("injected apply corruption"),
+      /*nth=*/1, /*sticky=*/false);
+  ASSERT_TRUE(primary.Commit(NthBatch(acked + 1)).ok());
+  ++acked;
+  for (int i = 0; i < 4000 && sup.slots()[0].health.applied_epoch < acked;
+       ++i) {
+    tick(1);
+  }
+  ASSERT_EQ(sup.slots()[0].health.applied_epoch, acked);
+  EXPECT_GE(reseed_builds, 1);
+  EXPECT_GE(sup.stats().reseeds, 1u);
+  EXPECT_EQ(RowsAtTip(*replica), acked);
+  EXPECT_TRUE(fuzz::SameState(*replica->Pin(), replica->symbols(),
+                              *primary.Pin(), primary.symbols()));
+
+  // Staleness routing against the converged follower: a strict bound is
+  // satisfiable (lag 0), and every kOk answer proves its own bound.
+  {
+    service::QueryService svc(replica.get(), {});
+    Follower::Health h = sup.slots()[0].health;
+    svc.ReportReplication(h.primary_tip_epoch, h.applied_epoch);
+    service::QueryRequest req;
+    req.program_text = "q(X) :- d(X). q(X)?";
+    req.max_lag_epochs = 0;
+    auto resp = svc.Submit(req)->Get();
+    ASSERT_EQ(resp.outcome, service::Outcome::kOk) << resp.status.ToString();
+    EXPECT_LE(resp.replication_lag_epochs, req.max_lag_epochs);
+    EXPECT_EQ(resp.report.results.size(), acked);
+    svc.Shutdown(/*drain=*/true);
+  }
+
+  // The primary dies. After primary_death_probes dead rounds the
+  // supervisor elects and promotes the follower — and because the fleet
+  // watermark equals the acked tip, promotion must succeed, not refuse.
+  primary_up = false;
+  for (int i = 0; i < 64 && !sup.stats().failed_over; ++i) tick(1);
+  ASSERT_TRUE(sup.stats().failed_over);
+  EXPECT_EQ(sup.promoted(), "standby");
+  int promoted = 0;
+  for (const auto& slot : sup.slots()) {
+    promoted += slot.phase == ReplicaSupervisor::SlotPhase::kPromoted;
+  }
+  EXPECT_EQ(promoted, 1);  // exactly one authority after the failover
+
+  // The surviving tip contains every acked commit, and the new authority
+  // keeps the closed form going under fresh writes.
+  EXPECT_EQ(replica->TipEpoch(), acked);
+  EXPECT_EQ(RowsAtTip(*replica), acked);
+  for (uint64_t e = acked + 1; e <= acked + 3; ++e) {
+    ASSERT_TRUE(replica->Commit(NthBatch(e)).ok());
+  }
+  EXPECT_EQ(RowsAtTip(*replica), acked + 3);
+}
+
+TEST_F(NetChaosTest, StaleReadsDegradeGracefullyUnderPartition) {
+  // A partitioned replica keeps serving within-bound reads, marks
+  // over-bound reads stale when asked to, and sheds them otherwise.
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  VersionedStore replica({Dir("replica")});
+  ASSERT_TRUE(replica.Recover().ok());
+
+  InProcessPipe pipe;
+  WalShipper shipper({Dir("primary"), &primary}, &pipe);
+  Follower follower(&replica, &pipe);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(primary.Commit(NthBatch(primary.TipEpoch() + 1)).ok());
+  }
+  for (int round = 0; round < 64; ++round) {
+    ASSERT_TRUE(shipper.Pump(follower.health().applied_epoch).ok());
+    ASSERT_TRUE(follower.Poll().ok());
+    if (follower.health().lag_epochs() == 0) break;
+  }
+  ASSERT_EQ(follower.health().applied_epoch, 3u);
+
+  // The partition begins; the primary keeps acking commits the replica
+  // never sees. The service learns the true tip from the health probe.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(primary.Commit(NthBatch(primary.TipEpoch() + 1)).ok());
+  }
+  service::QueryService svc(&replica, {});
+  svc.ReportReplication(/*tip_epoch=*/7, follower.health().applied_epoch);
+
+  service::QueryRequest strict;
+  strict.program_text = "q(X) :- d(X). q(X)?";
+  strict.max_lag_epochs = 2;  // lag is 4: over bound
+  auto shed = svc.Submit(strict)->Get();
+  EXPECT_EQ(shed.outcome, service::Outcome::kRejectedOverload);
+  EXPECT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_EQ(shed.replication_lag_epochs, 4u);
+
+  service::QueryRequest stale = strict;
+  stale.serve_stale = true;
+  auto served = svc.Submit(stale)->Get();
+  ASSERT_EQ(served.outcome, service::Outcome::kOk)
+      << served.status.ToString();
+  EXPECT_TRUE(served.stale);  // the stale@epoch marker's source of truth
+  EXPECT_EQ(served.edb_epoch, 3u);
+  EXPECT_EQ(served.replication_tip_epoch, 7u);
+  EXPECT_EQ(served.replication_lag_epochs, 4u);
+  EXPECT_EQ(served.report.results.size(), 3u);
+
+  service::QueryRequest loose = strict;
+  loose.max_lag_epochs = 10;  // within bound: fresh-enough, not stale
+  auto ok = svc.Submit(loose)->Get();
+  ASSERT_EQ(ok.outcome, service::Outcome::kOk) << ok.status.ToString();
+  EXPECT_FALSE(ok.stale);
+  EXPECT_LE(ok.replication_lag_epochs, loose.max_lag_epochs);
+
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.stale_served, 1u);
+  EXPECT_EQ(stats.staleness_shed, 1u);
+  svc.Shutdown(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -519,5 +519,230 @@ TEST_F(ReplicationTest, PromoteWithLostAckedTailIsRefusedAsDataLoss) {
   EXPECT_TRUE(follower.Poll().IsDataLoss());
 }
 
+// A transport whose peer never goes idle: every read is answered with a
+// fresh tip re-advertisement before a read timeout could expire. This is
+// exactly what a socket to a primary pumping faster than the read timeout
+// looks like.
+class ChattyTipSource : public ByteSource {
+ public:
+  ChattyTipSource(std::string catch_up, uint64_t tip)
+      : catch_up_(std::move(catch_up)), tip_(tip) {}
+
+  Result<std::string> Read(size_t) override {
+    ++reads_;
+    if (!catch_up_.empty()) {
+      std::string burst;
+      burst.swap(catch_up_);
+      return burst;
+    }
+    return EncodeFrame(kFrameTip, tip_, "");
+  }
+
+  int reads() const { return reads_; }
+
+ private:
+  std::string catch_up_;
+  uint64_t tip_;
+  int reads_ = 0;
+};
+
+TEST_F(ReplicationTest, PollYieldsAgainstAPrimaryThatNeverGoesIdle) {
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  CommitN(&primary, 3);
+  InProcessPipe pipe;
+  WalShipper shipper({Dir("primary"), &primary}, &pipe);
+  ASSERT_TRUE(shipper.Pump(0).ok());
+  std::string catch_up;
+  while (true) {
+    auto chunk = pipe.Read(1 << 16);
+    if (!chunk.ok() || chunk->empty()) break;
+    catch_up += *chunk;
+  }
+
+  ChattyTipSource chatty(catch_up, /*tip=*/3);
+  VersionedStore replica({Dir("replica")});
+  ASSERT_TRUE(replica.Recover().ok());
+  Follower follower(&replica, &chatty);
+
+  // The first Poll applies the whole catch-up burst and must then STOP at
+  // the tip instead of consuming re-advertisements forever: an endless
+  // stream of tip frames would otherwise block this call until the link
+  // died (the source here never reports idle, so a livelocked Poll would
+  // hang the test).
+  Status polled = follower.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.ToString();
+  EXPECT_EQ(follower.health().applied_epoch, 3u);
+  EXPECT_EQ(follower.health().primary_tip_epoch, 3u);
+  EXPECT_LE(chatty.reads(), 3);
+
+  // Steady state: each Poll consumes one burst and yields caught-up.
+  for (int i = 0; i < 5; ++i) {
+    int before = chatty.reads();
+    ASSERT_TRUE(follower.Poll().ok());
+    EXPECT_LE(chatty.reads() - before, 2);
+    EXPECT_EQ(follower.health().lag_epochs(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FileTailSource: paced directory tailing
+
+TEST_F(ReplicationTest, FileTailSourceFeedsAFollowerWithoutBusyPolling) {
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  CommitN(&primary, 3);
+
+  auto fake_now = FileTailSource::Clock::time_point{};
+  FileTailSource::Options opts;
+  opts.dir = Dir("primary");
+  opts.primary = &primary;
+  opts.poll_interval_ms = 20;
+  opts.now = [&fake_now] { return fake_now; };
+  FileTailSource tail(opts);
+  VersionedStore replica({Dir("replica")});
+  ASSERT_TRUE(replica.Recover().ok());
+  Follower follower(&replica, &tail);
+
+  for (int i = 0; i < 64 && follower.health().applied_epoch < 3; ++i) {
+    Status polled = follower.Poll();
+    ASSERT_TRUE(polled.ok()) << polled.ToString();
+    fake_now += std::chrono::milliseconds(20);
+  }
+  EXPECT_EQ(follower.health().applied_epoch, 3u);
+  EXPECT_EQ(RowsAtTip(replica), 3u);
+
+  // The drain loop left the clock exactly at the pump gate; one settling
+  // Poll performs that due re-read (every pump re-advertises the acked
+  // tip) and arms the gate afresh.
+  ASSERT_TRUE(follower.Poll().ok());
+
+  // Idle pacing: once drained, repeated reads at the same instant must NOT
+  // re-read the directory — the tail is gated until poll_interval elapses.
+  uint64_t pumps = tail.pump_count();
+  for (int i = 0; i < 50; ++i) {
+    auto chunk = tail.Read(1 << 16);
+    ASSERT_FALSE(chunk.ok());
+    EXPECT_TRUE(chunk.status().IsUnavailable());
+  }
+  EXPECT_EQ(tail.pump_count(), pumps);
+
+  // Just before the interval: still gated. At the interval: one re-read,
+  // delivering the idle pump's tip re-advertisement.
+  fake_now += std::chrono::milliseconds(19);
+  EXPECT_TRUE(tail.Read(1 << 16).status().IsUnavailable());
+  EXPECT_EQ(tail.pump_count(), pumps);
+  fake_now += std::chrono::milliseconds(1);
+  auto readvertised = tail.Read(1 << 16);
+  ASSERT_TRUE(readvertised.ok()) << readvertised.status().ToString();
+  EXPECT_FALSE(readvertised->empty());
+  EXPECT_EQ(tail.pump_count(), pumps + 1);
+
+  // New commits flow through on the next due pump.
+  CommitN(&primary, 1);
+  fake_now += std::chrono::milliseconds(20);
+  ASSERT_TRUE(follower.Poll().ok());
+  EXPECT_EQ(follower.health().applied_epoch, 4u);
+}
+
+TEST_F(ReplicationTest, FileTailSourceBacksOffOnRepeatedPumpFailures) {
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  CommitN(&primary, 2);
+
+  auto fake_now = FileTailSource::Clock::time_point{};
+  FileTailSource::Options opts;
+  opts.dir = Dir("primary");
+  opts.primary = &primary;
+  opts.poll_interval_ms = 10;
+  opts.max_backoff_ms = 80;
+  opts.now = [&fake_now] { return fake_now; };
+  FileTailSource tail(opts);
+
+  auto& inject = util::FaultInjection::Instance();
+  inject.Arm("repl/ship", Status::Internal("injected ship failure"),
+             /*nth=*/1, /*sticky=*/true);
+
+  // First read attempts a pump and surfaces the failure itself.
+  EXPECT_EQ(tail.Read(1 << 16).status().code(), StatusCode::kInternal);
+  EXPECT_EQ(tail.pump_count(), 1u);
+
+  // Each retry is gated by an exponentially growing gap, capped at
+  // max_backoff_ms — never a hot loop against the failing directory.
+  uint64_t expected_gap = 20;  // base 10 << 1 failure
+  for (int failure = 1; failure <= 6; ++failure) {
+    uint64_t before = tail.pump_count();
+    fake_now += std::chrono::milliseconds(expected_gap - 1);
+    EXPECT_TRUE(tail.Read(1 << 16).status().IsUnavailable());  // still gated
+    EXPECT_EQ(tail.pump_count(), before);
+    fake_now += std::chrono::milliseconds(1);
+    EXPECT_EQ(tail.Read(1 << 16).status().code(), StatusCode::kInternal);
+    EXPECT_EQ(tail.pump_count(), before + 1);
+    expected_gap = std::min<uint64_t>(expected_gap * 2, 80);
+  }
+
+  // Healing: the next due pump succeeds and delivers the frames.
+  inject.DisarmAll();
+  fake_now += std::chrono::milliseconds(80);
+  auto chunk = tail.Read(1 << 16);
+  ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+  EXPECT_FALSE(chunk->empty());
+
+  // Success resets the pacing to the plain poll interval.
+  uint64_t pumps = tail.pump_count();
+  EXPECT_TRUE(tail.Read(1 << 16).status().IsUnavailable());  // gated
+  EXPECT_EQ(tail.pump_count(), pumps);
+  fake_now += std::chrono::milliseconds(10);
+  auto readvertised = tail.Read(1 << 16);  // idle re-read: tip frame only
+  ASSERT_TRUE(readvertised.ok()) << readvertised.status().ToString();
+  EXPECT_EQ(tail.pump_count(), pumps + 1);
+}
+
+TEST_F(ReplicationTest, FileTailSourceGivesUpWhenDirectoryVanishesMidTail) {
+  VersionedStore primary({Dir("primary")});
+  ASSERT_TRUE(primary.Recover().ok());
+  CommitN(&primary, 2);
+
+  auto fake_now = FileTailSource::Clock::time_point{};
+  FileTailSource::Options opts;
+  opts.dir = Dir("primary");
+  opts.primary = &primary;
+  opts.poll_interval_ms = 10;
+  opts.max_backoff_ms = 40;
+  opts.missing_dir_deadline_ms = 200;
+  opts.now = [&fake_now] { return fake_now; };
+  FileTailSource tail(opts);
+
+  auto first = tail.Read(1 << 20);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->empty());
+
+  // The shipped directory disappears mid-tail (primary host lost, mount
+  // gone). Reads back off instead of spinning, and once the deadline
+  // passes the source halts with a sticky kDeadlineExceeded.
+  std::filesystem::remove_all(root_ / "primary");
+  fake_now += std::chrono::milliseconds(10);
+  auto gone = tail.Read(1 << 16);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_TRUE(gone.status().IsUnavailable()) << gone.status().ToString();
+
+  uint64_t reads_attempted = 0;
+  Status last = Status::OK();
+  for (int i = 0; i < 1000 && !last.IsDeadlineExceeded(); ++i) {
+    fake_now += std::chrono::milliseconds(10);
+    last = tail.Read(1 << 16).status();
+    ++reads_attempted;
+  }
+  EXPECT_TRUE(last.IsDeadlineExceeded()) << last.ToString();
+  // 200ms deadline at 10ms steps: ~20 reads, give or take gating — the
+  // point is it did NOT take anywhere near the 1000 iterations a spin
+  // would allow, and most of those reads were gated (no directory pump).
+  EXPECT_LE(reads_attempted, 30u);
+  EXPECT_LE(tail.pump_count(), 10u);
+
+  // Sticky: the verdict repeats without further clock movement.
+  EXPECT_TRUE(tail.Read(1 << 16).status().IsDeadlineExceeded());
+}
+
 }  // namespace
 }  // namespace mcm

@@ -1,0 +1,586 @@
+// Deterministic coverage for the supervised follower fleet
+// (storage/supervisor.h): reconnect backoff bounds, flap-vs-reseed
+// classification, election of the highest applied epoch, the
+// promotion-refusal safety invariant (across channel rebuilds), automatic
+// failover on primary death, and Follower::Promote under concurrent pinned
+// readers. Scripted channels + an injectable clock keep every schedule
+// decision deterministic; the socket-level counterpart lives in
+// net_chaos_test.cc.
+#include "storage/supervisor.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/fuzz_util.h"
+#include "storage/replication.h"
+#include "storage/versioned_store.h"
+
+namespace mcm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scripted channels + injectable clock
+
+/// Shared, test-mutable state behind a fake channel. The factory may
+/// rebuild the channel many times; the state survives so a test scripts
+/// one slot's whole life.
+struct ChannelState {
+  Follower::Health health;
+  /// Consumed front-first by Sync(); empty = fall back to default_sync.
+  std::deque<Status> sync_script;
+  Status default_sync = Status::OK();
+  Status promote_result = Status::OK();
+  int syncs = 0;
+  int promotes = 0;
+};
+
+class FakeChannel : public ReplicaChannel {
+ public:
+  explicit FakeChannel(ChannelState* state) : state_(state) {}
+  Status Sync() override {
+    ++state_->syncs;
+    if (!state_->sync_script.empty()) {
+      Status s = state_->sync_script.front();
+      state_->sync_script.pop_front();
+      return s;
+    }
+    return state_->default_sync;
+  }
+  Follower::Health health() const override { return state_->health; }
+  Status Promote() override {
+    ++state_->promotes;
+    if (state_->promote_result.ok()) state_->health.promoted = true;
+    return state_->promote_result;
+  }
+
+ private:
+  ChannelState* state_;
+};
+
+/// Counts factory invocations and whether each asked for a reseed.
+struct FactoryLog {
+  int builds = 0;
+  int reseed_builds = 0;
+};
+
+ChannelFactory MakeFactory(ChannelState* state, FactoryLog* log,
+                           Status* fail_with = nullptr) {
+  return [state, log, fail_with](bool reseed) -> Result<
+                                                  std::unique_ptr<
+                                                      ReplicaChannel>> {
+    ++log->builds;
+    if (reseed) ++log->reseed_builds;
+    if (fail_with != nullptr && !fail_with->ok()) return *fail_with;
+    return std::unique_ptr<ReplicaChannel>(
+        std::make_unique<FakeChannel>(state));
+  };
+}
+
+struct TestClock {
+  SupervisorOptions::Clock::time_point t{};
+  void Advance(uint64_t ms) { t += std::chrono::milliseconds(ms); }
+};
+
+SupervisorOptions BaseOptions(TestClock* clock) {
+  SupervisorOptions opts;
+  opts.probe_interval_ms = 50;
+  opts.transient.backoff_base_ms = 5;
+  opts.transient.backoff_cap_ms = 250;
+  opts.reconnect_after_failures = 2;
+  opts.now = [clock] { return clock->t; };
+  return opts;
+}
+
+/// Tick until the slot is streaming (advancing the clock past any healthy
+/// gap / backoff between rounds).
+void TickUntilStreaming(ReplicaSupervisor* sup, TestClock* clock,
+                        int rounds = 16) {
+  for (int i = 0; i < rounds; ++i) {
+    ASSERT_TRUE(sup->Tick().ok());
+    if (sup->slots()[0].phase == ReplicaSupervisor::SlotPhase::kStreaming) {
+      return;
+    }
+    clock->Advance(300);
+  }
+  FAIL() << "slot never reached kStreaming";
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+TEST(SupervisorBackoffTest, FirstBuildHappensOnFirstTick) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+  EXPECT_EQ(log.builds, 0);
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_EQ(log.builds, 1);
+  EXPECT_EQ(log.reseed_builds, 0);
+  EXPECT_EQ(sup.slots()[0].phase, ReplicaSupervisor::SlotPhase::kStreaming);
+}
+
+TEST(SupervisorBackoffTest, ReconnectDelaysAreBoundedAndNeverZero) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  Status fail = Status::Unavailable("connect refused");
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log, &fail)).ok());
+
+  ASSERT_TRUE(sup.Tick().ok());  // first build attempt, fails
+  ASSERT_EQ(log.builds, 1);
+  EXPECT_EQ(sup.slots()[0].phase, ReplicaSupervisor::SlotPhase::kBackoff);
+
+  // No zero-delay retry: ticking without advancing the clock must not
+  // re-invoke the factory.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_EQ(log.builds, 1);
+
+  // Measure each retry delay by advancing 1ms at a time. Every delay must
+  // stay within the exponential envelope min(base << attempt, cap) and
+  // never be zero.
+  std::vector<uint64_t> delays;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    int prev = log.builds;
+    uint64_t waited = 0;
+    while (log.builds == prev && waited < 2000) {
+      clock.Advance(1);
+      ++waited;
+      ASSERT_TRUE(sup.Tick().ok());
+    }
+    ASSERT_LT(waited, 2000u) << "retry " << attempt << " never fired";
+    delays.push_back(waited);
+  }
+  for (size_t i = 0; i < delays.size(); ++i) {
+    uint64_t envelope =
+        i >= 6 ? 250 : std::min<uint64_t>(uint64_t{5} << i, 250);
+    EXPECT_GE(delays[i], 1u) << "attempt " << i;
+    EXPECT_LE(delays[i], envelope) << "attempt " << i;
+  }
+  // The schedule actually grows toward the cap rather than hugging the base.
+  EXPECT_GE(delays.back(), 100u);
+  // Nothing ever connected, so no reconnect was counted.
+  EXPECT_EQ(sup.slots()[0].reconnects, 0u);
+}
+
+TEST(SupervisorBackoffTest, SuccessResetsTheBackoffLadder) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.default_sync = Status::Unavailable("link down");
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+
+  // Drive several outage cycles to walk the ladder up.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);  // past any delay the ladder can produce
+  }
+  ASSERT_GT(log.builds, 2);
+
+  // Heal: one healthy sync resets consecutive_failures and the ladder.
+  state.default_sync = Status::OK();
+  TickUntilStreaming(&sup, &clock);
+  state.default_sync = Status::Unavailable("down again");
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  // The ladder was reset by the healthy sync, so the rebuild after this
+  // fresh outage comes a base-sized delay past the drop (the first waited
+  // tick records the dropping failure, then at most backoff_base_ms = 5ms
+  // elapse) — nowhere near the ~250ms cap the pre-heal ladder had reached.
+  int prev = log.builds;
+  uint64_t waited = 0;
+  while (log.builds == prev && waited < 2000) {
+    clock.Advance(1);
+    ++waited;
+    ASSERT_TRUE(sup.Tick().ok());
+  }
+  EXPECT_GE(waited, 2u);
+  EXPECT_LE(waited, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Flap vs reseed classification
+
+TEST(SupervisorClassifyTest, OneOutageCountsOneFlap) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.default_sync = Status::Unavailable("flaky link");
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+
+  // A long outage spanning several rebuild attempts is still one flap.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  ASSERT_GT(log.builds, 2);
+  EXPECT_EQ(sup.stats().flaps, 1u);
+  EXPECT_EQ(sup.stats().reseeds, 0u);
+  EXPECT_EQ(log.reseed_builds, 0);  // transport flaps never wipe the store
+
+  // Heal, then a second outage: now two flaps.
+  state.default_sync = Status::OK();
+  TickUntilStreaming(&sup, &clock);
+  EXPECT_EQ(sup.stats().flaps, 1u);
+  state.default_sync = Status::Unavailable("down again");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  EXPECT_EQ(sup.stats().flaps, 2u);
+}
+
+TEST(SupervisorClassifyTest, StickyVerdictForcesReseedRebuild) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.sync_script.push_back(Status::DataLoss("torn frame"));
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+
+  ASSERT_TRUE(sup.Tick().ok());  // build + sync -> kDataLoss
+  EXPECT_EQ(log.builds, 1);
+  EXPECT_EQ(sup.stats().reseeds, 1u);
+  EXPECT_EQ(sup.stats().flaps, 0u);  // a verdict is not a flap
+  EXPECT_EQ(sup.slots()[0].phase, ReplicaSupervisor::SlotPhase::kConnecting);
+
+  // The rebuild must be asked to reseed, and a healthy stream follows.
+  clock.Advance(300);
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_EQ(log.builds, 2);
+  EXPECT_EQ(log.reseed_builds, 1);
+  EXPECT_EQ(sup.slots()[0].phase, ReplicaSupervisor::SlotPhase::kStreaming);
+
+  // kFailedPrecondition (outran the retained WAL) classifies the same way.
+  state.sync_script.push_back(Status::FailedPrecondition("behind snapshot"));
+  clock.Advance(300);
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_EQ(sup.stats().reseeds, 2u);
+  clock.Advance(300);
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_EQ(log.reseed_builds, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+
+TEST(SupervisorFailoverTest, ElectsHighestAppliedAndHaltsTheRest) {
+  TestClock clock;
+  ChannelState a, b, c;
+  FactoryLog la, lb, lc;
+  a.health.applied_epoch = 3;
+  a.health.primary_tip_epoch = 5;
+  b.health.applied_epoch = 5;
+  b.health.primary_tip_epoch = 5;
+  c.health.applied_epoch = 4;
+  c.health.primary_tip_epoch = 5;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("a", MakeFactory(&a, &la)).ok());
+  ASSERT_TRUE(sup.AddReplica("b", MakeFactory(&b, &lb)).ok());
+  ASSERT_TRUE(sup.AddReplica("c", MakeFactory(&c, &lc)).ok());
+  ASSERT_TRUE(sup.Tick().ok());
+
+  Status st = sup.FailOver();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(sup.promoted(), "b");
+  EXPECT_EQ(b.promotes, 1);
+  EXPECT_EQ(a.promotes, 0);
+  EXPECT_EQ(c.promotes, 0);
+
+  int promoted = 0, halted = 0;
+  for (const auto& slot : sup.slots()) {
+    promoted += slot.phase == ReplicaSupervisor::SlotPhase::kPromoted;
+    halted += slot.phase == ReplicaSupervisor::SlotPhase::kHalted;
+  }
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(halted, 2);
+  EXPECT_TRUE(sup.stats().failed_over);
+  EXPECT_EQ(sup.stats().failovers, 1u);
+
+  // Idempotent after success: no second promotion.
+  ASSERT_TRUE(sup.FailOver().ok());
+  EXPECT_EQ(b.promotes, 1);
+  EXPECT_EQ(sup.stats().failovers, 1u);
+}
+
+TEST(SupervisorFailoverTest, SkipsStickyHaltedCandidates) {
+  TestClock clock;
+  ChannelState a, b;
+  FactoryLog la, lb;
+  a.health.applied_epoch = 5;
+  a.health.primary_tip_epoch = 5;
+  a.health.halt = Status::DataLoss("halted mid-stream");
+  b.health.applied_epoch = 5;
+  b.health.primary_tip_epoch = 5;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("a", MakeFactory(&a, &la)).ok());
+  ASSERT_TRUE(sup.AddReplica("b", MakeFactory(&b, &lb)).ok());
+  ASSERT_TRUE(sup.Tick().ok());
+  ASSERT_TRUE(sup.FailOver().ok());
+  EXPECT_EQ(sup.promoted(), "b");
+}
+
+TEST(SupervisorFailoverTest, RefusesToLoseAckedCommits) {
+  TestClock clock;
+  ChannelState a, b;
+  FactoryLog la, lb;
+  a.health.applied_epoch = 3;
+  a.health.primary_tip_epoch = 5;  // the fleet saw epoch 5 acked
+  b.health.applied_epoch = 4;
+  b.health.primary_tip_epoch = 5;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("a", MakeFactory(&a, &la)).ok());
+  ASSERT_TRUE(sup.AddReplica("b", MakeFactory(&b, &lb)).ok());
+  ASSERT_TRUE(sup.Tick().ok());
+
+  Status st = sup.FailOver();
+  ASSERT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_EQ(sup.promoted(), "");
+  EXPECT_EQ(a.promotes + b.promotes, 0);
+  EXPECT_FALSE(sup.stats().failed_over);
+
+  // Once the best candidate catches up to the acked watermark, the same
+  // election succeeds.
+  b.health.applied_epoch = 5;
+  ASSERT_TRUE(sup.FailOver().ok());
+  EXPECT_EQ(sup.promoted(), "b");
+}
+
+TEST(SupervisorFailoverTest, AckedWatermarkSurvivesChannelRebuilds) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.health.applied_epoch = 3;
+  state.health.primary_tip_epoch = 5;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+  ASSERT_TRUE(sup.Tick().ok());  // observes tip 5 acked
+
+  // The link dies; the rebuilt channel comes back remembering nothing
+  // beyond its local store (tip advertisement lost with the connection).
+  state.default_sync = Status::Unavailable("link down");
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  state.health.primary_tip_epoch = 3;
+  state.default_sync = Status::OK();
+  TickUntilStreaming(&sup, &clock);
+
+  // Promotion must still be refused: the supervisor's watermark remembers
+  // that epoch 5 was acknowledged to clients.
+  Status st = sup.FailOver();
+  ASSERT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_EQ(sup.slots()[0].fleet_tip_epoch, 5u);
+}
+
+TEST(SupervisorFailoverTest, NoLiveCandidateIsUnavailable) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  Status fail = Status::Unavailable("never connects");
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log, &fail)).ok());
+  ASSERT_TRUE(sup.Tick().ok());
+  Status st = sup.FailOver();
+  ASSERT_TRUE(st.IsUnavailable()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Primary death detection
+
+TEST(SupervisorDeathTest, AutoFailoverAfterConsecutiveDeadProbes) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.health.applied_epoch = 5;
+  state.health.primary_tip_epoch = 5;
+  std::atomic<bool> alive{true};
+  SupervisorOptions opts = BaseOptions(&clock);
+  opts.primary_death_probes = 3;
+  opts.primary_alive = [&alive] { return alive.load(); };
+  ReplicaSupervisor sup(opts);
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  EXPECT_FALSE(sup.stats().failed_over);
+
+  // A blip shorter than the threshold resets the count.
+  alive = false;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  alive = true;
+  ASSERT_TRUE(sup.Tick().ok());
+  clock.Advance(300);
+  alive = false;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  EXPECT_FALSE(sup.stats().failed_over);
+
+  // The third consecutive dead probe triggers the election.
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_TRUE(sup.stats().failed_over);
+  EXPECT_EQ(sup.promoted(), "r1");
+  EXPECT_EQ(state.promotes, 1);
+}
+
+TEST(SupervisorDeathTest, RefusedAutoFailoverRetriesEachTick) {
+  TestClock clock;
+  ChannelState state;
+  FactoryLog log;
+  state.health.applied_epoch = 3;
+  state.health.primary_tip_epoch = 5;  // behind the acked watermark
+  std::atomic<bool> alive{false};
+  SupervisorOptions opts = BaseOptions(&clock);
+  opts.primary_death_probes = 2;
+  opts.primary_alive = [&alive] { return alive.load(); };
+  ReplicaSupervisor sup(opts);
+  ASSERT_TRUE(sup.AddReplica("r1", MakeFactory(&state, &log)).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  // Every attempt was refused rather than losing epochs 4-5.
+  EXPECT_FALSE(sup.stats().failed_over);
+  EXPECT_EQ(state.promotes, 0);
+
+  // The candidate drains the missing epochs; the very next Tick promotes
+  // without waiting for a fresh run of dead probes.
+  state.health.applied_epoch = 5;
+  ASSERT_TRUE(sup.Tick().ok());
+  EXPECT_TRUE(sup.stats().failed_over);
+  EXPECT_EQ(sup.promoted(), "r1");
+}
+
+// ---------------------------------------------------------------------------
+// Promote under concurrent pinned readers (real stores)
+
+/// Non-owning pipe adapters so ShipperReplicaChannel (which owns its
+/// transport endpoints) can run over a test-owned InProcessPipe.
+struct PipeSink : ByteSink {
+  explicit PipeSink(InProcessPipe* p) : pipe(p) {}
+  Status Write(std::string_view bytes) override { return pipe->Write(bytes); }
+  InProcessPipe* pipe;
+};
+struct PipeSource : ByteSource {
+  explicit PipeSource(InProcessPipe* p) : pipe(p) {}
+  Result<std::string> Read(size_t max_bytes) override {
+    return pipe->Read(max_bytes);
+  }
+  InProcessPipe* pipe;
+};
+
+TEST(SupervisorPromoteTest, PinnedReadersSeeIdenticalBytesAcrossPromotion) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() /
+                  ("mcm_supervisor_promote_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root / "primary");
+  fs::create_directories(root / "replica");
+
+  VersionedStore primary({(root / "primary").string()});
+  ASSERT_TRUE(primary.Recover().ok());
+  for (uint64_t e = 1; e <= 5; ++e) {
+    UpdateBatch b;
+    if (e == 1) b.CreateRelation("d", 1);
+    b.Insert("d", {"v" + std::to_string(e)});
+    ASSERT_TRUE(primary.Commit(b).ok());
+  }
+
+  VersionedStore replica({(root / "replica").string()});
+  ASSERT_TRUE(replica.Recover().ok());
+  InProcessPipe pipe;
+
+  TestClock clock;
+  ReplicaSupervisor sup(BaseOptions(&clock));
+  ASSERT_TRUE(sup.AddReplica("standby", [&](bool) {
+                   ShipperReplicaChannel::Options ch;
+                   ch.ship.dir = (root / "primary").string();
+                   ch.ship.primary = &primary;
+                   ch.replica = &replica;
+                   ch.sink = std::make_unique<PipeSink>(&pipe);
+                   ch.source = std::make_unique<PipeSource>(&pipe);
+                   return Result<std::unique_ptr<ReplicaChannel>>(
+                       std::make_unique<ShipperReplicaChannel>(
+                           std::move(ch)));
+                 }).ok());
+  for (int i = 0; i < 32 && sup.slots()[0].health.applied_epoch < 5; ++i) {
+    ASSERT_TRUE(sup.Tick().ok());
+    clock.Advance(300);
+  }
+  ASSERT_EQ(sup.slots()[0].health.applied_epoch, 5u);
+
+  // Pin the pre-promotion snapshot, then hammer it from reader threads
+  // while the failover runs: the view a reader pinned must be frozen.
+  auto before = replica.Pin();
+  auto probe = replica.Pin();
+  const Relation* d_before = before->Find("d");
+  ASSERT_NE(d_before, nullptr);
+  const size_t rows_before = d_before->size();
+  ASSERT_EQ(rows_before, 5u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto pin = replica.Pin();
+        const Relation* d = pin->Find("d");
+        if (d == nullptr || d->size() < rows_before) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  Status st = sup.FailOver();
+  // The new authority immediately takes writes of its own.
+  for (uint64_t e = 6; e <= 8; ++e) {
+    UpdateBatch b;
+    b.Insert("d", {"v" + std::to_string(e)});
+    ASSERT_TRUE(replica.Commit(b).ok());
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(sup.promoted(), "standby");
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Byte-identical pre/post: the pin taken before promotion still reads
+  // exactly the pre-promotion state, indistinguishable from a second pin
+  // taken at the same epoch.
+  EXPECT_TRUE(fuzz::SameState(*before, replica.symbols(), *probe,
+                              replica.symbols()));
+  EXPECT_EQ(before->Find("d")->size(), rows_before);
+  EXPECT_EQ(replica.Pin()->Find("d")->size(), 8u);
+  EXPECT_EQ(replica.TipEpoch(), 8u);
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+}  // namespace
+}  // namespace mcm
