@@ -1,0 +1,199 @@
+// TCP front-end serving cost: closed-loop load over real loopback sockets
+// against the readiness-loop frontend (service/frontend.h), swept over
+// connections x pipeline depth. Unlike bench_serving (which submits
+// straight into the QueryService), every request here pays the full
+// protocol path — socket read, line framing, sanitizer, prefix parse,
+// tagged ordered write-back — so the delta between the two is the
+// frontend's own overhead.
+//
+// Each connection runs a closed loop at its pipeline depth: it keeps
+// exactly `depth` requests in flight, stamping each send and matching the
+// ordered tagged responses against the front of its stamp queue. Counters
+// in BENCH_bench_frontend.json:
+//   qps                  completed requests per second across the fleet
+//   p50_ms/p99_ms/p999_ms end-to-end request latency percentiles
+//   shed                 requests answered with a tagged error (admission
+//                        shed or timeout) — still completions, never hangs
+//   backpressure_pauses  times the frontend suspended a socket's reads
+//                        because downstream was full (cumulative)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/frontend.h"
+#include "service/query_service.h"
+#include "storage/database.h"
+#include "storage/versioned_store.h"
+#include "util/socket.h"
+#include "workload/generators.h"
+
+namespace mcm::bench {
+namespace {
+
+constexpr size_t kReqsPerConn = 64;  ///< completions per connection per iter
+const char* kRules =
+    "p(X, Y) :- e(X, Y).\n"
+    "p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).";
+const char* kQueryLine = "p(0, Y)?\n";
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One connection's closed loop: `total` requests at `depth` in flight.
+/// Appends per-request latencies (ms) to `lat`, counts error answers into
+/// `shed`; returns false on any transport/protocol failure.
+bool RunConnection(uint16_t port, size_t depth, size_t total,
+                   std::vector<double>* lat, size_t* shed) {
+  auto sock = util::Socket::Connect("127.0.0.1", port, 5000);
+  if (!sock.ok()) return false;
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> stamps;  // FIFO: responses are ordered
+  stamps.reserve(total);
+  size_t sent = 0, done = 0, stamp_head = 0;
+  std::string buf;
+
+  auto send_one = [&]() -> bool {
+    stamps.push_back(Clock::now());
+    ++sent;
+    return sock->WriteAll(kQueryLine, 10'000).ok();
+  };
+  for (size_t i = 0; i < depth && sent < total; ++i) {
+    if (!send_one()) return false;
+  }
+
+  while (done < total) {
+    size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      auto chunk = sock->ReadSome(4096, 30'000);
+      if (!chunk.ok() || chunk->empty()) return false;
+      buf.append(*chunk);
+      continue;
+    }
+    std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (line.empty() || line[0] != '[') return false;  // untagged: not ours
+    double ms = std::chrono::duration<double, std::milli>(
+                    Clock::now() - stamps[stamp_head]).count();
+    ++stamp_head;
+    lat->push_back(ms);
+    if (line.find("] error: ") != std::string::npos) ++*shed;
+    ++done;
+    if (sent < total && !send_one()) return false;
+  }
+  return true;
+}
+
+void FrontendClosedLoop(benchmark::State& state) {
+  size_t conns = static_cast<size_t>(state.range(0));
+  size_t depth = static_cast<size_t>(state.range(1));
+
+  workload::CslData data = workload::MakeFigure1Style();
+  Database db;
+  data.Load(&db);
+  VersionedStore store;  // in-memory
+  if (!store.Recover().ok()) {
+    state.SkipWithError("store recovery failed");
+    return;
+  }
+  if (Result<uint64_t> boot = store.BootstrapFromDatabase(db); !boot.ok()) {
+    state.SkipWithError(boot.status().ToString().c_str());
+    return;
+  }
+
+  service::ServiceOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_depth = 256;
+  service::QueryService svc(&store, sopts);
+
+  service::FrontendOptions fopts;
+  fopts.rules = kRules;
+  fopts.max_connections = conns + 4;
+  fopts.max_pipeline = std::max<size_t>(depth, 1);
+  fopts.idle_ms = 0;
+  fopts.first_line_ms = 0;
+  service::Frontend frontend(&svc, std::move(fopts));
+  if (Status st = frontend.Start(); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::thread loop([&frontend] { frontend.Run(); });
+
+  std::vector<double> latencies;
+  size_t shed = 0;
+  bool failed = false;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> lat(conns);
+    std::vector<size_t> sheds(conns, 0);
+    std::atomic<size_t> errors{0};
+    std::vector<std::thread> fleet;
+    fleet.reserve(conns);
+    for (size_t i = 0; i < conns; ++i) {
+      fleet.emplace_back([&, i] {
+        if (!RunConnection(frontend.port(), depth, kReqsPerConn, &lat[i],
+                           &sheds[i])) {
+          ++errors;
+        }
+      });
+    }
+    for (std::thread& t : fleet) t.join();
+    if (errors.load() != 0) {
+      failed = true;
+      break;
+    }
+    for (size_t i = 0; i < conns; ++i) {
+      latencies.insert(latencies.end(), lat[i].begin(), lat[i].end());
+      shed += sheds[i];
+    }
+  }
+
+  frontend.RequestDrain();
+  loop.join();
+  service::ServiceStats stats = svc.stats();
+  svc.Shutdown(/*drain=*/true);
+  if (failed) {
+    state.SkipWithError("a connection failed mid-loop");
+    return;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * conns * kReqsPerConn));
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * conns * kReqsPerConn),
+      benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = Percentile(latencies, 0.50);
+  state.counters["p99_ms"] = Percentile(latencies, 0.99);
+  state.counters["p999_ms"] = Percentile(latencies, 0.999);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["backpressure_pauses"] =
+      static_cast<double>(stats.frontend_stats.backpressure_pauses);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (long conns : {1, 4, 16}) {
+    for (long depth : {1, 8, 32}) {
+      b->Args({conns, depth});
+    }
+  }
+  b->ArgNames({"conns", "depth"});
+  b->Unit(benchmark::kMillisecond);
+  b->UseRealTime();  // fleet + worker pool: wall clock is the metric
+}
+
+BENCHMARK(FrontendClosedLoop)->Apply(Args);
+
+}  // namespace
+}  // namespace mcm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// mcm-client: the thin end of the TCP line protocol — connect to a
+// `mcm-serve --listen PORT` front end, ship stdin's lines verbatim, and
+// print every response line the server sends back.
+//
+//   Usage: mcm-client PORT [--host H] [--timeout-ms N]
+//
+//   --host H        numeric IPv4 host (default 127.0.0.1 — the frontend
+//                   binds loopback only)
+//   --timeout-ms N  per-operation deadline for connect / write / read
+//                   (default 30000)
+//
+// The client half-closes its write side once stdin is exhausted, then
+// keeps reading until the server finishes flushing and closes — so
+//
+//   printf 'sg(ann, Y)?\nsg(bob, Y)?\n' | mcm-client 7171
+//
+// pipelines both queries and prints both tagged answers in ask order.
+// Exit status: 0 when the stream ended in an orderly EOF, 1 on connect
+// failure / bad usage, 2 when the server tore the connection down (a
+// `!fatal` farewell or a reset mid-stream).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/socket.h"
+
+namespace {
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "mcm-client: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: mcm-client PORT [--host H] [--timeout-ms N]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint64_t timeout_ms = 30'000;
+  long port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host") {
+      if (++i >= argc) return Fail("--host expects an address");
+      host = argv[i];
+    } else if (arg == "--timeout-ms") {
+      if (++i >= argc) return Fail("--timeout-ms expects a count");
+      timeout_ms = std::strtoull(argv[i], nullptr, 10);
+      if (timeout_ms == 0) return Fail("--timeout-ms must be positive");
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown flag");
+    } else if (port == 0) {
+      port = std::strtol(arg.c_str(), nullptr, 10);
+      if (port <= 0 || port > 65535) return Fail("PORT must be 1..65535");
+    } else {
+      return Fail("unexpected extra argument");
+    }
+  }
+  if (port == 0) return Fail("missing PORT");
+
+  auto sock = mcm::util::Socket::Connect(host, static_cast<uint16_t>(port),
+                                         timeout_ms);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "mcm-client: connect: %s\n",
+                 sock.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ship stdin line by line; responses are read on the same thread after
+  // the half-close, which is all a walkthrough client needs (the server
+  // buffers pipelined responses; see tests/service/frontend_test.cc for
+  // the interleaved-read shape).
+  std::string line;
+  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    line.push_back(static_cast<char>(c));
+    if (c != '\n') continue;
+    if (!sock->WriteAll(line, timeout_ms).ok()) {
+      std::fprintf(stderr, "mcm-client: connection lost mid-send\n");
+      return 2;
+    }
+    line.clear();
+  }
+  if (!line.empty()) {
+    line.push_back('\n');
+    if (!sock->WriteAll(line, timeout_ms).ok()) {
+      std::fprintf(stderr, "mcm-client: connection lost mid-send\n");
+      return 2;
+    }
+  }
+  ::shutdown(sock->fd(), SHUT_WR);
+
+  bool torn_down = false;
+  std::string buf;
+  for (;;) {
+    auto chunk = sock->ReadSome(4096, timeout_ms);
+    if (!chunk.ok()) {
+      std::fprintf(stderr, "mcm-client: read: %s\n",
+                   chunk.status().ToString().c_str());
+      torn_down = true;
+      break;
+    }
+    if (chunk->empty()) break;  // orderly EOF: the server flushed and closed
+    buf.append(*chunk);
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string out = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      if (!out.empty() && out[0] == '!') torn_down = true;  // !fatal farewell
+      std::printf("%s\n", out.c_str());
+    }
+  }
+  if (!buf.empty()) std::printf("%s\n", buf.c_str());
+  return torn_down ? 2 : 0;
+}

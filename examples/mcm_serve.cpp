@@ -2,12 +2,27 @@
 //
 // Usage:
 //   mcm-serve RULES.dl [--fact NAME=FILE.tsv]... [--store DIR]
-//             [--workers N] [--queue-depth N] [--default-timeout-ms N]
-//             [--max-retries N] [--memory-budget BYTES]
-//             [--method auto|safe|counting]
+//             [--listen PORT] [--workers N] [--queue-depth N]
+//             [--default-timeout-ms N] [--max-retries N]
+//             [--memory-budget BYTES] [--method auto|safe|counting]
 //
 //   RULES.dl         Datalog rules WITHOUT a query; every stdin line adds one
 //   --fact name=path load a TSV fact file into relation `name`
+//   --listen PORT    serve the SAME line protocol over TCP on
+//                    127.0.0.1:PORT (0 = ephemeral; the bound port is
+//                    printed to stderr) instead of stdin: a hardened
+//                    single-threaded readiness loop multiplexes many
+//                    connections onto the worker pool with pipelining
+//                    (responses tagged with per-connection ordinals, in
+//                    request order), "BATCH n" frames (one admission
+//                    decision + one epoch pin for n queries), end-to-end
+//                    backpressure (an overloaded service pauses socket
+//                    reads), and slow-client defense (line caps, bounded
+//                    buffers, write-stall / idle / slowloris teardowns —
+//                    see service/frontend.h). Incompatible with the
+//                    standby modes: a reseed rebuilds the service under
+//                    the frontend's feet; fleet query routing is a
+//                    ROADMAP item.
 //   --store DIR      durable EDB: recover from DIR's checkpoint + WAL, and
 //                    make UPDATE commits / CHECKPOINT survive a crash.
 //                    Without it the store is in-memory (hot-swap only).
@@ -72,8 +87,20 @@
 //   :stats                   print a service stats snapshot (replica modes
 //                            add tip/applied epochs, replication_lag_epochs,
 //                            stale_served, staleness_shed, and the flap /
-//                            failover / reseed counters)
+//                            failover / reseed counters; --listen adds the
+//                            frontend connection/defense counters)
+//   BATCH n                  (--listen only) the next n lines are queries
+//                            sharing ONE admission decision and ONE epoch
+//                            pin; every line inside a batch is a query
 //   # ...                    comment; blank lines are skipped
+//
+// Every request line — stdin or TCP — passes the shared sanitizer first
+// (service/protocol.h): over the 64 KiB length cap, containing a NUL, or
+// not valid UTF-8 each earn a distinct structured error.
+//
+// SIGTERM / SIGINT begin a graceful drain in every mode (self-pipe, no
+// async-signal-unsafe work in the handler): stop accepting input, finish
+// and flush what is in flight, exit 0.
 //
 // UPDATE / CHECKPOINT are applied (and answered) immediately in stream
 // order, so later queries see the new epoch. Query lines are answered in
@@ -83,6 +110,7 @@
 // and a final stats dump goes to stderr.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +118,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -98,11 +127,14 @@
 
 #include "datalog/parser.h"
 #include "runtime/execution_context.h"
+#include "service/frontend.h"
+#include "service/protocol.h"
 #include "service/query_service.h"
 #include "storage/io.h"
 #include "storage/net_transport.h"
 #include "storage/replication.h"
 #include "storage/versioned_store.h"
+#include "util/signal_pipe.h"
 #include "util/socket.h"
 #include "util/string_util.h"
 
@@ -203,6 +235,8 @@ int main(int argc, char** argv) {
   std::string connect_repl;  // "host:port", empty = off
   uint16_t listen_repl_port = 0;
   bool listen_repl = false;
+  uint16_t listen_port = 0;
+  bool listen = false;
   service::ServiceOptions opts;
   opts.max_retries = 2;
   std::vector<std::pair<std::string, std::string>> facts;
@@ -230,6 +264,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--follow") {
       follow_dir = next();
       if (follow_dir.empty()) return Fail("--follow expects DIR");
+    } else if (arg == "--listen") {
+      if (!next_u64(&n) || n > 65535) return Fail("--listen expects PORT");
+      listen = true;
+      listen_port = static_cast<uint16_t>(n);
     } else if (arg == "--listen-repl") {
       if (!next_u64(&n) || n > 65535) {
         return Fail("--listen-repl expects PORT");
@@ -303,6 +341,19 @@ int main(int argc, char** argv) {
   if (listen_repl && follow_mode) {
     return Fail("--listen-repl is a primary-side flag; a standby cannot "
                 "also ship");
+  }
+  if (listen && follow_mode) {
+    return Fail("--listen is incompatible with the standby modes: a reseed "
+                "rebuilds the query service under the frontend (route "
+                "queries to the primary, or PROMOTE first)");
+  }
+
+  // Graceful drain in every mode: the handler only writes one byte into a
+  // self-pipe; the serving loops watch the pipe (TCP) or see EINTR +
+  // triggered() (stdin).
+  if (Status st = util::SignalPipe::Instance().Install({SIGTERM, SIGINT});
+      !st.ok()) {
+    return Fail("signal handling: " + st.ToString());
   }
 
   // Epoch-versioned EDB. With --store this recovers whatever checkpoint +
@@ -492,167 +543,159 @@ int main(int argc, char** argv) {
       }
     });
   }
-  std::vector<std::shared_ptr<service::QueryTicket>> tickets;
+  // Control lines, shared verbatim between the stdin loop and the TCP
+  // frontend: both hand the trimmed line here first, print/queue whatever
+  // comes back, and fall through to query parsing on nullopt. Runs on the
+  // serving thread (main for stdin, the frontend loop for TCP) — never
+  // concurrently with itself.
   int protocol_failures = 0;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    if (trimmed == ":stats") {
-      std::printf("stats: %s\n", svc->stats().ToString().c_str());
-      std::fflush(stdout);
-      continue;
-    }
+  auto handle_control =
+      [&](std::string_view trimmed) -> std::optional<std::string> {
     const bool read_only = follow_mode && !promoted;
+    if (trimmed == ":stats") {
+      return "stats: " + svc->stats().ToString() + "\n";
+    }
     if (StartsWith(trimmed, "UPDATE")) {
       if (read_only) {
-        std::printf("update error: read-only replica (PROMOTE to take "
-                    "writes); tip stays at epoch %llu\n",
-                    static_cast<unsigned long long>(store->TipEpoch()));
-        std::fflush(stdout);
-        continue;
+        return StringPrintf(
+            "update error: read-only replica (PROMOTE to take writes); tip "
+            "stays at epoch %llu\n",
+            static_cast<unsigned long long>(store->TipEpoch()));
       }
       UpdateBatch batch;
       std::string err;
       if (!ParseUpdateOps(trimmed.substr(6), &batch, &err)) {
-        std::printf("update error: %s (tip stays at epoch %llu)\n",
-                    err.c_str(),
-                    static_cast<unsigned long long>(store->TipEpoch()));
-      } else if (auto epoch = store->Commit(batch); !epoch.ok()) {
-        std::printf("update error: %s (tip stays at epoch %llu)\n",
-                    epoch.status().ToString().c_str(),
-                    static_cast<unsigned long long>(store->TipEpoch()));
-      } else {
-        std::printf("update: epoch %llu (%zu ops)\n",
-                    static_cast<unsigned long long>(*epoch),
-                    batch.ops.size());
+        return StringPrintf(
+            "update error: %s (tip stays at epoch %llu)\n", err.c_str(),
+            static_cast<unsigned long long>(store->TipEpoch()));
       }
-      std::fflush(stdout);
-      continue;
+      if (auto epoch = store->Commit(batch); !epoch.ok()) {
+        return StringPrintf(
+            "update error: %s (tip stays at epoch %llu)\n",
+            epoch.status().ToString().c_str(),
+            static_cast<unsigned long long>(store->TipEpoch()));
+      } else {
+        return StringPrintf("update: epoch %llu (%zu ops)\n",
+                            static_cast<unsigned long long>(*epoch),
+                            batch.ops.size());
+      }
     }
     if (trimmed == "CHECKPOINT") {
       if (read_only) {
-        std::printf("checkpoint error: read-only replica (PROMOTE first)\n");
-      } else if (Status st = store->Checkpoint(); !st.ok()) {
-        std::printf("checkpoint error: %s\n", st.ToString().c_str());
-      } else {
-        std::printf("checkpoint: epoch %llu\n",
-                    static_cast<unsigned long long>(store->TipEpoch()));
+        return std::string(
+            "checkpoint error: read-only replica (PROMOTE first)\n");
       }
-      std::fflush(stdout);
-      continue;
+      if (Status st = store->Checkpoint(); !st.ok()) {
+        return "checkpoint error: " + st.ToString() + "\n";
+      }
+      return StringPrintf("checkpoint: epoch %llu\n",
+                          static_cast<unsigned long long>(store->TipEpoch()));
     }
     if (trimmed == "PROMOTE") {
       if (!follow_mode) {
-        std::printf(
+        return std::string(
             "promote error: not a standby (no --follow / --connect-repl)\n");
-      } else if (promoted) {
-        std::printf("promote: already primary at epoch %llu\n",
-                    static_cast<unsigned long long>(store->TipEpoch()));
-      } else {
-        // Final catch-up, then the lost-acked-tail check inside Promote().
-        Status st = sync_or_reseed();
-        if (st.ok()) st = follower->Promote();
-        if (st.ok()) {
-          promoted = true;
-          ++repl_failovers;
-          publish_gauges();
-          std::printf("promote: serving writes at epoch %llu\n",
-                      static_cast<unsigned long long>(store->TipEpoch()));
-        } else {
-          ++protocol_failures;
-          std::printf("promote error: %s\n", st.ToString().c_str());
-        }
       }
-      std::fflush(stdout);
-      continue;
+      if (promoted) {
+        return StringPrintf("promote: already primary at epoch %llu\n",
+                            static_cast<unsigned long long>(
+                                store->TipEpoch()));
+      }
+      // Final catch-up, then the lost-acked-tail check inside Promote().
+      Status st = sync_or_reseed();
+      if (st.ok()) st = follower->Promote();
+      if (!st.ok()) {
+        ++protocol_failures;
+        return "promote error: " + st.ToString() + "\n";
+      }
+      promoted = true;
+      ++repl_failovers;
+      publish_gauges();
+      return StringPrintf("promote: serving writes at epoch %llu\n",
+                          static_cast<unsigned long long>(store->TipEpoch()));
     }
-    // A standby re-syncs before admitting each query so reads are as fresh
-    // as the primary's durable state at submission; the query then pins
-    // exactly the applied epoch.
-    if (follow_mode && !promoted) {
-      if (Status st = sync_or_reseed(); !st.ok()) {
-        std::fprintf(stderr, "mcm-serve: follow: %s\n",
-                     st.ToString().c_str());
-        if (!runtime::IsTransient(st)) ++protocol_failures;
-      }
-    }
+    return std::nullopt;
+  };
 
-    service::QueryRequest req;
-    bool prefix_error = false;
-    while (!trimmed.empty() && trimmed[0] == '@') {
-      size_t sp = trimmed.find(' ');
-      if (sp == std::string_view::npos) {
-        std::printf("[-] error: @-prefixes must be followed by a query\n");
-        prefix_error = true;
-        break;
-      }
-      std::string_view tok = trimmed.substr(0, sp);
-      if (StartsWith(tok, "@timeout=")) {
-        char* end = nullptr;
-        std::string num(tok.substr(9));
-        req.timeout_ms = std::strtoull(num.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0') {
-          std::printf("[-] error: bad @timeout value '%s'\n", num.c_str());
-          prefix_error = true;
-          break;
-        }
-      } else if (StartsWith(tok, "@max_lag=")) {
-        char* end = nullptr;
-        std::string num(tok.substr(9));
-        req.max_lag_epochs = std::strtoull(num.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0') {
-          std::printf("[-] error: bad @max_lag value '%s'\n", num.c_str());
-          prefix_error = true;
-          break;
-        }
-      } else if (tok == "@stale_ok") {
-        req.serve_stale = true;
-      } else {
-        std::printf("[-] error: unknown prefix '%.*s'\n",
-                    static_cast<int>(tok.size()), tok.data());
-        prefix_error = true;
-        break;
-      }
-      trimmed = Trim(trimmed.substr(sp + 1));
-    }
-    if (prefix_error) continue;
-    if (method == "auto") {
-      req.planner.auto_select = true;
-    } else if (method == "counting") {
-      req.planner.allow_plain_counting = true;
-      req.planner.attempt_unsafe_counting = true;
-    }  // "safe": planner defaults
-
-    req.program_text = rules + "\n" + std::string(trimmed);
-    tickets.push_back(svc->Submit(std::move(req)));
-  }
-
-  // Drain and answer in submission order (execution was concurrent).
+  util::SignalPipe& signals = util::SignalPipe::Instance();
   int failures = 0;
-  for (const auto& ticket : tickets) {
-    service::QueryResponse resp = ticket->Get();
-    if (resp.outcome == service::Outcome::kOk) {
-      const std::string& method_used =
-          resp.report.attempts.empty() ? std::string("?")
-                                       : resp.report.attempts.back().method;
-      std::printf("[%llu] ok: %zu tuples %s@epoch %llu in %.2fms (queue "
-                  "%.2fms, method %s, retries %d%s)\n",
-                  static_cast<unsigned long long>(ticket->id()),
-                  resp.report.results.size(), resp.stale ? "stale" : "",
-                  static_cast<unsigned long long>(resp.edb_epoch),
-                  resp.run_seconds * 1e3, resp.queue_seconds * 1e3,
-                  method_used.c_str(), resp.retries,
-                  resp.breaker_short_circuit ? ", breaker" : "");
-    } else {
-      ++failures;
-      std::printf("[%llu] %s: %s\n",
-                  static_cast<unsigned long long>(ticket->id()),
-                  std::string(service::OutcomeToString(resp.outcome)).c_str(),
-                  resp.status.ToString().c_str());
+
+  if (listen) {
+    // TCP mode: the hardened readiness loop owns the protocol end to end;
+    // SIGTERM/SIGINT reach it through the self-pipe fd and begin drain.
+    service::FrontendOptions fopts;
+    fopts.port = listen_port;
+    fopts.rules = rules;
+    fopts.method = method;
+    fopts.shutdown_fd = signals.fd();
+    fopts.control_handler = handle_control;
+    service::Frontend frontend(svc.get(), fopts);
+    if (Status st = frontend.Start(); !st.ok()) {
+      return Fail("--listen: " + st.ToString());
     }
+    std::fprintf(stderr, "mcm-serve: serving queries on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(frontend.port()));
+    frontend.Run();
+    if (signals.triggered()) {
+      std::fprintf(stderr, "mcm-serve: signal %d: drained, shutting down\n",
+                   signals.last_signal());
+    }
+  } else {
+    // stdin mode. A signal interrupts the blocking getline (the handler is
+    // installed without SA_RESTART) and triggered() stops the loop; either
+    // way every admitted request below is still answered in order.
+    const service::protocol::LineLimits line_limits;
+    std::vector<std::shared_ptr<service::QueryTicket>> tickets;
+    std::string line;
+    while (!signals.triggered() && std::getline(std::cin, line)) {
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (Status san = service::protocol::SanitizeLine(line, line_limits);
+          !san.ok()) {
+        std::printf("[-] error: %s\n", san.message().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      if (std::optional<std::string> reply = handle_control(trimmed)) {
+        std::fputs(reply->c_str(), stdout);
+        std::fflush(stdout);
+        continue;
+      }
+      // A standby re-syncs before admitting each query so reads are as
+      // fresh as the primary's durable state at submission; the query then
+      // pins exactly the applied epoch.
+      if (follow_mode && !promoted) {
+        if (Status st = sync_or_reseed(); !st.ok()) {
+          std::fprintf(stderr, "mcm-serve: follow: %s\n",
+                       st.ToString().c_str());
+          if (!runtime::IsTransient(st)) ++protocol_failures;
+        }
+      }
+      auto prefixes = service::protocol::ParsePrefixes(trimmed);
+      if (!prefixes.ok()) {
+        std::printf("[-] error: %s\n", prefixes.status().message().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      tickets.push_back(
+          svc->Submit(service::protocol::MakeRequest(rules, *prefixes, method)));
+    }
+    if (signals.triggered()) {
+      std::fprintf(stderr,
+                   "mcm-serve: signal %d: draining %zu in-flight "
+                   "request(s)\n",
+                   signals.last_signal(), tickets.size());
+    }
+
+    // Drain and answer in submission order (execution was concurrent).
+    for (const auto& ticket : tickets) {
+      service::QueryResponse resp = ticket->Get();
+      if (resp.outcome != service::Outcome::kOk) ++failures;
+      std::fputs(service::protocol::FormatResponse(ticket->id(), resp).c_str(),
+                 stdout);
+    }
+    std::fflush(stdout);
   }
-  std::fflush(stdout);
 
   if (repl_server.joinable()) {
     repl_stop.store(true, std::memory_order_relaxed);
@@ -660,5 +703,8 @@ int main(int argc, char** argv) {
   }
   svc->Shutdown(/*drain=*/true);
   std::fprintf(stderr, "mcm-serve: %s\n", svc->stats().ToString().c_str());
+  // An operator-requested drain is a clean exit no matter what was shed
+  // mid-flight; otherwise per-request failures drive the exit code.
+  if (signals.triggered()) return 0;
   return failures == 0 && protocol_failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,547 @@
+#include "service/frontend.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mcm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds Ms(uint64_t ms) {
+  return std::chrono::milliseconds(ms);
+}
+
+}  // namespace
+
+/// All connection state, owned exclusively by the loop thread.
+struct Frontend::Connection {
+  util::Socket sock;
+  std::string rbuf;  ///< partial line; bounded by max_line_bytes + chunk
+  std::string wbuf;  ///< formatted, unflushed responses; bounded by cap
+  /// Responses in request order. Flushed strictly from the front, so
+  /// pipelined clients always see answers in ask order.
+  std::deque<Slot> inflight;
+  uint64_t next_tag = 1;
+  bool paused = false;     ///< reads suspended for backpressure
+  bool eof = false;        ///< peer half-closed; finish + flush, then close
+  bool fatal = false;      ///< hardening trip; close once wbuf flushes
+  bool close_now = false;  ///< unflushable; close on the next sweep
+  bool got_first_line = false;  ///< slowloris arms until this flips
+
+  /// BATCH collection: expected > 0 while the next lines are members.
+  uint64_t batch_expected = 0;
+  uint64_t batch_seen = 0;
+  std::vector<Slot> batch_slots;        ///< one per member, in member order
+  std::vector<QueryRequest> batch_reqs; ///< the valid members
+  std::vector<size_t> batch_req_slot;   ///< slot index per valid member
+
+  Clock::time_point connected_at{};
+  Clock::time_point last_activity{};  ///< last byte in or out
+  Clock::time_point stall_since{};    ///< last write progress (wbuf nonempty)
+};
+
+Frontend::Frontend(QueryService* svc, FrontendOptions options)
+    : svc_(svc),
+      options_(std::move(options)),
+      wake_(std::make_shared<util::WakeupPipe>()) {
+  if (options_.max_pipeline == 0) options_.max_pipeline = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.read_chunk_bytes == 0) options_.read_chunk_bytes = 4096;
+  if (options_.write_buffer_bytes < 1024) options_.write_buffer_bytes = 1024;
+  if (options_.line_limits.max_line_bytes == 0) {
+    options_.line_limits.max_line_bytes = 4096;
+  }
+}
+
+Frontend::~Frontend() = default;
+
+Status Frontend::Start() {
+  MCM_RETURN_NOT_OK(wake_->status());
+  auto listener = util::Listener::Bind(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  return Status::OK();
+}
+
+void Frontend::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  wake_->Notify();
+}
+
+QueryRequest Frontend::BuildRequest(
+    const protocol::RequestPrefixes& prefixes) {
+  QueryRequest req =
+      protocol::MakeRequest(options_.rules, prefixes, options_.method);
+  // The hook may fire after this Frontend is gone (a worker finishing
+  // during service shutdown), so it keeps the pipe alive itself.
+  std::shared_ptr<util::WakeupPipe> wake = wake_;
+  req.on_done = [wake](uint64_t) { wake->Notify(); };
+  return req;
+}
+
+void Frontend::SubmitOne(Connection* c, uint64_t tag, QueryRequest request) {
+  ++stats_.requests;
+  Slot slot;
+  slot.tag = tag;
+  slot.ticket = svc_->Submit(std::move(request));
+  c->inflight.push_back(std::move(slot));
+}
+
+void Frontend::Fatal(Connection* c, uint64_t FrontendStats::*counter,
+                     std::string_view msg) {
+  if (c->fatal || c->close_now) return;
+  ++(stats_.*counter);
+  c->fatal = true;
+  // Poisoned stream: pending answers will never be delivered, so stop
+  // paying for them.
+  for (Slot& s : c->inflight) {
+    if (s.ticket) s.ticket->Cancel();
+  }
+  c->inflight.clear();
+  c->batch_expected = 0;
+  c->batch_slots.clear();
+  c->batch_reqs.clear();
+  c->batch_req_slot.clear();
+  c->rbuf.clear();
+  if (c->wbuf.empty()) c->stall_since = Clock::now();
+  c->wbuf.append("!fatal ").append(msg).append("\n");
+}
+
+void Frontend::AcceptNew() {
+  while (!draining_ && conns_.size() < options_.max_connections) {
+    auto accepted = listener_.Accept(0);
+    if (!accepted.ok()) return;  // kUnavailable = backlog empty right now
+    auto c = std::make_unique<Connection>();
+    c->sock = std::move(*accepted);
+    c->connected_at = c->last_activity = Clock::now();
+    ++stats_.accepted;
+    conns_.push_back(std::move(c));
+  }
+}
+
+void Frontend::ReadFrom(Connection* c) {
+  auto chunk = c->sock.TryRead(options_.read_chunk_bytes);
+  if (!chunk.ok()) {
+    c->close_now = true;
+    return;
+  }
+  if (!chunk->data.empty()) {
+    c->last_activity = Clock::now();
+    c->rbuf.append(chunk->data);
+    ConsumeLines(c);
+  }
+  if (chunk->eof) {
+    c->eof = true;
+    if (!c->fatal && !c->close_now && !c->rbuf.empty()) {
+      // A final unterminated line is still a request (printf 'q' | nc).
+      std::string last;
+      last.swap(c->rbuf);
+      if (last.size() > options_.line_limits.max_line_bytes) {
+        Fatal(c, &FrontendStats::line_too_long,
+              StringPrintf("line_too_long: %zu-byte line exceeds the "
+                           "%zu-byte cap",
+                           last.size(), options_.line_limits.max_line_bytes));
+      } else {
+        if (!last.empty() && last.back() == '\r') last.pop_back();
+        c->got_first_line = true;
+        HandleLine(c, last);
+      }
+    }
+    if (c->batch_expected > 0) {
+      AbortBatch(c, "connection closed inside BATCH frame");
+    }
+  }
+}
+
+void Frontend::ConsumeLines(Connection* c) {
+  size_t start = 0;
+  while (!c->fatal && !c->close_now) {
+    size_t nl = c->rbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(c->rbuf.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = nl + 1;
+    if (line.size() > options_.line_limits.max_line_bytes) {
+      Fatal(c, &FrontendStats::line_too_long,
+            StringPrintf("line_too_long: %zu-byte line exceeds the %zu-byte "
+                         "cap",
+                         line.size(), options_.line_limits.max_line_bytes));
+      break;
+    }
+    c->got_first_line = true;
+    HandleLine(c, line);
+  }
+  c->rbuf.erase(0, start);
+  if (!c->fatal && !c->close_now &&
+      c->rbuf.size() > options_.line_limits.max_line_bytes) {
+    // No newline yet and already over the cap: the line can never become
+    // valid, and buffering more of it is exactly the attack.
+    Fatal(c, &FrontendStats::line_too_long,
+          StringPrintf("line_too_long: unterminated line of %zu+ bytes "
+                       "exceeds the %zu-byte cap",
+                       c->rbuf.size(), options_.line_limits.max_line_bytes));
+  }
+}
+
+void Frontend::HandleLine(Connection* c, std::string_view raw) {
+  if (c->batch_expected > 0) {
+    HandleBatchMember(c, raw);
+    return;
+  }
+  std::string_view line = Trim(raw);
+  // Blank lines and comments are free, exactly like stdin.
+  if (line.empty() || line[0] == '#') return;
+
+  if (Status san = protocol::SanitizeLine(raw, options_.line_limits);
+      !san.ok()) {
+    ++stats_.protocol_errors;
+    Slot slot;
+    slot.tag = c->next_tag++;
+    slot.text = protocol::FormatError(slot.tag, san.message());
+    c->inflight.push_back(std::move(slot));
+    return;
+  }
+
+  if (options_.control_handler) {
+    if (std::optional<std::string> reply = options_.control_handler(line)) {
+      Slot slot;  // untagged, ordered like any response (stdin parity)
+      slot.text = std::move(*reply);
+      c->inflight.push_back(std::move(slot));
+      return;
+    }
+  }
+
+  if (line == "BATCH" || StartsWith(line, "BATCH ")) {
+    auto n = protocol::ParseBatchHeader(line, options_.max_batch);
+    if (!n.ok()) {
+      ++stats_.protocol_errors;
+      Slot slot;
+      slot.tag = c->next_tag++;
+      slot.text = protocol::FormatError(slot.tag, n.status().message());
+      c->inflight.push_back(std::move(slot));
+      return;
+    }
+    c->batch_expected = *n;
+    c->batch_seen = 0;
+    return;
+  }
+
+  uint64_t tag = c->next_tag++;
+  auto prefixes = protocol::ParsePrefixes(line);
+  if (!prefixes.ok()) {
+    ++stats_.protocol_errors;
+    Slot slot;
+    slot.tag = tag;
+    slot.text = protocol::FormatError(tag, prefixes.status().message());
+    c->inflight.push_back(std::move(slot));
+    return;
+  }
+  SubmitOne(c, tag, BuildRequest(*prefixes));
+}
+
+void Frontend::HandleBatchMember(Connection* c, std::string_view raw) {
+  ++c->batch_seen;
+  Slot slot;
+  slot.tag = c->next_tag++;
+
+  // Inside a BATCH every line is a query — no control lines, no nesting;
+  // a line that cannot become a request gets a tagged error in its slot
+  // while its siblings still share the one admission decision.
+  Status san = protocol::SanitizeLine(raw, options_.line_limits);
+  if (!san.ok()) {
+    ++stats_.protocol_errors;
+    slot.text = protocol::FormatError(slot.tag, san.message());
+  } else {
+    auto prefixes = protocol::ParsePrefixes(raw);
+    if (!prefixes.ok()) {
+      ++stats_.protocol_errors;
+      slot.text = protocol::FormatError(slot.tag, prefixes.status().message());
+    } else {
+      c->batch_reqs.push_back(BuildRequest(*prefixes));
+      c->batch_req_slot.push_back(c->batch_slots.size());
+    }
+  }
+  c->batch_slots.push_back(std::move(slot));
+  if (c->batch_seen == c->batch_expected) FinishBatch(c);
+}
+
+void Frontend::FinishBatch(Connection* c) {
+  if (!c->batch_reqs.empty()) {
+    ++stats_.batches;
+    stats_.requests += c->batch_reqs.size();
+    std::vector<std::shared_ptr<QueryTicket>> tickets =
+        svc_->SubmitBatch(std::move(c->batch_reqs));
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      c->batch_slots[c->batch_req_slot[i]].ticket = std::move(tickets[i]);
+    }
+  }
+  for (Slot& s : c->batch_slots) c->inflight.push_back(std::move(s));
+  c->batch_expected = 0;
+  c->batch_seen = 0;
+  c->batch_slots.clear();
+  c->batch_reqs.clear();
+  c->batch_req_slot.clear();
+}
+
+void Frontend::AbortBatch(Connection* c, std::string_view why) {
+  // Members already collected get tagged errors; nothing is submitted —
+  // a truncated batch never reaches admission.
+  for (size_t i = 0; i < c->batch_slots.size(); ++i) {
+    Slot& s = c->batch_slots[i];
+    if (s.text.empty()) {
+      ++stats_.protocol_errors;
+      s.text = protocol::FormatError(s.tag, why);
+    }
+  }
+  c->batch_reqs.clear();
+  c->batch_req_slot.clear();
+  for (Slot& s : c->batch_slots) c->inflight.push_back(std::move(s));
+  c->batch_slots.clear();
+  c->batch_expected = 0;
+  c->batch_seen = 0;
+}
+
+void Frontend::FlushTo(Connection* c) {
+  if (c->close_now) return;
+  // Move ready responses (front only — order is the contract) into wbuf.
+  while (!c->inflight.empty()) {
+    Slot& s = c->inflight.front();
+    if (s.ticket) {
+      if (!s.ticket->WaitFor(std::chrono::milliseconds(0))) break;
+      s.text = protocol::FormatResponse(s.tag, s.ticket->Get());
+      s.ticket.reset();
+    }
+    if (s.text.size() > options_.write_buffer_bytes) {
+      Fatal(c, &FrontendStats::write_overflow,
+            StringPrintf("write_overflow: %zu-byte response exceeds the "
+                         "%zu-byte write buffer",
+                         s.text.size(), options_.write_buffer_bytes));
+      break;  // c->inflight was cleared; the farewell is in wbuf
+    }
+    if (!c->wbuf.empty() &&
+        c->wbuf.size() + s.text.size() > options_.write_buffer_bytes) {
+      break;  // buffer full: keep the response queued, flush first
+    }
+    if (c->wbuf.empty()) c->stall_since = Clock::now();
+    c->wbuf.append(s.text);
+    c->inflight.pop_front();
+  }
+  if (c->wbuf.empty()) return;
+  auto wrote = c->sock.TryWrite(c->wbuf);
+  if (!wrote.ok()) {
+    c->close_now = true;
+    return;
+  }
+  if (*wrote > 0) {
+    c->wbuf.erase(0, *wrote);
+    c->stall_since = Clock::now();
+    c->last_activity = c->stall_since;
+  }
+}
+
+void Frontend::CheckTimers(Connection* c, Clock::time_point now) {
+  if (c->close_now) return;
+  if (!c->wbuf.empty() && options_.write_stall_ms > 0 &&
+      now - c->stall_since >= Ms(options_.write_stall_ms)) {
+    // The peer stopped reading: nothing we queue (a farewell included)
+    // can ever be delivered. Poisoned teardown, no goodbye.
+    ++stats_.write_stalls;
+    for (Slot& s : c->inflight) {
+      if (s.ticket) s.ticket->Cancel();
+    }
+    c->inflight.clear();
+    c->close_now = true;
+    return;
+  }
+  if (c->fatal || c->eof || draining_) return;
+  if (options_.first_line_ms > 0 && !c->got_first_line &&
+      now - c->connected_at >= Ms(options_.first_line_ms)) {
+    Fatal(c, &FrontendStats::slowloris_closed,
+          StringPrintf("slowloris: no complete request line within %llu ms "
+                       "of connecting",
+                       static_cast<unsigned long long>(
+                           options_.first_line_ms)));
+    return;
+  }
+  if (options_.idle_ms > 0 && c->inflight.empty() && c->wbuf.empty() &&
+      now - c->last_activity >= Ms(options_.idle_ms)) {
+    Fatal(c, &FrontendStats::idle_reaped,
+          StringPrintf("idle_timeout: no traffic for %llu ms",
+                       static_cast<unsigned long long>(options_.idle_ms)));
+  }
+}
+
+bool Frontend::ShouldClose(const Connection& c) const {
+  if (c.close_now) return true;
+  if (c.fatal) return c.wbuf.empty();  // farewell flushed
+  if (c.eof || draining_) {
+    return c.inflight.empty() && c.wbuf.empty() && c.batch_expected == 0;
+  }
+  return false;
+}
+
+int Frontend::ComputePollTimeoutMs(Clock::time_point now) const {
+  int64_t best = -1;
+  auto consider = [&](Clock::time_point deadline) {
+    int64_t left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       deadline - now)
+                       .count();
+    if (left < 0) left = 0;
+    if (best < 0 || left < best) best = left;
+  };
+  if (draining_) consider(drain_deadline_);
+  bool any_paused = false;
+  for (const auto& c : conns_) {
+    if (c->paused) any_paused = true;
+    if (!c->wbuf.empty() && options_.write_stall_ms > 0) {
+      consider(c->stall_since + Ms(options_.write_stall_ms));
+    }
+    if (c->fatal || c->close_now || c->eof) continue;
+    if (options_.first_line_ms > 0 && !c->got_first_line) {
+      consider(c->connected_at + Ms(options_.first_line_ms));
+    }
+    if (options_.idle_ms > 0 && c->inflight.empty() && c->wbuf.empty()) {
+      consider(c->last_activity + Ms(options_.idle_ms));
+    }
+  }
+  // Paused connections have no edge that wakes us when the service queue
+  // drains (another submitter may own those requests), so poll on a short
+  // leash while any pause is active. Everything else gets a 1s heartbeat —
+  // cheap insurance against a missed-wakeup bug wedging the loop.
+  if (any_paused && (best < 0 || best > 20)) best = 20;
+  if (best < 0 || best > 1000) best = 1000;
+  return static_cast<int>(best);
+}
+
+void Frontend::Run() {
+  for (;;) {
+    if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+      draining_ = true;
+      drain_deadline_ = Clock::now() + Ms(options_.drain_ms);
+      listener_.Close();  // stop accepting; clients get RST/refused
+      for (auto& c : conns_) {
+        if (c->batch_expected > 0) AbortBatch(c.get(), "server draining");
+      }
+    }
+    if (draining_ && conns_.empty()) break;
+
+    // End-to-end backpressure: a full admission queue pauses EVERY
+    // connection's reads — overload becomes unread sockets, then full TCP
+    // windows, then blocked client send()s, instead of server heap.
+    service_backpressure_ =
+        svc_->stats().queue_depth >= svc_->options().queue_depth;
+    size_t paused_count = 0;
+    for (auto& c : conns_) {
+      bool can_read = !c->eof && !c->fatal && !c->close_now && !draining_;
+      bool pause =
+          can_read &&
+          (service_backpressure_ ||
+           c->inflight.size() >= options_.max_pipeline ||
+           c->wbuf.size() >= options_.write_buffer_bytes / 2);
+      if (pause && !c->paused) ++stats_.backpressure_pauses;
+      c->paused = pause;
+      if (pause) ++paused_count;
+    }
+    stats_.connections = conns_.size();
+    stats_.paused = paused_count;
+    svc_->ReportFrontend(stats_);
+
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(conns_.size() + 3);
+    pfds.push_back({wake_->read_fd(), POLLIN, 0});
+    size_t shutdown_idx = SIZE_MAX;
+    if (!draining_ && options_.shutdown_fd >= 0) {
+      shutdown_idx = pfds.size();
+      pfds.push_back({options_.shutdown_fd, POLLIN, 0});
+    }
+    size_t listener_idx = SIZE_MAX;
+    bool accepting = !draining_ && listener_.valid() &&
+                     conns_.size() < options_.max_connections;
+    if (accepting) {
+      listener_idx = pfds.size();
+      pfds.push_back({listener_.fd(), POLLIN, 0});
+    }
+    size_t conn_base = pfds.size();
+    // AcceptNew() below can grow conns_ mid-iteration; only the
+    // connections that were actually polled have revents to dispatch.
+    const size_t polled = conns_.size();
+    std::vector<bool> reading(polled, false);
+    for (size_t i = 0; i < polled; ++i) {
+      Connection* c = conns_[i].get();
+      short events = 0;
+      bool can_read = !c->eof && !c->fatal && !c->close_now && !draining_ &&
+                      !c->paused;
+      if (can_read) {
+        events |= POLLIN;
+        reading[i] = true;
+      }
+      if (!c->wbuf.empty()) events |= POLLOUT;
+      pfds.push_back({c->sock.fd(), events, 0});
+    }
+
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                    ComputePollTimeoutMs(Clock::now()));
+    if (rc < 0 && errno != EINTR) break;  // poll itself broke: bail out
+    Clock::time_point now = Clock::now();
+
+    if (pfds[0].revents != 0) wake_->Drain();
+    if (shutdown_idx != SIZE_MAX && pfds[shutdown_idx].revents != 0) {
+      // Don't consume the byte — SignalPipe owns it; once draining_ flips
+      // the fd leaves the poll set, so no busy loop.
+      drain_requested_.store(true, std::memory_order_release);
+    }
+    if (listener_idx != SIZE_MAX && pfds[listener_idx].revents != 0) {
+      AcceptNew();
+    }
+
+    for (size_t i = 0; i < polled; ++i) {
+      Connection* c = conns_[i].get();
+      short re = pfds[conn_base + i].revents;
+      if ((re & POLLNVAL) != 0) {
+        c->close_now = true;
+        continue;
+      }
+      if (reading[i] && (re & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadFrom(c);
+      }
+      FlushTo(c);
+      CheckTimers(c, now);
+    }
+
+    if (draining_ && now >= drain_deadline_) {
+      // Budget exhausted: cancel stragglers and force the exits.
+      for (auto& c : conns_) {
+        for (Slot& s : c->inflight) {
+          if (s.ticket) s.ticket->Cancel();
+        }
+        c->inflight.clear();
+        c->close_now = true;
+      }
+    }
+
+    for (size_t i = 0; i < conns_.size();) {
+      if (ShouldClose(*conns_[i])) {
+        ++stats_.closed;
+        conns_[i] = std::move(conns_.back());
+        conns_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  listener_.Close();
+  stats_.connections = 0;
+  stats_.paused = 0;
+  svc_->ReportFrontend(stats_);
+}
+
+}  // namespace mcm::service

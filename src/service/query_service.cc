@@ -49,6 +49,25 @@ std::string_view OutcomeToString(Outcome o) {
   return "?";
 }
 
+std::string FrontendStats::ToString() const {
+  return StringPrintf(
+      "conns %zu (accepted %llu, closed %llu), paused %zu | requests %llu "
+      "(batches %llu), protocol_errors %llu | line_too_long %llu, "
+      "write_overflow %llu, write_stalls %llu, idle_reaped %llu, "
+      "slowloris_closed %llu | backpressure_pauses %llu",
+      connections, static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(closed), paused,
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(protocol_errors),
+      static_cast<unsigned long long>(line_too_long),
+      static_cast<unsigned long long>(write_overflow),
+      static_cast<unsigned long long>(write_stalls),
+      static_cast<unsigned long long>(idle_reaped),
+      static_cast<unsigned long long>(slowloris_closed),
+      static_cast<unsigned long long>(backpressure_pauses));
+}
+
 std::string ServiceStats::ToString() const {
   std::string out = StringPrintf(
       "submitted %llu | ok %llu, failed %llu, deadline %llu (queued %llu), "
@@ -81,6 +100,9 @@ std::string ServiceStats::ToString() const {
         static_cast<unsigned long long>(replication_flaps),
         static_cast<unsigned long long>(replication_failovers),
         static_cast<unsigned long long>(replication_reseeds));
+  }
+  if (frontend) {
+    out += " | frontend: " + frontend_stats.ToString();
   }
   return out;
 }
@@ -127,95 +149,147 @@ double QueryService::EstimatedQueueWaitLocked() const {
 }
 
 std::shared_ptr<QueryTicket> QueryService::Submit(QueryRequest request) {
-  auto pending = std::make_unique<Pending>();
-  pending->request = std::move(request);
-  pending->submitted = Clock::now();
-  pending->token = std::make_shared<runtime::CancellationToken>();
-  // Hot-swap mode: resolve the version on the caller's thread, before any
-  // queueing — every attempt of this request answers from this snapshot,
-  // and the epoch a Submit() observes is deterministic for the caller.
-  if (store_ != nullptr) pending->snapshot = store_->Pin();
-  auto ticket = std::shared_ptr<QueryTicket>(
-      new QueryTicket(0, pending->promise.get_future().share(),
-                      pending->token));
+  std::vector<QueryRequest> one;
+  one.push_back(std::move(request));
+  return SubmitBatch(std::move(one)).front();
+}
 
-  uint64_t timeout_ms = pending->request.timeout_ms != 0
-                            ? pending->request.timeout_ms
-                            : options_.default_timeout_ms;
-  if (timeout_ms > 0) {
-    pending->deadline =
-        pending->submitted + std::chrono::milliseconds(timeout_ms);
+std::vector<std::shared_ptr<QueryTicket>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  if (requests.empty()) return tickets;
+  tickets.reserve(requests.size());
+
+  Clock::time_point now = Clock::now();
+  // Hot-swap mode: ONE pin for the whole batch, resolved on the caller's
+  // thread before any queueing. Every member answers from this snapshot
+  // (retries included), and the shared refcount keeps the version alive
+  // until the last member finishes — batch admission amortizes the pin,
+  // not just the lock.
+  std::shared_ptr<const EdbVersion> snapshot;
+  if (store_ != nullptr) snapshot = store_->Pin();
+
+  std::vector<std::unique_ptr<Pending>> batch;
+  batch.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    auto pending = std::make_unique<Pending>();
+    pending->request = std::move(request);
+    pending->submitted = now;
+    pending->token = std::make_shared<runtime::CancellationToken>();
+    pending->snapshot = snapshot;
+    tickets.push_back(std::shared_ptr<QueryTicket>(
+        new QueryTicket(0, pending->promise.get_future().share(),
+                        pending->token)));
+    uint64_t timeout_ms = pending->request.timeout_ms != 0
+                              ? pending->request.timeout_ms
+                              : options_.default_timeout_ms;
+    if (timeout_ms > 0) {
+      pending->deadline = now + std::chrono::milliseconds(timeout_ms);
+    }
+    batch.push_back(std::move(pending));
   }
 
-  util::MutexLock lock(mu_);
-  pending->id = next_id_++;
-  ticket->id_ = pending->id;
-  ++stats_.submitted;
+  // Completion hooks of members shed at admission, invoked after mu_ is
+  // released: on_done must never run under the service lock.
+  std::vector<std::pair<std::function<void(uint64_t)>, uint64_t>> shed_hooks;
+  bool queued_any = false;
 
-  // Shedding decision, made inline under mu_ (not in a lambda — the
-  // analysis checks guarded access in the enclosing lock scope).
-  Status shed_status;
+  util::MutexLock lock(mu_);
+  // ONE capacity decision for the whole batch: it fits behind the current
+  // queue or every member is shed — partial admission would make "BATCH n"
+  // responses depend on interleaving with other submitters.
+  Status batch_shed;
   if (stopping_) {
-    shed_status = Status::Unavailable("service is shutting down");
-  } else if (queue_.size() >= options_.queue_depth) {
-    shed_status = Status::Unavailable(
-        StringPrintf("admission queue full (%zu waiting)", queue_.size()));
-  } else {
-    // Staleness routing (replica mode): lag is the primary's freshest
-    // acked tip (as reported by the replication loop) minus the epoch
-    // this request just pinned. Within bound: proceed. Beyond bound:
-    // serve stale when the request opted in, else shed so the caller can
-    // route to a fresher replica.
-    if (pending->snapshot != nullptr && stats_.replica) {
-      uint64_t pinned = pending->snapshot->epoch();
-      pending->observed_tip = std::max(stats_.replication_tip_epoch, pinned);
-      pending->observed_lag = pending->observed_tip - pinned;
-      if (pending->observed_lag > pending->request.max_lag_epochs) {
-        if (pending->request.serve_stale) {
-          pending->stale = true;
-          ++stats_.stale_served;
-        } else {
-          ++stats_.staleness_shed;
+    batch_shed = Status::Unavailable("service is shutting down");
+  } else if (queue_.size() + batch.size() > options_.queue_depth) {
+    batch_shed = Status::Unavailable(StringPrintf(
+        "admission queue full (%zu waiting, batch of %zu)", queue_.size(),
+        batch.size()));
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::unique_ptr<Pending>& pending = batch[i];
+    pending->id = next_id_++;
+    tickets[i]->id_ = pending->id;
+    ++stats_.submitted;
+
+    // Per-member shedding decisions, made inline under mu_ (not in a
+    // lambda — the analysis checks guarded access in the enclosing lock
+    // scope). Capacity is batch-wide; staleness and deadline remain
+    // per-request governors.
+    Status shed_status = batch_shed;
+    if (shed_status.ok()) {
+      // Staleness routing (replica mode): lag is the primary's freshest
+      // acked tip (as reported by the replication loop) minus the epoch
+      // this request just pinned. Within bound: proceed. Beyond bound:
+      // serve stale when the request opted in, else shed so the caller can
+      // route to a fresher replica.
+      if (pending->snapshot != nullptr && stats_.replica) {
+        uint64_t pinned = pending->snapshot->epoch();
+        pending->observed_tip = std::max(stats_.replication_tip_epoch, pinned);
+        pending->observed_lag = pending->observed_tip - pinned;
+        if (pending->observed_lag > pending->request.max_lag_epochs) {
+          if (pending->request.serve_stale) {
+            pending->stale = true;
+            ++stats_.stale_served;
+          } else {
+            ++stats_.staleness_shed;
+            shed_status = Status::Unavailable(StringPrintf(
+                "replica too stale: lag %llu epochs exceeds the requested "
+                "bound of %llu",
+                static_cast<unsigned long long>(pending->observed_lag),
+                static_cast<unsigned long long>(
+                    pending->request.max_lag_epochs)));
+          }
+        }
+      }
+      uint64_t timeout_ms = pending->request.timeout_ms != 0
+                                ? pending->request.timeout_ms
+                                : options_.default_timeout_ms;
+      if (shed_status.ok() && pending->deadline &&
+          options_.shed_unmeetable_deadlines) {
+        double est = EstimatedQueueWaitLocked();
+        double budget = static_cast<double>(timeout_ms) / 1e3;
+        if (est > budget) {
           shed_status = Status::Unavailable(StringPrintf(
-              "replica too stale: lag %llu epochs exceeds the requested "
-              "bound of %llu",
-              static_cast<unsigned long long>(pending->observed_lag),
-              static_cast<unsigned long long>(
-                  pending->request.max_lag_epochs)));
+              "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
+              "queue wait",
+              budget * 1e3, est * 1e3));
         }
       }
     }
-    if (shed_status.ok() && pending->deadline &&
-        options_.shed_unmeetable_deadlines) {
-      double est = EstimatedQueueWaitLocked();
-      double budget = static_cast<double>(timeout_ms) / 1e3;
-      if (est > budget) {
-        shed_status = Status::Unavailable(StringPrintf(
-            "deadline cannot be met: %.0fms budget < ~%.0fms estimated "
-            "queue wait",
-            budget * 1e3, est * 1e3));
+    if (!shed_status.ok()) {
+      QueryResponse resp;
+      resp.outcome = Outcome::kRejectedOverload;
+      resp.status = std::move(shed_status);
+      if (pending->snapshot) resp.edb_epoch = pending->snapshot->epoch();
+      resp.replication_tip_epoch = pending->observed_tip;
+      resp.replication_lag_epochs = pending->observed_lag;
+      ++stats_.rejected_overload;
+      if (pending->request.on_done) {
+        shed_hooks.emplace_back(std::move(pending->request.on_done),
+                                pending->id);
       }
+      // Fulfill outside Finish(): the request was never queued, and the
+      // promise must be set after the counters so stats never undercount.
+      pending->promise.set_value(std::move(resp));
+      continue;
+    }
+
+    queue_.push_back(std::move(pending));
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    queued_any = true;
+  }
+  lock.Unlock();
+  if (queued_any) {
+    if (batch.size() > 1) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
     }
   }
-  if (!shed_status.ok()) {
-    QueryResponse resp;
-    resp.outcome = Outcome::kRejectedOverload;
-    resp.status = std::move(shed_status);
-    if (pending->snapshot) resp.edb_epoch = pending->snapshot->epoch();
-    resp.replication_tip_epoch = pending->observed_tip;
-    resp.replication_lag_epochs = pending->observed_lag;
-    ++stats_.rejected_overload;
-    // Fulfill outside Finish(): the request was never queued, and the
-    // promise must be set after the counters so stats never undercount.
-    pending->promise.set_value(std::move(resp));
-    return ticket;
-  }
-
-  queue_.push_back(std::move(pending));
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-  lock.Unlock();
-  cv_.notify_one();
-  return ticket;
+  for (auto& [hook, id] : shed_hooks) hook(id);
+  return tickets;
 }
 
 void QueryService::Finish(Pending* p, QueryResponse resp) {
@@ -254,6 +328,9 @@ void QueryService::Finish(Pending* p, QueryResponse resp) {
     }
   }
   p->promise.set_value(std::move(resp));
+  // After set_value, never before: the hook's contract is "the future is
+  // ready when I fire". Runs outside mu_ on this (worker/shutdown) thread.
+  if (p->request.on_done) p->request.on_done(p->id);
 }
 
 void QueryService::WorkerLoop(int worker_id) {
@@ -523,6 +600,12 @@ void QueryService::ReportReplicationEvents(uint64_t flaps, uint64_t failovers,
   stats_.replication_failovers =
       std::max(stats_.replication_failovers, failovers);
   stats_.replication_reseeds = std::max(stats_.replication_reseeds, reseeds);
+}
+
+void QueryService::ReportFrontend(const FrontendStats& fs) {
+  util::MutexLock lock(mu_);
+  stats_.frontend = true;
+  stats_.frontend_stats = fs;
 }
 
 ServiceStats QueryService::stats() const {

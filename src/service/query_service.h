@@ -36,6 +36,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -97,6 +98,14 @@ struct QueryRequest {
   /// with QueryResponse::stale set — graceful degradation for readers that
   /// prefer an old answer over none.
   bool serve_stale = false;
+  /// Completion hook: invoked exactly once, after this request's future is
+  /// ready, on whichever thread finished it — a worker, Shutdown(), or the
+  /// submitting thread itself when the request is shed at admission. Must
+  /// be cheap, non-blocking, and must not call back into the service; the
+  /// TCP front end uses it to tickle its wakeup pipe. Receives the ticket
+  /// id. Anything the hook captures must outlive the service's last
+  /// in-flight request (capture shared_ptrs, not raw frontend state).
+  std::function<void(uint64_t)> on_done;
 };
 
 struct QueryResponse {
@@ -125,6 +134,30 @@ struct QueryResponse {
     return outcome == Outcome::kOk || outcome == Outcome::kDeadlineExceeded ||
            outcome == Outcome::kCancelled || outcome == Outcome::kFailed;
   }
+};
+
+/// TCP front-end health, owned by the frontend's loop thread and pushed
+/// into ServiceStats via ReportFrontend() so `:stats` (and operators) see
+/// connection-layer behaviour next to admission behaviour. Counters are
+/// monotonic on the loop thread; each hardening trip has its own counter
+/// because they have different remediations (a line_too_long spike means a
+/// misbehaving client, a write_stall spike means a slow network or a
+/// reader that stopped reading).
+struct FrontendStats {
+  uint64_t accepted = 0;          ///< connections accepted (lifetime)
+  uint64_t closed = 0;            ///< connections closed (lifetime)
+  size_t connections = 0;         ///< gauge: currently open
+  size_t paused = 0;              ///< gauge: reads paused for backpressure
+  uint64_t requests = 0;          ///< request lines submitted to the service
+  uint64_t batches = 0;           ///< BATCH frames admitted
+  uint64_t protocol_errors = 0;   ///< per-request "[n] error:" responses
+  uint64_t line_too_long = 0;     ///< sanitizer: oversized line (fatal)
+  uint64_t write_overflow = 0;    ///< write buffer cap tripped (fatal)
+  uint64_t write_stalls = 0;      ///< write timeout tripped (fatal)
+  uint64_t idle_reaped = 0;       ///< idle deadline tripped (fatal)
+  uint64_t slowloris_closed = 0;  ///< dribbling-first-line cap (fatal)
+  uint64_t backpressure_pauses = 0;  ///< times a connection entered paused
+  std::string ToString() const;
 };
 
 /// Monotonic service counters. Every submitted request ends in exactly one
@@ -166,6 +199,11 @@ struct ServiceStats {
   uint64_t replication_flaps = 0;
   uint64_t replication_failovers = 0;
   uint64_t replication_reseeds = 0;
+
+  /// TCP front-end health, fed by ReportFrontend() when a Frontend fronts
+  /// this service (default-constructed otherwise).
+  bool frontend = false;
+  FrontendStats frontend_stats;
 
   uint64_t TerminalTotal() const {
     return rejected_overload + deadline_before_start + cancelled_before_start +
@@ -266,6 +304,18 @@ class QueryService {
   [[nodiscard]] std::shared_ptr<QueryTicket> Submit(QueryRequest request)
       MCM_EXCLUDES(mu_);
 
+  /// Admit or shed `requests` as one unit: one epoch pin (hot-swap mode —
+  /// every member answers from the same version, which stays alive until
+  /// the last member finishes) and one queue-capacity decision (the whole
+  /// batch fits behind the current queue or the whole batch is shed with
+  /// kRejectedOverload — no partial admission on capacity). Per-request
+  /// governors still apply individually: staleness bounds and predictive
+  /// deadline shedding can drop one member while its siblings run.
+  /// Submit() is exactly SubmitBatch() of one. Returns one ticket per
+  /// request, in order; O(n) in the batch size and O(1) per member.
+  [[nodiscard]] std::vector<std::shared_ptr<QueryTicket>> SubmitBatch(
+      std::vector<QueryRequest> requests) MCM_EXCLUDES(mu_);
+
   /// Stop the service. With `drain` the queue is worked off first; without
   /// it, queued requests finish immediately as kCancelledBeforeStart.
   /// In-flight queries run to completion under their own governors either
@@ -289,6 +339,12 @@ class QueryService {
   /// epoch gauges — a stale report cannot roll counters back.
   void ReportReplicationEvents(uint64_t flaps, uint64_t failovers,
                                uint64_t reseeds) MCM_EXCLUDES(mu_);
+
+  /// Publish TCP front-end health into stats(). The frontend's loop thread
+  /// owns the counters and pushes whole snapshots here — the frontend
+  /// itself needs no mutex (and therefore no slot in the lock-order
+  /// registry). Marks the service as fronted.
+  void ReportFrontend(const FrontendStats& fs) MCM_EXCLUDES(mu_);
 
  private:
   struct Pending {

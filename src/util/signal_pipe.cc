@@ -1,0 +1,101 @@
+#include "util/signal_pipe.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace mcm::util {
+
+WakeupPipe::WakeupPipe() {
+  if (::pipe(fds_) < 0) {
+    status_ = Status::Internal(
+        StringPrintf("pipe: %s", std::strerror(errno)));
+    fds_[0] = fds_[1] = -1;
+    return;
+  }
+  for (int fd : fds_) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      status_ = Status::Internal(
+          StringPrintf("fcntl(O_NONBLOCK): %s", std::strerror(errno)));
+      return;
+    }
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+}
+
+WakeupPipe::~WakeupPipe() {
+  for (int& fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void WakeupPipe::Notify() {
+  if (fds_[1] < 0) return;
+  const char byte = 1;
+  // EAGAIN means the pipe already holds unread wakeups — the loop is
+  // guaranteed to wake, so dropping this byte is correct. EINTR: one retry
+  // is enough for the same reason.
+  ssize_t rc = ::write(fds_[1], &byte, 1);
+  if (rc < 0 && errno == EINTR) {
+    (void)::write(fds_[1], &byte, 1);
+  }
+}
+
+void WakeupPipe::Drain() {
+  if (fds_[0] < 0) return;
+  char buf[256];
+  while (::read(fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+SignalPipe& SignalPipe::Instance() {
+  // Leaked: signal handlers may run until the very last instruction of the
+  // process, so the pipe must never be destroyed.
+  static SignalPipe* instance = new SignalPipe();
+  return *instance;
+}
+
+void SignalPipe::Handler(int sig) {
+  // Async-signal-safe: one relaxed-store-free atomic write + one write().
+  SignalPipe& self = Instance();
+  self.last_signal_.store(sig, std::memory_order_release);
+  self.pipe_.Notify();
+}
+
+Status SignalPipe::Install(std::initializer_list<int> signals) {
+  MCM_RETURN_NOT_OK(pipe_.status());
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &SignalPipe::Handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a blocking read in a non-poll loop should see EINTR and
+  // get a chance to check triggered().
+  sa.sa_flags = 0;
+  for (int sig : signals) {
+    if (::sigaction(sig, &sa, nullptr) < 0) {
+      return Status::Internal(StringPrintf("sigaction(%d): %s", sig,
+                                           std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+void SignalPipe::RaiseForTest(int sig) {
+  last_signal_.store(sig, std::memory_order_release);
+  pipe_.Notify();
+}
+
+void SignalPipe::Reset() {
+  last_signal_.store(0, std::memory_order_release);
+  pipe_.Drain();
+}
+
+}  // namespace mcm::util

@@ -1,0 +1,102 @@
+// Self-pipe plumbing for signal-safe shutdown and cross-thread wakeups.
+//
+// A poll()-based readiness loop cannot take a lock, allocate, or block when
+// a SIGTERM lands — the only async-signal-safe way to get the event into
+// the loop is the classic self-pipe trick: the handler write()s one byte
+// into a non-blocking pipe whose read end the loop polls like any other fd.
+// Two small classes package that:
+//
+//   * SignalPipe — process-wide singleton. Install() registers a handler
+//     for the given signals (SIGTERM/SIGINT for mcm-serve) that records the
+//     signal number and writes to the pipe. The serving loop polls fd() and
+//     treats readability as "begin graceful drain". Installing is
+//     idempotent; the singleton is never destroyed (handlers may fire
+//     during static teardown).
+//
+//   * WakeupPipe — a private, non-signal wakeup channel: worker threads
+//     call Notify() (async-signal-safe too: one write() on a non-blocking
+//     fd) to rouse a poll loop, which Drain()s the bytes and re-checks its
+//     own state. Used by the TCP front end to learn that a QueryService
+//     ticket completed without polling futures on a timer.
+//
+// Thread safety: all operations on both classes are safe from any thread
+// and from signal handlers (Notify/handler write only). Drain() belongs to
+// the single loop thread that owns the read end.
+#pragma once
+
+#include <atomic>
+#include <initializer_list>
+
+#include "util/status.h"
+
+namespace mcm::util {
+
+/// \brief One non-blocking pipe: Notify() from anywhere, poll read_fd() in
+/// a readiness loop, Drain() on the loop thread.
+class WakeupPipe {
+ public:
+  /// Creates the pipe; `ok()` is false (with the reason) if the OS refused.
+  WakeupPipe();
+  ~WakeupPipe();
+
+  WakeupPipe(const WakeupPipe&) = delete;
+  WakeupPipe& operator=(const WakeupPipe&) = delete;
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// The fd to include in poll() with POLLIN.
+  int read_fd() const { return fds_[0]; }
+
+  /// Write one byte (non-blocking; a full pipe already guarantees the loop
+  /// will wake, so EAGAIN is success). Async-signal-safe.
+  void Notify();
+
+  /// Read and discard everything buffered. Loop-thread only.
+  void Drain();
+
+ private:
+  int fds_[2] = {-1, -1};
+  Status status_;
+};
+
+/// \brief Process-wide signal → pipe bridge for graceful shutdown.
+class SignalPipe {
+ public:
+  /// The singleton (leaked on purpose: a handler must never race a dtor).
+  static SignalPipe& Instance();
+
+  /// Register the self-pipe handler for each signal in `signals`
+  /// (e.g. {SIGTERM, SIGINT}). Idempotent; later calls add signals.
+  [[nodiscard]] Status Install(std::initializer_list<int> signals);
+
+  /// The fd a serving loop polls for "a shutdown signal landed".
+  int fd() const { return pipe_.read_fd(); }
+
+  /// True once any installed signal has been delivered.
+  bool triggered() const {
+    return last_signal_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The most recent signal number (0 = none yet).
+  int last_signal() const {
+    return last_signal_.load(std::memory_order_acquire);
+  }
+
+  /// Simulate a delivery (tests): records `sig` and notifies the pipe
+  /// exactly as the real handler would.
+  void RaiseForTest(int sig);
+
+  /// Clear the triggered state and drain the pipe (tests; the fd stays
+  /// valid and installed handlers stay installed).
+  void Reset();
+
+ private:
+  SignalPipe() = default;
+  static void Handler(int sig);
+
+  WakeupPipe pipe_;
+  std::atomic<int> last_signal_{0};
+};
+
+}  // namespace mcm::util

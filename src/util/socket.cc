@@ -201,6 +201,53 @@ Result<std::string> Socket::ReadSome(size_t max_bytes, uint64_t timeout_ms) {
   }
 }
 
+Result<Socket::ReadChunk> Socket::TryRead(size_t max_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket closed");
+  ReadChunk chunk;
+  if (max_bytes == 0) return chunk;
+  chunk.data.resize(std::min<size_t>(max_bytes, 1 << 16));
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk.data.data(), chunk.data.size(), 0);
+    if (n > 0) {
+      chunk.data.resize(static_cast<size_t>(n));
+      return chunk;
+    }
+    if (n == 0) {
+      chunk.data.clear();
+      chunk.eof = true;
+      return chunk;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      chunk.data.clear();
+      return chunk;  // nothing buffered right now
+    }
+    if (errno == EINTR) continue;
+    int err = errno;
+    if (ErrnoMeansPeerGone(err)) {
+      return Status::Unavailable(
+          StringPrintf("peer gone mid-read: %s", std::strerror(err)));
+    }
+    return Status::Internal(StringPrintf("recv: %s", std::strerror(err)));
+  }
+}
+
+Result<size_t> Socket::TryWrite(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket closed");
+  if (bytes.empty()) return size_t{0};
+  for (;;) {
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    if (errno == EINTR) continue;
+    int err = errno;
+    if (ErrnoMeansPeerGone(err)) {
+      return Status::Unavailable(
+          StringPrintf("peer gone mid-write: %s", std::strerror(err)));
+    }
+    return Status::Internal(StringPrintf("send: %s", std::strerror(err)));
+  }
+}
+
 Listener& Listener::operator=(Listener&& other) noexcept {
   if (this != &other) {
     Close();

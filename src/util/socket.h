@@ -69,6 +69,21 @@ class Socket {
   [[nodiscard]] Result<std::string> ReadSome(size_t max_bytes,
                                              uint64_t timeout_ms);
 
+  /// One non-blocking recv for readiness loops that already poll()ed:
+  /// `data` holds whatever was buffered (possibly empty when the kernel had
+  /// nothing — NOT an error), `eof` is the orderly-shutdown verdict. A dead
+  /// peer is kUnavailable, exactly like ReadSome.
+  struct ReadChunk {
+    std::string data;
+    bool eof = false;
+  };
+  [[nodiscard]] Result<ReadChunk> TryRead(size_t max_bytes);
+
+  /// One non-blocking send: returns how many bytes the kernel accepted
+  /// (0 when the socket's send buffer is full — poll for POLLOUT and retry
+  /// the remainder). A dead peer is kUnavailable.
+  [[nodiscard]] Result<size_t> TryWrite(std::string_view bytes);
+
  private:
   int fd_ = -1;
 };
@@ -93,6 +108,8 @@ class Listener {
   [[nodiscard]] static Result<Listener> Bind(uint16_t port);
 
   bool valid() const { return fd_ >= 0; }
+  /// The listening fd, for inclusion in a caller's poll() set.
+  int fd() const { return fd_; }
   /// The bound port (resolved after an ephemeral bind).
   uint16_t port() const { return port_; }
   void Close();

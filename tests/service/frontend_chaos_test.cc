@@ -1,0 +1,315 @@
+// Front-end acceptance chaos: many concurrent pipelined connections versus
+// the serial oracle, a dribbling connection that must never delay anyone
+// else, overload that must surface as paused reads (bounded heap, every
+// request classified), and a SIGTERM drain that must finish inside its
+// deadline with a clean exit.
+//
+// Deterministic per seed: the request mix derives from MCM_FUZZ_SEED (CI
+// runs a 3-seed matrix under ASan and TSan); scale derives from
+// MCM_FRONTEND_CONNS / MCM_FRONTEND_REQUESTS (soak profile).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net_util.h"
+#include "storage/fuzz_util.h"
+#include "util/rng.h"
+#include "util/signal_pipe.h"
+#include "util/string_util.h"
+
+namespace mcm::service {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+TEST(FrontendChaosTest, PipelinedFleetMatchesTheOracleWhileOneClientDribbles) {
+  const size_t kConns = EnvSize("MCM_FRONTEND_CONNS", 8);
+  const size_t kReqs = EnvSize("MCM_FRONTEND_REQUESTS", 40);
+  const uint64_t kSeed = 0xF0E7D + fuzz::FuzzSeedOffset();
+  const size_t kOracle = OracleCount(workload::MakeFigure1Style());
+
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_depth = 512;  // admission sheds are a different test's job
+  FrontendOptions fopts = NetServer::DefaultFrontendOptions();
+  fopts.max_connections = kConns + 4;
+  fopts.max_pipeline = 8;
+  fopts.read_chunk_bytes = 512;
+  fopts.first_line_ms = 0;  // the dribbler below stalls on purpose
+  fopts.idle_ms = 0;
+  NetServer server(sopts, std::move(fopts));
+  ASSERT_TRUE(server.ok());
+
+  // The dribbler: opens first, sends half a request line, and holds the
+  // connection hostage until every fast client has finished. If a stalled
+  // connection could delay others, nothing below would complete.
+  std::atomic<bool> dribbler_armed{false};
+  std::atomic<size_t> fast_done{0};
+  std::atomic<bool> dribbler_ok{false};
+  std::thread dribbler([&] {
+    LineClient client(server.port());
+    if (!client.ok()) return;
+    if (!client.Send("p(0")) return;
+    dribbler_armed.store(true, std::memory_order_release);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(120);
+    while (fast_done.load(std::memory_order_acquire) < kConns &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!client.Send(", Y)?\n")) return;
+    auto line = client.ReadLine(30'000);
+    if (!line) return;
+    auto ok = ParseOk(*line);
+    dribbler_ok.store(ok.has_value() && ok->tuples == kOracle,
+                      std::memory_order_release);
+  });
+  while (!dribbler_armed.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> fleet;
+  for (size_t i = 0; i < kConns; ++i) {
+    fleet.emplace_back([&, i] {
+      Rng rng(kSeed + i);
+      // Build a pipelined mix: plain queries, prefixed queries, guaranteed
+      // protocol errors, and BATCH frames; remember what each tag must be.
+      std::string payload;
+      std::vector<bool> expect_error;  // by tag, 0-based
+      while (expect_error.size() < kReqs) {
+        switch (rng.NextIndex(4)) {
+          case 0:
+            payload += "p(0, Y)?\n";
+            expect_error.push_back(false);
+            break;
+          case 1:
+            payload += "@timeout=60000 @stale_ok p(0, Y)?\n";
+            expect_error.push_back(false);
+            break;
+          case 2:
+            payload += "@chaos_bogus p(0, Y)?\n";
+            expect_error.push_back(true);
+            break;
+          default: {
+            size_t members = 2 + rng.NextIndex(3);
+            payload += "BATCH " + std::to_string(members) + "\n";
+            for (size_t m = 0; m < members; ++m) {
+              payload += "p(0, Y)?\n";
+              expect_error.push_back(false);
+            }
+            break;
+          }
+        }
+      }
+
+      LineClient client(server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      size_t off = 0;  // random-sized writes: lines split across reads
+      while (off < payload.size()) {
+        size_t n = 1 + rng.NextIndex(255);
+        n = std::min(n, payload.size() - off);
+        if (!client.Send(payload.substr(off, n), 60'000)) {
+          ++failures;
+          return;
+        }
+        off += n;
+      }
+      client.HalfClose();
+
+      for (size_t tag = 1; tag <= expect_error.size(); ++tag) {
+        auto line = client.ReadLine(60'000);
+        if (!line) {
+          ++failures;
+          return;
+        }
+        auto got = ParseTag(*line);
+        if (!got || *got != tag) {
+          ADD_FAILURE() << "conn " << i << ": want tag " << tag << ", got "
+                        << *line;
+          ++failures;
+          return;
+        }
+        bool is_error = line->find("] error: ") != std::string::npos;
+        if (is_error != expect_error[tag - 1]) {
+          ADD_FAILURE() << "conn " << i << ": tag " << tag
+                        << " kind mismatch: " << *line;
+          ++failures;
+          return;
+        }
+        if (auto ok = ParseOk(*line)) {
+          if (ok->tuples != kOracle) {
+            ADD_FAILURE() << "conn " << i << ": oracle mismatch: " << *line;
+            ++failures;
+            return;
+          }
+        }
+      }
+      if (!client.AtEof(30'000)) ++failures;
+      ++fast_done;
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  // Unblock the dribbler even if clients failed, then check it too.
+  fast_done.store(kConns, std::memory_order_release);
+  dribbler.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_TRUE(dribbler_ok.load(std::memory_order_acquire))
+      << "the dribbling connection must still get its answer";
+
+  EXPECT_TRUE(server.Stop());
+  ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, stats.TerminalTotal())
+      << "every admitted request must be classified exactly once";
+  EXPECT_EQ(stats.frontend_stats.connections, 0u);
+}
+
+TEST(FrontendChaosTest, OverloadSurfacesAsPausedReadsAndBoundedQueues) {
+  const uint64_t kSeed = 0xBAC59 + fuzz::FuzzSeedOffset();
+  const size_t kConns = 3;
+  const size_t kReqs = EnvSize("MCM_FRONTEND_REQUESTS", 40);
+  // A heavier instance so each query holds the single worker long enough
+  // for overload to be an observable steady state, not a blip.
+  workload::CslData data = workload::MakeRandomCsl(
+      /*l_nodes=*/30, /*l_arcs=*/90, /*r_nodes=*/30, /*r_arcs=*/90,
+      /*e_arcs=*/20, /*seed=*/7);
+  const size_t kOracle = OracleCount(data);
+
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.queue_depth = 2;  // tiny: the queue is full almost immediately
+  FrontendOptions fopts = NetServer::DefaultFrontendOptions();
+  fopts.max_pipeline = 2;
+  fopts.read_chunk_bytes = 64;
+  NetServer server(sopts, fopts, data);
+  ASSERT_TRUE(server.ok());
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> fleet;
+  for (size_t i = 0; i < kConns; ++i) {
+    fleet.emplace_back([&, i] {
+      Rng rng(kSeed + i);
+      std::string payload;
+      for (size_t r = 0; r < kReqs; ++r) payload += "p(0, Y)?\n";
+      LineClient client(server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      size_t off = 0;
+      while (off < payload.size()) {
+        size_t n = 1 + rng.NextIndex(63);
+        n = std::min(n, payload.size() - off);
+        if (!client.Send(payload.substr(off, n), 120'000)) {
+          ++failures;
+          return;
+        }
+        off += n;
+      }
+      client.HalfClose();
+      for (size_t tag = 1; tag <= kReqs; ++tag) {
+        auto line = client.ReadLine(120'000);
+        if (!line) {
+          ++failures;
+          return;
+        }
+        auto got = ParseTag(*line);
+        if (!got || *got != tag) {
+          ADD_FAILURE() << "conn " << i << ": want tag " << tag << ", got "
+                        << *line;
+          ++failures;
+          return;
+        }
+        // Under overload a request may legitimately shed; what it may not
+        // do is answer wrongly.
+        if (auto ok = ParseOk(*line)) {
+          if (ok->tuples != kOracle) {
+            ADD_FAILURE() << "conn " << i << ": oracle mismatch: " << *line;
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  // While the flood is in flight the paused gauge must be observable: with
+  // a 1-worker service, a 2-deep queue, and 2-deep pipelines, connections
+  // spend most of the run with their reads suspended.
+  ServiceStats mid = server.WaitForStats(
+      [](const ServiceStats& s) { return s.frontend_stats.paused > 0; },
+      60'000);
+  EXPECT_GT(mid.frontend_stats.paused, 0u)
+      << "overload never showed up as paused connections";
+
+  for (std::thread& t : fleet) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  EXPECT_TRUE(server.Stop());
+  ServiceStats stats = server.stats();
+  EXPECT_GE(stats.frontend_stats.backpressure_pauses, 1u);
+  EXPECT_EQ(stats.frontend_stats.paused, 0u) << "gauge must settle to zero";
+  EXPECT_EQ(stats.frontend_stats.requests, kConns * kReqs);
+  EXPECT_EQ(stats.submitted, stats.TerminalTotal());
+  EXPECT_LE(stats.max_queue_depth, sopts.queue_depth)
+      << "the admission queue must stay bounded under flood";
+}
+
+TEST(FrontendChaosTest, SigtermDrainsWithinTheDeadline) {
+  auto& signals = util::SignalPipe::Instance();
+  signals.Reset();
+
+  FrontendOptions fopts = NetServer::DefaultFrontendOptions();
+  fopts.shutdown_fd = signals.fd();
+  fopts.drain_ms = 5'000;
+  NetServer server(NetServer::DefaultServiceOptions(), std::move(fopts));
+  ASSERT_TRUE(server.ok());
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  std::string burst;
+  constexpr size_t kBurst = 10;
+  for (size_t i = 0; i < kBurst; ++i) burst += "p(0, Y)?\n";
+  ASSERT_TRUE(client.Send(burst));
+  // Wait until the whole burst is admitted: drain stops reading sockets,
+  // and only already-read requests are "in flight" work it must finish.
+  ServiceStats admitted = server.WaitForStats([](const ServiceStats& s) {
+    return s.frontend_stats.requests >= kBurst;
+  });
+  ASSERT_GE(admitted.frontend_stats.requests, kBurst);
+
+  auto t0 = std::chrono::steady_clock::now();
+  signals.RaiseForTest(SIGTERM);
+
+  // In-flight work finishes and flushes; then the stream closes.
+  std::vector<std::string> lines = client.ReadLines(kBurst);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_TRUE(ParseOk(lines[i]).has_value()) << lines[i];
+  }
+  EXPECT_TRUE(client.AtEof());
+  ASSERT_TRUE(server.Stop()) << "Run() must return within the drain budget";
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 15'000) << "drain took implausibly long";
+  EXPECT_TRUE(signals.triggered());
+  EXPECT_EQ(signals.last_signal(), SIGTERM);
+  signals.Reset();
+}
+
+}  // namespace
+}  // namespace mcm::service

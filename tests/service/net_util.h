@@ -1,0 +1,293 @@
+// Shared fixture for the TCP front-end tests: an in-process server (an
+// in-memory VersionedStore bootstrapped with the Figure-1 CSL instance, a
+// QueryService, and a Frontend running its readiness loop on a dedicated
+// thread) plus a deliberately simple blocking line client.
+//
+// The client is the *opposite* of the frontend by design: it uses plain
+// deadline-bounded reads and writes so a test that floods a paused server
+// can observe TCP backpressure (short writes) instead of deadlocking, and
+// every read carries a timeout so a server bug shows up as a test failure,
+// never a hang.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/solver.h"
+#include "datalog/parser.h"
+#include "service/frontend.h"
+#include "service/query_service.h"
+#include "storage/versioned_store.h"
+#include "util/socket.h"
+#include "workload/generators.h"
+
+namespace mcm::service {
+
+/// The rules every test server prepends to query lines (mcm-serve --rules):
+/// the canonical CSL program over the l/e/r relations the store is
+/// bootstrapped with.
+inline const char* kNetTestRules =
+    "p(X, Y) :- e(X, Y).\n"
+    "p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).";
+
+/// The query line the oracle below answers.
+inline const char* kNetTestQuery = "p(0, Y)?";
+
+/// Single-threaded ground truth: how many tuples "p(0, Y)?" yields against
+/// `data` — computed on a private Database, no service involved.
+inline size_t OracleCount(const workload::CslData& data) {
+  Database db;
+  data.Load(&db);
+  auto prog =
+      dl::Parse(std::string(kNetTestRules) + "\n" + kNetTestQuery);
+  EXPECT_TRUE(prog.ok());
+  auto report = core::SolveProgram(&db, *prog, core::PlannerOptions{});
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report->results.size() : 0;
+}
+
+/// In-process server: store + service + frontend + loop thread. Construct,
+/// check ok(), connect clients to port(). Stop() (or the destructor)
+/// drains gracefully and joins.
+class NetServer {
+ public:
+  explicit NetServer(ServiceOptions sopts = DefaultServiceOptions(),
+                     FrontendOptions fopts = DefaultFrontendOptions(),
+                     const workload::CslData& data =
+                         workload::MakeFigure1Style()) {
+    store_ = std::make_unique<VersionedStore>(VersionedStore::Options{""});
+    if (!store_->Recover().ok()) return;
+    Database staging;
+    data.Load(&staging);
+    auto boot = store_->BootstrapFromDatabase(staging);
+    if (!boot.ok()) return;
+    svc_ = std::make_unique<QueryService>(store_.get(), sopts);
+    frontend_ = std::make_unique<Frontend>(svc_.get(), std::move(fopts));
+    Status started = frontend_->Start();
+    if (!started.ok()) return;
+    loop_ = std::thread([this] { frontend_->Run(); });
+    ok_ = true;
+  }
+
+  ~NetServer() { Stop(); }
+
+  static ServiceOptions DefaultServiceOptions() {
+    ServiceOptions s;
+    s.workers = 2;
+    s.queue_depth = 64;
+    return s;
+  }
+
+  static FrontendOptions DefaultFrontendOptions() {
+    FrontendOptions f;
+    f.rules = kNetTestRules;
+    return f;
+  }
+
+  bool ok() const { return ok_; }
+  uint16_t port() const { return frontend_->port(); }
+  Frontend* frontend() { return frontend_.get(); }
+  QueryService* svc() { return svc_.get(); }
+  VersionedStore* store() { return store_.get(); }
+  ServiceStats stats() const { return svc_->stats(); }
+
+  /// Poll stats() until `pred` holds or `timeout_ms` elapses; returns the
+  /// last snapshot either way.
+  ServiceStats WaitForStats(
+      const std::function<bool(const ServiceStats&)>& pred,
+      uint64_t timeout_ms = 5000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      ServiceStats s = stats();
+      if (pred(s) || std::chrono::steady_clock::now() >= deadline) return s;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  /// Graceful drain + join + service drain. Idempotent; returns false if
+  /// the loop failed to exit within `join_timeout_ms` (the loop thread is
+  /// then detached so the test reports a clean failure instead of hanging).
+  bool Stop(uint64_t join_timeout_ms = 20'000) {
+    bool joined = true;
+    if (loop_.joinable()) {
+      frontend_->RequestDrain();
+      // std::thread has no timed join; poll a flag set by a watcher.
+      std::atomic<bool> done{false};
+      std::thread watcher([&] {
+        loop_.join();
+        done.store(true, std::memory_order_release);
+      });
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(join_timeout_ms);
+      while (!done.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      joined = done.load(std::memory_order_acquire);
+      if (joined) {
+        watcher.join();
+      } else {
+        watcher.detach();  // leak on failure; the assertion reports it
+      }
+    }
+    if (svc_ && joined) svc_->Shutdown(/*drain=*/true);
+    return joined;
+  }
+
+ private:
+  std::unique_ptr<VersionedStore> store_;
+  std::unique_ptr<QueryService> svc_;
+  std::unique_ptr<Frontend> frontend_;
+  std::thread loop_;
+  bool ok_ = false;
+};
+
+/// Blocking line-oriented TCP client with deadlines on every operation.
+class LineClient {
+ public:
+  /// Connects to 127.0.0.1:port; check ok().
+  explicit LineClient(uint16_t port) {
+    auto sock = util::Socket::Connect("127.0.0.1", port, 2000);
+    if (sock.ok()) sock_ = std::move(*sock);
+  }
+
+  bool ok() const { return sock_.valid(); }
+  util::Socket& sock() { return sock_; }
+
+  [[nodiscard]] bool Send(std::string_view bytes, uint64_t timeout_ms = 5000) {
+    return sock_.WriteAll(bytes, timeout_ms).ok();
+  }
+
+  /// Shut down the write side: the server sees EOF, flushes what is in
+  /// flight, and closes — the "printf q | nc" shape.
+  void HalfClose() { ::shutdown(sock_.fd(), SHUT_WR); }
+
+  /// Next '\n'-terminated line (stripped). nullopt on EOF or deadline.
+  std::optional<std::string> ReadLine(uint64_t timeout_ms = 10'000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      if (eof_) return std::nullopt;
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return std::nullopt;
+      auto chunk = sock_.ReadSome(
+          4096, static_cast<uint64_t>(left.count()));
+      if (!chunk.ok()) return std::nullopt;  // deadline or reset
+      if (chunk->empty()) {
+        eof_ = true;
+        continue;
+      }
+      buf_.append(*chunk);
+    }
+  }
+
+  /// Read `n` lines; fails the test (and stops early) on EOF/deadline.
+  std::vector<std::string> ReadLines(size_t n, uint64_t timeout_ms = 30'000) {
+    std::vector<std::string> lines;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (lines.size() < n) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) break;
+      auto line = ReadLine(static_cast<uint64_t>(left.count()));
+      if (!line) break;
+      lines.push_back(std::move(*line));
+    }
+    EXPECT_EQ(lines.size(), n) << "short read: got " << lines.size()
+                               << " of " << n << " lines";
+    // Pad so callers can index positionally after the (failed) EXPECT
+    // instead of crashing on a short vector.
+    while (lines.size() < n) lines.push_back("<missing line>");
+    return lines;
+  }
+
+  /// True iff the next event on the stream is an orderly EOF (no more
+  /// payload) within the deadline.
+  bool AtEof(uint64_t timeout_ms = 10'000) {
+    if (!buf_.empty()) return false;
+    if (eof_) return true;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      auto chunk = sock_.ReadSome(
+          4096, static_cast<uint64_t>(left.count()));
+      if (!chunk.ok()) {
+        // A RST after the peer closed still means "stream over".
+        return chunk.status().code() == StatusCode::kUnavailable && buf_.empty();
+      }
+      if (chunk->empty()) {
+        eof_ = true;
+        return true;
+      }
+      buf_.append(*chunk);
+      return false;
+    }
+  }
+
+ private:
+  util::Socket sock_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+/// Parsed "[tag] ok: N tuples ...@epoch E ..." response line.
+struct OkLine {
+  uint64_t tag = 0;
+  size_t tuples = 0;
+  uint64_t epoch = 0;
+  bool stale = false;
+};
+
+/// Parse an ok response; nullopt if `line` is not one.
+inline std::optional<OkLine> ParseOk(const std::string& line) {
+  OkLine out;
+  unsigned long long tag = 0, epoch = 0;
+  size_t tuples = 0;
+  if (sscanf(line.c_str(), "[%llu] ok: %zu tuples stale@epoch %llu", &tag,
+             &tuples, &epoch) == 3) {
+    out.stale = true;
+  } else if (sscanf(line.c_str(), "[%llu] ok: %zu tuples @epoch %llu", &tag,
+                    &tuples, &epoch) != 3) {
+    return std::nullopt;
+  }
+  out.tag = tag;
+  out.tuples = tuples;
+  out.epoch = epoch;
+  return out;
+}
+
+/// The bracketed tag of any tagged response line; nullopt when untagged or
+/// unparseable.
+inline std::optional<uint64_t> ParseTag(const std::string& line) {
+  unsigned long long tag = 0;
+  if (sscanf(line.c_str(), "[%llu]", &tag) != 1) return std::nullopt;
+  return tag;
+}
+
+}  // namespace mcm::service

@@ -1,0 +1,373 @@
+// Protocol hardening fuzz: deterministic unit coverage of the shared
+// sanitizer/parser (service/protocol.h), then seeded rounds of hostile
+// byte streams — huge lines, embedded NULs, invalid UTF-8, CRLF endings,
+// lines split across arbitrarily small writes, truncated BATCH frames,
+// pipelined garbage — against a live Frontend over real sockets.
+//
+// The harness asserts the protocol's contract, not any particular byte
+// stream's meaning:
+//
+//   * every response line is structurally valid ("[tag] outcome: ..." or a
+//     "!fatal reason: ..." teardown) — never silence, never garbage;
+//   * tagged responses arrive as the exact prefix 1..k of the tags a
+//     model of the line protocol predicts (k < expected only after a
+//     fatal teardown, which cancels what it cannot deliver);
+//   * every "[t] ok:" answer matches the single-threaded oracle;
+//   * after every round the server still answers a clean query — a
+//     poisoned connection never poisons the listener.
+//
+// Seeds derive from MCM_FUZZ_SEED (CI matrix); rounds scale with
+// MCM_FUZZ_ITERS (soak profile). Run under ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/net_util.h"
+#include "service/protocol.h"
+#include "storage/fuzz_util.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace mcm::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic unit coverage of the shared protocol helpers.
+
+TEST(ProtocolTest, Utf8ValidatorAcceptsRealTextAndRejectsSmuggling) {
+  EXPECT_TRUE(protocol::IsValidUtf8(""));
+  EXPECT_TRUE(protocol::IsValidUtf8("plain ascii ?!"));
+  EXPECT_TRUE(protocol::IsValidUtf8("h\xc3\xa9llo"));          // é
+  EXPECT_TRUE(protocol::IsValidUtf8("\xe2\x82\xac"));          // €
+  EXPECT_TRUE(protocol::IsValidUtf8("\xf0\x9f\x98\x80"));      // emoji
+  EXPECT_FALSE(protocol::IsValidUtf8("\xc0\x80"));             // overlong NUL
+  EXPECT_FALSE(protocol::IsValidUtf8("\xe0\x80\xaf"));         // overlong /
+  EXPECT_FALSE(protocol::IsValidUtf8("\xed\xa0\x80"));         // surrogate
+  EXPECT_FALSE(protocol::IsValidUtf8("\xf4\x90\x80\x80"));     // > U+10FFFF
+  EXPECT_FALSE(protocol::IsValidUtf8("\xe2\x82"));             // truncated
+  EXPECT_FALSE(protocol::IsValidUtf8("\x80"));                 // stray cont.
+  EXPECT_FALSE(protocol::IsValidUtf8("\xff"));                 // invalid lead
+}
+
+TEST(ProtocolTest, SanitizeLineReportsStructuredReasons) {
+  protocol::LineLimits limits;
+  limits.max_line_bytes = 16;
+  EXPECT_TRUE(protocol::SanitizeLine("p(0, Y)?", limits).ok());
+  Status too_long = protocol::SanitizeLine(std::string(17, 'a'), limits);
+  EXPECT_EQ(too_long.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(StartsWith(too_long.message(), "line_too_long"));
+  Status nul = protocol::SanitizeLine(std::string("p(\0)?", 5), limits);
+  EXPECT_TRUE(StartsWith(nul.message(), "embedded_nul"));
+  Status utf8 = protocol::SanitizeLine("\xff p?", limits);
+  EXPECT_TRUE(StartsWith(utf8.message(), "invalid_utf8"));
+}
+
+TEST(ProtocolTest, PrefixParserHandlesEveryKnobAndEveryMistake) {
+  auto all = protocol::ParsePrefixes(
+      "@timeout=250 @max_lag=3 @stale_ok p(0, Y)?");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->timeout_ms, 250u);
+  EXPECT_EQ(all->max_lag_epochs, 3u);
+  EXPECT_TRUE(all->stale_ok);
+  EXPECT_EQ(all->query, "p(0, Y)?");
+
+  auto none = protocol::ParsePrefixes("  p(0, Y)?  ");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->timeout_ms, 0u);
+  EXPECT_EQ(none->query, "p(0, Y)?");
+
+  EXPECT_FALSE(protocol::ParsePrefixes("@timeout=abc q?").ok());
+  EXPECT_FALSE(protocol::ParsePrefixes("@max_lag= q?").ok());
+  EXPECT_FALSE(protocol::ParsePrefixes("@nope q?").ok());
+  EXPECT_FALSE(protocol::ParsePrefixes("@stale_ok").ok());  // no query
+  EXPECT_FALSE(protocol::ParsePrefixes("").ok());           // empty
+}
+
+TEST(ProtocolTest, BatchHeaderParserEnforcesTheCap) {
+  auto ok = protocol::ParseBatchHeader("BATCH 5", 8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5u);
+  EXPECT_FALSE(protocol::ParseBatchHeader("BATCH", 8).ok());
+  EXPECT_FALSE(protocol::ParseBatchHeader("BATCH x", 8).ok());
+  EXPECT_FALSE(protocol::ParseBatchHeader("BATCH 0", 8).ok());
+  EXPECT_FALSE(protocol::ParseBatchHeader("BATCH 9", 8).ok());
+  EXPECT_FALSE(protocol::ParseBatchHeader("BATCH -1", 8).ok());
+}
+
+TEST(ProtocolTest, FormattersTagExactly) {
+  EXPECT_EQ(protocol::FormatError(7, "boom"), "[7] error: boom\n");
+  QueryResponse shed;
+  shed.outcome = Outcome::kRejectedOverload;
+  shed.status = Status::Unavailable("queue full");
+  std::string line = protocol::FormatResponse(42, shed);
+  EXPECT_TRUE(StartsWith(line, "[42] rejected_overload: ")) << line;
+  EXPECT_EQ(line.back(), '\n');
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz against a live server.
+
+/// One fuzz line plus what the protocol model says it should produce.
+struct FuzzLine {
+  std::string bytes;  ///< content, no terminator
+  bool crlf = false;  ///< terminate with \r\n instead of \n
+};
+
+std::string RandomPrintable(Rng* rng, size_t max_len) {
+  std::string s(1 + rng->NextIndex(max_len), ' ');
+  for (char& c : s) c = static_cast<char>(32 + rng->NextIndex(95));
+  return s;
+}
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  std::string s(1 + rng->NextIndex(max_len), ' ');
+  for (char& c : s) c = static_cast<char>(rng->NextIndex(256));
+  return s;
+}
+
+FuzzLine MakeFuzzLine(Rng* rng, size_t line_cap) {
+  FuzzLine out;
+  switch (rng->NextIndex(10)) {
+    case 0:
+      out.bytes = "p(0, Y)?";
+      break;
+    case 1:
+      out.bytes = "@timeout=30000 @stale_ok p(0, Y)?";
+      break;
+    case 2:
+      out.bytes = RandomPrintable(rng, 120);
+      break;
+    case 3:
+      out.bytes = RandomBytes(rng, 120);  // NULs, bad UTF-8, the works
+      break;
+    case 4:
+      // Around (sometimes over) the line cap: the teardown path.
+      out.bytes = std::string(line_cap - 64 + rng->NextIndex(256), 'h');
+      break;
+    case 5:
+      out.bytes = "p(0, Y)?";
+      out.crlf = true;
+      break;
+    case 6:
+      out.bytes = "BATCH " + std::to_string(rng->NextIndex(12));
+      break;
+    case 7:
+      out.bytes = "@" + RandomPrintable(rng, 40) + " ?";
+      break;
+    case 8:
+      out.bytes = rng->NextBool() ? "" : "# comment " + RandomPrintable(rng, 20);
+      break;
+    default:
+      out.bytes = "BATCH";  // header keyword with no count
+      break;
+  }
+  // Lines must not contain the terminator we add ourselves.
+  for (char& c : out.bytes) {
+    if (c == '\n') c = ' ';
+  }
+  return out;
+}
+
+/// A model of Frontend::HandleLine / ConsumeLines, reduced to the two facts
+/// the assertions need: how many tagged responses the stream produces, and
+/// whether (and when) it dies a fatal death.
+struct ProtocolModel {
+  uint64_t max_batch;
+  size_t line_cap;
+  uint64_t tags = 0;
+  uint64_t batch_remaining = 0;
+  bool fatal = false;
+  /// Per tag (0-based): is this tag the canonical oracle query? Random
+  /// printable garbage can parse as a *valid* query with a different
+  /// (usually empty) answer, so only canonical tags get the oracle check.
+  std::vector<bool> canonical;
+
+  void Tag(const std::string& raw) {
+    auto prefixes = protocol::ParsePrefixes(raw);
+    canonical.push_back(protocol::SanitizeLine(raw, {line_cap}).ok() &&
+                        prefixes.ok() && prefixes->query == "p(0, Y)?");
+    ++tags;
+  }
+
+  void Feed(const std::string& raw_in) {
+    if (fatal) return;
+    std::string raw = raw_in;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    if (raw.size() > line_cap) {
+      fatal = true;
+      return;
+    }
+    if (batch_remaining > 0) {
+      Tag(raw);
+      --batch_remaining;
+      return;
+    }
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') return;
+    if (!protocol::SanitizeLine(raw, {line_cap}).ok()) {
+      Tag(raw);
+      return;
+    }
+    if (line == "BATCH" || StartsWith(line, "BATCH ")) {
+      auto n = protocol::ParseBatchHeader(line, max_batch);
+      if (n.ok()) {
+        batch_remaining = *n;
+      } else {
+        Tag(raw);
+      }
+      return;
+    }
+    Tag(raw);  // query or prefix error: one tagged response either way
+  }
+};
+
+/// "[<digits>] <word>: ..." — the only shapes a response line may take
+/// besides "!fatal <reason>: ...".
+bool IsWellFormedResponse(const std::string& line) {
+  if (StartsWith(line, "!fatal ")) return true;
+  if (line.size() < 4 || line[0] != '[') return false;
+  size_t i = 1;
+  while (i < line.size() && isdigit(static_cast<unsigned char>(line[i]))) ++i;
+  if (i == 1 || i + 1 >= line.size() || line[i] != ']' || line[i + 1] != ' ') {
+    return false;
+  }
+  return line.find(": ", i + 2) != std::string::npos;
+}
+
+TEST(ProtocolFuzzTest, HostileStreamsAlwaysGetStructuredAnswersOrTeardown) {
+  const size_t kRounds = fuzz::FuzzIters(25);
+  const uint64_t kSeedBase = 0xF40271 + fuzz::FuzzSeedOffset();
+  const size_t kLineCap = 2048;
+  const uint64_t kMaxBatch = 8;
+  const size_t kOracle = OracleCount(workload::MakeFigure1Style());
+
+  ServiceOptions sopts = NetServer::DefaultServiceOptions();
+  sopts.queue_depth = 256;
+  FrontendOptions fopts = NetServer::DefaultFrontendOptions();
+  fopts.line_limits.max_line_bytes = kLineCap;
+  fopts.max_batch = kMaxBatch;
+  fopts.max_pipeline = 64;
+  NetServer server(sopts, std::move(fopts));
+  ASSERT_TRUE(server.ok());
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round) + " seed " +
+                 std::to_string(kSeedBase + round));
+    Rng rng(kSeedBase + round);
+
+    // Build the stream and run the model over its lines.
+    ProtocolModel model{kMaxBatch, kLineCap, 0, 0, false, {}};
+    std::string payload;
+    size_t n_lines = 1 + rng.NextIndex(40);
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < n_lines; ++i) {
+      FuzzLine fl = MakeFuzzLine(&rng, kLineCap);
+      payload += fl.bytes;
+      lines.push_back(fl.bytes);
+      payload += fl.crlf ? "\r\n" : "\n";
+    }
+    // An empty final line cannot be "unterminated": dropping its
+    // terminator leaves zero bytes, i.e. no line at all, and the model
+    // would over-count it (e.g. as a batch member).
+    bool drop_terminator = rng.NextBool(0.3) && !lines.back().empty();
+    if (drop_terminator) {
+      // Unterminated final line: EOF must still answer it.
+      while (!payload.empty() && payload.back() != '\n') payload.pop_back();
+      if (!payload.empty()) payload.pop_back();
+    }
+    for (const std::string& l : lines) model.Feed(l);
+
+    LineClient client(server.port());
+    ASSERT_TRUE(client.ok());
+    // Split across arbitrarily small writes: partial lines must reassemble.
+    bool sent_all = true;
+    size_t off = 0;
+    while (off < payload.size()) {
+      size_t n = 1 + rng.NextIndex(97);
+      n = std::min(n, payload.size() - off);
+      if (!client.Send(payload.substr(off, n), 30'000)) {
+        // A teardown mid-payload resets the stream under our writes; that
+        // is only acceptable when the model predicted the teardown.
+        ASSERT_TRUE(model.fatal) << "send failed without a predicted fatal";
+        sent_all = false;
+        break;
+      }
+      off += n;
+    }
+    client.HalfClose();
+
+    // Read everything until EOF; every line must be well-formed, tagged
+    // lines must be the exact prefix 1..k, and ok answers must match the
+    // oracle (every valid query in the stream is the same query).
+    uint64_t next_tag = 1;
+    bool saw_fatal = false;
+    for (;;) {
+      auto line = client.ReadLine(30'000);
+      if (!line) break;
+      ASSERT_TRUE(IsWellFormedResponse(*line)) << *line;
+      ASSERT_FALSE(saw_fatal) << "lines after a fatal teardown: " << *line;
+      if (StartsWith(*line, "!fatal ")) {
+        saw_fatal = true;
+        continue;
+      }
+      auto tag = ParseTag(*line);
+      ASSERT_TRUE(tag.has_value()) << *line;
+      EXPECT_EQ(*tag, next_tag) << "tags must be a gapless prefix: " << *line;
+      ++next_tag;
+      if (auto ok = ParseOk(*line)) {
+        if (ok->tag <= model.canonical.size() &&
+            model.canonical[ok->tag - 1]) {
+          EXPECT_EQ(ok->tuples, kOracle) << *line;
+        }
+      }
+    }
+    uint64_t delivered = next_tag - 1;
+    if (std::getenv("MCM_FUZZ_DEBUG") && !model.fatal && sent_all &&
+        delivered != model.tags) {
+      fprintf(stderr, "drop_terminator=%d n_lines=%zu\n", (int)drop_terminator,
+              lines.size());
+      for (size_t i = 0; i < lines.size(); ++i) {
+        std::string esc;
+        for (char c : lines[i].substr(0, 60)) {
+          if (c >= 32 && c < 127) esc += c;
+          else esc += "\\x" + std::to_string((unsigned char)c);
+        }
+        fprintf(stderr, "line %zu (len %zu): %s\n", i, lines[i].size(),
+                esc.c_str());
+      }
+    }
+    if (model.fatal) {
+      // The farewell itself can be clobbered by the RST that closing on
+      // unread input produces — the teardown is the guarantee, the
+      // goodbye is best-effort. Tags stay a prefix of the model's either
+      // way.
+      EXPECT_LE(delivered, model.tags);
+    } else {
+      EXPECT_FALSE(saw_fatal);
+      if (sent_all) {
+        EXPECT_EQ(delivered, model.tags);
+      }
+    }
+
+    // The listener survived the abuse: a clean connection still answers.
+    LineClient probe(server.port());
+    ASSERT_TRUE(probe.ok());
+    ASSERT_TRUE(probe.Send("p(0, Y)?\n"));
+    auto answer = probe.ReadLine();
+    ASSERT_TRUE(answer.has_value());
+    auto ok = ParseOk(*answer);
+    ASSERT_TRUE(ok.has_value()) << *answer;
+    EXPECT_EQ(ok->tuples, kOracle);
+  }
+
+  EXPECT_TRUE(server.Stop());
+  ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, stats.TerminalTotal());
+}
+
+}  // namespace
+}  // namespace mcm::service
